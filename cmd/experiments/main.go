@@ -1,0 +1,67 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (E1-E7 in DESIGN.md) plus the design ablations, printing each
+// artifact with its paper-vs-measured shape checks.
+//
+// Usage:
+//
+//	experiments [-korean N] [-world N] [-seed S] [-ablations] [-out FILE]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stir/internal/experiments"
+)
+
+func main() {
+	korean := flag.Int("korean", experiments.DefaultScale.KoreanUsers, "Korean dataset size (paper: 52k, default 1:10)")
+	world := flag.Int("world", experiments.DefaultScale.WorldUsers, "world (Lady Gaga) dataset size")
+	seed := flag.Int64("seed", experiments.DefaultScale.Seed, "generation seed")
+	ablations := flag.Bool("ablations", false, "also run the design ablations (A1-A3)")
+	extensions := flag.Bool("extensions", false, "also run the beyond-paper extensions (X1-X2)")
+	out := flag.String("out", "", "also write the report to this file")
+	flag.Parse()
+
+	sc := experiments.Scale{KoreanUsers: *korean, WorldUsers: *world, Seed: *seed}
+	ctx := context.Background()
+	start := time.Now()
+
+	outcomes, err := experiments.All(ctx, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if *ablations {
+		abl, err := experiments.AllAblations(ctx, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablations:", err)
+			os.Exit(1)
+		}
+		outcomes = append(outcomes, abl...)
+	}
+	if *extensions {
+		ext, err := experiments.Extensions(ctx, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "extensions:", err)
+			os.Exit(1)
+		}
+		outcomes = append(outcomes, ext...)
+	}
+	text := experiments.FormatAll(outcomes, time.Since(start), sc)
+	fmt.Print(text)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "write:", err)
+			os.Exit(1)
+		}
+	}
+	for _, o := range outcomes {
+		if !o.Holds() {
+			os.Exit(2) // some shape check failed; visible to CI
+		}
+	}
+}

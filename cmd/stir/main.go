@@ -1,0 +1,387 @@
+// Command stir is the library's CLI: generate a synthetic dataset, run the
+// paper's refinement-and-grouping analysis, and report the figures.
+//
+// Subcommands:
+//
+//	stir analyze [-dataset korean|world] [-users N] [-seed S] [-csv]
+//	    run the §III pipeline and print the funnel and the per-group figures
+//	stir event   [-users N] [-seed S] [-method particle|kalman|median|centroid]
+//	    inject an earthquake and compare unweighted vs reliability-weighted
+//	    location estimation (the paper's §V application)
+//	stir groups  [-users N] [-seed S] [-n K]
+//	    dump the first K per-user merged-and-ordered string lists (Table II)
+//	stir export  [-dataset korean|world] [-users N] [-seed S]
+//	             [-what collection|strings|csv] [-out FILE]
+//	    export the raw JSONL collection, the Table-II location strings, or
+//	    the per-group CSV
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"stir"
+	"stir/internal/admin"
+	"stir/internal/report"
+	"stir/internal/synth"
+	"stir/internal/twitter"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "analyze":
+		err = runAnalyze(os.Args[2:])
+	case "event":
+		err = runEvent(os.Args[2:])
+	case "groups":
+		err = runGroups(os.Args[2:])
+	case "export":
+		err = runExport(os.Args[2:])
+	case "monitor":
+		err = runMonitor(os.Args[2:])
+	case "scenario":
+		err = runScenario(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "stir: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stir:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: stir <analyze|event|groups> [flags]
+  analyze  run the refinement pipeline and print the paper's figures
+  event    compare unweighted vs reliability-weighted event estimation
+  groups   dump per-user merged location strings (Table II)
+  export   write the collection (JSONL), location strings, or group CSV
+  monitor  run the online burst detector against an injected event
+  scenario dump a generator scenario as editable JSON (see analyze -scenario)`)
+}
+
+func makeDataset(kind string, users int, seed int64) (*stir.Dataset, error) {
+	opts := stir.DatasetOptions{Seed: seed, Users: users}
+	if kind == "world" {
+		return stir.NewWorldDataset(opts)
+	}
+	if kind != "korean" {
+		return nil, fmt.Errorf("unknown dataset %q (want korean or world)", kind)
+	}
+	return stir.NewKoreanDataset(opts)
+}
+
+func runAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	dataset := fs.String("dataset", "korean", "korean or world")
+	users := fs.Int("users", 5200, "population size")
+	seed := fs.Int64("seed", 1, "generation seed")
+	scenario := fs.String("scenario", "", "generate from a scenario JSON file instead of the presets")
+	csv := fs.Bool("csv", false, "emit per-group CSV instead of charts")
+	fs.Parse(args)
+
+	var (
+		ds  *stir.Dataset
+		err error
+	)
+	if *scenario != "" {
+		ds, err = datasetFromScenario(*scenario)
+	} else {
+		ds, err = makeDataset(*dataset, *users, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	res, err := ds.Analyze(context.Background())
+	if err != nil {
+		return err
+	}
+	if *csv {
+		t := report.NewTable("group", "users", "user_share", "tweets", "tweet_share", "avg_districts", "avg_match_share")
+		for _, g := range stir.Groups() {
+			st := res.Analysis.Stat(g)
+			t.AddRow(g.String(), fmt.Sprint(st.Users), fmt.Sprintf("%.4f", st.UserShare),
+				fmt.Sprint(st.Tweets), fmt.Sprintf("%.4f", st.TweetShare),
+				fmt.Sprintf("%.3f", st.AvgDistinctDistricts), fmt.Sprintf("%.3f", st.AvgMatchShare))
+		}
+		fmt.Print(t.CSV())
+		return nil
+	}
+	fmt.Println("Collection & refinement funnel (§III):")
+	fmt.Println(stir.FormatFunnel(&res.Funnel))
+	fmt.Println(stir.FormatAnalysis(&res.Analysis))
+	return nil
+}
+
+func runEvent(args []string) error {
+	fs := flag.NewFlagSet("event", flag.ExitOnError)
+	users := fs.Int("users", 5200, "population size")
+	seed := fs.Int64("seed", 1, "generation seed")
+	method := fs.String("method", "particle", "median|centroid|kalman|particle")
+	fs.Parse(args)
+
+	var m stir.EstimationMethod
+	switch *method {
+	case "median":
+		m = stir.MethodMedian
+	case "centroid":
+		m = stir.MethodCentroid
+	case "kalman":
+		m = stir.MethodKalman
+	case "particle":
+		m = stir.MethodParticle
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+
+	ds, err := makeDataset("korean", *users, *seed)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	res, err := ds.Analyze(ctx)
+	if err != nil {
+		return err
+	}
+	opts := stir.EventOptions{Seed: *seed + 100, Method: m, GeoFraction: 0.06}
+	truth, err := ds.InjectEvent(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Injected %q event at %.3f,%.3f — %d reports (%d with GPS)\n\n",
+		"earthquake", truth.Epicenter.Lat, truth.Epicenter.Lon, truth.Reports, truth.GeoReports)
+
+	t := report.NewTable("Weighting", "Estimate error (km)", "Observations used")
+	for _, cfg := range []struct {
+		name    string
+		weights map[int64]float64
+	}{
+		{"unweighted (Toretter/Twitris baseline)", nil},
+		{"hard Top-1", res.ReliabilityWeights(stir.WeightHardTop1)},
+		{"group prior", res.ReliabilityWeights(stir.WeightGroupPrior)},
+		{"match share", res.ReliabilityWeights(stir.WeightMatchShare)},
+	} {
+		est, err := ds.EstimateEvent(ctx, truth, res, cfg.weights, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.name, err)
+		}
+		t.AddRow(cfg.name, fmt.Sprintf("%.1f", est.ErrorKm), fmt.Sprint(est.Observations))
+	}
+	fmt.Println(t)
+	return nil
+}
+
+func runGroups(args []string) error {
+	fs := flag.NewFlagSet("groups", flag.ExitOnError)
+	users := fs.Int("users", 2000, "population size")
+	seed := fs.Int64("seed", 1, "generation seed")
+	n := fs.Int("n", 5, "how many users to dump")
+	fs.Parse(args)
+
+	ds, err := makeDataset("korean", *users, *seed)
+	if err != nil {
+		return err
+	}
+	res, err := ds.Analyze(context.Background())
+	if err != nil {
+		return err
+	}
+	gs := res.Groupings
+	sort.Slice(gs, func(i, j int) bool { return gs[i].UserID < gs[j].UserID })
+	if *n > len(gs) {
+		*n = len(gs)
+	}
+	for _, g := range gs[:*n] {
+		fmt.Printf("user %d — profile %s — group %s (matched rank %d, %d/%d tweets at home)\n",
+			g.UserID, g.Profile.Key(), g.Group, g.MatchedRank, g.MatchedTweets, g.TotalTweets)
+		for _, m := range g.Merged {
+			fmt.Printf("  %s\n", m)
+		}
+	}
+	return nil
+}
+
+func runExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	dataset := fs.String("dataset", "korean", "korean or world")
+	users := fs.Int("users", 5200, "population size")
+	seed := fs.Int64("seed", 1, "generation seed")
+	what := fs.String("what", "collection", "collection|strings|csv")
+	out := fs.String("out", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	ds, err := makeDataset(*dataset, *users, *seed)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *what {
+	case "collection":
+		return ds.ExportCollection(w)
+	case "strings", "csv":
+		res, err := ds.Analyze(context.Background())
+		if err != nil {
+			return err
+		}
+		if *what == "strings" {
+			return res.ExportLocationStrings(w)
+		}
+		return res.ExportGroupCSV(w)
+	default:
+		return fmt.Errorf("unknown export kind %q", *what)
+	}
+}
+
+func runMonitor(args []string) error {
+	fs := flag.NewFlagSet("monitor", flag.ExitOnError)
+	users := fs.Int("users", 2500, "population size")
+	seed := fs.Int64("seed", 1, "generation seed")
+	fs.Parse(args)
+
+	ds, err := makeDataset("korean", *users, *seed)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := ds.Analyze(ctx)
+	if err != nil {
+		return err
+	}
+	weights := res.ReliabilityWeights(stir.WeightMatchShare)
+
+	alerted := make(chan stir.Alert, 1)
+	go func() {
+		err := ds.MonitorEvents(ctx, res, weights, stir.MonitorOptions{
+			WarmupCount: 10, MinCount: 5, Factor: 3, Method: stir.MethodCentroid,
+		}, func(a stir.Alert) bool {
+			alerted <- a
+			return false
+		})
+		if err != nil && ctx.Err() == nil {
+			fmt.Fprintln(os.Stderr, "monitor:", err)
+		}
+	}()
+	time.Sleep(300 * time.Millisecond)
+
+	// Background chatter, then a burst near Daejeon.
+	reporters := ds.SomeUserIDs(30)
+	onset := time.Date(2011, 10, 5, 14, 0, 0, 0, time.UTC)
+	for i := 0; i < 20; i++ {
+		ds.PostTweet(reporters[i%len(reporters)], "earthquake docu on tv",
+			onset.Add(-time.Duration(40-i)*time.Hour), 0, 0, false)
+	}
+	epi := stir.Point{Lat: 36.35, Lon: 127.38}
+	fmt.Println("monitor armed; injecting burst near Daejeon...")
+	for i := 0; i < 12; i++ {
+		ds.PostTweet(reporters[i], "EARTHQUAKE!! shaking here",
+			onset.Add(time.Duration(i*20)*time.Second), epi.Lat, epi.Lon, i%4 == 0)
+	}
+	select {
+	case a := <-alerted:
+		fmt.Printf("ALERT at %s: %d reports (%.1f/min)\n", a.At.Format(time.RFC3339), a.Count, a.Rate)
+		if a.Located {
+			fmt.Printf("estimated location %.3f,%.3f — %.1f km from epicentre\n",
+				a.Location.Lat, a.Location.Lon, a.Location.DistanceKm(epi))
+		}
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("no alert before timeout")
+	}
+}
+
+// datasetFromScenario builds a dataset from a scenario JSON file.
+func datasetFromScenario(path string) (*stir.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc, err := synth.ReadScenario(f)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := sc.Config()
+	if err != nil {
+		return nil, err
+	}
+	gen, err := synth.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	svc := twitter.NewService()
+	pop, err := gen.Populate(svc)
+	if err != nil {
+		return nil, err
+	}
+	kind := "korean"
+	if sc.Gazetteer == "world" {
+		kind = "world"
+	}
+	return &stir.Dataset{Service: svc, Gazetteer: cfg.Gazetteer, Population: pop, Kind: kind}, nil
+}
+
+func runScenario(args []string) error {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	dataset := fs.String("dataset", "korean", "korean or world preset to dump")
+	users := fs.Int("users", 5200, "population size")
+	seed := fs.Int64("seed", 1, "generation seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	var (
+		sc  synth.Scenario
+		err error
+	)
+	switch *dataset {
+	case "korean":
+		gaz, gerr := admin.NewKoreaGazetteer()
+		if gerr != nil {
+			return gerr
+		}
+		sc = synth.ScenarioFromConfig("korean-preset", "korea", synth.KoreanConfig(*seed, *users, gaz))
+	case "world":
+		gaz, gerr := admin.NewWorldGazetteer()
+		if gerr != nil {
+			return gerr
+		}
+		sc = synth.ScenarioFromConfig("lady-gaga-preset", "world", synth.LadyGagaConfig(*seed, *users, gaz))
+	default:
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		w = f
+	}
+	if err = synth.WriteScenario(w, sc); err != nil {
+		return err
+	}
+	return nil
+}

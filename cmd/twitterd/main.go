@@ -1,0 +1,55 @@
+// Command twitterd serves the simulated Twitter API over HTTP, populated
+// with a synthetic dataset. Useful for driving the crawler and the event
+// detectors from separate processes, the way the paper's collection ran
+// against the real service.
+//
+// Usage:
+//
+//	twitterd [-addr :8030] [-dataset korean|world] [-users N] [-seed S]
+//	         [-rest-limit N] [-search-limit N] [-window 15m]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"stir"
+	"stir/internal/twitter"
+)
+
+func main() {
+	addr := flag.String("addr", ":8030", "listen address")
+	dataset := flag.String("dataset", "korean", "korean or world")
+	users := flag.Int("users", 5200, "population size")
+	seed := flag.Int64("seed", 1, "generation seed")
+	restLimit := flag.Int("rest-limit", 0, "REST rate limit per window (0 = unlimited)")
+	searchLimit := flag.Int("search-limit", 0, "search rate limit per window (0 = unlimited)")
+	window := flag.Duration("window", 15*time.Minute, "rate limit window")
+	follower := flag.Bool("follower-graph", true, "wire a crawlable follower graph")
+	flag.Parse()
+
+	opts := stir.DatasetOptions{Seed: *seed, Users: *users, FollowerGraph: *follower}
+	var (
+		ds  *stir.Dataset
+		err error
+	)
+	if *dataset == "world" {
+		ds, err = stir.NewWorldDataset(opts)
+	} else {
+		ds, err = stir.NewKoreanDataset(opts)
+	}
+	if err != nil {
+		log.Fatal("twitterd: ", err)
+	}
+	api := twitter.NewAPIServer(ds.Service, twitter.ServerOptions{
+		RESTLimit:   *restLimit,
+		SearchLimit: *searchLimit,
+		Window:      *window,
+	})
+	fmt.Printf("twitterd: %d users, %d tweets; seed user id %d; listening on %s\n",
+		ds.Service.UserCount(), ds.Service.TweetCount(), ds.Population.SeedUser, *addr)
+	log.Fatal(http.ListenAndServe(*addr, api))
+}

@@ -1,0 +1,114 @@
+package stir
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestCrawlAndAnalyzeStore exercises the full networked path: HTTP Twitter
+// API → follower crawler with checkpointed store → HTTP geocoder → pipeline.
+func TestCrawlAndAnalyzeStore(t *testing.T) {
+	ds, err := NewKoreanDataset(DatasetOptions{Seed: 31, Users: 400, FollowerGraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apiSrv := httptest.NewServer(ds.TwitterHandler(APIOptions{}))
+	defer apiSrv.Close()
+	geoSrv := httptest.NewServer(ds.GeocodeHandler(0, time.Hour))
+	defer geoSrv.Close()
+
+	dir := t.TempDir()
+	progress := 0
+	stats, err := Crawl(context.Background(), CrawlOptions{
+		BaseURL:  apiSrv.URL,
+		StoreDir: dir,
+		OnProgress: func(done, queued int) {
+			progress++
+		},
+	}, ds.SeedUser())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Users != 400 {
+		t.Fatalf("crawled %d users, want 400 (connected graph)", stats.Users)
+	}
+	if progress != 400 {
+		t.Fatalf("progress callbacks = %d", progress)
+	}
+	if stats.Tweets == 0 || stats.GeoTweets == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	res, err := AnalyzeStore(context.Background(), AnalyzeOptions{
+		StoreDir:   dir,
+		GeocodeURL: geoSrv.URL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Funnel.RawUsers != 400 {
+		t.Fatalf("analyzed RawUsers = %d", res.Funnel.RawUsers)
+	}
+	// Cross-check: analysis of the crawled store must match analysis of the
+	// service directly (same data, different path).
+	direct, err := ds.Analyze(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Funnel.FinalUsers != direct.Funnel.FinalUsers {
+		t.Fatalf("crawled-path final users %d != direct %d",
+			res.Funnel.FinalUsers, direct.Funnel.FinalUsers)
+	}
+	if res.Analysis.Users != direct.Analysis.Users {
+		t.Fatalf("crawled-path analysis users %d != direct %d",
+			res.Analysis.Users, direct.Analysis.Users)
+	}
+}
+
+func TestCrawlValidation(t *testing.T) {
+	if _, err := Crawl(context.Background(), CrawlOptions{}); err == nil {
+		t.Fatal("missing options accepted")
+	}
+}
+
+func TestCrawlMaxUsersAndResume(t *testing.T) {
+	ds, err := NewKoreanDataset(DatasetOptions{Seed: 37, Users: 120, FollowerGraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(ds.TwitterHandler(APIOptions{}))
+	defer srv.Close()
+	dir := t.TempDir()
+	opts := CrawlOptions{BaseURL: srv.URL, StoreDir: dir, MaxUsers: 50}
+	stats, err := Crawl(context.Background(), opts, ds.SeedUser())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Users != 50 {
+		t.Fatalf("first leg crawled %d", stats.Users)
+	}
+	opts.MaxUsers = 0
+	stats, err = Crawl(context.Background(), opts) // resume, no seeds needed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Users != 120 {
+		t.Fatalf("resume crawled %d, want 120", stats.Users)
+	}
+}
+
+func TestResolvePoint(t *testing.T) {
+	ds, err := NewKoreanDataset(DatasetOptions{Seed: 1, Users: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ds.ResolvePoint(37.517, 126.866)
+	if err != nil || d.County != "Yangcheon-gu" {
+		t.Fatalf("ResolvePoint = %v, %v", d, err)
+	}
+	if _, err := ds.ResolvePoint(95, 0); err == nil {
+		t.Fatal("invalid point accepted")
+	}
+}

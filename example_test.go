@@ -1,0 +1,61 @@
+package stir_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"stir"
+)
+
+// Example demonstrates the core flow: generate, analyse, inspect the Top-k
+// distribution. Output is deterministic for a fixed seed.
+func Example() {
+	ds, err := stir.NewKoreanDataset(stir.DatasetOptions{Seed: 1, Users: 800})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ds.Analyze(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := res.Analysis
+	fmt.Printf("final users: %d\n", a.Users)
+	fmt.Printf("Top-1 is largest Top group: %v\n",
+		a.Stat(stir.Top1).Users >= a.Stat(stir.Top2).Users)
+	fmt.Printf("shares sum to 1: %v\n", shareSum(&a) > 0.999 && shareSum(&a) < 1.001)
+	// Output:
+	// final users: 26
+	// Top-1 is largest Top group: true
+	// shares sum to 1: true
+}
+
+func shareSum(a *stir.Analysis) float64 {
+	var s float64
+	for _, g := range stir.Groups() {
+		s += a.Stat(g).UserShare
+	}
+	return s
+}
+
+// ExampleResult_ReliabilityWeights shows deriving the §V weights.
+func ExampleResult_ReliabilityWeights() {
+	ds, err := stir.NewKoreanDataset(stir.DatasetOptions{Seed: 2, Users: 800})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ds.Analyze(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	weights := res.ReliabilityWeights(stir.WeightMatchShare)
+	inRange := true
+	for _, w := range weights {
+		if w < 0 || w > 1 {
+			inRange = false
+		}
+	}
+	fmt.Printf("weights for %d users, all in [0,1]: %v\n", len(weights), inRange)
+	// Output:
+	// weights for 18 users, all in [0,1]: true
+}

@@ -1,0 +1,77 @@
+// Crawler: the paper's actual collection path, end to end over HTTP. A
+// simulated Twitter API and a Yahoo-style geocoding API are served
+// in-process; the follower-graph crawler walks the API from a seed user,
+// checkpointing users and tweets into an on-disk store; the analysis then
+// consumes the store, reverse-geocoding every GPS point through the metered
+// HTTP geocoder.
+//
+//	go run ./examples/crawler
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"stir"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// The "real world": a platform with a crawlable follower graph.
+	ds, err := stir.NewKoreanDataset(stir.DatasetOptions{
+		Seed: 5, Users: 1200, FollowerGraph: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	twitterSrv := httptest.NewServer(ds.TwitterHandler(stir.APIOptions{
+		// Mild rate limits so the crawler's backoff path is exercised.
+		RESTLimit: 4000, Window: time.Second,
+	}))
+	defer twitterSrv.Close()
+	geocodeSrv := httptest.NewServer(ds.GeocodeHandler(0, time.Hour))
+	defer geocodeSrv.Close()
+	fmt.Printf("twitter api at %s, geocoder at %s\n", twitterSrv.URL, geocodeSrv.URL)
+
+	// Crawl from the seed user, checkpointing into a store directory. Kill
+	// and re-run this program with a fixed directory and the crawl resumes.
+	dir, err := os.MkdirTemp("", "stir-crawl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	start := time.Now()
+	lastReport := 0
+	stats, err := stir.Crawl(ctx, stir.CrawlOptions{
+		BaseURL:  twitterSrv.URL,
+		StoreDir: dir,
+		OnProgress: func(done, queued int) {
+			if done-lastReport >= 300 {
+				lastReport = done
+				fmt.Printf("  crawled %d users, %d queued\n", done, queued)
+			}
+		},
+	}, ds.SeedUser())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crawl finished in %s: %d users, %d tweets (%d with GPS)\n\n",
+		time.Since(start).Round(time.Millisecond), stats.Users, stats.Tweets, stats.GeoTweets)
+
+	// Analyse the store through the HTTP geocoder — the full §III data path.
+	res, err := stir.AnalyzeStore(ctx, stir.AnalyzeOptions{
+		StoreDir:   dir,
+		GeocodeURL: geocodeSrv.URL,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(stir.FormatFunnel(&res.Funnel))
+	fmt.Println(stir.FormatAnalysis(&res.Analysis))
+}

@@ -1,0 +1,70 @@
+// Earthquake: the paper's motivating application (§II, §V). An earthquake
+// is injected near Daejeon; a Toretter-style detector tracks the keyword,
+// finds the temporal burst, and estimates the epicentre from the reporting
+// tweets' spatial attributes. Run four ways — unweighted profile locations
+// (the Twitris/Toretter assumption) against the three reliability-weight
+// forms derived from the correlation analysis — to see the paper's proposal
+// pay off.
+//
+//	go run ./examples/earthquake
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"stir"
+)
+
+func main() {
+	ctx := context.Background()
+	ds, err := stir.NewKoreanDataset(stir.DatasetOptions{Seed: 7, Users: 5200})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The correlation analysis runs first: it supplies both the refined
+	// profile districts and the reliability weights.
+	res, err := ds.Analyze(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analysis: %d users classified; overall match share %.1f%%\n",
+		res.Analysis.Users, res.Analysis.OverallMatchShare*100)
+
+	// Inject the event. GPS reports are scarce (6%), as the paper found —
+	// most observations will have to come from profile locations.
+	opts := stir.EventOptions{
+		Seed:        41,
+		Epicenter:   stir.Point{Lat: 36.35, Lon: 127.38}, // Daejeon
+		Method:      stir.MethodParticle,
+		GeoFraction: 0.06,
+	}
+	truth, err := ds.InjectEvent(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("injected earthquake at %.3f,%.3f — %d reports, %d with GPS\n\n",
+		truth.Epicenter.Lat, truth.Epicenter.Lon, truth.Reports, truth.GeoReports)
+
+	configs := []struct {
+		name    string
+		weights map[int64]float64
+	}{
+		{"unweighted profiles (baseline)", nil},
+		{"hard Top-1 weights", res.ReliabilityWeights(stir.WeightHardTop1)},
+		{"group-prior weights", res.ReliabilityWeights(stir.WeightGroupPrior)},
+		{"match-share weights", res.ReliabilityWeights(stir.WeightMatchShare)},
+	}
+	fmt.Printf("%-34s %12s %14s\n", "configuration", "error (km)", "observations")
+	for _, c := range configs {
+		est, err := ds.EstimateEvent(ctx, truth, res, c.weights, opts)
+		if err != nil {
+			log.Fatal(c.name, ": ", err)
+		}
+		fmt.Printf("%-34s %12.1f %14d\n", c.name, est.ErrorKm, est.Observations)
+	}
+	fmt.Println("\nreliability weighting discounts reporters whose profile location")
+	fmt.Println("does not match where they actually tweet from — the paper's §V claim.")
+}

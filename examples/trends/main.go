@@ -1,0 +1,54 @@
+// Trends: the Twitris-style spatio-temporal-thematic browse (§II, Fig. 1).
+// Tweets are bucketed into (day, district) cells — GPS position when the
+// tweet has one, the author's refined profile district otherwise — and each
+// cell is summarised by its top TF-IDF terms.
+//
+//	go run ./examples/trends
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	"stir"
+)
+
+func main() {
+	ds, err := stir.NewKoreanDataset(stir.DatasetOptions{Seed: 13, Users: 3000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ds.Analyze(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sums, err := ds.Summarize(res, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built %d (day, district) cells from %d tweets\n\n",
+		len(sums), ds.Service.TweetCount())
+
+	// Show the busiest ten cells.
+	sort.Slice(sums, func(i, j int) bool { return sums[i].Tweets > sums[j].Tweets })
+	top := sums
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	fmt.Printf("%-12s %-32s %7s  %s\n", "day", "district", "tweets", "top terms")
+	for _, s := range top {
+		terms := ""
+		for i, ts := range s.TopTerms {
+			if i > 0 {
+				terms += ", "
+			}
+			terms += ts.Term
+		}
+		fmt.Printf("%-12s %-32s %7d  %s\n", s.Key.Day, s.Key.District, s.Tweets, terms)
+	}
+	fmt.Println("\nthis is the \"when / where / what\" browse Twitris offered; note that")
+	fmt.Println("cells built from profile locations inherit their unreliability — the")
+	fmt.Println("correlation analysis quantifies exactly how much.")
+}

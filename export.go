@@ -1,0 +1,67 @@
+package stir
+
+import (
+	"context"
+	"io"
+
+	"stir/internal/admin"
+	"stir/internal/dataio"
+	"stir/internal/pipeline"
+)
+
+// Interchange surface: move datasets and results in and out of the library
+// as line-oriented files (JSONL collections, the paper's '#'-delimited
+// location strings, CSV group stats).
+
+// ExportCollection writes the dataset's raw users and tweets as JSONL.
+func (d *Dataset) ExportCollection(w io.Writer) error {
+	users, tweets := pipeline.CollectFromService(d.Service)
+	return dataio.WriteCollection(w, users, tweets)
+}
+
+// ExportLocationStrings writes the refined per-user merged location strings
+// in the paper's Table-II format.
+func (r *Result) ExportLocationStrings(w io.Writer) error {
+	return dataio.WriteLocationStrings(w, r.Groupings)
+}
+
+// ExportGroupCSV writes the per-group analysis as CSV.
+func (r *Result) ExportGroupCSV(w io.Writer) error {
+	return dataio.WriteGroupCSV(w, &r.Analysis)
+}
+
+// AnalyzeCollection runs the §III pipeline over a JSONL collection exported
+// earlier (or produced by other tooling). world selects the worldwide
+// gazetteer.
+func AnalyzeCollection(ctx context.Context, in io.Reader, world bool) (*Result, error) {
+	users, tweets, err := dataio.ReadCollection(in)
+	if err != nil {
+		return nil, err
+	}
+	var gaz *admin.Gazetteer
+	if world {
+		gaz, err = admin.NewWorldGazetteer()
+	} else {
+		gaz, err = admin.NewKoreaGazetteer()
+	}
+	if err != nil {
+		return nil, err
+	}
+	p := pipeline.New(gaz, 10)
+	res, err := p.Run(ctx, users, tweets)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Funnel:          res.Funnel,
+		Groupings:       res.Groupings,
+		Analysis:        res.Analysis,
+		ProfileDistrict: res.ProfileDistrict,
+	}, nil
+}
+
+// ImportGroupings parses Table-II-format location strings back into
+// per-user groupings, for analyses shipped without raw tweets.
+func ImportGroupings(in io.Reader) ([]UserGrouping, error) {
+	return dataio.ReadLocationStrings(in)
+}

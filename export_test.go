@@ -1,0 +1,94 @@
+package stir
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestExportImportRoundTrip exports a dataset as JSONL, re-analyses the
+// imported copy, and checks the results match the direct analysis exactly.
+func TestExportImportRoundTrip(t *testing.T) {
+	ds, res := analyzeSmall(t, 17, 1200)
+	var buf bytes.Buffer
+	if err := ds.ExportCollection(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty export")
+	}
+	back, err := AnalyzeCollection(context.Background(), &buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, rf := back.Funnel, res.Funnel
+	if bf.RawUsers != rf.RawUsers || bf.RawTweets != rf.RawTweets ||
+		bf.GeoTweets != rf.GeoTweets || bf.WellDefinedUsers != rf.WellDefinedUsers ||
+		bf.FinalUsers != rf.FinalUsers || bf.FinalGeoTweets != rf.FinalGeoTweets {
+		t.Fatalf("funnel mismatch: %+v vs %+v", bf, rf)
+	}
+	if back.Analysis.Users != res.Analysis.Users ||
+		back.Analysis.Tweets != res.Analysis.Tweets ||
+		back.Analysis.OverallMatchShare != res.Analysis.OverallMatchShare {
+		t.Fatalf("analysis mismatch: %+v vs %+v", back.Analysis, res.Analysis)
+	}
+	for _, g := range Groups() {
+		if back.Analysis.Stat(g).Users != res.Analysis.Stat(g).Users {
+			t.Fatalf("%v users differ after roundtrip", g)
+		}
+	}
+}
+
+func TestExportLocationStringsAndImport(t *testing.T) {
+	_, res := analyzeSmall(t, 19, 1500)
+	var buf bytes.Buffer
+	if err := res.ExportLocationStrings(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#") {
+		t.Fatal("no location strings exported")
+	}
+	back, err := ImportGroupings(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(res.Groupings) {
+		t.Fatalf("imported %d groupings, want %d", len(back), len(res.Groupings))
+	}
+	// Group distribution must be preserved exactly.
+	count := func(gs []UserGrouping) map[Group]int {
+		m := map[Group]int{}
+		for _, g := range gs {
+			m[g.Group]++
+		}
+		return m
+	}
+	a, b := count(res.Groupings), count(back)
+	for g, n := range a {
+		if b[g] != n {
+			t.Fatalf("group %v: %d vs %d", g, n, b[g])
+		}
+	}
+}
+
+func TestExportGroupCSV(t *testing.T) {
+	_, res := analyzeSmall(t, 23, 800)
+	var buf bytes.Buffer
+	if err := res.ExportGroupCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8 { // header + 7 groups
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "group,users") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestAnalyzeCollectionBadInput(t *testing.T) {
+	if _, err := AnalyzeCollection(context.Background(), strings.NewReader("junk"), false); err == nil {
+		t.Fatal("junk accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module stir
+
+go 1.24

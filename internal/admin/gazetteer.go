@@ -1,0 +1,278 @@
+package admin
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"stir/internal/geo"
+	"stir/internal/gis"
+)
+
+// Gazetteer indexes a set of districts for point and name lookups. Build it
+// once with NewGazetteer; lookups are then safe for concurrent use.
+type Gazetteer struct {
+	districts []*District
+	byID      map[string]*District
+	byName    map[string][]*District // normalised name form -> candidates
+	states    map[string][]*District // state name -> its counties
+	index     *gis.RTree
+	bounds    geo.Rect
+}
+
+// ErrNotFound reports a failed gazetteer lookup.
+var ErrNotFound = errors.New("admin: no district found")
+
+// NewGazetteer indexes the given districts. District IDs must be unique.
+func NewGazetteer(districts []*District) (*Gazetteer, error) {
+	g := &Gazetteer{
+		byID:   make(map[string]*District),
+		byName: make(map[string][]*District),
+		states: make(map[string][]*District),
+		index:  gis.NewRTree(),
+	}
+	for _, d := range districts {
+		if d.RadiusKm <= 0 {
+			return nil, fmt.Errorf("admin: district %s has non-positive radius", d.ID())
+		}
+		if _, dup := g.byID[d.ID()]; dup {
+			return nil, fmt.Errorf("admin: duplicate district id %s", d.ID())
+		}
+		g.byID[d.ID()] = d
+		g.districts = append(g.districts, d)
+		g.states[d.State] = append(g.states[d.State], d)
+		g.index.Insert(gis.Item{Bounds: d.Bounds(), Value: d})
+		if len(g.districts) == 1 {
+			g.bounds = d.Bounds()
+		} else {
+			g.bounds = g.bounds.Union(d.Bounds())
+		}
+		g.indexNames(d)
+	}
+	return g, nil
+}
+
+func (g *Gazetteer) indexNames(d *District) {
+	add := func(form string) {
+		if form == "" {
+			return
+		}
+		list := g.byName[form]
+		for _, have := range list {
+			if have == d {
+				return
+			}
+		}
+		g.byName[form] = append(list, d)
+	}
+	for _, f := range nameForms(d.County) {
+		add(f)
+	}
+	// "State County" compound, the least ambiguous profile form.
+	add(NormalizeName(d.State + " " + d.County))
+	for _, a := range d.Aliases {
+		for _, f := range nameForms(a) {
+			add(f)
+		}
+	}
+}
+
+// NewKoreaGazetteer returns the gazetteer for the paper's Korean dataset.
+func NewKoreaGazetteer() (*Gazetteer, error) {
+	return NewGazetteer(KoreaDistricts())
+}
+
+// NewWorldGazetteer returns the coarse worldwide gazetteer used by the Lady
+// Gaga dataset; it includes the Korean districts too, since that stream also
+// contains Korean users.
+func NewWorldGazetteer() (*Gazetteer, error) {
+	all := append(KoreaDistricts(), WorldDistricts()...)
+	return NewGazetteer(all)
+}
+
+// Districts returns all indexed districts in insertion order.
+func (g *Gazetteer) Districts() []*District { return g.districts }
+
+// Len returns the number of indexed districts.
+func (g *Gazetteer) Len() int { return len(g.districts) }
+
+// Bounds returns the union of all district bounds.
+func (g *Gazetteer) Bounds() geo.Rect { return g.bounds }
+
+// States returns the sorted list of state names.
+func (g *Gazetteer) States() []string {
+	out := make([]string, 0, len(g.states))
+	for s := range g.states {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counties returns the districts belonging to state, or nil if unknown.
+func (g *Gazetteer) Counties(state string) []*District { return g.states[state] }
+
+// ByID returns the district with the given ID.
+func (g *Gazetteer) ByID(id string) (*District, error) {
+	d, ok := g.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %q", ErrNotFound, id)
+	}
+	return d, nil
+}
+
+// ResolvePoint returns the district containing p. When several approximate
+// extents overlap, the district whose centre is closest wins; when none
+// contains p, the nearest district within slackKm of its boundary is
+// returned. A negative slack disables the fallback.
+func (g *Gazetteer) ResolvePoint(p geo.Point, slackKm float64) (*District, error) {
+	if !p.Valid() {
+		return nil, fmt.Errorf("admin: invalid point %v", p)
+	}
+	hits := g.index.SearchPoint(p)
+	var best *District
+	bestD := 0.0
+	for _, it := range hits {
+		d := it.Value.(*District)
+		dist := d.Center.DistanceKm(p)
+		if dist > d.RadiusKm {
+			continue // in the bounding box but outside the circular extent
+		}
+		if best == nil || dist < bestD {
+			best, bestD = d, dist
+		}
+	}
+	if best != nil {
+		return best, nil
+	}
+	if slackKm < 0 {
+		return nil, fmt.Errorf("%w: point %v", ErrNotFound, p)
+	}
+	// Fallback: nearest few candidates by bounding box, then exact centre
+	// distance minus radius (distance to the approximate boundary).
+	cands := g.index.Nearest(p, 8)
+	for _, it := range cands {
+		d := it.Value.(*District)
+		over := d.Center.DistanceKm(p) - d.RadiusKm
+		if over <= slackKm && (best == nil || over < bestD) {
+			best, bestD = d, over
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: point %v (slack %.1f km)", ErrNotFound, p, slackKm)
+	}
+	return best, nil
+}
+
+// ResolveName returns all districts whose name or alias matches the
+// normalised form of name. Multiple results mean the name is ambiguous
+// (e.g. "Jung-gu" exists in several metropolitan cities).
+func (g *Gazetteer) ResolveName(name string) []*District {
+	out := g.byName[NormalizeName(name)]
+	// Copy to keep internal state immutable for callers.
+	if len(out) == 0 {
+		return nil
+	}
+	cp := make([]*District, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// ResolveNameInState narrows ResolveName to districts of the given state.
+func (g *Gazetteer) ResolveNameInState(name, state string) []*District {
+	var out []*District
+	for _, d := range g.ResolveName(name) {
+		if d.State == state {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// IsState reports whether name refers to a first-level division (which the
+// paper treats as insufficient when used alone) and returns its canonical
+// state name.
+func (g *Gazetteer) IsState(name string) (string, bool) {
+	n := NormalizeName(name)
+	for state := range g.states {
+		if NormalizeName(state) == n {
+			return state, true
+		}
+	}
+	// Check alias tables (Korean states only; world "states" are regions and
+	// rarely appear alone).
+	for state, aliases := range KoreaStateAliases() {
+		if _, ok := g.states[state]; !ok {
+			continue
+		}
+		for _, a := range aliases {
+			if NormalizeName(a) == n {
+				return state, true
+			}
+		}
+		// Also match the bare form without the -do suffix.
+		for _, f := range nameForms(state) {
+			if f == n {
+				return state, true
+			}
+		}
+	}
+	return "", false
+}
+
+// RandomWeights returns the districts and their population weights, for
+// weighted sampling by the synthetic generator.
+func (g *Gazetteer) RandomWeights() ([]*District, []float64) {
+	ws := make([]float64, len(g.districts))
+	for i, d := range g.districts {
+		w := float64(d.Population)
+		if w <= 0 {
+			w = 1
+		}
+		ws[i] = w
+	}
+	return g.districts, ws
+}
+
+// NearestDistricts returns up to k districts ordered by centre distance
+// from p (the point may be anywhere).
+func (g *Gazetteer) NearestDistricts(p geo.Point, k int) []*District {
+	if k <= 0 {
+		return nil
+	}
+	items := g.index.Nearest(p, k*2) // overfetch: bbox order ≠ centre order
+	type cand struct {
+		d    *District
+		dist float64
+	}
+	cands := make([]cand, 0, len(items))
+	for _, it := range items {
+		d := it.Value.(*District)
+		cands = append(cands, cand{d, d.Center.DistanceKm(p)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]*District, 0, k)
+	for _, c := range cands[:k] {
+		out = append(out, c.d)
+	}
+	return out
+}
+
+// NeighborsOf returns up to k districts nearest to d, excluding d itself.
+func (g *Gazetteer) NeighborsOf(d *District, k int) []*District {
+	near := g.NearestDistricts(d.Center, k+1)
+	out := make([]*District, 0, k)
+	for _, n := range near {
+		if n == d {
+			continue
+		}
+		out = append(out, n)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}

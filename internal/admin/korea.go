@@ -1,0 +1,385 @@
+package admin
+
+import "stir/internal/geo"
+
+// Korean administrative hierarchy: 17 first-level divisions (states) and
+// their si/gu/gun (counties). Centres and radii are approximate but real;
+// populations are rough 2011-era figures in thousands, used only as
+// sampling weights by the synthetic population generator.
+
+type countyRow struct {
+	name     string
+	lat, lon float64
+	radiusKm float64
+	popK     int
+	aliases  []string
+}
+
+type stateRow struct {
+	name     string
+	metro    bool
+	aliases  []string
+	counties []countyRow
+}
+
+var koreaStates = []stateRow{
+	{
+		name: "Seoul", metro: true,
+		aliases: []string{"서울", "서울시", "서울특별시", "seoul city", "seoul korea"},
+		counties: []countyRow{
+			{"Jongno-gu", 37.573, 126.979, 4.0, 166, nil},
+			{"Jung-gu", 37.564, 126.998, 3.0, 127, nil},
+			{"Yongsan-gu", 37.532, 126.990, 3.5, 237, []string{"용산구"}},
+			{"Seongdong-gu", 37.563, 127.037, 3.5, 296, nil},
+			{"Gwangjin-gu", 37.538, 127.082, 3.5, 364, nil},
+			{"Dongdaemun-gu", 37.574, 127.040, 3.5, 353, nil},
+			{"Jungnang-gu", 37.606, 127.093, 3.5, 413, nil},
+			{"Seongbuk-gu", 37.589, 127.017, 3.8, 475, nil},
+			{"Gangbuk-gu", 37.640, 127.026, 3.5, 334, nil},
+			{"Dobong-gu", 37.669, 127.047, 3.5, 356, nil},
+			{"Nowon-gu", 37.654, 127.056, 4.0, 597, []string{"노원구"}},
+			{"Eunpyeong-gu", 37.603, 126.929, 4.0, 489, nil},
+			{"Seodaemun-gu", 37.579, 126.937, 3.5, 310, []string{"서대문구", "seodaemun"}},
+			{"Mapo-gu", 37.566, 126.902, 4.0, 380, []string{"마포구", "hongdae"}},
+			{"Yangcheon-gu", 37.517, 126.866, 3.5, 477, []string{"양천구", "yangchun-gu", "yangchun"}},
+			{"Gangseo-gu", 37.551, 126.850, 4.5, 567, nil},
+			{"Guro-gu", 37.495, 126.888, 3.8, 421, nil},
+			{"Geumcheon-gu", 37.457, 126.895, 3.0, 234, nil},
+			{"Yeongdeungpo-gu", 37.526, 126.896, 3.8, 397, []string{"영등포구", "yeouido"}},
+			{"Dongjak-gu", 37.512, 126.940, 3.5, 393, nil},
+			{"Gwanak-gu", 37.478, 126.952, 4.0, 522, []string{"관악구"}},
+			{"Seocho-gu", 37.484, 127.033, 4.5, 422, []string{"서초구"}},
+			{"Gangnam-gu", 37.517, 127.047, 4.5, 527, []string{"강남구", "gangnam style town"}},
+			{"Songpa-gu", 37.515, 127.106, 4.0, 647, []string{"송파구", "jamsil"}},
+			{"Gangdong-gu", 37.530, 127.124, 3.8, 456, nil},
+		},
+	},
+	{
+		name: "Busan", metro: true,
+		aliases: []string{"부산", "부산시", "부산광역시", "pusan", "busan city"},
+		counties: []countyRow{
+			{"Jung-gu", 35.106, 129.032, 2.0, 45, nil},
+			{"Seo-gu", 35.098, 129.024, 3.0, 115, nil},
+			{"Dong-gu", 35.129, 129.045, 2.5, 94, nil},
+			{"Yeongdo-gu", 35.091, 129.068, 3.5, 135, nil},
+			{"Busanjin-gu", 35.163, 129.053, 4.0, 378, []string{"seomyeon"}},
+			{"Dongnae-gu", 35.205, 129.084, 3.5, 270, nil},
+			{"Nam-gu", 35.136, 129.084, 3.5, 291, nil},
+			{"Buk-gu", 35.197, 128.990, 4.0, 300, nil},
+			{"Haeundae-gu", 35.163, 129.164, 4.5, 423, []string{"해운대", "haeundae"}},
+			{"Saha-gu", 35.104, 128.975, 4.0, 339, nil},
+			{"Geumjeong-gu", 35.243, 129.092, 4.5, 245, nil},
+			{"Gangseo-gu", 35.212, 128.981, 6.0, 65, nil},
+			{"Yeonje-gu", 35.176, 129.080, 2.5, 211, nil},
+			{"Suyeong-gu", 35.146, 129.113, 2.5, 176, []string{"gwangalli"}},
+			{"Sasang-gu", 35.152, 128.991, 3.5, 244, nil},
+			{"Gijang-gun", 35.245, 129.222, 7.0, 110, nil},
+		},
+	},
+	{
+		name: "Incheon", metro: true,
+		aliases: []string{"인천", "인천광역시", "incheon city"},
+		counties: []countyRow{
+			{"Jung-gu", 37.474, 126.621, 4.0, 98, []string{"incheon airport"}},
+			{"Dong-gu", 37.474, 126.643, 2.0, 75, nil},
+			{"Michuhol-gu", 37.464, 126.650, 3.5, 414, []string{"nam-gu incheon"}},
+			{"Yeonsu-gu", 37.410, 126.678, 4.0, 288, []string{"songdo"}},
+			{"Namdong-gu", 37.447, 126.731, 4.5, 497, nil},
+			{"Bupyeong-gu", 37.507, 126.722, 3.8, 560, []string{"부평"}},
+			{"Gyeyang-gu", 37.538, 126.738, 4.0, 345, nil},
+			{"Seo-gu", 37.546, 126.676, 5.0, 480, nil},
+			{"Ganghwa-gun", 37.747, 126.488, 10.0, 68, nil},
+			{"Ongjin-gun", 37.300, 126.300, 12.0, 21, nil},
+		},
+	},
+	{
+		name: "Daegu", metro: true,
+		aliases: []string{"대구", "대구광역시", "daegu city", "taegu"},
+		counties: []countyRow{
+			{"Jung-gu", 35.869, 128.606, 2.5, 79, nil},
+			{"Dong-gu", 35.887, 128.636, 5.0, 345, nil},
+			{"Seo-gu", 35.872, 128.559, 3.0, 230, nil},
+			{"Nam-gu", 35.846, 128.597, 2.8, 172, nil},
+			{"Buk-gu", 35.886, 128.583, 4.5, 444, nil},
+			{"Suseong-gu", 35.858, 128.631, 4.5, 455, nil},
+			{"Dalseo-gu", 35.830, 128.533, 5.0, 606, nil},
+			{"Dalseong-gun", 35.775, 128.431, 9.0, 178, nil},
+		},
+	},
+	{
+		name: "Daejeon", metro: true,
+		aliases: []string{"대전", "대전광역시", "daejeon city"},
+		counties: []countyRow{
+			{"Dong-gu", 36.312, 127.455, 4.5, 247, nil},
+			{"Jung-gu", 36.326, 127.421, 4.0, 262, nil},
+			{"Seo-gu", 36.356, 127.384, 4.5, 500, nil},
+			{"Yuseong-gu", 36.362, 127.356, 6.0, 297, []string{"kaist"}},
+			{"Daedeok-gu", 36.347, 127.416, 4.0, 210, nil},
+		},
+	},
+	{
+		name: "Gwangju", metro: true,
+		aliases: []string{"광주", "광주광역시", "gwangju city", "kwangju"},
+		counties: []countyRow{
+			{"Dong-gu", 35.146, 126.923, 3.5, 103, nil},
+			{"Seo-gu", 35.152, 126.890, 3.5, 305, nil},
+			{"Nam-gu", 35.133, 126.902, 3.5, 219, nil},
+			{"Buk-gu", 35.174, 126.912, 5.0, 450, nil},
+			{"Gwangsan-gu", 35.140, 126.794, 6.0, 368, nil},
+		},
+	},
+	{
+		name: "Ulsan", metro: true,
+		aliases: []string{"울산", "울산광역시", "ulsan city"},
+		counties: []countyRow{
+			{"Jung-gu", 35.569, 129.333, 3.5, 235, nil},
+			{"Nam-gu", 35.544, 129.330, 4.0, 340, nil},
+			{"Dong-gu", 35.505, 129.417, 3.5, 178, nil},
+			{"Buk-gu", 35.583, 129.361, 4.5, 170, nil},
+			{"Ulju-gun", 35.522, 129.243, 10.0, 200, nil},
+		},
+	},
+	{
+		name:    "Sejong",
+		aliases: []string{"세종", "세종특별자치시", "sejong city"},
+		counties: []countyRow{
+			{"Sejong-si", 36.480, 127.289, 9.0, 100, nil},
+		},
+	},
+	{
+		name:    "Gyeonggi-do",
+		aliases: []string{"경기", "경기도", "gyeonggi", "kyonggi", "kyeonggi-do"},
+		counties: []countyRow{
+			{"Suwon-si", 37.264, 127.029, 6.0, 1100, []string{"수원", "suwon"}},
+			{"Seongnam-si", 37.420, 127.127, 5.5, 980, []string{"성남", "bundang"}},
+			{"Goyang-si", 37.658, 126.832, 6.0, 960, []string{"고양", "ilsan"}},
+			{"Yongin-si", 37.241, 127.178, 8.0, 880, []string{"용인"}},
+			{"Bucheon-si", 37.503, 126.766, 4.0, 870, []string{"부천", "bucheon"}},
+			{"Ansan-si", 37.322, 126.831, 5.5, 715, []string{"안산"}},
+			{"Anyang-si", 37.394, 126.957, 4.0, 620, []string{"안양"}},
+			{"Namyangju-si", 37.636, 127.216, 7.0, 590, nil},
+			{"Hwaseong-si", 37.199, 126.831, 9.0, 510, []string{"dongtan"}},
+			{"Pyeongtaek-si", 36.992, 127.113, 7.0, 430, nil},
+			{"Uijeongbu-si", 37.738, 127.034, 4.0, 430, nil},
+			{"Siheung-si", 37.380, 126.803, 5.0, 410, nil},
+			{"Paju-si", 37.760, 126.780, 8.0, 380, nil},
+			{"Gimpo-si", 37.615, 126.716, 6.5, 290, nil},
+			{"Gwangmyeong-si", 37.479, 126.865, 3.0, 350, nil},
+			{"Gwangju-si", 37.429, 127.255, 7.0, 250, []string{"gwangju gyeonggi"}},
+			{"Gunpo-si", 37.361, 126.935, 3.5, 285, nil},
+			{"Icheon-si", 37.272, 127.435, 7.5, 200, nil},
+			{"Osan-si", 37.150, 127.077, 3.5, 200, nil},
+			{"Hanam-si", 37.539, 127.215, 4.0, 150, nil},
+			{"Yangju-si", 37.785, 127.046, 6.5, 200, nil},
+			{"Guri-si", 37.594, 127.130, 3.0, 195, nil},
+			{"Anseong-si", 37.008, 127.280, 8.0, 180, nil},
+			{"Pocheon-si", 37.895, 127.200, 9.0, 160, nil},
+			{"Uiwang-si", 37.345, 126.968, 3.5, 150, []string{"의왕", "uiwang"}},
+			{"Yeoju-si", 37.298, 127.637, 8.0, 110, nil},
+			{"Dongducheon-si", 37.903, 127.060, 5.0, 98, nil},
+			{"Gwacheon-si", 37.429, 126.988, 3.0, 70, nil},
+			{"Yangpyeong-gun", 37.492, 127.488, 10.0, 100, nil},
+			{"Gapyeong-gun", 37.831, 127.510, 10.0, 62, nil},
+			{"Yeoncheon-gun", 38.096, 127.075, 10.0, 45, nil},
+		},
+	},
+	{
+		name:    "Gangwon-do",
+		aliases: []string{"강원", "강원도", "gangwon", "kangwon-do"},
+		counties: []countyRow{
+			{"Chuncheon-si", 37.881, 127.730, 9.0, 276, nil},
+			{"Wonju-si", 37.342, 127.920, 9.0, 315, nil},
+			{"Gangneung-si", 37.752, 128.876, 9.0, 218, nil},
+			{"Donghae-si", 37.525, 129.114, 6.0, 95, nil},
+			{"Sokcho-si", 38.207, 128.592, 5.0, 83, nil},
+			{"Samcheok-si", 37.450, 129.165, 10.0, 72, nil},
+			{"Taebaek-si", 37.164, 128.986, 8.0, 49, nil},
+			{"Hongcheon-gun", 37.697, 127.889, 12.0, 70, nil},
+			{"Pyeongchang-gun", 37.371, 128.390, 12.0, 44, nil},
+			{"Hoengseong-gun", 37.491, 127.985, 10.0, 45, nil},
+			{"Yeongwol-gun", 37.183, 128.461, 11.0, 40, nil},
+			{"Jeongseon-gun", 37.380, 128.660, 11.0, 39, nil},
+			{"Cheorwon-gun", 38.146, 127.313, 11.0, 47, nil},
+			{"Hwacheon-gun", 38.106, 127.708, 10.0, 26, nil},
+			{"Yanggu-gun", 38.110, 127.990, 10.0, 22, nil},
+			{"Inje-gun", 38.069, 128.170, 13.0, 32, nil},
+			{"Goseong-gun", 38.380, 128.467, 9.0, 30, nil},
+			{"Yangyang-gun", 38.075, 128.619, 9.0, 27, nil},
+		},
+	},
+	{
+		name:    "Chungcheongbuk-do",
+		aliases: []string{"충북", "충청북도", "chungbuk"},
+		counties: []countyRow{
+			{"Cheongju-si", 36.642, 127.489, 8.0, 660, nil},
+			{"Chungju-si", 36.991, 127.926, 9.0, 207, nil},
+			{"Jecheon-si", 37.133, 128.191, 9.0, 136, nil},
+			{"Eumseong-gun", 36.940, 127.690, 10.0, 92, nil},
+			{"Okcheon-gun", 36.306, 127.571, 10.0, 53, nil},
+			{"Boeun-gun", 36.489, 127.729, 10.0, 34, nil},
+			{"Yeongdong-gun", 36.175, 127.783, 10.0, 50, nil},
+			{"Jeungpyeong-gun", 36.785, 127.581, 5.0, 36, nil},
+			{"Jincheon-gun", 36.855, 127.435, 9.0, 67, nil},
+			{"Goesan-gun", 36.815, 127.786, 10.0, 38, nil},
+			{"Danyang-gun", 36.984, 128.365, 11.0, 31, nil},
+		},
+	},
+	{
+		name:    "Chungcheongnam-do",
+		aliases: []string{"충남", "충청남도", "chungnam"},
+		counties: []countyRow{
+			{"Cheonan-si", 36.815, 127.114, 8.0, 575, nil},
+			{"Asan-si", 36.790, 127.002, 8.0, 270, nil},
+			{"Seosan-si", 36.785, 126.450, 9.0, 163, nil},
+			{"Nonsan-si", 36.187, 127.099, 9.0, 127, nil},
+			{"Gongju-si", 36.447, 127.119, 10.0, 125, nil},
+			{"Dangjin-si", 36.890, 126.628, 9.0, 150, nil},
+			{"Boryeong-si", 36.333, 126.613, 9.0, 105, nil},
+			{"Gyeryong-si", 36.274, 127.248, 5.0, 43, nil},
+			{"Geumsan-gun", 36.109, 127.488, 10.0, 55, nil},
+			{"Buyeo-gun", 36.275, 126.910, 10.0, 72, nil},
+			{"Seocheon-gun", 36.080, 126.691, 9.0, 57, nil},
+			{"Cheongyang-gun", 36.459, 126.802, 9.0, 32, nil},
+			{"Hongseong-gun", 36.601, 126.661, 9.0, 88, nil},
+			{"Yesan-gun", 36.682, 126.845, 9.0, 84, nil},
+			{"Taean-gun", 36.746, 126.298, 10.0, 62, nil},
+		},
+	},
+	{
+		name:    "Jeollabuk-do",
+		aliases: []string{"전북", "전라북도", "jeonbuk", "chonbuk"},
+		counties: []countyRow{
+			{"Jeonju-si", 35.824, 127.148, 7.0, 640, nil},
+			{"Gunsan-si", 35.968, 126.737, 8.0, 270, nil},
+			{"Iksan-si", 35.948, 126.958, 8.0, 305, nil},
+			{"Jeongeup-si", 35.570, 126.856, 9.0, 118, nil},
+			{"Namwon-si", 35.416, 127.390, 9.0, 86, nil},
+			{"Gimje-si", 35.804, 126.881, 9.0, 92, nil},
+			{"Wanju-gun", 35.905, 127.162, 11.0, 85, nil},
+			{"Jinan-gun", 35.792, 127.425, 11.0, 26, nil},
+			{"Muju-gun", 36.007, 127.661, 11.0, 25, nil},
+			{"Jangsu-gun", 35.647, 127.521, 10.0, 23, nil},
+			{"Imsil-gun", 35.618, 127.289, 10.0, 29, nil},
+			{"Sunchang-gun", 35.374, 127.138, 10.0, 29, nil},
+			{"Gochang-gun", 35.436, 126.702, 10.0, 59, nil},
+			{"Buan-gun", 35.732, 126.733, 10.0, 57, nil},
+		},
+	},
+	{
+		name:    "Jeollanam-do",
+		aliases: []string{"전남", "전라남도", "jeonnam", "chonnam"},
+		counties: []countyRow{
+			{"Mokpo-si", 34.812, 126.392, 5.0, 240, nil},
+			{"Yeosu-si", 34.760, 127.662, 9.0, 293, nil},
+			{"Suncheon-si", 34.951, 127.488, 9.0, 272, nil},
+			{"Naju-si", 35.016, 126.711, 9.0, 88, nil},
+			{"Gwangyang-si", 34.940, 127.696, 8.0, 145, nil},
+			{"Damyang-gun", 35.321, 126.988, 9.0, 47, nil},
+			{"Gokseong-gun", 35.282, 127.292, 10.0, 30, nil},
+			{"Gurye-gun", 35.202, 127.463, 9.0, 26, nil},
+			{"Goheung-gun", 34.611, 127.285, 11.0, 67, nil},
+			{"Boseong-gun", 34.771, 127.080, 10.0, 44, nil},
+			{"Hwasun-gun", 35.064, 126.987, 10.0, 65, nil},
+			{"Jangheung-gun", 34.682, 126.907, 10.0, 40, nil},
+			{"Gangjin-gun", 34.642, 126.767, 9.0, 38, nil},
+			{"Haenam-gun", 34.573, 126.599, 11.0, 75, nil},
+			{"Yeongam-gun", 34.800, 126.697, 10.0, 57, nil},
+			{"Muan-gun", 34.990, 126.482, 10.0, 79, nil},
+			{"Hampyeong-gun", 35.066, 126.517, 9.0, 34, nil},
+			{"Yeonggwang-gun", 35.277, 126.512, 9.0, 55, nil},
+			{"Jangseong-gun", 35.302, 126.785, 10.0, 45, nil},
+			{"Wando-gun", 34.311, 126.755, 11.0, 52, nil},
+			{"Jindo-gun", 34.487, 126.263, 11.0, 32, nil},
+			{"Sinan-gun", 34.833, 126.109, 13.0, 42, nil},
+		},
+	},
+	{
+		name:    "Gyeongsangbuk-do",
+		aliases: []string{"경북", "경상북도", "gyeongbuk", "kyongbuk"},
+		counties: []countyRow{
+			{"Pohang-si", 36.019, 129.343, 9.0, 510, nil},
+			{"Gyeongju-si", 35.856, 129.225, 11.0, 264, nil},
+			{"Gumi-si", 36.120, 128.344, 8.0, 400, nil},
+			{"Gimcheon-si", 36.140, 128.114, 9.0, 135, nil},
+			{"Andong-si", 36.568, 128.730, 11.0, 167, nil},
+			{"Yeongju-si", 36.806, 128.624, 9.0, 113, nil},
+			{"Sangju-si", 36.411, 128.159, 10.0, 104, nil},
+			{"Mungyeong-si", 36.587, 128.187, 10.0, 76, nil},
+			{"Gyeongsan-si", 35.825, 128.741, 8.0, 240, nil},
+			{"Uiseong-gun", 36.353, 128.697, 12.0, 55, nil},
+			{"Cheongsong-gun", 36.436, 129.057, 11.0, 26, nil},
+			{"Yeongyang-gun", 36.667, 129.112, 11.0, 18, nil},
+			{"Yeongdeok-gun", 36.415, 129.366, 10.0, 40, nil},
+			{"Cheongdo-gun", 35.647, 128.734, 10.0, 44, nil},
+			{"Goryeong-gun", 35.726, 128.263, 9.0, 34, nil},
+			{"Seongju-gun", 35.919, 128.283, 10.0, 45, nil},
+			{"Chilgok-gun", 35.995, 128.402, 9.0, 120, nil},
+			{"Yecheon-gun", 36.658, 128.453, 10.0, 45, nil},
+			{"Bonghwa-gun", 36.893, 128.733, 12.0, 33, nil},
+			{"Uljin-gun", 36.993, 129.401, 12.0, 51, nil},
+			{"Ulleung-gun", 37.484, 130.906, 6.0, 10, []string{"dokdo", "ulleungdo"}},
+		},
+	},
+	{
+		name:    "Gyeongsangnam-do",
+		aliases: []string{"경남", "경상남도", "gyeongnam", "kyongnam"},
+		counties: []countyRow{
+			{"Changwon-si", 35.228, 128.681, 9.0, 1080, []string{"masan", "jinhae"}},
+			{"Jinju-si", 35.180, 128.108, 9.0, 335, nil},
+			{"Gimhae-si", 35.234, 128.890, 7.0, 500, nil},
+			{"Yangsan-si", 35.335, 129.037, 7.0, 255, nil},
+			{"Geoje-si", 34.880, 128.621, 9.0, 228, nil},
+			{"Tongyeong-si", 34.854, 128.433, 7.0, 139, nil},
+			{"Sacheon-si", 35.004, 128.064, 8.0, 113, nil},
+			{"Miryang-si", 35.504, 128.747, 9.0, 108, nil},
+			{"Uiryeong-gun", 35.322, 128.262, 9.0, 28, nil},
+			{"Haman-gun", 35.272, 128.407, 9.0, 66, nil},
+			{"Changnyeong-gun", 35.545, 128.492, 10.0, 62, nil},
+			{"Goseong-gun", 34.973, 128.322, 10.0, 53, nil},
+			{"Namhae-gun", 34.838, 127.893, 9.0, 45, nil},
+			{"Hadong-gun", 35.067, 127.751, 10.0, 48, nil},
+			{"Sancheong-gun", 35.416, 127.874, 10.0, 35, nil},
+			{"Hamyang-gun", 35.520, 127.725, 10.0, 39, nil},
+			{"Geochang-gun", 35.687, 127.909, 10.0, 62, nil},
+			{"Hapcheon-gun", 35.567, 128.166, 11.0, 47, nil},
+		},
+	},
+	{
+		name:    "Jeju",
+		aliases: []string{"제주", "제주도", "제주특별자치도", "jeju-do", "jeju island", "cheju"},
+		counties: []countyRow{
+			{"Jeju-si", 33.499, 126.531, 12.0, 420, nil},
+			{"Seogwipo-si", 33.254, 126.560, 12.0, 155, nil},
+		},
+	},
+}
+
+// KoreaDistricts materialises the Korean gazetteer rows into districts.
+func KoreaDistricts() []*District {
+	var out []*District
+	for _, st := range koreaStates {
+		for _, c := range st.counties {
+			out = append(out, &District{
+				Country:    "KR",
+				State:      st.name,
+				County:     c.name,
+				Center:     geo.Point{Lat: c.lat, Lon: c.lon},
+				RadiusKm:   c.radiusKm,
+				Population: c.popK * 1000,
+				Metro:      st.metro,
+				Aliases:    c.aliases,
+			})
+		}
+	}
+	return out
+}
+
+// KoreaStateAliases returns the alias table for first-level divisions; the
+// text refiner uses it to recognise state-only (insufficient) locations.
+func KoreaStateAliases() map[string][]string {
+	out := make(map[string][]string, len(koreaStates))
+	for _, st := range koreaStates {
+		out[st.name] = st.aliases
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package admin
+
+import "stir/internal/geo"
+
+// Coarse worldwide gazetteer used by the Lady Gaga (Streaming API) dataset.
+// "State" holds the sub-national region; "County" holds the city, so the same
+// state#county grouping machinery works for both datasets.
+
+type worldRow struct {
+	country, state, city string
+	lat, lon             float64
+	radiusKm             float64
+	popK                 int
+	aliases              []string
+}
+
+var worldCities = []worldRow{
+	{"US", "New York", "New York City", 40.713, -74.006, 25, 8300, []string{"nyc", "new york", "manhattan", "brooklyn"}},
+	{"US", "California", "Los Angeles", 34.052, -118.244, 30, 3900, []string{"la", "los angeles ca", "hollywood"}},
+	{"US", "California", "San Francisco", 37.775, -122.419, 15, 815, []string{"sf", "bay area"}},
+	{"US", "California", "San Diego", 32.716, -117.161, 20, 1300, nil},
+	{"US", "Illinois", "Chicago", 41.878, -87.630, 25, 2700, []string{"chi-town"}},
+	{"US", "Texas", "Houston", 29.760, -95.370, 30, 2100, nil},
+	{"US", "Texas", "Dallas", 32.777, -96.797, 25, 1200, nil},
+	{"US", "Texas", "Austin", 30.267, -97.743, 18, 800, nil},
+	{"US", "Washington", "Seattle", 47.606, -122.332, 18, 620, nil},
+	{"US", "Massachusetts", "Boston", 42.360, -71.059, 15, 620, nil},
+	{"US", "Florida", "Miami", 25.762, -80.192, 18, 410, nil},
+	{"US", "Florida", "Orlando", 28.538, -81.379, 18, 240, nil},
+	{"US", "Georgia", "Atlanta", 33.749, -84.388, 20, 430, nil},
+	{"US", "Colorado", "Denver", 39.739, -104.990, 18, 620, nil},
+	{"US", "Arizona", "Phoenix", 33.448, -112.074, 25, 1450, nil},
+	{"US", "Pennsylvania", "Philadelphia", 39.953, -75.165, 18, 1530, []string{"philly"}},
+	{"US", "District of Columbia", "Washington", 38.907, -77.037, 15, 600, []string{"washington dc", "dc"}},
+	{"US", "Nevada", "Las Vegas", 36.170, -115.140, 18, 590, []string{"vegas"}},
+	{"CA", "Ontario", "Toronto", 43.653, -79.383, 20, 2650, nil},
+	{"CA", "British Columbia", "Vancouver", 49.283, -123.121, 15, 600, nil},
+	{"CA", "Quebec", "Montreal", 45.502, -73.567, 18, 1650, nil},
+	{"GB", "England", "London", 51.507, -0.128, 25, 8200, []string{"london uk"}},
+	{"GB", "England", "Manchester", 53.481, -2.243, 12, 510, nil},
+	{"GB", "Scotland", "Glasgow", 55.861, -4.250, 12, 590, nil},
+	{"IE", "Leinster", "Dublin", 53.349, -6.260, 12, 530, nil},
+	{"FR", "Ile-de-France", "Paris", 48.857, 2.352, 15, 2200, []string{"paris france"}},
+	{"DE", "Berlin", "Berlin", 52.520, 13.405, 18, 3450, nil},
+	{"DE", "Bavaria", "Munich", 48.135, 11.582, 12, 1380, []string{"muenchen"}},
+	{"ES", "Madrid", "Madrid", 40.417, -3.704, 15, 3200, nil},
+	{"ES", "Catalonia", "Barcelona", 41.385, 2.173, 12, 1620, nil},
+	{"IT", "Lazio", "Rome", 41.903, 12.496, 15, 2870, []string{"roma"}},
+	{"IT", "Lombardy", "Milan", 45.464, 9.190, 12, 1350, []string{"milano"}},
+	{"NL", "North Holland", "Amsterdam", 52.370, 4.895, 10, 810, nil},
+	{"SE", "Stockholm", "Stockholm", 59.329, 18.069, 12, 900, nil},
+	{"RU", "Moscow", "Moscow", 55.756, 37.617, 25, 11500, []string{"moskva"}},
+	{"TR", "Istanbul", "Istanbul", 41.008, 28.978, 25, 13500, nil},
+	{"EG", "Cairo", "Cairo", 30.044, 31.236, 25, 9100, nil},
+	{"NG", "Lagos", "Lagos", 6.524, 3.379, 25, 9000, nil},
+	{"ZA", "Gauteng", "Johannesburg", -26.204, 28.047, 20, 4400, []string{"joburg"}},
+	{"KE", "Nairobi", "Nairobi", -1.292, 36.822, 18, 3100, nil},
+	{"AE", "Dubai", "Dubai", 25.205, 55.271, 20, 1900, nil},
+	{"IN", "Maharashtra", "Mumbai", 19.076, 72.878, 25, 12400, []string{"bombay"}},
+	{"IN", "Delhi", "New Delhi", 28.614, 77.209, 25, 11000, []string{"delhi"}},
+	{"TH", "Bangkok", "Bangkok", 13.756, 100.502, 25, 8300, nil},
+	{"SG", "Singapore", "Singapore", 1.352, 103.820, 20, 5200, nil},
+	{"ID", "Jakarta", "Jakarta", -6.208, 106.846, 25, 9600, nil},
+	{"PH", "Metro Manila", "Manila", 14.600, 120.984, 20, 11850, nil},
+	{"HK", "Hong Kong", "Hong Kong", 22.319, 114.170, 18, 7070, nil},
+	{"CN", "Shanghai", "Shanghai", 31.230, 121.474, 30, 23000, nil},
+	{"CN", "Beijing", "Beijing", 39.904, 116.407, 30, 19600, nil},
+	{"JP", "Tokyo", "Tokyo", 35.690, 139.692, 25, 13100, []string{"tokyo japan", "東京"}},
+	{"JP", "Osaka", "Osaka", 34.694, 135.502, 18, 2670, nil},
+	{"KR", "Seoul", "Seoul-global", 37.567, 126.978, 15, 10400, nil},
+	{"AU", "New South Wales", "Sydney", -33.869, 151.209, 25, 4600, nil},
+	{"AU", "Victoria", "Melbourne", -37.814, 144.963, 25, 4100, nil},
+	{"AU", "Queensland", "Gold Coast", -28.017, 153.400, 18, 540, []string{"gold coast australia"}},
+	{"NZ", "Auckland", "Auckland", -36.848, 174.763, 18, 1450, nil},
+	{"BR", "Sao Paulo", "Sao Paulo", -23.551, -46.633, 30, 11300, []string{"são paulo", "sampa"}},
+	{"BR", "Rio de Janeiro", "Rio de Janeiro", -22.907, -43.173, 25, 6300, []string{"rio"}},
+	{"AR", "Buenos Aires", "Buenos Aires", -34.604, -58.382, 25, 2900, nil},
+	{"PE", "Lima", "Lima", -12.046, -77.043, 25, 8500, nil},
+	{"CO", "Bogota", "Bogota", 4.711, -74.072, 25, 7400, []string{"bogotá"}},
+	{"MX", "Mexico City", "Mexico City", 19.433, -99.133, 30, 8850, []string{"cdmx", "df"}},
+}
+
+// WorldDistricts materialises the worldwide gazetteer rows into districts.
+func WorldDistricts() []*District {
+	out := make([]*District, 0, len(worldCities))
+	for _, w := range worldCities {
+		out = append(out, &District{
+			Country:    w.country,
+			State:      w.state,
+			County:     w.city,
+			Center:     geo.Point{Lat: w.lat, Lon: w.lon},
+			RadiusKm:   w.radiusKm,
+			Population: w.popK * 1000,
+			Aliases:    w.aliases,
+		})
+	}
+	return out
+}

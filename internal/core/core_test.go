@@ -1,0 +1,371 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	yangcheon = Place{State: "Seoul", County: "Yangcheon-gu"}
+	seodaemun = Place{State: "Seoul", County: "Seodaemun-gu"}
+	jung      = Place{State: "Seoul", County: "Jung-gu"}
+	uiwang    = Place{State: "Gyeonggi-do", County: "Uiwang-si"}
+	seongnam  = Place{State: "Gyeonggi-do", County: "Seongnam-si"}
+)
+
+func TestLocStringRoundTrip(t *testing.T) {
+	ls := LocString{UserID: 42, Profile: yangcheon, Tweet: jung}
+	s := ls.String()
+	want := "42#Seoul#Yangcheon-gu#Seoul#Jung-gu"
+	if s != want {
+		t.Fatalf("String = %q, want %q", s, want)
+	}
+	back, err := ParseLocString(s)
+	if err != nil || back != ls {
+		t.Fatalf("roundtrip = %+v, %v", back, err)
+	}
+}
+
+func TestParseLocStringErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1#2#3",
+		"x#Seoul#Yangcheon-gu#Seoul#Jung-gu",
+		"1#Seoul#Yangcheon-gu#Seoul",
+		"1#Seoul##Seoul#Jung-gu",
+		"1#Seoul#Yangcheon-gu#Seoul#Jung-gu#extra",
+	}
+	for _, s := range bad {
+		if _, err := ParseLocString(s); err == nil {
+			t.Errorf("ParseLocString(%q) accepted", s)
+		}
+	}
+}
+
+// TestPaperTableExample reproduces Tables I and II exactly: the user with
+// 4 strings of which 3 are matched lands in Top-1; user 71 whose matched
+// string ranks second lands in Top-2.
+func TestPaperTableExample(t *testing.T) {
+	// User A: 3 tweets in Yangcheon-gu (profile), 2 in Jung-gu, 1 in
+	// Seodaemun-gu — Table II row order (3), (2), (1).
+	ua := BuildUserGrouping(1001, yangcheon, []Place{
+		yangcheon, jung, yangcheon, seodaemun, jung, yangcheon,
+	})
+	if ua.Group != Top1 || ua.MatchedRank != 1 {
+		t.Fatalf("user A group = %v rank %d, want Top-1 rank 1", ua.Group, ua.MatchedRank)
+	}
+	if ua.DistinctDistricts != 3 || ua.TotalTweets != 6 || ua.MatchedTweets != 3 {
+		t.Fatalf("user A stats = %+v", ua)
+	}
+	wantOrder := []Place{yangcheon, jung, seodaemun}
+	for i, m := range ua.Merged {
+		if m.Tweet != wantOrder[i] {
+			t.Fatalf("merged[%d] = %v, want %v", i, m.Tweet, wantOrder[i])
+		}
+	}
+	if got := ua.Merged[0].String(); !strings.HasSuffix(got, "(3)") {
+		t.Fatalf("display form = %q", got)
+	}
+
+	// User 71: 3 tweets in Seongnam-si, 2 in Uiwang-si (profile) — matched
+	// string ranks second.
+	u71 := BuildUserGrouping(71, uiwang, []Place{seongnam, uiwang, seongnam, uiwang, seongnam})
+	if u71.Group != Top2 || u71.MatchedRank != 2 {
+		t.Fatalf("user 71 group = %v rank %d, want Top-2 rank 2", u71.Group, u71.MatchedRank)
+	}
+	if got := u71.MatchShare(); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("user 71 match share = %v, want 0.4", got)
+	}
+}
+
+func TestGroupOfRank(t *testing.T) {
+	cases := []struct {
+		rank int
+		want Group
+	}{
+		{0, None}, {-3, None}, {1, Top1}, {2, Top2}, {3, Top3}, {4, Top4},
+		{5, Top5}, {6, TopPlus}, {17, TopPlus},
+	}
+	for _, tc := range cases {
+		if got := GroupOfRank(tc.rank); got != tc.want {
+			t.Errorf("GroupOfRank(%d) = %v, want %v", tc.rank, got, tc.want)
+		}
+	}
+}
+
+func TestGroupStrings(t *testing.T) {
+	want := []string{"Top-1", "Top-2", "Top-3", "Top-4", "Top-5", "Top-+", "None"}
+	for i, g := range Groups() {
+		if g.String() != want[i] {
+			t.Errorf("group %d String = %q, want %q", i, g.String(), want[i])
+		}
+	}
+	if Group(55).String() != "Group(55)" {
+		t.Error("out-of-range group label")
+	}
+}
+
+func TestNoneGroup(t *testing.T) {
+	// Profile in Yangcheon-gu but every tweet elsewhere.
+	u := BuildUserGrouping(7, yangcheon, []Place{jung, seodaemun, jung})
+	if u.Group != None || u.MatchedRank != 0 || u.MatchedTweets != 0 {
+		t.Fatalf("grouping = %+v, want None", u)
+	}
+	if u.MatchShare() != 0 {
+		t.Fatal("None group should have zero match share")
+	}
+}
+
+func TestEmptyTweets(t *testing.T) {
+	u := BuildUserGrouping(7, yangcheon, nil)
+	if u.Group != None || u.DistinctDistricts != 0 || u.TotalTweets != 0 {
+		t.Fatalf("empty grouping = %+v", u)
+	}
+	if u.MatchShare() != 0 {
+		t.Fatal("zero tweets must not divide by zero")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// Two districts with equal counts: order must be stable regardless of
+	// input order.
+	a := BuildUserGrouping(1, yangcheon, []Place{jung, seodaemun})
+	b := BuildUserGrouping(1, yangcheon, []Place{seodaemun, jung})
+	for i := range a.Merged {
+		if a.Merged[i].Tweet != b.Merged[i].Tweet {
+			t.Fatalf("tie-break unstable: %v vs %v", a.Merged[i].Tweet, b.Merged[i].Tweet)
+		}
+	}
+}
+
+func TestBuildFromStrings(t *testing.T) {
+	raw := []string{
+		"1001#Seoul#Yangcheon-gu#Seoul#Yangcheon-gu",
+		"1001#Seoul#Yangcheon-gu#Seoul#Jung-gu",
+		"1001#Seoul#Yangcheon-gu#Seoul#Yangcheon-gu",
+		"71#Gyeonggi-do#Uiwang-si#Gyeonggi-do#Seongnam-si",
+		"71#Gyeonggi-do#Uiwang-si#Gyeonggi-do#Uiwang-si",
+		"71#Gyeonggi-do#Uiwang-si#Gyeonggi-do#Seongnam-si",
+	}
+	users, err := BuildFromStrings(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != 2 {
+		t.Fatalf("users = %d", len(users))
+	}
+	if users[0].UserID != 1001 || users[0].Group != Top1 {
+		t.Fatalf("user[0] = %+v", users[0])
+	}
+	if users[1].UserID != 71 || users[1].Group != Top2 {
+		t.Fatalf("user[1] = %+v", users[1])
+	}
+}
+
+func TestBuildFromStringsConflictingProfile(t *testing.T) {
+	raw := []string{
+		"1#Seoul#Yangcheon-gu#Seoul#Jung-gu",
+		"1#Seoul#Jung-gu#Seoul#Jung-gu",
+	}
+	if _, err := BuildFromStrings(raw); err == nil {
+		t.Fatal("conflicting profile places accepted")
+	}
+}
+
+func TestBuildFromStringsParseError(t *testing.T) {
+	if _, err := BuildFromStrings([]string{"garbage"}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	users := []UserGrouping{
+		BuildUserGrouping(1, yangcheon, []Place{yangcheon, yangcheon, jung}), // Top-1
+		BuildUserGrouping(2, yangcheon, []Place{yangcheon}),                  // Top-1
+		BuildUserGrouping(3, uiwang, []Place{seongnam, seongnam, uiwang}),    // Top-2
+		BuildUserGrouping(4, yangcheon, []Place{jung, seodaemun}),            // None
+		BuildUserGrouping(5, yangcheon, nil),                                 // skipped (no geo)
+	}
+	a := Analyze(users)
+	if a.Users != 4 {
+		t.Fatalf("Users = %d, want 4 (one skipped)", a.Users)
+	}
+	if a.Tweets != 9 {
+		t.Fatalf("Tweets = %d, want 9", a.Tweets)
+	}
+	if got := a.Stat(Top1).Users; got != 2 {
+		t.Fatalf("Top1 users = %d", got)
+	}
+	if got := a.Stat(Top1).UserShare; math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Top1 share = %v", got)
+	}
+	if got := a.Stat(Top2).Users; got != 1 {
+		t.Fatalf("Top2 users = %d", got)
+	}
+	if got := a.Stat(None).Users; got != 1 {
+		t.Fatalf("None users = %d", got)
+	}
+	// Avg districts: Top1 = (2+1)/2 = 1.5.
+	if got := a.Stat(Top1).AvgDistinctDistricts; math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("Top1 avg districts = %v", got)
+	}
+	// Overall avg districts: (2+1+2+2)/4 = 1.75.
+	if math.Abs(a.OverallAvgDistricts-1.75) > 1e-12 {
+		t.Fatalf("overall avg districts = %v", a.OverallAvgDistricts)
+	}
+	// Matched tweets: 2 + 1 + 1 + 0 = 4 of 9.
+	if math.Abs(a.OverallMatchShare-4.0/9) > 1e-12 {
+		t.Fatalf("overall match share = %v", a.OverallMatchShare)
+	}
+	if got := a.TopShare(2); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("TopShare(2) = %v", got)
+	}
+	if a.TopShare(99) > 1 {
+		t.Fatal("TopShare must clamp k")
+	}
+	if s := a.Stat(Group(99)); s.Users != 0 {
+		t.Fatal("out-of-range Stat should be empty")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if a.Users != 0 || a.OverallAvgDistricts != 0 || a.OverallMatchShare != 0 {
+		t.Fatalf("empty analysis = %+v", a)
+	}
+}
+
+// randPlaces builds a random multiset of tweet places around a profile.
+func randPlaces(r *rand.Rand, profile Place) []Place {
+	pool := []Place{profile, jung, seodaemun, seongnam, uiwang}
+	n := r.Intn(30)
+	out := make([]Place, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, pool[r.Intn(len(pool))])
+	}
+	return out
+}
+
+// Property: merged counts are descending, sum to TotalTweets, and the
+// matched rank points at a genuinely matched string.
+func TestGroupingInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		profile := []Place{yangcheon, uiwang}[r.Intn(2)]
+		places := randPlaces(r, profile)
+		u := BuildUserGrouping(1, profile, places)
+		sum := 0
+		for i, m := range u.Merged {
+			sum += m.Count
+			if i > 0 && m.Count > u.Merged[i-1].Count {
+				return false // not descending
+			}
+			if m.Count <= 0 {
+				return false
+			}
+		}
+		if sum != u.TotalTweets || len(u.Merged) != u.DistinctDistricts {
+			return false
+		}
+		if u.MatchedRank > 0 {
+			m := u.Merged[u.MatchedRank-1]
+			if !m.Matched() || m.Count != u.MatchedTweets {
+				return false
+			}
+			// No earlier merged string may be matched.
+			for _, e := range u.Merged[:u.MatchedRank-1] {
+				if e.Matched() {
+					return false
+				}
+			}
+		} else {
+			for _, m := range u.Merged {
+				if m.Matched() {
+					return false
+				}
+			}
+		}
+		return u.Group == GroupOfRank(u.MatchedRank)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: analysis shares sum to 1 and user counts partition the dataset.
+func TestAnalysisPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var users []UserGrouping
+		n := 1 + r.Intn(50)
+		for i := 0; i < n; i++ {
+			profile := []Place{yangcheon, uiwang}[r.Intn(2)]
+			places := randPlaces(r, profile)
+			if len(places) == 0 {
+				places = []Place{jung} // keep the user in the analysis
+			}
+			users = append(users, BuildUserGrouping(int64(i), profile, places))
+		}
+		a := Analyze(users)
+		totUsers, totTweets := 0, 0
+		var shareSum float64
+		for _, g := range Groups() {
+			st := a.Stat(g)
+			totUsers += st.Users
+			totTweets += st.Tweets
+			shareSum += st.UserShare
+		}
+		return totUsers == a.Users && totTweets == a.Tweets &&
+			math.Abs(shareSum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeigherForms(t *testing.T) {
+	top1 := BuildUserGrouping(1, yangcheon, []Place{yangcheon, yangcheon, jung}) // share 2/3
+	none := BuildUserGrouping(2, yangcheon, []Place{jung})
+	ref := Analyze([]UserGrouping{top1, none})
+
+	hard := &Weigher{Form: WeightHardTop1}
+	if hard.Weight(top1) != 1 || hard.Weight(none) != 0 {
+		t.Fatal("hard weights wrong")
+	}
+	smooth := &Weigher{Form: WeightMatchShare}
+	if got := smooth.Weight(top1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("smooth weight = %v", got)
+	}
+	prior := &Weigher{Form: WeightGroupPrior, Ref: &ref}
+	if got := prior.Weight(top1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("prior weight = %v (Top1 group avg)", got)
+	}
+	if got := prior.Weight(none); got != 0 {
+		t.Fatalf("prior None weight = %v", got)
+	}
+	floored := &Weigher{Form: WeightMatchShare, Floor: 0.1}
+	if got := floored.Weight(none); got != 0.1 {
+		t.Fatalf("floored weight = %v", got)
+	}
+	// Missing Ref yields floor, not panic.
+	noRef := &Weigher{Form: WeightGroupPrior, Floor: 0.05}
+	if got := noRef.Weight(top1); got != 0.05 {
+		t.Fatalf("no-ref prior weight = %v", got)
+	}
+	tbl := smooth.WeightTable([]UserGrouping{top1, none})
+	if len(tbl) != 2 || tbl[1] == 0 || tbl[2] != 0 {
+		t.Fatalf("weight table = %v", tbl)
+	}
+}
+
+func TestWeightFormString(t *testing.T) {
+	if WeightHardTop1.String() != "hard-top1" ||
+		WeightGroupPrior.String() != "group-prior" ||
+		WeightMatchShare.String() != "match-share" ||
+		WeightForm(9).String() != "unknown" {
+		t.Fatal("weight form labels wrong")
+	}
+}

@@ -1,0 +1,98 @@
+// Package core implements the paper's contribution: the text-based grouping
+// method over Twitter's spatial attributes. For every tweet of a user the
+// method forms the string
+//
+//	userid#stateProfile#countyProfile#stateTweet#countyTweet
+//
+// (§III-B, Table I), merges identical strings counting multiplicity, orders
+// them by count (Table II), finds the matched string — the one whose tweet
+// district equals the profile district — and classifies the user into the
+// Top-k group where k is the matched string's rank (Top-1, Top-2, …, Top-+
+// for k ≥ 6, or None when no tweet was posted from the profile district).
+// Per-group statistics over a dataset reproduce the paper's Figures 6-7, and
+// the match share doubles as the reliability weight the paper proposes for
+// event-location estimation.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sep is the property delimiter of location strings (the paper's '#').
+const Sep = "#"
+
+// Place is one administrative district reference at the granularity the
+// paper groups by: <state> (province / metropolitan city) and <county>
+// (si/gu/gun).
+type Place struct {
+	State  string
+	County string
+}
+
+// Key renders the "state#county" fragment used inside location strings.
+func (p Place) Key() string { return p.State + Sep + p.County }
+
+// Zero reports whether the place is unset.
+func (p Place) Zero() bool { return p.State == "" && p.County == "" }
+
+// LocString is one parsed location string: which user, where their profile
+// says they are, and where one tweet was actually posted from.
+type LocString struct {
+	UserID  int64
+	Profile Place
+	Tweet   Place
+}
+
+// Matched reports whether the tweet district equals the profile district —
+// the paper's "matched string" condition.
+func (l LocString) Matched() bool { return l.Profile == l.Tweet }
+
+// String renders the five-field wire form from Table I.
+func (l LocString) String() string {
+	return strings.Join([]string{
+		strconv.FormatInt(l.UserID, 10),
+		l.Profile.State, l.Profile.County,
+		l.Tweet.State, l.Tweet.County,
+	}, Sep)
+}
+
+// ErrBadLocString reports a malformed location string.
+var ErrBadLocString = errors.New("core: malformed location string")
+
+// ParseLocString parses the five-field wire form. District names never
+// contain '#', so a plain split suffices.
+func ParseLocString(s string) (LocString, error) {
+	parts := strings.Split(s, Sep)
+	if len(parts) != 5 {
+		return LocString{}, fmt.Errorf("%w: %d fields in %q", ErrBadLocString, len(parts), s)
+	}
+	id, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return LocString{}, fmt.Errorf("%w: user id %q", ErrBadLocString, parts[0])
+	}
+	for i, f := range parts[1:] {
+		if strings.TrimSpace(f) == "" {
+			return LocString{}, fmt.Errorf("%w: empty field %d in %q", ErrBadLocString, i+1, s)
+		}
+	}
+	return LocString{
+		UserID:  id,
+		Profile: Place{State: parts[1], County: parts[2]},
+		Tweet:   Place{State: parts[3], County: parts[4]},
+	}, nil
+}
+
+// MergedString is a location string with its multiplicity after the merge
+// step — one row of Table II.
+type MergedString struct {
+	LocString
+	Count int
+}
+
+// String renders the "...#... (n)" display form of Table II.
+func (m MergedString) String() string {
+	return fmt.Sprintf("%s (%d)", m.LocString.String(), m.Count)
+}

@@ -1,0 +1,81 @@
+package core
+
+// The paper's conclusion (§V) proposes using the correlation analysis "to
+// determine the weight factor for the location information" in tweet-based
+// event-location estimation. This file turns the analysis into such weights:
+// given a user, how much should an estimator trust their *profile* location
+// as a proxy for where they actually are?
+
+// WeightForm selects how a user's grouping converts into a weight.
+type WeightForm int
+
+const (
+	// WeightHardTop1 trusts only Top-1 users (weight 1), everyone else 0 —
+	// the crudest reading of the analysis.
+	WeightHardTop1 WeightForm = iota
+	// WeightGroupPrior assigns every user their group's average match share
+	// from a reference analysis — usable when only the group is known.
+	WeightGroupPrior
+	// WeightMatchShare assigns each user their own smooth match share —
+	// the fraction of their geo-tweets posted from the profile district.
+	WeightMatchShare
+)
+
+// String implements fmt.Stringer.
+func (w WeightForm) String() string {
+	switch w {
+	case WeightHardTop1:
+		return "hard-top1"
+	case WeightGroupPrior:
+		return "group-prior"
+	case WeightMatchShare:
+		return "match-share"
+	default:
+		return "unknown"
+	}
+}
+
+// Weigher computes per-user reliability weights under a chosen form,
+// optionally calibrated by a reference Analysis (for WeightGroupPrior).
+type Weigher struct {
+	Form WeightForm
+	// Ref supplies group priors; required for WeightGroupPrior.
+	Ref *Analysis
+	// Floor is the minimum weight handed out (default 0). A small floor
+	// keeps low-reliability users from being discarded entirely, which
+	// matters when an event area has few high-reliability users.
+	Floor float64
+}
+
+// Weight returns the reliability weight for one user grouping, in [0,1].
+func (w *Weigher) Weight(u UserGrouping) float64 {
+	var v float64
+	switch w.Form {
+	case WeightHardTop1:
+		if u.Group == Top1 {
+			v = 1
+		}
+	case WeightGroupPrior:
+		if w.Ref != nil {
+			v = w.Ref.Stat(u.Group).AvgMatchShare
+		}
+	case WeightMatchShare:
+		v = u.MatchShare()
+	}
+	if v < w.Floor {
+		v = w.Floor
+	}
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// WeightTable precomputes weights for a whole dataset keyed by user ID.
+func (w *Weigher) WeightTable(users []UserGrouping) map[int64]float64 {
+	out := make(map[int64]float64, len(users))
+	for _, u := range users {
+		out[u.UserID] = w.Weight(u)
+	}
+	return out
+}

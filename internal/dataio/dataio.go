@@ -1,0 +1,193 @@
+// Package dataio serialises STIR datasets and analysis results to
+// line-oriented interchange formats: JSONL for raw collections (one user or
+// tweet per line), the paper's own '#'-delimited location-string format for
+// refined data (Table I), and CSV for per-group statistics. Everything
+// written can be read back, so analyses are repeatable from an exported file
+// without the original store.
+package dataio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"stir/internal/core"
+	"stir/internal/twitter"
+)
+
+// lineKind tags each JSONL line so users and tweets can share one file.
+type lineKind struct {
+	Kind string `json:"kind"`
+}
+
+type userLine struct {
+	Kind string        `json:"kind"`
+	User *twitter.User `json:"user"`
+}
+
+type tweetLine struct {
+	Kind  string         `json:"kind"`
+	Tweet *twitter.Tweet `json:"tweet"`
+}
+
+// WriteCollection streams a raw collection (users + tweets) as JSONL. Users
+// are written first, in ascending ID order, then tweets in ID order, so the
+// output is deterministic.
+func WriteCollection(w io.Writer, users map[twitter.UserID]*twitter.User, tweets map[twitter.UserID][]*twitter.Tweet) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, u := range sortedUsers(users) {
+		if err := enc.Encode(userLine{Kind: "user", User: u}); err != nil {
+			return fmt.Errorf("dataio: write user: %w", err)
+		}
+	}
+	for _, t := range sortedTweets(tweets) {
+		if err := enc.Encode(tweetLine{Kind: "tweet", Tweet: t}); err != nil {
+			return fmt.Errorf("dataio: write tweet: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCollection parses a JSONL collection back into the maps the pipeline
+// consumes. Unknown line kinds are an error (truncated or foreign files
+// should not half-load silently).
+func ReadCollection(r io.Reader) (map[twitter.UserID]*twitter.User, map[twitter.UserID][]*twitter.Tweet, error) {
+	users := make(map[twitter.UserID]*twitter.User)
+	tweets := make(map[twitter.UserID][]*twitter.Tweet)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var kind lineKind
+		if err := json.Unmarshal(raw, &kind); err != nil {
+			return nil, nil, fmt.Errorf("dataio: line %d: %w", lineNo, err)
+		}
+		switch kind.Kind {
+		case "user":
+			var ul userLine
+			if err := json.Unmarshal(raw, &ul); err != nil || ul.User == nil {
+				return nil, nil, fmt.Errorf("dataio: line %d: bad user line", lineNo)
+			}
+			users[ul.User.ID] = ul.User
+		case "tweet":
+			var tl tweetLine
+			if err := json.Unmarshal(raw, &tl); err != nil || tl.Tweet == nil {
+				return nil, nil, fmt.Errorf("dataio: line %d: bad tweet line", lineNo)
+			}
+			tweets[tl.Tweet.UserID] = append(tweets[tl.Tweet.UserID], tl.Tweet)
+		default:
+			return nil, nil, fmt.Errorf("dataio: line %d: unknown kind %q", lineNo, kind.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("dataio: read: %w", err)
+	}
+	return users, tweets, nil
+}
+
+// WriteLocationStrings emits the refined dataset in the paper's own format:
+// one "userid#state#county#state#county (n)" line per merged string
+// (Table II), ordered by user then rank.
+func WriteLocationStrings(w io.Writer, groupings []core.UserGrouping) error {
+	bw := bufio.NewWriter(w)
+	for _, g := range groupings {
+		for _, m := range g.Merged {
+			if _, err := fmt.Fprintln(bw, m.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLocationStrings parses Table-II-format lines (with or without the
+// "(n)" multiplicity suffix; absent means 1) and rebuilds the groupings.
+func ReadLocationStrings(r io.Reader) ([]core.UserGrouping, error) {
+	var raw []string
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		base, count, err := splitCount(line)
+		if err != nil {
+			return nil, fmt.Errorf("dataio: line %d: %w", lineNo, err)
+		}
+		for i := 0; i < count; i++ {
+			raw = append(raw, base)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return core.BuildFromStrings(raw)
+}
+
+// splitCount separates "string (n)" into the string and its multiplicity.
+func splitCount(line string) (string, int, error) {
+	open := strings.LastIndex(line, " (")
+	if open < 0 || !strings.HasSuffix(line, ")") {
+		return line, 1, nil
+	}
+	numStr := line[open+2 : len(line)-1]
+	var n int
+	if _, err := fmt.Sscanf(numStr, "%d", &n); err != nil || n <= 0 {
+		return "", 0, fmt.Errorf("bad multiplicity %q", numStr)
+	}
+	return line[:open], n, nil
+}
+
+// WriteGroupCSV emits the per-group analysis as CSV, the figure data series.
+func WriteGroupCSV(w io.Writer, a *core.Analysis) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "group,users,user_share,tweets,tweet_share,avg_districts,avg_match_share"); err != nil {
+		return err
+	}
+	for _, g := range core.Groups() {
+		st := a.Stat(g)
+		if _, err := fmt.Fprintf(bw, "%s,%d,%.6f,%d,%.6f,%.6f,%.6f\n",
+			g, st.Users, st.UserShare, st.Tweets, st.TweetShare,
+			st.AvgDistinctDistricts, st.AvgMatchShare); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func sortedUsers(users map[twitter.UserID]*twitter.User) []*twitter.User {
+	ids := make([]twitter.UserID, 0, len(users))
+	for id := range users {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	out := make([]*twitter.User, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, users[id])
+	}
+	return out
+}
+
+func sortedTweets(tweets map[twitter.UserID][]*twitter.Tweet) []*twitter.Tweet {
+	var all []*twitter.Tweet
+	for _, ts := range tweets {
+		all = append(all, ts...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return all
+}
+
+func sortIDs(ids []twitter.UserID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

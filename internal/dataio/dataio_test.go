@@ -1,0 +1,156 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"stir/internal/core"
+	"stir/internal/twitter"
+)
+
+var t0 = time.Date(2011, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func sampleCollection() (map[twitter.UserID]*twitter.User, map[twitter.UserID][]*twitter.Tweet) {
+	users := map[twitter.UserID]*twitter.User{
+		2: {ID: 2, ScreenName: "b", ProfileLocation: "양천구", Lang: "ko", CreatedAt: t0},
+		1: {ID: 1, ScreenName: "a", ProfileLocation: "Seoul Jung-gu", Lang: "ko", CreatedAt: t0},
+	}
+	tweets := map[twitter.UserID][]*twitter.Tweet{
+		1: {
+			{ID: 10, UserID: 1, Text: "hello #tag", CreatedAt: t0},
+			{ID: 12, UserID: 1, Text: "geo", CreatedAt: t0, Geo: &twitter.GeoTag{Lat: 37.5, Lon: 127}},
+		},
+		2: {
+			{ID: 11, UserID: 2, Text: "안녕", CreatedAt: t0},
+		},
+	}
+	return users, tweets
+}
+
+func TestCollectionRoundTrip(t *testing.T) {
+	users, tweets := sampleCollection()
+	var buf bytes.Buffer
+	if err := WriteCollection(&buf, users, tweets); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic: users by ID, then tweets by ID.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], `"screen_name":"a"`) || !strings.Contains(lines[1], `"screen_name":"b"`) {
+		t.Fatalf("user order wrong:\n%s", buf.String())
+	}
+
+	gotUsers, gotTweets, err := ReadCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotUsers) != 2 {
+		t.Fatalf("users = %d", len(gotUsers))
+	}
+	if gotUsers[2].ProfileLocation != "양천구" {
+		t.Fatalf("unicode lost: %q", gotUsers[2].ProfileLocation)
+	}
+	if len(gotTweets[1]) != 2 || len(gotTweets[2]) != 1 {
+		t.Fatalf("tweets = %v", gotTweets)
+	}
+	if gotTweets[1][1].Geo == nil || gotTweets[1][1].Geo.Lat != 37.5 {
+		t.Fatal("geo tag lost")
+	}
+}
+
+func TestReadCollectionErrors(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"kind":"alien"}`,
+		`{"kind":"user"}`,  // missing user payload
+		`{"kind":"tweet"}`, // missing tweet payload
+	}
+	for _, in := range cases {
+		if _, _, err := ReadCollection(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+	// Blank lines are tolerated.
+	u, tw, err := ReadCollection(strings.NewReader("\n\n"))
+	if err != nil || len(u) != 0 || len(tw) != 0 {
+		t.Fatalf("blank file: %v %v %v", u, tw, err)
+	}
+}
+
+func TestLocationStringsRoundTrip(t *testing.T) {
+	yang := core.Place{State: "Seoul", County: "Yangcheon-gu"}
+	jung := core.Place{State: "Seoul", County: "Jung-gu"}
+	groupings := []core.UserGrouping{
+		core.BuildUserGrouping(1001, yang, []core.Place{yang, yang, jung}),
+		core.BuildUserGrouping(71, core.Place{State: "Gyeonggi-do", County: "Uiwang-si"},
+			[]core.Place{jung}),
+	}
+	var buf bytes.Buffer
+	if err := WriteLocationStrings(&buf, groupings); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1001#Seoul#Yangcheon-gu#Seoul#Yangcheon-gu (2)") {
+		t.Fatalf("output missing merged string:\n%s", buf.String())
+	}
+	back, err := ReadLocationStrings(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("groupings = %d", len(back))
+	}
+	for i := range back {
+		if back[i].Group != groupings[i].Group ||
+			back[i].TotalTweets != groupings[i].TotalTweets ||
+			back[i].MatchedRank != groupings[i].MatchedRank {
+			t.Fatalf("grouping %d mismatch: %+v vs %+v", i, back[i], groupings[i])
+		}
+	}
+}
+
+func TestReadLocationStringsWithoutCount(t *testing.T) {
+	in := "5#Seoul#Jung-gu#Seoul#Jung-gu\n5#Seoul#Jung-gu#Seoul#Mapo-gu\n"
+	gs, err := ReadLocationStrings(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 1 || gs[0].TotalTweets != 2 || gs[0].Group != core.Top1 {
+		t.Fatalf("groupings = %+v", gs)
+	}
+}
+
+func TestReadLocationStringsErrors(t *testing.T) {
+	for _, in := range []string{
+		"1#Seoul#Jung-gu#Seoul#Jung-gu (x)",
+		"1#Seoul#Jung-gu#Seoul#Jung-gu (0)",
+		"garbage line",
+	} {
+		if _, err := ReadLocationStrings(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestWriteGroupCSV(t *testing.T) {
+	yang := core.Place{State: "Seoul", County: "Yangcheon-gu"}
+	jung := core.Place{State: "Seoul", County: "Jung-gu"}
+	a := core.Analyze([]core.UserGrouping{
+		core.BuildUserGrouping(1, yang, []core.Place{yang, yang, jung}),
+		core.BuildUserGrouping(2, yang, []core.Place{jung}),
+	})
+	var buf bytes.Buffer
+	if err := WriteGroupCSV(&buf, &a); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+core.NumGroups {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "Top-1,1,0.5") {
+		t.Fatalf("Top-1 row = %q", lines[1])
+	}
+}

@@ -1,0 +1,325 @@
+package eventdetect
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"stir/internal/admin"
+	"stir/internal/core"
+	"stir/internal/geo"
+	"stir/internal/twitter"
+)
+
+var (
+	koreaBounds = geo.Rect{MinLat: 33, MinLon: 124, MaxLat: 39, MaxLon: 132}
+	onset       = time.Date(2011, 10, 5, 14, 0, 0, 0, time.UTC)
+)
+
+func TestDetectBursts(t *testing.T) {
+	var times []time.Time
+	// Background: one mention per hour for 2 days.
+	for i := 0; i < 48; i++ {
+		times = append(times, onset.Add(time.Duration(i-48)*time.Hour))
+	}
+	// Burst: 20 mentions within 10 minutes at onset.
+	for i := 0; i < 20; i++ {
+		times = append(times, onset.Add(time.Duration(i*30)*time.Second))
+	}
+	bursts := DetectBursts(times, 10*time.Minute, 5, 4)
+	if len(bursts) != 1 {
+		t.Fatalf("bursts = %d, want 1: %+v", len(bursts), bursts)
+	}
+	b := bursts[0]
+	if b.Start.Before(onset.Add(-time.Minute)) || b.Start.After(onset.Add(time.Minute)) {
+		t.Fatalf("burst start %v far from onset %v", b.Start, onset)
+	}
+	if b.Count < 15 {
+		t.Fatalf("burst count = %d", b.Count)
+	}
+}
+
+func TestDetectBurstsQuietStream(t *testing.T) {
+	var times []time.Time
+	for i := 0; i < 50; i++ {
+		times = append(times, onset.Add(time.Duration(i)*time.Hour))
+	}
+	if got := DetectBursts(times, 10*time.Minute, 5, 4); len(got) != 0 {
+		t.Fatalf("quiet stream produced bursts: %+v", got)
+	}
+	if got := DetectBursts(nil, 10*time.Minute, 5, 4); got != nil {
+		t.Fatal("empty stream should be nil")
+	}
+	if got := DetectBursts(times, 0, 5, 4); got != nil {
+		t.Fatal("zero window should be nil")
+	}
+}
+
+func TestEstimateLocationMethods(t *testing.T) {
+	truth := geo.Point{Lat: 37.5, Lon: 127.0}
+	var obs []Observation
+	for i := 0; i < 40; i++ {
+		p := truth.Destination(float64(i*9), float64(i%7))
+		obs = append(obs, Observation{Point: p, Weight: 1, Source: SourceGPS})
+	}
+	for _, m := range []Method{MethodMedian, MethodCentroid, MethodKalman, MethodParticle} {
+		got, err := EstimateLocation(obs, m, koreaBounds, 3)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if d := got.DistanceKm(truth); d > 15 {
+			t.Errorf("%v estimate %.1f km off", m, d)
+		}
+	}
+	if _, err := EstimateLocation(nil, MethodMedian, koreaBounds, 1); err != ErrNoObservations {
+		t.Fatalf("empty obs err = %v", err)
+	}
+	zeroW := []Observation{{Point: truth, Weight: 0}}
+	if _, err := EstimateLocation(zeroW, MethodMedian, koreaBounds, 1); err != ErrNoObservations {
+		t.Fatalf("all-zero-weight err = %v", err)
+	}
+	if _, err := EstimateLocation(obs, Method(42), koreaBounds, 1); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestMethodAndSourceStrings(t *testing.T) {
+	if MethodMedian.String() != "median" || MethodParticle.String() != "particle" ||
+		Method(9).String() != "unknown" {
+		t.Fatal("method labels")
+	}
+	if SourceGPS.String() != "gps" || SourceProfile.String() != "profile" {
+		t.Fatal("source labels")
+	}
+}
+
+func TestKeywordMatchesText(t *testing.T) {
+	if !KeywordMatchesText("Big EARTHQUAKE now", []string{"earthquake"}) {
+		t.Fatal("case-insensitive match failed")
+	}
+	if KeywordMatchesText("calm day", []string{"earthquake", "shaking"}) {
+		t.Fatal("false positive")
+	}
+}
+
+// buildEventScenario populates a platform with background chatter plus an
+// earthquake burst near Daejeon, with a mix of GPS reports, reliable-profile
+// reports and misleading-profile reports.
+func buildEventScenario(t *testing.T) (*twitter.Client, *admin.Gazetteer, map[twitter.UserID]*admin.District, map[int64]float64, geo.Point) {
+	t.Helper()
+	gaz, err := admin.NewKoreaGazetteer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := twitter.NewService()
+	epicentre := geo.Point{Lat: 36.35, Lon: 127.38} // central Daejeon
+
+	profiles := map[twitter.UserID]*admin.District{}
+	reliability := map[int64]float64{}
+	mustDistrict := func(id string) *admin.District {
+		d, err := gaz.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	daejeonJung := mustDistrict("KR/Daejeon/Jung-gu")
+	seoulGangnam := mustDistrict("KR/Seoul/Gangnam-gu")
+
+	// 12 reliable locals: profile in Daejeon, actually there. Their reports
+	// carry no GPS — the estimator must use the profile.
+	for i := 0; i < 12; i++ {
+		u, _ := svc.CreateUser("local", "Daejeon Jung-gu", "ko", onset.AddDate(-1, 0, 0))
+		profiles[u.ID] = daejeonJung
+		reliability[int64(u.ID)] = 0.9
+		svc.PostTweet(u.ID, "whoa earthquake just now!!", onset.Add(time.Duration(i)*time.Minute), nil)
+	}
+	// 10 misleading users: profile says Seoul (far away), no GPS. In the
+	// unweighted baseline these drag the estimate 140 km north.
+	for i := 0; i < 10; i++ {
+		u, _ := svc.CreateUser("moved", "Gangnam-gu", "ko", onset.AddDate(-1, 0, 0))
+		profiles[u.ID] = seoulGangnam
+		reliability[int64(u.ID)] = 0.05 // their history says never at "home"
+		svc.PostTweet(u.ID, "earthquake?? felt shaking", onset.Add(time.Duration(i)*time.Minute), nil)
+	}
+	// 3 GPS reports right at the event.
+	for i := 0; i < 3; i++ {
+		u, _ := svc.CreateUser("gps", "", "ko", onset.AddDate(-1, 0, 0))
+		p := epicentre.Destination(float64(i*120), 2)
+		svc.PostTweet(u.ID, "earthquake! shaking hard", onset.Add(time.Duration(i)*time.Minute),
+			&twitter.GeoTag{Lat: p.Lat, Lon: p.Lon})
+	}
+	// Background noise far before the event.
+	noise, _ := svc.CreateUser("noise", "", "ko", onset.AddDate(-1, 0, 0))
+	for i := 0; i < 30; i++ {
+		svc.PostTweet(noise.ID, "earthquake documentary was good", onset.Add(-time.Duration(i+3)*time.Hour), nil)
+	}
+
+	srv := httptest.NewServer(twitter.NewAPIServer(svc, twitter.ServerOptions{}))
+	t.Cleanup(srv.Close)
+	return twitter.NewClient(srv.URL), gaz, profiles, reliability, epicentre
+}
+
+func TestToretterWeightedBeatsUnweighted(t *testing.T) {
+	client, gaz, profiles, reliability, epicentre := buildEventScenario(t)
+	base := Toretter{
+		Client:          client,
+		Keywords:        []string{"earthquake", "shaking"},
+		Gazetteer:       gaz,
+		ProfileDistrict: profiles,
+		UseProfileObs:   true,
+		Method:          MethodParticle,
+		Window:          20 * time.Minute,
+		MinCount:        5,
+		Factor:          3,
+		Bounds:          koreaBounds,
+		Seed:            17,
+	}
+	unweighted := base
+	detU, err := unweighted.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(detU) == 0 {
+		t.Fatal("unweighted detector found no event")
+	}
+	weighted := base
+	weighted.Reliability = reliability
+	detW, err := weighted.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(detW) == 0 {
+		t.Fatal("weighted detector found no event")
+	}
+	errU := detU[0].Location.DistanceKm(epicentre)
+	errW := detW[0].Location.DistanceKm(epicentre)
+	if errW >= errU {
+		t.Fatalf("weighting did not improve: weighted %.1f km vs unweighted %.1f km", errW, errU)
+	}
+	if errW > 30 {
+		t.Fatalf("weighted estimate %.1f km off epicentre", errW)
+	}
+}
+
+func TestToretterGPSOnlyStarved(t *testing.T) {
+	client, gaz, profiles, _, _ := buildEventScenario(t)
+	det := Toretter{
+		Client:          client,
+		Keywords:        []string{"earthquake"},
+		Gazetteer:       gaz,
+		ProfileDistrict: profiles,
+		UseProfileObs:   false, // GPS only
+		Method:          MethodMedian,
+		Window:          20 * time.Minute,
+		MinCount:        5,
+		Factor:          3,
+		Bounds:          koreaBounds,
+	}
+	ds, err := det.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 3 of 25 burst reports carry GPS: the observation set shrinks to
+	// the paper's "lack of GPS coordinates" regime.
+	for _, d := range ds {
+		for _, o := range d.Observations {
+			if o.Source != SourceGPS {
+				t.Fatal("profile observation leaked into GPS-only run")
+			}
+		}
+		if len(d.Observations) > 5 {
+			t.Fatalf("GPS-only run has %d observations, expected starvation", len(d.Observations))
+		}
+	}
+}
+
+func TestTwitrisSummaries(t *testing.T) {
+	gaz, err := admin.NewKoreaGazetteer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jongno, err := gaz.ByID("KR/Seoul/Jongno-gu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	haeundae, err := gaz.ByID("KR/Busan/Haeundae-gu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := map[twitter.UserID]*admin.District{1: jongno, 2: haeundae}
+	day1 := time.Date(2011, 10, 1, 9, 0, 0, 0, time.UTC)
+	day2 := day1.AddDate(0, 0, 1)
+	tweets := []*twitter.Tweet{
+		{ID: 1, UserID: 1, Text: "festival parade downtown", CreatedAt: day1},
+		{ID: 2, UserID: 1, Text: "festival fireworks tonight", CreatedAt: day1},
+		{ID: 3, UserID: 2, Text: "beach waves surfing", CreatedAt: day1},
+		// GPS tweet overrides profile: posted from Haeundae.
+		{ID: 4, UserID: 1, Text: "beach holiday", CreatedAt: day2,
+			Geo: &twitter.GeoTag{Lat: 35.16, Lon: 129.16}},
+		// User with no profile and no GPS is dropped.
+		{ID: 5, UserID: 99, Text: "invisible", CreatedAt: day1},
+	}
+	tw := &Twitris{Gazetteer: gaz, ProfileDistrict: profiles, TopK: 3}
+	sums, err := tw.Summarize(tweets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 3 {
+		t.Fatalf("cells = %d, want 3: %+v", len(sums), sums)
+	}
+	// Day-1 Jongno cell should be festival-themed.
+	var jong CellSummary
+	found := false
+	for _, s := range sums {
+		if s.Key.District == jongno.ID() && s.Key.Day == "2011-10-01" {
+			jong, found = s, true
+		}
+	}
+	if !found || jong.Tweets != 2 {
+		t.Fatalf("jongno cell = %+v found=%v", jong, found)
+	}
+	if jong.TopTerms[0].Term != "festival" {
+		t.Fatalf("top term = %v", jong.TopTerms)
+	}
+	// GPS tweet created a day-2 Haeundae cell.
+	foundGeo := false
+	for _, s := range sums {
+		if s.Key.Day == "2011-10-02" && s.Key.District == haeundae.ID() {
+			foundGeo = true
+		}
+	}
+	if !foundGeo {
+		t.Fatal("GPS tweet did not form its own cell")
+	}
+	hot, ok := HottestCell(sums, day1)
+	if !ok || hot.Key.Day != "2011-10-01" {
+		t.Fatalf("HottestCell = %+v ok=%v", hot, ok)
+	}
+	if _, ok := HottestCell(sums, day1.AddDate(0, 1, 0)); ok {
+		t.Fatal("empty day should report no hottest cell")
+	}
+	if _, err := (&Twitris{}).Summarize(tweets); err == nil {
+		t.Fatal("missing gazetteer accepted")
+	}
+}
+
+func TestReliabilityFromGroupings(t *testing.T) {
+	home := core.Place{State: "Seoul", County: "Yangcheon-gu"}
+	away := core.Place{State: "Seoul", County: "Jung-gu"}
+	gs := []core.UserGrouping{
+		core.BuildUserGrouping(1, home, []core.Place{home, home, away}), // share 2/3
+		core.BuildUserGrouping(2, home, []core.Place{away, away}),       // share 0
+	}
+	tbl := ReliabilityFromGroupings(gs, core.WeightMatchShare, nil, 0.01)
+	if len(tbl) != 2 {
+		t.Fatalf("table = %v", tbl)
+	}
+	if tbl[1] <= tbl[2] {
+		t.Fatalf("homebody should outweigh wanderer: %v", tbl)
+	}
+	if tbl[2] != 0.01 {
+		t.Fatalf("floor not applied: %v", tbl[2])
+	}
+}

@@ -1,0 +1,208 @@
+package eventdetect
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"stir/internal/admin"
+	"stir/internal/geo"
+	"stir/internal/twitter"
+)
+
+// Monitor is the online variant of the Toretter detector: it consumes the
+// Streaming API live, keeps a sliding window of keyword reports, and fires a
+// detection as soon as the window rate exceeds the learned background rate —
+// the deployment mode the original system ran in ("the alert of the system
+// was far faster than the rapid broadcast of announcement of Japan
+// Meteorological Agency").
+type Monitor struct {
+	// Client streams tweets from the platform.
+	Client *twitter.Client
+	// Keywords are the tracked terms.
+	Keywords []string
+	// ProfileDistrict and Reliability configure profile-derived observations
+	// exactly as in the batch Toretter.
+	ProfileDistrict map[twitter.UserID]*admin.District
+	Reliability     map[int64]float64
+	// Window is the burst window (default 10 minutes of event time).
+	Window time.Duration
+	// MinCount is the minimum window population to fire (default 5).
+	MinCount int
+	// Factor multiplies the background rate to set the alarm threshold
+	// (default 4). Until a background estimate exists (fewer than
+	// WarmupCount reports seen), only MinCount gates the alarm.
+	Factor float64
+	// WarmupCount is how many reports establish the background (default 20).
+	WarmupCount int
+	// Cooldown suppresses re-alerts after a firing (default one Window).
+	Cooldown time.Duration
+	// Method, Bounds and Seed configure location estimation.
+	Method Method
+	Bounds geo.Rect
+	Seed   int64
+	// OnDetect receives each alert; returning false stops the monitor.
+	OnDetect func(Alert) bool
+
+	mu        sync.Mutex
+	window    []streamObs
+	firstSeen time.Time
+	lastSeen  time.Time
+	total     int
+	lastAlert time.Time
+	alerted   bool
+}
+
+// streamObs is one report in the sliding window.
+type streamObs struct {
+	at  time.Time
+	obs *Observation // nil when the report had no usable spatial attribute
+}
+
+// Alert is one online detection.
+type Alert struct {
+	At       time.Time
+	Count    int
+	Rate     float64 // reports per minute within the window
+	Location geo.Point
+	// Located reports whether any spatial attribute was available.
+	Located      bool
+	Observations int
+}
+
+// Run consumes the stream until ctx is cancelled, the server closes the
+// stream, or OnDetect returns false. Time is event time (tweet timestamps),
+// so recorded streams replay identically.
+func (m *Monitor) Run(ctx context.Context) error {
+	m.applyDefaults()
+	// Track all keywords through one stream; the simulated filter endpoint
+	// takes a single track term, so filter client-side.
+	return m.Client.Stream(ctx, "", func(t *twitter.Tweet) bool {
+		if !KeywordMatchesText(t.Text, m.Keywords) {
+			return true
+		}
+		return m.ingest(t)
+	})
+}
+
+// Ingest feeds one report directly (for offline replays and tests).
+func (m *Monitor) Ingest(t *twitter.Tweet) bool {
+	m.applyDefaults()
+	return m.ingest(t)
+}
+
+func (m *Monitor) applyDefaults() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.Window <= 0 {
+		m.Window = 10 * time.Minute
+	}
+	if m.MinCount <= 0 {
+		m.MinCount = 5
+	}
+	if m.Factor <= 0 {
+		m.Factor = 4
+	}
+	if m.WarmupCount <= 0 {
+		m.WarmupCount = 20
+	}
+	if m.Cooldown <= 0 {
+		m.Cooldown = m.Window
+	}
+}
+
+func (m *Monitor) ingest(t *twitter.Tweet) bool {
+	m.mu.Lock()
+	now := t.CreatedAt
+	if m.total == 0 || now.Before(m.firstSeen) {
+		if m.total == 0 {
+			m.firstSeen = now
+		}
+	}
+	if now.After(m.lastSeen) {
+		m.lastSeen = now
+	}
+	m.total++
+	m.window = append(m.window, streamObs{at: now, obs: m.observationFor(t)})
+	// Expire the window tail.
+	cutoff := now.Add(-m.Window)
+	keep := m.window[:0]
+	for _, w := range m.window {
+		if !w.at.Before(cutoff) {
+			keep = append(keep, w)
+		}
+	}
+	m.window = keep
+
+	fire := false
+	count := len(m.window)
+	rate := float64(count) / m.Window.Minutes()
+	if count >= m.MinCount {
+		if m.total <= m.WarmupCount {
+			fire = false // still learning the background
+		} else {
+			span := m.lastSeen.Sub(m.firstSeen) + m.Window
+			background := float64(m.total) / span.Minutes()
+			fire = rate > background*m.Factor
+		}
+	}
+	if fire && m.alerted && now.Sub(m.lastAlert) < m.Cooldown {
+		fire = false
+	}
+	var alert Alert
+	if fire {
+		m.alerted = true
+		m.lastAlert = now
+		var obs []Observation
+		for _, w := range m.window {
+			if w.obs != nil {
+				obs = append(obs, *w.obs)
+			}
+		}
+		alert = Alert{At: now, Count: count, Rate: rate, Observations: len(obs)}
+		if len(obs) > 0 {
+			loc, err := EstimateLocation(obs, m.Method, m.Bounds, m.Seed)
+			if err == nil {
+				alert.Location = loc
+				alert.Located = true
+			}
+		}
+	}
+	m.mu.Unlock()
+
+	if fire && m.OnDetect != nil {
+		return m.OnDetect(alert)
+	}
+	return true
+}
+
+// observationFor converts one report into a spatial observation, or nil.
+func (m *Monitor) observationFor(t *twitter.Tweet) *Observation {
+	if t.Geo != nil {
+		return &Observation{
+			Point:  geo.Point{Lat: t.Geo.Lat, Lon: t.Geo.Lon},
+			Weight: 1,
+			Source: SourceGPS,
+			UserID: t.UserID,
+			At:     t.CreatedAt,
+		}
+	}
+	d := m.ProfileDistrict[t.UserID]
+	if d == nil {
+		return nil
+	}
+	w := 1.0
+	if m.Reliability != nil {
+		w = m.Reliability[int64(t.UserID)]
+	}
+	if w <= 0 {
+		return nil
+	}
+	return &Observation{
+		Point:  d.Center,
+		Weight: w,
+		Source: SourceProfile,
+		UserID: t.UserID,
+		At:     t.CreatedAt,
+	}
+}

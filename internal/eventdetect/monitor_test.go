@@ -1,0 +1,205 @@
+package eventdetect
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stir/internal/admin"
+	"stir/internal/geo"
+	"stir/internal/twitter"
+)
+
+// replayReports feeds the monitor a quiet background then a burst, all via
+// Ingest (offline replay), and returns the alerts.
+func replayMonitor(t *testing.T, m *Monitor) []Alert {
+	t.Helper()
+	var alerts []Alert
+	m.OnDetect = func(a Alert) bool {
+		alerts = append(alerts, a)
+		return true
+	}
+	// Background: one report every 30 minutes for a day.
+	base := onset.Add(-24 * time.Hour)
+	id := twitter.TweetID(1)
+	for i := 0; i < 48; i++ {
+		m.Ingest(&twitter.Tweet{
+			ID: id, UserID: 999, Text: "earthquake on tv",
+			CreatedAt: base.Add(time.Duration(i) * 30 * time.Minute),
+		})
+		id++
+	}
+	// Burst: 15 reports in 5 minutes from users near the epicentre.
+	for i := 0; i < 15; i++ {
+		tw := &twitter.Tweet{
+			ID: id, UserID: twitter.UserID(100 + i%3), Text: "EARTHQUAKE now!!",
+			CreatedAt: onset.Add(time.Duration(i*20) * time.Second),
+		}
+		if i%5 == 0 {
+			tw.Geo = &twitter.GeoTag{Lat: 36.35, Lon: 127.38}
+		}
+		m.Ingest(tw)
+		id++
+	}
+	return alerts
+}
+
+func monitorFixture(t *testing.T) (*Monitor, *admin.District) {
+	t.Helper()
+	gaz, err := admin.NewKoreaGazetteer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := gaz.ByID("KR/Daejeon/Jung-gu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := map[twitter.UserID]*admin.District{100: d, 101: d, 102: d}
+	return &Monitor{
+		Keywords:        []string{"earthquake"},
+		ProfileDistrict: profiles,
+		Window:          10 * time.Minute,
+		MinCount:        5,
+		Factor:          4,
+		WarmupCount:     20,
+		Method:          MethodCentroid,
+		Bounds:          koreaBounds,
+	}, d
+}
+
+func TestMonitorDetectsBurst(t *testing.T) {
+	m, d := monitorFixture(t)
+	alerts := replayMonitor(t, m)
+	if len(alerts) == 0 {
+		t.Fatal("burst not detected")
+	}
+	a := alerts[0]
+	if a.Count < 5 {
+		t.Fatalf("alert count = %d", a.Count)
+	}
+	if !a.Located {
+		t.Fatal("alert has no location despite observations")
+	}
+	if dist := a.Location.DistanceKm(d.Center); dist > 25 {
+		t.Fatalf("alert location %.1f km from reporters", dist)
+	}
+	// Alert fires near the onset, not at the end of the burst.
+	if a.At.After(onset.Add(5 * time.Minute)) {
+		t.Fatalf("alert late: %v (onset %v)", a.At, onset)
+	}
+	// Cooldown: the 15-report burst must not fire 10 separate alerts.
+	if len(alerts) > 2 {
+		t.Fatalf("cooldown failed: %d alerts", len(alerts))
+	}
+}
+
+func TestMonitorQuietStreamNoAlert(t *testing.T) {
+	m, _ := monitorFixture(t)
+	fired := false
+	m.OnDetect = func(Alert) bool { fired = true; return true }
+	base := onset.Add(-24 * time.Hour)
+	for i := 0; i < 200; i++ {
+		m.Ingest(&twitter.Tweet{
+			ID: twitter.TweetID(i + 1), UserID: 999, Text: "earthquake drill notice",
+			CreatedAt: base.Add(time.Duration(i) * 17 * time.Minute),
+		})
+	}
+	if fired {
+		t.Fatal("steady stream should not alert")
+	}
+}
+
+func TestMonitorWarmupSuppressesEarlyAlert(t *testing.T) {
+	m, _ := monitorFixture(t)
+	fired := false
+	m.OnDetect = func(Alert) bool { fired = true; return true }
+	// A burst arriving before any background exists must not alert while
+	// fewer than WarmupCount reports were seen.
+	for i := 0; i < m.WarmupCount; i++ {
+		m.Ingest(&twitter.Tweet{
+			ID: twitter.TweetID(i + 1), UserID: 999, Text: "earthquake",
+			CreatedAt: onset.Add(time.Duration(i) * time.Second),
+		})
+	}
+	if fired {
+		t.Fatal("alert during warmup")
+	}
+}
+
+func TestMonitorReliabilityWeighting(t *testing.T) {
+	m, d := monitorFixture(t)
+	// User 102's profile is misleading; weight them out entirely.
+	m.Reliability = map[int64]float64{100: 1, 101: 1, 102: 0}
+	alerts := replayMonitor(t, m)
+	if len(alerts) == 0 {
+		t.Fatal("no alert")
+	}
+	// Observations exclude user 102's profile reports.
+	if alerts[0].Observations >= alerts[0].Count {
+		t.Fatalf("weighted-out observations still counted: %d of %d",
+			alerts[0].Observations, alerts[0].Count)
+	}
+	if dist := alerts[0].Location.DistanceKm(d.Center); dist > 25 {
+		t.Fatalf("location %.1f km off", dist)
+	}
+}
+
+func TestMonitorOverLiveStream(t *testing.T) {
+	gaz, err := admin.NewKoreaGazetteer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := gaz.ByID("KR/Daejeon/Jung-gu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := twitter.NewService()
+	reporter, _ := svc.CreateUser("rep", "Daejeon Jung-gu", "ko", onset.AddDate(-1, 0, 0))
+	srv := httptest.NewServer(twitter.NewAPIServer(svc, twitter.ServerOptions{}))
+	t.Cleanup(srv.Close)
+
+	var got atomic.Int32
+	m := &Monitor{
+		Client:          twitter.NewClient(srv.URL),
+		Keywords:        []string{"earthquake"},
+		ProfileDistrict: map[twitter.UserID]*admin.District{reporter.ID: d},
+		Window:          10 * time.Minute,
+		MinCount:        4,
+		Factor:          2,
+		WarmupCount:     3, // tiny warmup for the live test
+		Method:          MethodCentroid,
+		Bounds:          geo.Rect{MinLat: 33, MinLon: 124, MaxLat: 39, MaxLon: 132},
+		OnDetect: func(a Alert) bool {
+			got.Add(1)
+			return false // stop after the first alert
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- m.Run(ctx) }()
+
+	// Background spread over hours, then a burst.
+	deadline := time.After(4 * time.Second)
+	i := 0
+	for got.Load() == 0 {
+		svc.PostTweet(reporter.ID, "earthquake talk", onset.Add(-time.Duration(60-i)*time.Hour), nil)
+		for j := 0; j < 6; j++ {
+			svc.PostTweet(reporter.ID, "EARTHQUAKE!!", onset.Add(time.Duration(i*6+j)*time.Second), nil)
+		}
+		i++
+		select {
+		case <-deadline:
+			t.Fatal("live monitor never alerted")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if err := <-done; err != nil && ctx.Err() == nil {
+		t.Fatalf("monitor run: %v", err)
+	}
+	if got.Load() != 1 {
+		t.Fatalf("alerts = %d, want 1 (OnDetect returned false)", got.Load())
+	}
+}

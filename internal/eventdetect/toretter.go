@@ -1,0 +1,217 @@
+package eventdetect
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"time"
+
+	"stir/internal/admin"
+	"stir/internal/core"
+	"stir/internal/geo"
+	"stir/internal/twitter"
+)
+
+// Burst is one detected temporal burst of a tracked keyword.
+type Burst struct {
+	Start, End time.Time
+	Count      int
+	// Rate is the burst window's tweets-per-minute.
+	Rate float64
+}
+
+// DetectBursts scans keyword-tweet timestamps for windows whose rate exceeds
+// factor times the background rate and at least minCount tweets. times need
+// not be sorted. Overlapping hot windows merge into one burst.
+func DetectBursts(times []time.Time, window time.Duration, minCount int, factor float64) []Burst {
+	if len(times) == 0 || window <= 0 {
+		return nil
+	}
+	ts := append([]time.Time(nil), times...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
+	span := ts[len(ts)-1].Sub(ts[0]) + window
+	background := float64(len(ts)) / span.Minutes() // tweets per minute
+	threshold := background * factor
+
+	var bursts []Burst
+	lo := 0
+	for hi := 0; hi < len(ts); hi++ {
+		for ts[hi].Sub(ts[lo]) > window {
+			lo++
+		}
+		count := hi - lo + 1
+		rate := float64(count) / window.Minutes()
+		if count >= minCount && rate > threshold {
+			start, end := ts[lo], ts[hi]
+			if n := len(bursts); n > 0 && !start.After(bursts[n-1].End) {
+				// Merge into the previous burst.
+				if end.After(bursts[n-1].End) {
+					bursts[n-1].End = end
+				}
+				if count > bursts[n-1].Count {
+					bursts[n-1].Count = count
+					bursts[n-1].Rate = rate
+				}
+				continue
+			}
+			bursts = append(bursts, Burst{Start: start, End: end, Count: count, Rate: rate})
+		}
+	}
+	return bursts
+}
+
+// Toretter is the keyword-tracking event detector with pluggable location
+// weighting. It follows the original system's shape: query the platform for
+// target terms, detect a temporal burst, then estimate where the event is
+// from the reporting tweets' spatial attributes.
+type Toretter struct {
+	// Client reads tweets from the simulated platform.
+	Client *twitter.Client
+	// Keywords are the tracked terms (the original used "earthquake" and
+	// "shaking").
+	Keywords []string
+	// Gazetteer resolves profile locations to district centroids.
+	Gazetteer *admin.Gazetteer
+	// ProfileDistrict maps a user to their (refined) profile district; users
+	// absent from the map contribute no profile observation. This is the
+	// §III refinement output.
+	ProfileDistrict map[twitter.UserID]*admin.District
+	// Reliability maps a user to the weight of their profile-derived
+	// observation. Nil means unweighted (weight 1) — the baseline the paper
+	// criticises. GPS observations always carry weight 1.
+	Reliability map[int64]float64
+	// UseProfileObs includes profile-derived observations at all; without
+	// them the estimator is GPS-only (data-starved, the paper's §III problem).
+	UseProfileObs bool
+	// Method picks the estimator; Window/MinCount/Factor tune burst
+	// detection.
+	Method   Method
+	Window   time.Duration
+	MinCount int
+	Factor   float64
+	// Bounds confine the estimate search area.
+	Bounds geo.Rect
+	// Seed fixes the particle filter.
+	Seed int64
+}
+
+// Detection is one detected event.
+type Detection struct {
+	Burst    Burst
+	Location geo.Point
+	// Observations actually used for the location estimate.
+	Observations []Observation
+}
+
+// Run queries the platform for each keyword, merges the reports, detects
+// bursts and estimates a location per burst.
+func (t *Toretter) Run(ctx context.Context) ([]Detection, error) {
+	window := t.Window
+	if window <= 0 {
+		window = 10 * time.Minute
+	}
+	minCount := t.MinCount
+	if minCount <= 0 {
+		minCount = 5
+	}
+	factor := t.Factor
+	if factor <= 0 {
+		factor = 4
+	}
+	var reports []*twitter.Tweet
+	seen := map[twitter.TweetID]bool{}
+	for _, kw := range t.Keywords {
+		hits, err := t.Client.Search(ctx, kw, false, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, tw := range hits {
+			if !seen[tw.ID] {
+				seen[tw.ID] = true
+				reports = append(reports, tw)
+			}
+		}
+	}
+	if len(reports) == 0 {
+		return nil, nil
+	}
+	times := make([]time.Time, len(reports))
+	for i, tw := range reports {
+		times[i] = tw.CreatedAt
+	}
+	bursts := DetectBursts(times, window, minCount, factor)
+	out := make([]Detection, 0, len(bursts))
+	for _, b := range bursts {
+		obs := t.observationsFor(reports, b)
+		loc, err := EstimateLocation(obs, t.Method, t.Bounds, t.Seed)
+		if err != nil {
+			if err == ErrNoObservations {
+				continue // burst with no usable spatial attribute
+			}
+			return nil, err
+		}
+		out = append(out, Detection{Burst: b, Location: loc, Observations: obs})
+	}
+	return out, nil
+}
+
+// observationsFor converts the burst's tweets into spatial observations.
+func (t *Toretter) observationsFor(reports []*twitter.Tweet, b Burst) []Observation {
+	var obs []Observation
+	for _, tw := range reports {
+		if tw.CreatedAt.Before(b.Start) || tw.CreatedAt.After(b.End) {
+			continue
+		}
+		if tw.Geo != nil {
+			obs = append(obs, Observation{
+				Point:  geo.Point{Lat: tw.Geo.Lat, Lon: tw.Geo.Lon},
+				Weight: 1,
+				Source: SourceGPS,
+				UserID: tw.UserID,
+				At:     tw.CreatedAt,
+			})
+			continue
+		}
+		if !t.UseProfileObs {
+			continue
+		}
+		d := t.ProfileDistrict[tw.UserID]
+		if d == nil {
+			continue
+		}
+		w := 1.0
+		if t.Reliability != nil {
+			w = t.Reliability[int64(tw.UserID)]
+		}
+		if w <= 0 {
+			continue
+		}
+		obs = append(obs, Observation{
+			Point:  d.Center,
+			Weight: w,
+			Source: SourceProfile,
+			UserID: tw.UserID,
+			At:     tw.CreatedAt,
+		})
+	}
+	return obs
+}
+
+// KeywordMatchesText reports whether text mentions any tracked keyword;
+// exported for harnesses that pre-filter offline tweet sets.
+func KeywordMatchesText(text string, keywords []string) bool {
+	lower := strings.ToLower(text)
+	for _, kw := range keywords {
+		if strings.Contains(lower, strings.ToLower(kw)) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReliabilityFromGroupings builds the Reliability map from the correlation
+// analysis — the paper's proposed pipeline stitched together.
+func ReliabilityFromGroupings(groupings []core.UserGrouping, form core.WeightForm, ref *core.Analysis, floor float64) map[int64]float64 {
+	w := &core.Weigher{Form: form, Ref: ref, Floor: floor}
+	return w.WeightTable(groupings)
+}

@@ -1,0 +1,122 @@
+package eventdetect
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"stir/internal/admin"
+	"stir/internal/geo"
+	"stir/internal/tfidf"
+	"stir/internal/twitter"
+)
+
+// Twitris summarises citizen observations along the three dimensions the
+// original system browsed: when (day), where (district), what (TF-IDF top
+// terms). Like the original, it approximates a tweet's position by its
+// author's profile district when the tweet has no GPS tag.
+type Twitris struct {
+	// Gazetteer resolves GPS tags to districts.
+	Gazetteer *admin.Gazetteer
+	// ProfileDistrict supplies the fallback position per user.
+	ProfileDistrict map[twitter.UserID]*admin.District
+	// TopK terms per cell (default 5).
+	TopK int
+	// SlackKm for GPS-to-district resolution (default 10).
+	SlackKm float64
+}
+
+// CellKey identifies one (day, district) cell.
+type CellKey struct {
+	Day      string // YYYY-MM-DD
+	District string // district ID
+}
+
+// CellSummary is the thematic summary of one cell.
+type CellSummary struct {
+	Key      CellKey
+	Tweets   int
+	TopTerms []tfidf.TermScore
+}
+
+// Summarize buckets tweets into (day, district) cells and extracts each
+// cell's characteristic terms against the whole corpus.
+func (tw *Twitris) Summarize(tweets []*twitter.Tweet) ([]CellSummary, error) {
+	if tw.Gazetteer == nil {
+		return nil, fmt.Errorf("eventdetect: twitris needs a gazetteer")
+	}
+	topK := tw.TopK
+	if topK <= 0 {
+		topK = 5
+	}
+	slack := tw.SlackKm
+	if slack == 0 {
+		slack = 10
+	}
+	cells := make(map[CellKey][]string)
+	counts := make(map[CellKey]int)
+	for _, t := range tweets {
+		var district *admin.District
+		if t.Geo != nil {
+			if d, err := tw.Gazetteer.ResolvePoint(pointOf(t), slack); err == nil {
+				district = d
+			}
+		}
+		if district == nil {
+			district = tw.ProfileDistrict[t.UserID]
+		}
+		if district == nil {
+			continue // no spatial attribute at all
+		}
+		key := CellKey{Day: t.CreatedAt.Format("2006-01-02"), District: district.ID()}
+		cells[key] = append(cells[key], tfidf.Tokenize(t.Text)...)
+		counts[key]++
+	}
+	keys := make([]CellKey, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Day != keys[j].Day {
+			return keys[i].Day < keys[j].Day
+		}
+		return keys[i].District < keys[j].District
+	})
+	corpus := tfidf.NewCorpus()
+	ids := make([]int, len(keys))
+	for i, k := range keys {
+		ids[i] = corpus.Add(cells[k])
+	}
+	out := make([]CellSummary, len(keys))
+	for i, k := range keys {
+		out[i] = CellSummary{
+			Key:      k,
+			Tweets:   counts[k],
+			TopTerms: corpus.TopTerms(ids[i], topK),
+		}
+	}
+	return out, nil
+}
+
+// HottestCell returns the summary whose top term scores highest on the given
+// day — the "where is it happening" answer. Returns false when the day has
+// no cells.
+func HottestCell(summaries []CellSummary, day time.Time) (CellSummary, bool) {
+	dayStr := day.Format("2006-01-02")
+	var best CellSummary
+	found := false
+	for _, s := range summaries {
+		if s.Key.Day != dayStr || len(s.TopTerms) == 0 {
+			continue
+		}
+		if !found || s.TopTerms[0].Score > best.TopTerms[0].Score {
+			best = s
+			found = true
+		}
+	}
+	return best, found
+}
+
+func pointOf(t *twitter.Tweet) geo.Point {
+	return geo.Point{Lat: t.Geo.Lat, Lon: t.Geo.Lon}
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testScale keeps the suite fast while staying statistically meaningful.
+var testScale = Scale{KoreanUsers: 2500, WorldUsers: 1500, Seed: 2012}
+
+func suite(t testing.TB) *Suite {
+	t.Helper()
+	s, err := NewSuite(context.Background(), testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSuiteCached(t *testing.T) {
+	s1 := suite(t)
+	s2 := suite(t)
+	if s1 != s2 {
+		t.Fatal("suite not cached per scale")
+	}
+}
+
+func TestE1Funnel(t *testing.T) {
+	o := suite(t).E1Funnel()
+	if !o.Holds() {
+		t.Fatalf("E1 shape checks failed:\n%s\n%+v", o.Report, o.Comparisons)
+	}
+	if !strings.Contains(o.Report, "crawled users") {
+		t.Fatalf("E1 report malformed:\n%s", o.Report)
+	}
+}
+
+func TestE2Fig6(t *testing.T) {
+	o := suite(t).E2Fig6()
+	if !o.Holds() {
+		t.Fatalf("E2 shape checks failed:\n%s\n%+v", o.Report, o.Comparisons)
+	}
+}
+
+func TestE3Fig7(t *testing.T) {
+	o := suite(t).E3Fig7()
+	if !o.Holds() {
+		t.Fatalf("E3 shape checks failed:\n%s\n%+v", o.Report, o.Comparisons)
+	}
+}
+
+func TestE4TweetShare(t *testing.T) {
+	o := suite(t).E4TweetShare()
+	if !o.Holds() {
+		t.Fatalf("E4 shape checks failed:\n%s\n%+v", o.Report, o.Comparisons)
+	}
+}
+
+func TestE5TwoDatasetsUsers(t *testing.T) {
+	o := suite(t).E5TwoDatasetsUsers()
+	if !o.Holds() {
+		t.Fatalf("E5 shape checks failed:\n%s\n%+v", o.Report, o.Comparisons)
+	}
+}
+
+func TestE6TwoDatasetsDistricts(t *testing.T) {
+	o := suite(t).E6TwoDatasetsDistricts()
+	if !o.Holds() {
+		t.Fatalf("E6 shape checks failed:\n%s\n%+v", o.Report, o.Comparisons)
+	}
+}
+
+func TestE7EventEstimation(t *testing.T) {
+	o, err := suite(t).E7EventEstimation(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Holds() {
+		t.Fatalf("E7 shape checks failed:\n%s\n%+v", o.Report, o.Comparisons)
+	}
+}
+
+func TestAblationGranularity(t *testing.T) {
+	o, err := suite(t).AblationGranularity(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Holds() {
+		t.Fatalf("A1 shape checks failed:\n%s\n%+v", o.Report, o.Comparisons)
+	}
+}
+
+func TestAblationGeocodeCache(t *testing.T) {
+	o, err := AblationGeocodeCache(context.Background(), testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Holds() {
+		t.Fatalf("A2 shape checks failed:\n%s\n%+v", o.Report, o.Comparisons)
+	}
+}
+
+func TestAblationSpatialIndex(t *testing.T) {
+	o, err := AblationSpatialIndex(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Holds() {
+		t.Fatalf("A3 shape checks failed:\n%s\n%+v", o.Report, o.Comparisons)
+	}
+}
+
+func TestFormatAll(t *testing.T) {
+	outs, err := All(context.Background(), testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 7 {
+		t.Fatalf("outcomes = %d, want 7", len(outs))
+	}
+	text := FormatAll(outs, 1234*time.Millisecond, testScale)
+	for _, needle := range []string{"E1", "E7", "Shape checks:", "| Metric |"} {
+		if !strings.Contains(text, needle) {
+			t.Fatalf("FormatAll missing %q", needle)
+		}
+	}
+}
+
+func TestSortedBreakdown(t *testing.T) {
+	got := SortedBreakdown(map[string]int{"b": 2, "a": 1})
+	if got != "a=1, b=2" {
+		t.Fatalf("SortedBreakdown = %q", got)
+	}
+}
+
+func TestX1Temporal(t *testing.T) {
+	o, err := suite(t).X1Temporal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Holds() {
+		t.Fatalf("X1 shape checks failed:\n%s\n%+v", o.Report, o.Comparisons)
+	}
+}
+
+func TestX2HomePrediction(t *testing.T) {
+	o, err := suite(t).X2HomePrediction(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Holds() {
+		t.Fatalf("X2 shape checks failed:\n%s\n%+v", o.Report, o.Comparisons)
+	}
+}
+
+func TestExtensionsAll(t *testing.T) {
+	outs, err := Extensions(context.Background(), testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("extensions = %d", len(outs))
+	}
+}
+
+func TestAblationMinGeoTweets(t *testing.T) {
+	o, err := suite(t).AblationMinGeoTweets(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Holds() {
+		t.Fatalf("A4 shape checks failed:\n%s\n%+v", o.Report, o.Comparisons)
+	}
+}
+
+func TestX3GPSAvailability(t *testing.T) {
+	o, err := suite(t).X3GPSAvailability(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Holds() {
+		t.Fatalf("X3 shape checks failed:\n%s\n%+v", o.Report, o.Comparisons)
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"stir"
+	"stir/internal/stats"
+)
+
+// TestSeedStability checks the reproduced Top-k distribution is a property
+// of the model, not of one lucky seed: distributions from different seeds
+// must be chi-square-compatible with each other, and key shares must stay in
+// the paper's bands for every seed.
+func TestSeedStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	seeds := []int64{101, 202, 303}
+	type dist struct {
+		counts []int
+		shares []float64
+		total  int
+	}
+	var dists []dist
+	for _, seed := range seeds {
+		ds, err := stir.NewKoreanDataset(stir.DatasetOptions{Seed: seed, Users: 2500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ds.Analyze(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := &res.Analysis
+		d := dist{total: a.Users}
+		for _, g := range stir.Groups() {
+			d.counts = append(d.counts, a.Stat(g).Users)
+			d.shares = append(d.shares, a.Stat(g).UserShare)
+		}
+		dists = append(dists, d)
+
+		top1 := a.Stat(stir.Top1).UserShare
+		none := a.Stat(stir.NoneGrp).UserShare
+		if top1 < 0.3 || top1 > 0.6 {
+			t.Errorf("seed %d: Top-1 share %.3f outside [0.3,0.6]", seed, top1)
+		}
+		if none < 0.18 || none > 0.45 {
+			t.Errorf("seed %d: None share %.3f outside [0.18,0.45]", seed, none)
+		}
+	}
+	// Each seed's counts against the pooled shares of the others.
+	for i, d := range dists {
+		var pooledCounts []float64
+		var pooledTotal float64
+		for j, o := range dists {
+			if j == i {
+				continue
+			}
+			for k, c := range o.counts {
+				if len(pooledCounts) <= k {
+					pooledCounts = append(pooledCounts, 0)
+				}
+				pooledCounts[k] += float64(c)
+			}
+			pooledTotal += float64(o.total)
+		}
+		expected := make([]float64, len(pooledCounts))
+		for k := range pooledCounts {
+			expected[k] = pooledCounts[k] / pooledTotal
+		}
+		// Merge sparse deep-Top bins (expected count < 5) into Top-+ to keep
+		// the chi-square approximation valid.
+		obs, exp := mergeSparse(d.counts, expected, float64(d.total))
+		_, p, err := stats.ChiSquareGoF(obs, exp)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seeds[i], err)
+		}
+		if p < 0.001 {
+			t.Errorf("seed %d: distribution incompatible with other seeds (p=%.5f, obs=%v exp=%v)",
+				seeds[i], p, obs, exp)
+		}
+	}
+}
+
+// mergeSparse folds bins with expected counts below 5 into one overflow bin.
+func mergeSparse(observed []int, shares []float64, total float64) ([]int, []float64) {
+	var obs []int
+	var exp []float64
+	overflowO, overflowE := 0, 0.0
+	for i := range observed {
+		if shares[i]*total < 5 {
+			overflowO += observed[i]
+			overflowE += shares[i]
+			continue
+		}
+		obs = append(obs, observed[i])
+		exp = append(exp, shares[i])
+	}
+	if overflowE > 0 || overflowO > 0 {
+		obs = append(obs, overflowO)
+		exp = append(exp, overflowE)
+	}
+	return obs, exp
+}

@@ -1,0 +1,191 @@
+package filters
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stir/internal/geo"
+)
+
+var (
+	trueEpi     = geo.Point{Lat: 36.5, Lon: 127.8}
+	koreaBounds = geo.Rect{MinLat: 33, MinLon: 124, MaxLat: 39, MaxLon: 132}
+)
+
+// noisyObs samples an observation around the true epicentre with the given
+// std in km.
+func noisyObs(r *rand.Rand, stdKm float64) geo.Point {
+	return trueEpi.Destination(r.Float64()*360, absNorm(r)*stdKm)
+}
+
+func absNorm(r *rand.Rand) float64 {
+	v := r.NormFloat64()
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+func TestKalmanConvergesToTruth(t *testing.T) {
+	k, err := NewKalman2D(koreaBounds.Center(), 10, 1e-6, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		k.Update(noisyObs(r, 15), 1)
+	}
+	if d := k.Estimate().DistanceKm(trueEpi); d > 10 {
+		t.Fatalf("kalman estimate %.1f km off after 200 obs", d)
+	}
+	if k.Updates() != 200 {
+		t.Fatalf("Updates = %d", k.Updates())
+	}
+	pLat, pLon := k.Variance()
+	if pLat <= 0 || pLon <= 0 {
+		t.Fatal("variances must stay positive")
+	}
+}
+
+func TestKalmanWeightZeroIgnored(t *testing.T) {
+	start := geo.Point{Lat: 35, Lon: 128}
+	k, _ := NewKalman2D(start, 1, 0, 0.01)
+	k.Update(geo.Point{Lat: 38, Lon: 125}, 0)
+	if k.Estimate() != start || k.Updates() != 0 {
+		t.Fatal("zero-weight update changed the filter")
+	}
+}
+
+func TestKalmanLowWeightMovesLess(t *testing.T) {
+	start := geo.Point{Lat: 35, Lon: 128}
+	obs := geo.Point{Lat: 36, Lon: 129}
+	full, _ := NewKalman2D(start, 1, 0, 0.01)
+	low, _ := NewKalman2D(start, 1, 0, 0.01)
+	full.Update(obs, 1)
+	low.Update(obs, 0.1)
+	dFull := full.Estimate().DistanceKm(start)
+	dLow := low.Estimate().DistanceKm(start)
+	if dLow >= dFull {
+		t.Fatalf("low-weight update moved more (%.2f) than full (%.2f)", dLow, dFull)
+	}
+}
+
+func TestKalmanValidation(t *testing.T) {
+	if _, err := NewKalman2D(geo.Point{}, 0, 1, 1); err == nil {
+		t.Fatal("zero initial variance accepted")
+	}
+	if _, err := NewKalman2D(geo.Point{}, 1, -1, 1); err == nil {
+		t.Fatal("negative q accepted")
+	}
+	if _, err := NewKalman2D(geo.Point{}, 1, 0, 0); err == nil {
+		t.Fatal("zero r accepted")
+	}
+}
+
+func TestParticleConvergesToTruth(t *testing.T) {
+	pf, err := NewParticleFilter(2000, koreaBounds, 15, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		pf.Observe(noisyObs(r, 15), 1)
+	}
+	if d := pf.Estimate().DistanceKm(trueEpi); d > 12 {
+		t.Fatalf("particle estimate %.1f km off after 100 obs", d)
+	}
+	if pf.Observations() != 100 {
+		t.Fatalf("Observations = %d", pf.Observations())
+	}
+}
+
+func TestParticleRobustToUnreliableObservers(t *testing.T) {
+	// Half the observations come from a decoy 150 km away but carry low
+	// reliability weight; the weighted filter should stay near the truth.
+	decoy := trueEpi.Destination(90, 150)
+	build := func(weighted bool) geo.Point {
+		pf, err := NewParticleFilter(2000, koreaBounds, 15, 0, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(3))
+		for i := 0; i < 60; i++ {
+			good := trueEpi.Destination(r.Float64()*360, absNorm(r)*10)
+			bad := decoy.Destination(r.Float64()*360, absNorm(r)*10)
+			wGood, wBad := 1.0, 1.0
+			if weighted {
+				wGood, wBad = 0.9, 0.1
+			}
+			pf.Observe(good, wGood)
+			pf.Observe(bad, wBad)
+		}
+		return pf.Estimate()
+	}
+	unweighted := build(false)
+	weighted := build(true)
+	if weighted.DistanceKm(trueEpi) >= unweighted.DistanceKm(trueEpi) {
+		t.Fatalf("weighting did not help: weighted %.1f km, unweighted %.1f km",
+			weighted.DistanceKm(trueEpi), unweighted.DistanceKm(trueEpi))
+	}
+	if weighted.DistanceKm(trueEpi) > 40 {
+		t.Fatalf("weighted estimate %.1f km off", weighted.DistanceKm(trueEpi))
+	}
+}
+
+func TestParticleValidation(t *testing.T) {
+	if _, err := NewParticleFilter(0, koreaBounds, 10, 0, 1); err == nil {
+		t.Fatal("zero particles accepted")
+	}
+	if _, err := NewParticleFilter(10, geo.Rect{MinLat: 5, MaxLat: 1}, 10, 0, 1); err == nil {
+		t.Fatal("invalid bounds accepted")
+	}
+	if _, err := NewParticleFilter(10, koreaBounds, 0, 0, 1); err == nil {
+		t.Fatal("zero measurement std accepted")
+	}
+}
+
+func TestParticleZeroWeightIgnored(t *testing.T) {
+	pf, _ := NewParticleFilter(100, koreaBounds, 10, 0, 5)
+	before := pf.Estimate()
+	pf.Observe(trueEpi, 0)
+	if pf.Observations() != 0 || pf.Estimate() != before {
+		t.Fatal("zero-weight observation had an effect")
+	}
+}
+
+func TestParticleDegenerateRecovery(t *testing.T) {
+	// Observation far outside the particle cloud with tiny noise collapses
+	// all likelihoods; the filter must reset rather than produce NaN.
+	pf, _ := NewParticleFilter(50, geo.Rect{MinLat: 33, MinLon: 124, MaxLat: 34, MaxLon: 125}, 0.1, 0, 9)
+	far := geo.Point{Lat: 38.9, Lon: 131.9}
+	pf.Observe(far, 1)
+	est := pf.Estimate()
+	if est.DistanceKm(far) > 5 {
+		t.Fatalf("degenerate reset failed, estimate %v", est)
+	}
+}
+
+// Property: estimates always stay within a sane envelope of the bounds and
+// never go NaN, regardless of observation order.
+func TestParticleEstimateFiniteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pf, err := NewParticleFilter(200, koreaBounds, 5+r.Float64()*20, 0, seed)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 30; i++ {
+			obs := geo.Point{
+				Lat: koreaBounds.MinLat + r.Float64()*(koreaBounds.MaxLat-koreaBounds.MinLat),
+				Lon: koreaBounds.MinLon + r.Float64()*(koreaBounds.MaxLon-koreaBounds.MinLon),
+			}
+			pf.Observe(obs, 0.05+r.Float64()*0.95)
+		}
+		est := pf.Estimate()
+		return est.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

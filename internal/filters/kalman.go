@@ -1,0 +1,67 @@
+// Package filters implements the two estimators the Toretter system (§II,
+// Fig. 2) applied to the spatial attributes of event tweets: a Kalman filter
+// and a particle filter over latitude/longitude. Both accept per-observation
+// reliability weights — the hook the paper proposes for its correlation
+// analysis: an observation from a user who rarely tweets where their profile
+// claims should move the estimate less.
+package filters
+
+import (
+	"errors"
+
+	"stir/internal/geo"
+)
+
+// Kalman2D is a constant-position Kalman filter over (lat, lon) with
+// independent axes: state x, variance P per axis, process noise Q, and
+// measurement noise R. Weighted observations scale R by 1/weight, so a
+// weight of zero is ignored entirely.
+type Kalman2D struct {
+	lat, lon   float64
+	pLat, pLon float64
+	q          float64 // process variance per update (deg²)
+	r          float64 // base measurement variance (deg²)
+	n          int
+}
+
+// NewKalman2D builds a filter starting at initial with the given initial
+// variance (deg²), process variance q and measurement variance r.
+func NewKalman2D(initial geo.Point, initialVar, q, r float64) (*Kalman2D, error) {
+	if initialVar <= 0 || q < 0 || r <= 0 {
+		return nil, errors.New("filters: variances must be positive (q may be zero)")
+	}
+	return &Kalman2D{
+		lat: initial.Lat, lon: initial.Lon,
+		pLat: initialVar, pLon: initialVar,
+		q: q, r: r,
+	}, nil
+}
+
+// Update incorporates one observation with the given reliability weight in
+// (0,1]; weight <= 0 leaves the filter unchanged.
+func (k *Kalman2D) Update(obs geo.Point, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	rEff := k.r / weight
+	// Predict: constant-position model just inflates variance.
+	k.pLat += k.q
+	k.pLon += k.q
+	// Correct, per axis.
+	gLat := k.pLat / (k.pLat + rEff)
+	k.lat += gLat * (obs.Lat - k.lat)
+	k.pLat *= 1 - gLat
+	gLon := k.pLon / (k.pLon + rEff)
+	k.lon += gLon * (obs.Lon - k.lon)
+	k.pLon *= 1 - gLon
+	k.n++
+}
+
+// Estimate returns the current state.
+func (k *Kalman2D) Estimate() geo.Point { return geo.Point{Lat: k.lat, Lon: k.lon} }
+
+// Updates returns how many observations were incorporated.
+func (k *Kalman2D) Updates() int { return k.n }
+
+// Variance returns the current per-axis variances (deg²).
+func (k *Kalman2D) Variance() (pLat, pLon float64) { return k.pLat, k.pLon }

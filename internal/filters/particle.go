@@ -1,0 +1,152 @@
+package filters
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"stir/internal/geo"
+)
+
+// ParticleFilter estimates a static event location from noisy, variably
+// reliable observations. Particles start uniform over a bounding rectangle;
+// each observation reweights them with a Gaussian likelihood whose precision
+// scales with the observation's reliability weight; systematic resampling
+// keeps the population healthy.
+type ParticleFilter struct {
+	lats, lons []float64
+	weights    []float64
+	bounds     geo.Rect
+	measStdDeg float64
+	jitterDeg  float64
+	rng        *rand.Rand
+	n          int
+}
+
+// NewParticleFilter creates n particles uniform over bounds. measStdKm is
+// the 1-sigma observation noise; jitterKm is the roughening noise applied at
+// resampling (defaults to measStdKm/5 when zero).
+func NewParticleFilter(n int, bounds geo.Rect, measStdKm, jitterKm float64, seed int64) (*ParticleFilter, error) {
+	if n <= 0 {
+		return nil, errors.New("filters: particle count must be positive")
+	}
+	if !bounds.Valid() || bounds.Area() == 0 {
+		return nil, errors.New("filters: invalid particle bounds")
+	}
+	if measStdKm <= 0 {
+		return nil, errors.New("filters: measurement std must be positive")
+	}
+	if jitterKm <= 0 {
+		jitterKm = measStdKm / 5
+	}
+	pf := &ParticleFilter{
+		lats:       make([]float64, n),
+		lons:       make([]float64, n),
+		weights:    make([]float64, n),
+		bounds:     bounds,
+		measStdDeg: measStdKm / 110.574,
+		jitterDeg:  jitterKm / 110.574,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+	for i := 0; i < n; i++ {
+		pf.lats[i] = bounds.MinLat + pf.rng.Float64()*(bounds.MaxLat-bounds.MinLat)
+		pf.lons[i] = bounds.MinLon + pf.rng.Float64()*(bounds.MaxLon-bounds.MinLon)
+		pf.weights[i] = 1 / float64(n)
+	}
+	return pf, nil
+}
+
+// Observe incorporates one observation with reliability weight in (0,1];
+// weight <= 0 is ignored.
+func (pf *ParticleFilter) Observe(obs geo.Point, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	// Effective variance grows as reliability shrinks.
+	variance := pf.measStdDeg * pf.measStdDeg / weight
+	cosLat := math.Cos(obs.Lat * math.Pi / 180)
+	var sum float64
+	for i := range pf.lats {
+		dLat := pf.lats[i] - obs.Lat
+		dLon := (pf.lons[i] - obs.Lon) * cosLat
+		ll := math.Exp(-(dLat*dLat + dLon*dLon) / (2 * variance))
+		pf.weights[i] *= ll
+		sum += pf.weights[i]
+	}
+	if sum <= 0 || math.IsNaN(sum) {
+		// Degenerate: all particles incompatible; reset around observation.
+		pf.resetAround(obs)
+		pf.n++
+		return
+	}
+	for i := range pf.weights {
+		pf.weights[i] /= sum
+	}
+	if pf.effectiveN() < float64(len(pf.weights))/2 {
+		pf.resample()
+	}
+	pf.n++
+}
+
+// effectiveN is the standard 1/Σw² degeneracy measure.
+func (pf *ParticleFilter) effectiveN() float64 {
+	var s float64
+	for _, w := range pf.weights {
+		s += w * w
+	}
+	if s == 0 {
+		return 0
+	}
+	return 1 / s
+}
+
+// resample performs systematic resampling plus roughening jitter.
+func (pf *ParticleFilter) resample() {
+	n := len(pf.weights)
+	newLats := make([]float64, n)
+	newLons := make([]float64, n)
+	step := 1.0 / float64(n)
+	u := pf.rng.Float64() * step
+	var cum float64
+	j := 0
+	for i := 0; i < n; i++ {
+		target := u + float64(i)*step
+		for cum+pf.weights[j] < target && j < n-1 {
+			cum += pf.weights[j]
+			j++
+		}
+		newLats[i] = pf.lats[j] + pf.rng.NormFloat64()*pf.jitterDeg
+		newLons[i] = pf.lons[j] + pf.rng.NormFloat64()*pf.jitterDeg
+	}
+	pf.lats, pf.lons = newLats, newLons
+	for i := range pf.weights {
+		pf.weights[i] = step
+	}
+}
+
+// resetAround re-seeds all particles near p after degeneracy.
+func (pf *ParticleFilter) resetAround(p geo.Point) {
+	n := len(pf.weights)
+	for i := 0; i < n; i++ {
+		pf.lats[i] = p.Lat + pf.rng.NormFloat64()*pf.measStdDeg
+		pf.lons[i] = p.Lon + pf.rng.NormFloat64()*pf.measStdDeg
+		pf.weights[i] = 1 / float64(n)
+	}
+}
+
+// Estimate returns the weighted particle mean.
+func (pf *ParticleFilter) Estimate() geo.Point {
+	var lat, lon, sum float64
+	for i, w := range pf.weights {
+		lat += pf.lats[i] * w
+		lon += pf.lons[i] * w
+		sum += w
+	}
+	if sum == 0 {
+		return pf.bounds.Center()
+	}
+	return geo.Point{Lat: lat / sum, Lon: lon / sum}
+}
+
+// Observations returns how many observations were incorporated.
+func (pf *ParticleFilter) Observations() int { return pf.n }

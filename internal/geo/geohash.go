@@ -1,0 +1,153 @@
+package geo
+
+import (
+	"errors"
+	"strings"
+)
+
+// Geohash encoding (the standard base-32 interleaved-bit scheme). STIR uses
+// geohashes as compact spatial keys: cache keys in the geocoding client,
+// cell identifiers in exports, and prefix-based proximity grouping.
+
+const geohashBase32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+var geohashDecode = func() map[byte]int {
+	m := make(map[byte]int, 32)
+	for i := 0; i < len(geohashBase32); i++ {
+		m[geohashBase32[i]] = i
+	}
+	return m
+}()
+
+// ErrBadGeohash reports an invalid geohash string.
+var ErrBadGeohash = errors.New("geo: invalid geohash")
+
+// Encode returns the geohash of p at the given precision (characters).
+// Precision is clamped to [1,12]; 12 characters resolve to under 4 cm.
+func Encode(p Point, precision int) string {
+	if precision < 1 {
+		precision = 1
+	}
+	if precision > 12 {
+		precision = 12
+	}
+	var (
+		latMin, latMax = -90.0, 90.0
+		lonMin, lonMax = -180.0, 180.0
+		even           = true
+		bit            = 0
+		ch             = 0
+		b              strings.Builder
+	)
+	for b.Len() < precision {
+		if even {
+			mid := (lonMin + lonMax) / 2
+			if p.Lon >= mid {
+				ch |= 1 << (4 - bit)
+				lonMin = mid
+			} else {
+				lonMax = mid
+			}
+		} else {
+			mid := (latMin + latMax) / 2
+			if p.Lat >= mid {
+				ch |= 1 << (4 - bit)
+				latMin = mid
+			} else {
+				latMax = mid
+			}
+		}
+		even = !even
+		if bit < 4 {
+			bit++
+		} else {
+			b.WriteByte(geohashBase32[ch])
+			bit, ch = 0, 0
+		}
+	}
+	return b.String()
+}
+
+// DecodeBounds returns the bounding rectangle of a geohash cell.
+func DecodeBounds(hash string) (Rect, error) {
+	if hash == "" {
+		return Rect{}, ErrBadGeohash
+	}
+	var (
+		latMin, latMax = -90.0, 90.0
+		lonMin, lonMax = -180.0, 180.0
+		even           = true
+	)
+	for i := 0; i < len(hash); i++ {
+		c := hash[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		cd, ok := geohashDecode[c]
+		if !ok {
+			return Rect{}, ErrBadGeohash
+		}
+		for bit := 4; bit >= 0; bit-- {
+			set := cd&(1<<bit) != 0
+			if even {
+				mid := (lonMin + lonMax) / 2
+				if set {
+					lonMin = mid
+				} else {
+					lonMax = mid
+				}
+			} else {
+				mid := (latMin + latMax) / 2
+				if set {
+					latMin = mid
+				} else {
+					latMax = mid
+				}
+			}
+			even = !even
+		}
+	}
+	return Rect{MinLat: latMin, MinLon: lonMin, MaxLat: latMax, MaxLon: lonMax}, nil
+}
+
+// Decode returns the centre point of a geohash cell.
+func Decode(hash string) (Point, error) {
+	r, err := DecodeBounds(hash)
+	if err != nil {
+		return Point{}, err
+	}
+	return r.Center(), nil
+}
+
+// Neighbors returns the up-to-eight adjacent cells of a geohash at the same
+// precision, clockwise from north. Cells that would cross a pole are
+// omitted.
+func Neighbors(hash string) ([]string, error) {
+	r, err := DecodeBounds(hash)
+	if err != nil {
+		return nil, err
+	}
+	c := r.Center()
+	dLat := r.MaxLat - r.MinLat
+	dLon := r.MaxLon - r.MinLon
+	offsets := []struct{ dLat, dLon float64 }{
+		{dLat, 0}, {dLat, dLon}, {0, dLon}, {-dLat, dLon},
+		{-dLat, 0}, {-dLat, -dLon}, {0, -dLon}, {dLat, dLon * -0}, // last fixed below
+	}
+	offsets[7] = struct{ dLat, dLon float64 }{dLat, -dLon}
+	var out []string
+	seen := map[string]bool{hash: true}
+	for _, o := range offsets {
+		lat := c.Lat + o.dLat
+		if lat > 90 || lat < -90 {
+			continue
+		}
+		p := Point{Lat: lat, Lon: NormalizeLon(c.Lon + o.dLon)}
+		n := Encode(p, len(hash))
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}

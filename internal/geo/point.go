@@ -1,0 +1,201 @@
+// Package geo provides geodesy primitives used throughout STIR: geographic
+// points, great-circle distance, bearings, bounding rectangles and simple
+// polygon operations.
+//
+// All latitudes and longitudes are in decimal degrees (WGS-84); distances are
+// in kilometres unless stated otherwise.
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// EarthRadiusKm is the mean Earth radius used for great-circle math.
+const EarthRadiusKm = 6371.0088
+
+// Point is a geographic coordinate in decimal degrees.
+type Point struct {
+	Lat float64 // latitude, -90..90
+	Lon float64 // longitude, -180..180
+}
+
+// ErrInvalidCoordinate reports a latitude or longitude out of range.
+var ErrInvalidCoordinate = errors.New("geo: coordinate out of range")
+
+// NewPoint validates lat/lon and returns a Point.
+func NewPoint(lat, lon float64) (Point, error) {
+	p := Point{Lat: lat, Lon: lon}
+	if !p.Valid() {
+		return Point{}, fmt.Errorf("%w: lat=%v lon=%v", ErrInvalidCoordinate, lat, lon)
+	}
+	return p, nil
+}
+
+// Valid reports whether the point lies in the legal WGS-84 ranges.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 &&
+		p.Lon >= -180 && p.Lon <= 180 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
+}
+
+// String renders the point as "lat,lon" with six decimals, the precision the
+// paper's tweets carry.
+func (p Point) String() string {
+	return fmt.Sprintf("%.6f,%.6f", p.Lat, p.Lon)
+}
+
+// Radians returns the point converted to radians.
+func (p Point) Radians() (lat, lon float64) {
+	return p.Lat * math.Pi / 180, p.Lon * math.Pi / 180
+}
+
+// DistanceKm returns the great-circle (haversine) distance to q in km.
+func (p Point) DistanceKm(q Point) float64 {
+	lat1, lon1 := p.Radians()
+	lat2, lon2 := q.Radians()
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	h := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// BearingDeg returns the initial great-circle bearing from p to q in degrees
+// clockwise from north, normalised to [0,360).
+func (p Point) BearingDeg(q Point) float64 {
+	lat1, lon1 := p.Radians()
+	lat2, lon2 := q.Radians()
+	dLon := lon2 - lon1
+	y := math.Sin(dLon) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+	deg := math.Atan2(y, x) * 180 / math.Pi
+	return math.Mod(deg+360, 360)
+}
+
+// Destination returns the point reached by travelling distKm from p along the
+// given initial bearing (degrees clockwise from north).
+func (p Point) Destination(bearingDeg, distKm float64) Point {
+	lat1, lon1 := p.Radians()
+	brng := bearingDeg * math.Pi / 180
+	d := distKm / EarthRadiusKm
+	lat2 := math.Asin(math.Sin(lat1)*math.Cos(d) + math.Cos(lat1)*math.Sin(d)*math.Cos(brng))
+	lon2 := lon1 + math.Atan2(
+		math.Sin(brng)*math.Sin(d)*math.Cos(lat1),
+		math.Cos(d)-math.Sin(lat1)*math.Sin(lat2),
+	)
+	out := Point{Lat: lat2 * 180 / math.Pi, Lon: lon2 * 180 / math.Pi}
+	out.Lon = NormalizeLon(out.Lon)
+	return out
+}
+
+// NormalizeLon wraps a longitude into [-180,180].
+func NormalizeLon(lon float64) float64 {
+	for lon > 180 {
+		lon -= 360
+	}
+	for lon < -180 {
+		lon += 360
+	}
+	return lon
+}
+
+// Midpoint returns the great-circle midpoint of p and q.
+func (p Point) Midpoint(q Point) Point {
+	lat1, lon1 := p.Radians()
+	lat2, lon2 := q.Radians()
+	dLon := lon2 - lon1
+	bx := math.Cos(lat2) * math.Cos(dLon)
+	by := math.Cos(lat2) * math.Sin(dLon)
+	lat3 := math.Atan2(
+		math.Sin(lat1)+math.Sin(lat2),
+		math.Sqrt((math.Cos(lat1)+bx)*(math.Cos(lat1)+bx)+by*by),
+	)
+	lon3 := lon1 + math.Atan2(by, math.Cos(lat1)+bx)
+	return Point{Lat: lat3 * 180 / math.Pi, Lon: NormalizeLon(lon3 * 180 / math.Pi)}
+}
+
+// Centroid returns the arithmetic centroid of pts in coordinate space. It is
+// adequate for the city-scale extents STIR deals with. Centroid of no points
+// is the zero Point.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var sLat, sLon float64
+	for _, p := range pts {
+		sLat += p.Lat
+		sLon += p.Lon
+	}
+	n := float64(len(pts))
+	return Point{Lat: sLat / n, Lon: sLon / n}
+}
+
+// WeightedCentroid returns the weighted centroid of pts; weights must be the
+// same length as pts. Zero total weight yields the zero Point.
+func WeightedCentroid(pts []Point, weights []float64) (Point, error) {
+	if len(pts) != len(weights) {
+		return Point{}, fmt.Errorf("geo: %d points but %d weights", len(pts), len(weights))
+	}
+	var sLat, sLon, sW float64
+	for i, p := range pts {
+		w := weights[i]
+		if w < 0 {
+			return Point{}, fmt.Errorf("geo: negative weight %v at %d", w, i)
+		}
+		sLat += p.Lat * w
+		sLon += p.Lon * w
+		sW += w
+	}
+	if sW == 0 {
+		return Point{}, nil
+	}
+	return Point{Lat: sLat / sW, Lon: sLon / sW}, nil
+}
+
+// GeographicMedian returns the point minimising the sum of great-circle
+// distances to pts (Weiszfeld iteration in coordinate space). Used by the
+// Toretter-style estimator as the "estimated median" from Fig. 2.
+func GeographicMedian(pts []Point, iterations int) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	if len(pts) == 1 {
+		return pts[0]
+	}
+	cur := Centroid(pts)
+	for it := 0; it < iterations; it++ {
+		var sLat, sLon, sW float64
+		coincident := false
+		for _, p := range pts {
+			d := cur.DistanceKm(p)
+			if d < 1e-9 {
+				coincident = true
+				continue
+			}
+			w := 1 / d
+			sLat += p.Lat * w
+			sLon += p.Lon * w
+			sW += w
+		}
+		if sW == 0 {
+			// Every point coincides with the current estimate.
+			return cur
+		}
+		next := Point{Lat: sLat / sW, Lon: sLon / sW}
+		if coincident {
+			// Dampen toward current estimate to avoid oscillation.
+			next = Point{Lat: (next.Lat + cur.Lat) / 2, Lon: (next.Lon + cur.Lon) / 2}
+		}
+		if cur.DistanceKm(next) < 1e-6 {
+			return next
+		}
+		cur = next
+	}
+	return cur
+}

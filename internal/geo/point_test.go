@@ -1,0 +1,214 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// seoul and busan are ~325 km apart; reference distance from published
+// great-circle calculators.
+var (
+	seoul = Point{Lat: 37.5665, Lon: 126.9780}
+	busan = Point{Lat: 35.1796, Lon: 129.0756}
+)
+
+func TestNewPointValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		lat, lon float64
+		ok       bool
+	}{
+		{"seoul", 37.5665, 126.9780, true},
+		{"north pole", 90, 0, true},
+		{"south pole", -90, 0, true},
+		{"dateline", 0, 180, true},
+		{"anti dateline", 0, -180, true},
+		{"lat too high", 90.0001, 0, false},
+		{"lat too low", -91, 0, false},
+		{"lon too high", 0, 181, false},
+		{"lon too low", 0, -180.5, false},
+		{"nan lat", math.NaN(), 0, false},
+		{"nan lon", 0, math.NaN(), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewPoint(tc.lat, tc.lon)
+			if (err == nil) != tc.ok {
+				t.Fatalf("NewPoint(%v,%v) err=%v, want ok=%v", tc.lat, tc.lon, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestDistanceKnown(t *testing.T) {
+	d := seoul.DistanceKm(busan)
+	if d < 315 || d > 335 {
+		t.Fatalf("Seoul-Busan distance = %.1f km, want ~325", d)
+	}
+	if got := seoul.DistanceKm(seoul); got != 0 {
+		t.Fatalf("self distance = %v, want 0", got)
+	}
+}
+
+func TestDistanceAntipodal(t *testing.T) {
+	a := Point{Lat: 0, Lon: 0}
+	b := Point{Lat: 0, Lon: 180}
+	half := math.Pi * EarthRadiusKm
+	if d := a.DistanceKm(b); math.Abs(d-half) > 1 {
+		t.Fatalf("antipodal distance = %.2f, want %.2f", d, half)
+	}
+}
+
+func randPoint(r *rand.Rand) Point {
+	return Point{Lat: r.Float64()*180 - 90, Lon: r.Float64()*360 - 180}
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randPoint(r), randPoint(r)
+		d1, d2 := a.DistanceKm(b), b.DistanceKm(a)
+		return math.Abs(d1-d2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTriangleInequalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randPoint(r), randPoint(r), randPoint(r)
+		// Allow a tiny epsilon for floating error.
+		return a.DistanceKm(c) <= a.DistanceKm(b)+b.DistanceKm(c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDestinationRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Stay away from the poles where bearings degenerate.
+		p := Point{Lat: r.Float64()*120 - 60, Lon: r.Float64()*360 - 180}
+		bearing := r.Float64() * 360
+		dist := r.Float64() * 500 // up to 500 km
+		q := p.Destination(bearing, dist)
+		return math.Abs(p.DistanceKm(q)-dist) < 0.5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBearingCardinal(t *testing.T) {
+	origin := Point{Lat: 0, Lon: 0}
+	cases := []struct {
+		to   Point
+		want float64
+	}{
+		{Point{Lat: 1, Lon: 0}, 0},
+		{Point{Lat: 0, Lon: 1}, 90},
+		{Point{Lat: -1, Lon: 0}, 180},
+		{Point{Lat: 0, Lon: -1}, 270},
+	}
+	for _, tc := range cases {
+		if got := origin.BearingDeg(tc.to); math.Abs(got-tc.want) > 0.01 {
+			t.Errorf("bearing to %v = %.2f, want %.2f", tc.to, got, tc.want)
+		}
+	}
+}
+
+func TestMidpointIsEquidistantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := Point{Lat: r.Float64()*120 - 60, Lon: r.Float64()*300 - 150}
+		// Second point within ~200 km, STIR's working scale.
+		b := a.Destination(r.Float64()*360, r.Float64()*200)
+		m := a.Midpoint(b)
+		d1, d2 := a.DistanceKm(m), b.DistanceKm(m)
+		return math.Abs(d1-d2) < 0.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if got := Centroid(nil); got != (Point{}) {
+		t.Fatalf("empty centroid = %v", got)
+	}
+	pts := []Point{{Lat: 0, Lon: 0}, {Lat: 2, Lon: 4}}
+	got := Centroid(pts)
+	if got.Lat != 1 || got.Lon != 2 {
+		t.Fatalf("centroid = %v, want 1,2", got)
+	}
+}
+
+func TestWeightedCentroid(t *testing.T) {
+	pts := []Point{{Lat: 0, Lon: 0}, {Lat: 10, Lon: 10}}
+	got, err := WeightedCentroid(pts, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Lat-7.5) > 1e-12 || math.Abs(got.Lon-7.5) > 1e-12 {
+		t.Fatalf("weighted centroid = %v, want 7.5,7.5", got)
+	}
+
+	if _, err := WeightedCentroid(pts, []float64{1}); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+	if _, err := WeightedCentroid(pts, []float64{1, -1}); err == nil {
+		t.Fatal("negative weight not rejected")
+	}
+	zero, err := WeightedCentroid(pts, []float64{0, 0})
+	if err != nil || zero != (Point{}) {
+		t.Fatalf("zero-weight centroid = %v err=%v", zero, err)
+	}
+}
+
+func TestGeographicMedianBasics(t *testing.T) {
+	if got := GeographicMedian(nil, 50); got != (Point{}) {
+		t.Fatalf("empty median = %v", got)
+	}
+	one := []Point{seoul}
+	if got := GeographicMedian(one, 50); got != seoul {
+		t.Fatalf("single median = %v", got)
+	}
+	// Median of a cluster plus one outlier should stay near the cluster,
+	// unlike the centroid.
+	cluster := []Point{
+		{Lat: 37.50, Lon: 127.00},
+		{Lat: 37.51, Lon: 127.01},
+		{Lat: 37.49, Lon: 126.99},
+		{Lat: 37.50, Lon: 127.02},
+	}
+	outlier := Point{Lat: 35.0, Lon: 129.0}
+	med := GeographicMedian(append(cluster, outlier), 100)
+	c := Centroid(cluster)
+	if med.DistanceKm(c) > 5 {
+		t.Fatalf("median %.4v strayed %.1f km from cluster", med, med.DistanceKm(c))
+	}
+}
+
+func TestGeographicMedianCoincident(t *testing.T) {
+	pts := []Point{seoul, seoul, seoul}
+	med := GeographicMedian(pts, 50)
+	if med.DistanceKm(seoul) > 0.01 {
+		t.Fatalf("median of identical points = %v", med)
+	}
+}
+
+func TestNormalizeLon(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {180, 180}, {-180, -180}, {181, -179}, {-181, 179}, {540, 180}, {361, 1},
+	}
+	for _, tc := range cases {
+		if got := NormalizeLon(tc.in); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("NormalizeLon(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package geo
+
+// Polygon is a simple (non-self-intersecting) ring of vertices in degree
+// space. The ring may be given in either winding order and need not be
+// explicitly closed; Contains treats the last vertex as joined to the first.
+type Polygon struct {
+	Vertices []Point
+	bounds   Rect
+	hasB     bool
+}
+
+// NewPolygon builds a polygon from vertices, precomputing its bounds.
+func NewPolygon(vertices []Point) *Polygon {
+	p := &Polygon{Vertices: vertices}
+	p.Bounds()
+	return p
+}
+
+// Bounds returns (computing once) the polygon's bounding rectangle.
+func (pg *Polygon) Bounds() Rect {
+	if pg.hasB {
+		return pg.bounds
+	}
+	if len(pg.Vertices) == 0 {
+		pg.hasB = true
+		return pg.bounds
+	}
+	r := Rect{
+		MinLat: pg.Vertices[0].Lat, MaxLat: pg.Vertices[0].Lat,
+		MinLon: pg.Vertices[0].Lon, MaxLon: pg.Vertices[0].Lon,
+	}
+	for _, v := range pg.Vertices[1:] {
+		r = r.Extend(v)
+	}
+	pg.bounds = r
+	pg.hasB = true
+	return r
+}
+
+// Contains reports whether p lies inside the polygon using the even-odd
+// ray-casting rule. Points exactly on an edge may land on either side; STIR
+// only uses polygons for synthetic district shapes where that is acceptable.
+func (pg *Polygon) Contains(p Point) bool {
+	n := len(pg.Vertices)
+	if n < 3 {
+		return false
+	}
+	if !pg.Bounds().Contains(p) {
+		return false
+	}
+	inside := false
+	j := n - 1
+	for i := 0; i < n; i++ {
+		vi, vj := pg.Vertices[i], pg.Vertices[j]
+		if (vi.Lat > p.Lat) != (vj.Lat > p.Lat) {
+			cross := (vj.Lon-vi.Lon)*(p.Lat-vi.Lat)/(vj.Lat-vi.Lat) + vi.Lon
+			if p.Lon < cross {
+				inside = !inside
+			}
+		}
+		j = i
+	}
+	return inside
+}
+
+// Centroid returns the area-weighted centroid of the polygon in degree space,
+// falling back to the vertex centroid for degenerate rings.
+func (pg *Polygon) Centroid() Point {
+	n := len(pg.Vertices)
+	if n == 0 {
+		return Point{}
+	}
+	if n < 3 {
+		return Centroid(pg.Vertices)
+	}
+	var a, cx, cy float64
+	j := n - 1
+	for i := 0; i < n; i++ {
+		vi, vj := pg.Vertices[i], pg.Vertices[j]
+		f := vj.Lon*vi.Lat - vi.Lon*vj.Lat
+		a += f
+		cx += (vj.Lon + vi.Lon) * f
+		cy += (vj.Lat + vi.Lat) * f
+		j = i
+	}
+	if a == 0 {
+		return Centroid(pg.Vertices)
+	}
+	a *= 0.5
+	return Point{Lon: cx / (6 * a), Lat: cy / (6 * a)}
+}
+
+// RegularPolygonAround builds an n-gon of the given radius (km) centred on
+// center. Synthetic district shapes use this.
+func RegularPolygonAround(center Point, radiusKm float64, n int) *Polygon {
+	if n < 3 {
+		n = 3
+	}
+	verts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		bearing := float64(i) * 360 / float64(n)
+		verts = append(verts, center.Destination(bearing, radiusKm))
+	}
+	return NewPolygon(verts)
+}

@@ -1,0 +1,107 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func square(side float64) *Polygon {
+	return NewPolygon([]Point{
+		{Lat: 0, Lon: 0}, {Lat: 0, Lon: side}, {Lat: side, Lon: side}, {Lat: side, Lon: 0},
+	})
+}
+
+func TestPolygonContainsSquare(t *testing.T) {
+	sq := square(10)
+	inside := []Point{{5, 5}, {1, 9}, {9.9, 0.1}}
+	outside := []Point{{-1, 5}, {5, 11}, {10.5, 10.5}, {-0.001, -0.001}}
+	for _, p := range inside {
+		if !sq.Contains(p) {
+			t.Errorf("point %v should be inside", p)
+		}
+	}
+	for _, p := range outside {
+		if sq.Contains(p) {
+			t.Errorf("point %v should be outside", p)
+		}
+	}
+}
+
+func TestPolygonDegenerate(t *testing.T) {
+	if NewPolygon(nil).Contains(Point{}) {
+		t.Fatal("empty polygon contains nothing")
+	}
+	line := NewPolygon([]Point{{0, 0}, {1, 1}})
+	if line.Contains(Point{0.5, 0.5}) {
+		t.Fatal("2-vertex polygon contains nothing")
+	}
+}
+
+func TestPolygonConcave(t *testing.T) {
+	// A "U" shape: the notch at the top-middle is outside.
+	u := NewPolygon([]Point{
+		{0, 0}, {0, 6}, {6, 6}, {6, 4}, {2, 4}, {2, 2}, {6, 2}, {6, 0},
+	})
+	if !u.Contains(Point{1, 3}) {
+		t.Error("bottom of U should be inside")
+	}
+	if u.Contains(Point{4, 3}) {
+		t.Error("notch of U should be outside")
+	}
+	if !u.Contains(Point{5, 5}) {
+		t.Error("right arm of U should be inside")
+	}
+}
+
+func TestPolygonBounds(t *testing.T) {
+	sq := square(10)
+	b := sq.Bounds()
+	want := Rect{MinLat: 0, MinLon: 0, MaxLat: 10, MaxLon: 10}
+	if b != want {
+		t.Fatalf("bounds = %+v, want %+v", b, want)
+	}
+}
+
+func TestPolygonCentroidSquare(t *testing.T) {
+	c := square(10).Centroid()
+	if math.Abs(c.Lat-5) > 1e-9 || math.Abs(c.Lon-5) > 1e-9 {
+		t.Fatalf("centroid = %v, want 5,5", c)
+	}
+}
+
+func TestRegularPolygonAroundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		center := Point{Lat: r.Float64()*100 - 50, Lon: r.Float64()*300 - 150}
+		radius := 1 + r.Float64()*50
+		n := 3 + r.Intn(10)
+		pg := RegularPolygonAround(center, radius, n)
+		if len(pg.Vertices) != n {
+			return false
+		}
+		// Center is inside, vertices are at the given radius.
+		if !pg.Contains(center) {
+			return false
+		}
+		for _, v := range pg.Vertices {
+			if math.Abs(center.DistanceKm(v)-radius) > 0.5 {
+				return false
+			}
+		}
+		// A point well beyond the radius is outside.
+		far := center.Destination(45, radius*3)
+		return !pg.Contains(far)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegularPolygonMinVertices(t *testing.T) {
+	pg := RegularPolygonAround(Point{0, 0}, 5, 1)
+	if len(pg.Vertices) != 3 {
+		t.Fatalf("n<3 should clamp to triangle, got %d vertices", len(pg.Vertices))
+	}
+}

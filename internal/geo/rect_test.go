@@ -1,0 +1,130 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRectOrdersCorners(t *testing.T) {
+	r := NewRect(Point{Lat: 5, Lon: 10}, Point{Lat: -5, Lon: -10})
+	want := Rect{MinLat: -5, MinLon: -10, MaxLat: 5, MaxLon: 10}
+	if r != want {
+		t.Fatalf("NewRect = %+v, want %+v", r, want)
+	}
+	if !r.Valid() {
+		t.Fatal("rect should be valid")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{MinLat: 0, MinLon: 0, MaxLat: 10, MaxLon: 10}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{5, 5}, true},
+		{Point{0, 0}, true},   // boundary counts
+		{Point{10, 10}, true}, // boundary counts
+		{Point{-0.1, 5}, false},
+		{Point{5, 10.1}, false},
+	}
+	for _, tc := range cases {
+		if got := r.Contains(tc.p); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestRectIntersectsAndUnion(t *testing.T) {
+	a := Rect{MinLat: 0, MinLon: 0, MaxLat: 5, MaxLon: 5}
+	b := Rect{MinLat: 4, MinLon: 4, MaxLat: 8, MaxLon: 8}
+	c := Rect{MinLat: 6, MinLon: 6, MaxLat: 7, MaxLon: 7}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Fatal("a/b should intersect")
+	}
+	if a.Intersects(c) {
+		t.Fatal("a/c should not intersect")
+	}
+	u := a.Union(b)
+	if !u.ContainsRect(a) || !u.ContainsRect(b) {
+		t.Fatalf("union %v does not cover inputs", u)
+	}
+	// Touching edges intersect.
+	d := Rect{MinLat: 5, MinLon: 0, MaxLat: 6, MaxLon: 5}
+	if !a.Intersects(d) {
+		t.Fatal("touching rects should intersect")
+	}
+}
+
+func TestRectAroundContainsCircle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := Point{Lat: r.Float64()*120 - 60, Lon: r.Float64()*300 - 150}
+		radius := 1 + r.Float64()*100
+		box := RectAround(c, radius)
+		// Sample points on the circle; all must be inside the box.
+		for i := 0; i < 12; i++ {
+			p := c.Destination(float64(i)*30, radius)
+			if !box.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionPropertyContainsBoth(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := NewRect(randPoint(r), randPoint(r))
+		b := NewRect(randPoint(r), randPoint(r))
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b) && u.Area() >= a.Area() && u.Area() >= b.Area()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtend(t *testing.T) {
+	r := Rect{MinLat: 0, MinLon: 0, MaxLat: 1, MaxLon: 1}
+	r = r.Extend(Point{Lat: 5, Lon: -3})
+	want := Rect{MinLat: 0, MinLon: -3, MaxLat: 5, MaxLon: 1}
+	if r != want {
+		t.Fatalf("Extend = %+v, want %+v", r, want)
+	}
+}
+
+func TestDistanceSqDeg(t *testing.T) {
+	r := Rect{MinLat: 0, MinLon: 0, MaxLat: 10, MaxLon: 10}
+	if d := r.DistanceSqDeg(Point{5, 5}); d != 0 {
+		t.Fatalf("inside distance = %v", d)
+	}
+	if d := r.DistanceSqDeg(Point{0, -3}); d != 9 {
+		t.Fatalf("left distance = %v, want 9", d)
+	}
+	if d := r.DistanceSqDeg(Point{13, 14}); d != 9+16 {
+		t.Fatalf("corner distance = %v, want 25", d)
+	}
+}
+
+func TestAreaMarginCenter(t *testing.T) {
+	r := Rect{MinLat: 1, MinLon: 2, MaxLat: 3, MaxLon: 6}
+	if got := r.Area(); got != 8 {
+		t.Fatalf("Area = %v, want 8", got)
+	}
+	if got := r.Margin(); got != 6 {
+		t.Fatalf("Margin = %v, want 6", got)
+	}
+	if c := r.Center(); c.Lat != 2 || c.Lon != 4 {
+		t.Fatalf("Center = %v", c)
+	}
+	bad := Rect{MinLat: 3, MaxLat: 1}
+	if bad.Area() != 0 || bad.Margin() != 0 {
+		t.Fatal("invalid rect should have zero area/margin")
+	}
+}

@@ -1,0 +1,306 @@
+package geocode
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"stir/internal/geo"
+)
+
+// Client calls a geocode Server with quantisation, caching, and rate-limit
+// retries. It also supports a direct (in-process) resolver so offline
+// pipelines can skip HTTP entirely while exercising the same cache.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+	// QuantizeDecimals rounds coordinates before lookup/caching; 3 decimals
+	// (~110 m) is plenty for county-level grouping. Negative disables.
+	QuantizeDecimals int
+	// MaxBackoff caps one rate-limit sleep.
+	MaxBackoff time.Duration
+	// MaxRetries bounds retries per call.
+	MaxRetries int
+
+	cache *lruCache
+	sleep func(context.Context, time.Duration) error
+}
+
+// ErrNoMatch reports a point no district is near.
+var ErrNoMatch = errors.New("geocode: no district near point")
+
+// NewClient returns a caching client for the server at baseURL.
+func NewClient(baseURL string, cacheSize int) *Client {
+	return &Client{
+		BaseURL:          baseURL,
+		HTTP:             &http.Client{Timeout: 15 * time.Second},
+		QuantizeDecimals: 3,
+		MaxBackoff:       2 * time.Second,
+		MaxRetries:       6,
+		cache:            newLRUCache(cacheSize),
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		},
+	}
+}
+
+// quantize rounds the point for cache keying.
+func (c *Client) quantize(p geo.Point) geo.Point {
+	if c.QuantizeDecimals < 0 {
+		return p
+	}
+	scale := 1.0
+	for i := 0; i < c.QuantizeDecimals; i++ {
+		scale *= 10
+	}
+	round := func(v float64) float64 {
+		if v >= 0 {
+			return float64(int64(v*scale+0.5)) / scale
+		}
+		return float64(int64(v*scale-0.5)) / scale
+	}
+	return geo.Point{Lat: round(p.Lat), Lon: round(p.Lon)}
+}
+
+func cacheKey(p geo.Point) string { return p.String() }
+
+// Reverse resolves p to a Location, consulting the cache first.
+func (c *Client) Reverse(ctx context.Context, p geo.Point) (Location, error) {
+	q := c.quantize(p)
+	key := cacheKey(q)
+	if loc, ok := c.cache.Get(key); ok {
+		return loc, nil
+	}
+	loc, err := c.fetch(ctx, q)
+	if err != nil {
+		return Location{}, err
+	}
+	c.cache.Put(key, loc)
+	return loc, nil
+}
+
+func (c *Client) fetch(ctx context.Context, p geo.Point) (Location, error) {
+	retries := c.MaxRetries
+	if retries <= 0 {
+		retries = 6
+	}
+	params := url.Values{
+		"lat": {strconv.FormatFloat(p.Lat, 'f', 6, 64)},
+		"lon": {strconv.FormatFloat(p.Lon, 'f', 6, 64)},
+	}
+	endpoint := c.BaseURL + "/v1/reverse?" + params.Encode()
+	for attempt := 0; attempt <= retries; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint, nil)
+		if err != nil {
+			return Location{}, err
+		}
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return Location{}, fmt.Errorf("geocode client: %w", err)
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			return Location{}, fmt.Errorf("geocode client: read: %w", err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			wait := backoffWait(resp, attempt, c.MaxBackoff)
+			if err := c.sleep(ctx, wait); err != nil {
+				return Location{}, err
+			}
+			continue
+		}
+		rs, err := UnmarshalResultSet(body)
+		if err != nil {
+			return Location{}, err
+		}
+		switch rs.Error {
+		case CodeOK:
+			if len(rs.Results) == 0 {
+				return Location{}, fmt.Errorf("geocode client: empty result set")
+			}
+			return rs.Results[0].Location, nil
+		case CodeNoMatch:
+			return Location{}, fmt.Errorf("%w: %s", ErrNoMatch, p)
+		default:
+			return Location{}, fmt.Errorf("geocode client: server error %d: %s", rs.Error, rs.Message)
+		}
+	}
+	return Location{}, fmt.Errorf("geocode client: retries exhausted for %s", p)
+}
+
+func backoffWait(resp *http.Response, attempt int, maxB time.Duration) time.Duration {
+	if maxB <= 0 {
+		maxB = 2 * time.Second
+	}
+	wait := (10 * time.Millisecond) << attempt
+	if raw := resp.Header.Get("X-RateLimit-Reset"); raw != "" {
+		if unix, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			if until := time.Until(time.Unix(unix, 0)); until > wait {
+				wait = until
+			}
+		}
+	}
+	if wait > maxB {
+		wait = maxB
+	}
+	return wait
+}
+
+// Stats exposes cache effectiveness counters.
+func (c *Client) Stats() CacheStats { return c.cache.Stats() }
+
+// Resolver is the narrow interface the pipeline consumes: anything that maps
+// a point to a Location. Client implements it over HTTP; DirectResolver
+// implements it in-process.
+type Resolver interface {
+	Reverse(ctx context.Context, p geo.Point) (Location, error)
+}
+
+// DirectResolver resolves points straight through a gazetteer, with the same
+// caching as the HTTP client. Offline pipelines and benchmarks use it.
+type DirectResolver struct {
+	Gaz     GazetteerFunc
+	SlackKm float64
+	cache   *lruCache
+	quant   int
+}
+
+// GazetteerFunc adapts admin.Gazetteer.ResolvePoint without importing the
+// package here (avoids a dependency cycle when admin wants geocode types).
+type GazetteerFunc func(p geo.Point, slackKm float64) (Location, error)
+
+// NewDirectResolver builds an in-process resolver with an LRU of cacheSize.
+func NewDirectResolver(fn GazetteerFunc, slackKm float64, cacheSize int) *DirectResolver {
+	return &DirectResolver{Gaz: fn, SlackKm: slackKm, cache: newLRUCache(cacheSize), quant: 3}
+}
+
+// Reverse implements Resolver.
+func (d *DirectResolver) Reverse(_ context.Context, p geo.Point) (Location, error) {
+	q := quantizePoint(p, d.quant)
+	key := cacheKey(q)
+	if loc, ok := d.cache.Get(key); ok {
+		return loc, nil
+	}
+	loc, err := d.Gaz(q, d.SlackKm)
+	if err != nil {
+		return Location{}, fmt.Errorf("%w: %s", ErrNoMatch, p)
+	}
+	d.cache.Put(key, loc)
+	return loc, nil
+}
+
+// Stats exposes cache effectiveness counters.
+func (d *DirectResolver) Stats() CacheStats { return d.cache.Stats() }
+
+func quantizePoint(p geo.Point, decimals int) geo.Point {
+	c := Client{QuantizeDecimals: decimals}
+	return c.quantize(p)
+}
+
+// SetQuantizeDecimals adjusts the resolver's coordinate quantisation (cache
+// cell size): 3 ≈ 110 m (default), 2 ≈ 1.1 km — coarse enough for
+// county-level grouping and far more cache-effective.
+func (d *DirectResolver) SetQuantizeDecimals(n int) { d.quant = n }
+
+// BatchReverse resolves many points through the batch endpoint, splitting
+// into server-sized chunks and consulting/filling the cache per point. The
+// returned slice is parallel to pts; unresolvable points hold a zero
+// Location with ok=false in the parallel bool slice.
+func (c *Client) BatchReverse(ctx context.Context, pts []geo.Point) ([]Location, []bool, error) {
+	locs := make([]Location, len(pts))
+	oks := make([]bool, len(pts))
+	// Resolve cache hits first; collect the misses.
+	var missIdx []int
+	for i, p := range pts {
+		q := c.quantize(p)
+		if loc, ok := c.cache.Get(cacheKey(q)); ok {
+			locs[i], oks[i] = loc, true
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	const chunk = 100
+	for start := 0; start < len(missIdx); start += chunk {
+		end := start + chunk
+		if end > len(missIdx) {
+			end = len(missIdx)
+		}
+		idxs := missIdx[start:end]
+		var body strings.Builder
+		for j, i := range idxs {
+			if j > 0 {
+				body.WriteByte('\n')
+			}
+			q := c.quantize(pts[i])
+			fmt.Fprintf(&body, "%.6f,%.6f", q.Lat, q.Lon)
+		}
+		rs, err := c.postBatch(ctx, body.String())
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rs.Results) != len(idxs) {
+			return nil, nil, fmt.Errorf("geocode client: batch returned %d results for %d points", len(rs.Results), len(idxs))
+		}
+		for j, i := range idxs {
+			r := rs.Results[j]
+			if r.Quality == "none" || r.Location == (Location{}) {
+				continue
+			}
+			locs[i], oks[i] = r.Location, true
+			c.cache.Put(cacheKey(c.quantize(pts[i])), r.Location)
+		}
+	}
+	return locs, oks, nil
+}
+
+func (c *Client) postBatch(ctx context.Context, body string) (*ResultSet, error) {
+	retries := c.MaxRetries
+	if retries <= 0 {
+		retries = 6
+	}
+	for attempt := 0; attempt <= retries; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.BaseURL+"/v1/reverse_batch", strings.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("geocode client: batch: %w", err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if err := c.sleep(ctx, backoffWait(resp, attempt, c.MaxBackoff)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		rs, err := UnmarshalResultSet(raw)
+		if err != nil {
+			return nil, err
+		}
+		if rs.Error != CodeOK {
+			return nil, fmt.Errorf("geocode client: batch error %d: %s", rs.Error, rs.Message)
+		}
+		return rs, nil
+	}
+	return nil, fmt.Errorf("geocode client: batch retries exhausted")
+}

@@ -1,0 +1,189 @@
+package geocode
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"stir/internal/admin"
+	"stir/internal/geo"
+	"stir/internal/ratelimit"
+)
+
+// Server answers reverse-geocoding queries over HTTP:
+//
+//	GET /v1/reverse?lat=37.517&lon=126.866
+//
+// responding with a ResultSet XML document.
+type Server struct {
+	gaz     *admin.Gazetteer
+	limiter *ratelimit.Limiter
+	slackKm float64
+	mux     *http.ServeMux
+}
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// Limit is the fixed-window request budget (0 disables limiting).
+	Limit int
+	// Window is the limit window (default one hour, like metered geo APIs).
+	Window time.Duration
+	// SlackKm is how far outside every district extent a point may fall and
+	// still resolve to the nearest district (default 10 km; negative
+	// disables nearest-match fallback).
+	SlackKm float64
+}
+
+// NewServer builds a reverse-geocoding server over the gazetteer.
+func NewServer(gaz *admin.Gazetteer, opts ServerOptions) *Server {
+	if opts.Window <= 0 {
+		opts.Window = time.Hour
+	}
+	if opts.SlackKm == 0 {
+		opts.SlackKm = 10
+	}
+	s := &Server{
+		gaz:     gaz,
+		limiter: ratelimit.New(opts.Limit, opts.Window),
+		slackKm: opts.SlackKm,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/reverse", s.handleReverse)
+	s.mux.HandleFunc("/v1/reverse_batch", s.handleReverseBatch)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeXML(w http.ResponseWriter, status int, rs *ResultSet) {
+	b, err := rs.Marshal()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.WriteHeader(status)
+	w.Write(b)
+}
+
+func (s *Server) handleReverse(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.limiter.Allow()
+	if st.Limit > 0 {
+		w.Header().Set("X-RateLimit-Limit", strconv.Itoa(st.Limit))
+		w.Header().Set("X-RateLimit-Remaining", strconv.Itoa(st.Remaining))
+		w.Header().Set("X-RateLimit-Reset", strconv.FormatInt(st.ResetAt.Unix(), 10))
+	}
+	if !ok {
+		writeXML(w, http.StatusTooManyRequests, &ResultSet{Error: CodeThrottled, Message: "rate limit exceeded"})
+		return
+	}
+	lat, err1 := strconv.ParseFloat(r.URL.Query().Get("lat"), 64)
+	lon, err2 := strconv.ParseFloat(r.URL.Query().Get("lon"), 64)
+	if err1 != nil || err2 != nil {
+		writeXML(w, http.StatusBadRequest, &ResultSet{Error: CodeBadRequest, Message: "lat and lon are required decimal degrees"})
+		return
+	}
+	p, err := geo.NewPoint(lat, lon)
+	if err != nil {
+		writeXML(w, http.StatusBadRequest, &ResultSet{Error: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	// Exact containment first; optionally fall back to nearest-with-slack.
+	quality := "exact"
+	d, err := s.gaz.ResolvePoint(p, -1)
+	if err != nil && s.slackKm >= 0 {
+		quality = "nearest"
+		d, err = s.gaz.ResolvePoint(p, s.slackKm)
+	}
+	if err != nil {
+		writeXML(w, http.StatusNotFound, &ResultSet{Error: CodeNoMatch, Message: "no district near point"})
+		return
+	}
+	writeXML(w, http.StatusOK, &ResultSet{
+		Error: CodeOK,
+		Results: []Result{{
+			Quality: quality,
+			Location: Location{
+				Country: d.Country,
+				State:   d.State,
+				County:  d.County,
+			},
+		}},
+	})
+}
+
+// maxBatchPoints bounds one reverse_batch request, like real metered APIs.
+const maxBatchPoints = 100
+
+// handleReverseBatch resolves up to 100 newline-separated "lat,lon" pairs
+// from a POST body in one rate-limit token. The response ResultSet carries
+// one Result per input line, in order; unresolvable points yield a Result
+// with empty location and quality "none".
+func (s *Server) handleReverseBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeXML(w, http.StatusMethodNotAllowed, &ResultSet{Error: CodeBadRequest, Message: "POST required"})
+		return
+	}
+	st, ok := s.limiter.Allow()
+	if st.Limit > 0 {
+		w.Header().Set("X-RateLimit-Limit", strconv.Itoa(st.Limit))
+		w.Header().Set("X-RateLimit-Remaining", strconv.Itoa(st.Remaining))
+		w.Header().Set("X-RateLimit-Reset", strconv.FormatInt(st.ResetAt.Unix(), 10))
+	}
+	if !ok {
+		writeXML(w, http.StatusTooManyRequests, &ResultSet{Error: CodeThrottled, Message: "rate limit exceeded"})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeXML(w, http.StatusBadRequest, &ResultSet{Error: CodeBadRequest, Message: "unreadable body"})
+		return
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) == 1 && lines[0] == "" {
+		writeXML(w, http.StatusBadRequest, &ResultSet{Error: CodeBadRequest, Message: "empty batch"})
+		return
+	}
+	if len(lines) > maxBatchPoints {
+		writeXML(w, http.StatusBadRequest, &ResultSet{
+			Error:   CodeBadRequest,
+			Message: fmt.Sprintf("batch too large: %d > %d points", len(lines), maxBatchPoints),
+		})
+		return
+	}
+	rs := &ResultSet{Error: CodeOK}
+	for _, line := range lines {
+		parts := strings.SplitN(strings.TrimSpace(line), ",", 2)
+		if len(parts) != 2 {
+			writeXML(w, http.StatusBadRequest, &ResultSet{Error: CodeBadRequest, Message: "lines must be lat,lon"})
+			return
+		}
+		lat, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		lon, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		p, err3 := geo.NewPoint(lat, lon)
+		if err1 != nil || err2 != nil || err3 != nil {
+			writeXML(w, http.StatusBadRequest, &ResultSet{Error: CodeBadRequest, Message: "invalid coordinates in batch"})
+			return
+		}
+		res := Result{Quality: "none"}
+		d, err := s.gaz.ResolvePoint(p, -1)
+		if err == nil {
+			res.Quality = "exact"
+		} else if s.slackKm >= 0 {
+			if d, err = s.gaz.ResolvePoint(p, s.slackKm); err == nil {
+				res.Quality = "nearest"
+			}
+		}
+		if d != nil && res.Quality != "none" {
+			res.Location = Location{Country: d.Country, State: d.State, County: d.County}
+		}
+		rs.Results = append(rs.Results, res)
+	}
+	writeXML(w, http.StatusOK, rs)
+}

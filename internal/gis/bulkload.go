@@ -1,0 +1,195 @@
+package gis
+
+import (
+	"math"
+	"sort"
+
+	"stir/internal/geo"
+)
+
+// BulkLoadSTR builds an R-tree from items using Sort-Tile-Recursive packing
+// (Leutenegger et al. 1997). STR produces near-full, low-overlap nodes, so
+// query performance beats incremental insertion for static datasets like the
+// gazetteer. The returned tree still supports further Insert/Delete calls.
+func BulkLoadSTR(items []Item, minE, maxE int) *RTree {
+	t := NewRTreeWithFanout(minE, maxE)
+	if len(items) == 0 {
+		return t
+	}
+	leaves := strPackLeaves(items, t.maxEntries)
+	level := leaves
+	for len(level) > 1 {
+		level = strPackNodes(level, t.maxEntries)
+	}
+	t.root = level[0]
+	t.size = len(items)
+	return t
+}
+
+// strPackLeaves tiles items into leaf nodes.
+func strPackLeaves(items []Item, maxE int) []*rnode {
+	sorted := append([]Item(nil), items...)
+	// Sort by centre longitude, slice into vertical strips, then sort each
+	// strip by centre latitude and cut into nodes.
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Bounds.Center().Lon < sorted[j].Bounds.Center().Lon
+	})
+	n := len(sorted)
+	leafCount := int(math.Ceil(float64(n) / float64(maxE)))
+	stripCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	perStrip := int(math.Ceil(float64(n) / float64(stripCount)))
+	var leaves []*rnode
+	for s := 0; s < n; s += perStrip {
+		e := s + perStrip
+		if e > n {
+			e = n
+		}
+		strip := sorted[s:e]
+		sort.Slice(strip, func(i, j int) bool {
+			return strip[i].Bounds.Center().Lat < strip[j].Bounds.Center().Lat
+		})
+		for i := 0; i < len(strip); i += maxE {
+			j := i + maxE
+			if j > len(strip) {
+				j = len(strip)
+			}
+			leaf := &rnode{leaf: true, entries: append([]Item(nil), strip[i:j]...)}
+			leaf.bounds = nodeBounds(leaf)
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+// strPackNodes tiles child nodes into parent nodes, one level up.
+func strPackNodes(children []*rnode, maxE int) []*rnode {
+	sorted := append([]*rnode(nil), children...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].bounds.Center().Lon < sorted[j].bounds.Center().Lon
+	})
+	n := len(sorted)
+	nodeCount := int(math.Ceil(float64(n) / float64(maxE)))
+	stripCount := int(math.Ceil(math.Sqrt(float64(nodeCount))))
+	perStrip := int(math.Ceil(float64(n) / float64(stripCount)))
+	var parents []*rnode
+	for s := 0; s < n; s += perStrip {
+		e := s + perStrip
+		if e > n {
+			e = n
+		}
+		strip := sorted[s:e]
+		sort.Slice(strip, func(i, j int) bool {
+			return strip[i].bounds.Center().Lat < strip[j].bounds.Center().Lat
+		})
+		for i := 0; i < len(strip); i += maxE {
+			j := i + maxE
+			if j > len(strip) {
+				j = len(strip)
+			}
+			parent := &rnode{children: append([]*rnode(nil), strip[i:j]...)}
+			for _, c := range parent.children {
+				c.parent = parent
+			}
+			parent.bounds = nodeBounds(parent)
+			parents = append(parents, parent)
+		}
+	}
+	return parents
+}
+
+// Delete removes the first indexed item whose bounds equal bounds and whose
+// value satisfies match (nil matches anything). It reports whether an item
+// was removed. Underfull nodes after deletion are handled by re-inserting
+// their remaining entries, the classic condensation step.
+func (t *RTree) Delete(bounds geo.Rect, match func(value any) bool) bool {
+	leaf, idx := t.findEntry(t.root, bounds, match)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(leaf)
+	return true
+}
+
+// findEntry locates the leaf and entry index holding a matching item.
+func (t *RTree) findEntry(n *rnode, bounds geo.Rect, match func(any) bool) (*rnode, int) {
+	if t.size == 0 || !n.bounds.ContainsRect(bounds) && !n.bounds.Intersects(bounds) {
+		return nil, -1
+	}
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.Bounds == bounds && (match == nil || match(e.Value)) {
+				return n, i
+			}
+		}
+		return nil, -1
+	}
+	for _, c := range n.children {
+		if c.bounds.Intersects(bounds) {
+			if leaf, i := t.findEntry(c, bounds, match); leaf != nil {
+				return leaf, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// condense shrinks bounds up the path and dissolves underfull nodes by
+// re-inserting their contents.
+func (t *RTree) condense(n *rnode) {
+	var orphanItems []Item
+	var orphanNodes []*rnode
+	for n.parent != nil {
+		parent := n.parent
+		under := false
+		if n.leaf {
+			under = len(n.entries) < t.minEntries
+		} else {
+			under = len(n.children) < t.minEntries
+		}
+		if under {
+			for i, c := range parent.children {
+				if c == n {
+					parent.children = append(parent.children[:i], parent.children[i+1:]...)
+					break
+				}
+			}
+			if n.leaf {
+				orphanItems = append(orphanItems, n.entries...)
+			} else {
+				orphanNodes = append(orphanNodes, n.children...)
+			}
+		}
+		parent.bounds = nodeBounds(parent)
+		n = parent
+	}
+	// Root special cases: collapse a single-child internal root.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+		t.root.parent = nil
+	}
+	if !t.root.leaf && len(t.root.children) == 0 {
+		t.root = &rnode{leaf: true}
+	}
+	t.root.bounds = nodeBounds(t.root)
+	// Re-insert orphans. Items go through normal insertion; orphan subtrees
+	// contribute their leaf items (simplest correct condensation).
+	for _, sub := range orphanNodes {
+		collectItems(sub, &orphanItems)
+	}
+	t.size -= len(orphanItems)
+	for _, it := range orphanItems {
+		t.Insert(it)
+	}
+}
+
+func collectItems(n *rnode, out *[]Item) {
+	if n.leaf {
+		*out = append(*out, n.entries...)
+		return
+	}
+	for _, c := range n.children {
+		collectItems(c, out)
+	}
+}

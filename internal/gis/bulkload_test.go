@@ -1,0 +1,207 @@
+package gis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stir/internal/geo"
+)
+
+func TestBulkLoadMatchesLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(400)
+		items := make([]Item, n)
+		ln := NewLinear()
+		for i := range items {
+			items[i] = Item{Bounds: randRectIn(r, koreaExtent), Value: i}
+			ln.Insert(items[i])
+		}
+		rt := BulkLoadSTR(items, 4, 16)
+		if rt.Len() != n {
+			return false
+		}
+		if msg := rt.checkInvariants(); msg != "" {
+			t.Logf("invariant: %s", msg)
+			return false
+		}
+		for q := 0; q < 20; q++ {
+			p := randPointIn(r, koreaExtent)
+			if !sameSet(rt.SearchPoint(p), ln.SearchPoint(p)) {
+				return false
+			}
+		}
+		box := randRectIn(r, koreaExtent)
+		return sameSet(rt.SearchRect(box), ln.SearchRect(box))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	rt := BulkLoadSTR(nil, 4, 16)
+	if rt.Len() != 0 {
+		t.Fatalf("Len = %d", rt.Len())
+	}
+	if got := rt.SearchPoint(geo.Point{Lat: 37, Lon: 127}); got != nil {
+		t.Fatalf("empty search = %v", got)
+	}
+	// Still insertable afterwards.
+	rt.Insert(Item{Bounds: geo.RectAround(geo.Point{Lat: 37, Lon: 127}, 3), Value: "x"})
+	if rt.Len() != 1 {
+		t.Fatal("insert after empty bulk load failed")
+	}
+}
+
+func TestBulkLoadThenInsert(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	items := make([]Item, 200)
+	ln := NewLinear()
+	for i := range items {
+		items[i] = Item{Bounds: randRectIn(r, koreaExtent), Value: i}
+		ln.Insert(items[i])
+	}
+	rt := BulkLoadSTR(items, 4, 16)
+	for i := 200; i < 400; i++ {
+		it := Item{Bounds: randRectIn(r, koreaExtent), Value: i}
+		rt.Insert(it)
+		ln.Insert(it)
+	}
+	if msg := rt.checkInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	for q := 0; q < 50; q++ {
+		p := randPointIn(r, koreaExtent)
+		if !sameSet(rt.SearchPoint(p), ln.SearchPoint(p)) {
+			t.Fatal("bulk-loaded tree diverged after inserts")
+		}
+	}
+}
+
+func TestBulkLoadShallowerThanIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	items := make([]Item, 3000)
+	for i := range items {
+		items[i] = Item{Bounds: randRectIn(r, koreaExtent), Value: i}
+	}
+	incr := NewRTree()
+	for _, it := range items {
+		incr.Insert(it)
+	}
+	bulk := BulkLoadSTR(items, 4, 16)
+	if bulk.Depth() > incr.Depth() {
+		t.Fatalf("STR depth %d exceeds incremental depth %d", bulk.Depth(), incr.Depth())
+	}
+}
+
+func TestDeleteBasic(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	rt := NewRTree()
+	ln := NewLinear()
+	items := make([]Item, 300)
+	for i := range items {
+		items[i] = Item{Bounds: randRectIn(r, koreaExtent), Value: i}
+		rt.Insert(items[i])
+	}
+	// Delete every third item.
+	kept := 0
+	for i, it := range items {
+		if i%3 == 0 {
+			val := it.Value.(int)
+			if !rt.Delete(it.Bounds, func(v any) bool { return v.(int) == val }) {
+				t.Fatalf("item %d not found for deletion", i)
+			}
+		} else {
+			ln.Insert(it)
+			kept++
+		}
+	}
+	if rt.Len() != kept {
+		t.Fatalf("Len = %d, want %d", rt.Len(), kept)
+	}
+	if msg := rt.checkInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	for q := 0; q < 60; q++ {
+		p := randPointIn(r, koreaExtent)
+		if !sameSet(rt.SearchPoint(p), ln.SearchPoint(p)) {
+			t.Fatal("tree diverged from oracle after deletions")
+		}
+	}
+	// Deleting a missing item reports false.
+	if rt.Delete(geo.RectAround(geo.Point{Lat: 34, Lon: 125}, 0.01), nil) {
+		t.Fatal("phantom delete succeeded")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	rt := NewRTree()
+	items := make([]Item, 120)
+	for i := range items {
+		items[i] = Item{Bounds: randRectIn(r, koreaExtent), Value: i}
+		rt.Insert(items[i])
+	}
+	for i, it := range items {
+		val := it.Value.(int)
+		if !rt.Delete(it.Bounds, func(v any) bool { return v.(int) == val }) {
+			t.Fatalf("delete %d failed", i)
+		}
+		if msg := rt.checkInvariants(); msg != "" {
+			t.Fatalf("after deleting %d: %s", i, msg)
+		}
+	}
+	if rt.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", rt.Len())
+	}
+	// Tree remains usable.
+	rt.Insert(Item{Bounds: geo.RectAround(geo.Point{Lat: 37, Lon: 127}, 2), Value: "again"})
+	if got := rt.SearchPoint(geo.Point{Lat: 37, Lon: 127}); len(got) != 1 {
+		t.Fatalf("reuse after drain failed: %v", got)
+	}
+}
+
+func TestDeleteMatchesLinearProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rt := NewRTree()
+		var live []Item
+		for op := 0; op < 300; op++ {
+			if len(live) == 0 || r.Float64() < 0.6 {
+				it := Item{Bounds: randRectIn(r, koreaExtent), Value: op}
+				rt.Insert(it)
+				live = append(live, it)
+			} else {
+				i := r.Intn(len(live))
+				it := live[i]
+				val := it.Value.(int)
+				if !rt.Delete(it.Bounds, func(v any) bool { return v.(int) == val }) {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		if rt.Len() != len(live) {
+			return false
+		}
+		if rt.checkInvariants() != "" {
+			return false
+		}
+		ln := NewLinear()
+		for _, it := range live {
+			ln.Insert(it)
+		}
+		for q := 0; q < 15; q++ {
+			p := randPointIn(r, koreaExtent)
+			if !sameSet(rt.SearchPoint(p), ln.SearchPoint(p)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+package gis
+
+import (
+	"math"
+
+	"stir/internal/geo"
+)
+
+// Grid is a uniform grid index over a fixed extent. Items are registered in
+// every cell their bounds touch. It is the ablation alternative to the R-tree
+// for point→district lookups over a country-scale extent.
+type Grid struct {
+	extent     geo.Rect
+	rows, cols int
+	cellLat    float64
+	cellLon    float64
+	cells      [][]int // cell -> item indices
+	items      []Item
+}
+
+// NewGrid builds a grid over extent with the given resolution. Rows/cols are
+// clamped to at least 1.
+func NewGrid(extent geo.Rect, rows, cols int) *Grid {
+	if rows < 1 {
+		rows = 1
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	g := &Grid{
+		extent: extent,
+		rows:   rows,
+		cols:   cols,
+		cells:  make([][]int, rows*cols),
+	}
+	g.cellLat = (extent.MaxLat - extent.MinLat) / float64(rows)
+	g.cellLon = (extent.MaxLon - extent.MinLon) / float64(cols)
+	if g.cellLat <= 0 {
+		g.cellLat = 1e-9
+	}
+	if g.cellLon <= 0 {
+		g.cellLon = 1e-9
+	}
+	return g
+}
+
+// Len implements Index.
+func (g *Grid) Len() int { return len(g.items) }
+
+func (g *Grid) rowOf(lat float64) int {
+	r := int(math.Floor((lat - g.extent.MinLat) / g.cellLat))
+	if r < 0 {
+		r = 0
+	}
+	if r >= g.rows {
+		r = g.rows - 1
+	}
+	return r
+}
+
+func (g *Grid) colOf(lon float64) int {
+	c := int(math.Floor((lon - g.extent.MinLon) / g.cellLon))
+	if c < 0 {
+		c = 0
+	}
+	if c >= g.cols {
+		c = g.cols - 1
+	}
+	return c
+}
+
+// Insert implements Index. Items outside the extent are clamped into the
+// boundary cells so they remain findable.
+func (g *Grid) Insert(item Item) {
+	idx := len(g.items)
+	g.items = append(g.items, item)
+	r0, r1 := g.rowOf(item.Bounds.MinLat), g.rowOf(item.Bounds.MaxLat)
+	c0, c1 := g.colOf(item.Bounds.MinLon), g.colOf(item.Bounds.MaxLon)
+	for r := r0; r <= r1; r++ {
+		for c := c0; c <= c1; c++ {
+			cell := r*g.cols + c
+			g.cells[cell] = append(g.cells[cell], idx)
+		}
+	}
+}
+
+// SearchPoint implements Index.
+func (g *Grid) SearchPoint(p geo.Point) []Item {
+	cell := g.rowOf(p.Lat)*g.cols + g.colOf(p.Lon)
+	var out []Item
+	for _, idx := range g.cells[cell] {
+		if g.items[idx].Bounds.Contains(p) {
+			out = append(out, g.items[idx])
+		}
+	}
+	return out
+}
+
+// SearchRect implements Index.
+func (g *Grid) SearchRect(r geo.Rect) []Item {
+	r0, r1 := g.rowOf(r.MinLat), g.rowOf(r.MaxLat)
+	c0, c1 := g.colOf(r.MinLon), g.colOf(r.MaxLon)
+	seen := make(map[int]struct{})
+	var out []Item
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			for _, idx := range g.cells[row*g.cols+col] {
+				if _, dup := seen[idx]; dup {
+					continue
+				}
+				seen[idx] = struct{}{}
+				if g.items[idx].Bounds.Intersects(r) {
+					out = append(out, g.items[idx])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Nearest implements Index by expanding ring search over cells. Rings keep
+// expanding until every unvisited cell is provably farther than the current
+// k-th best candidate, so the result matches a full scan.
+func (g *Grid) Nearest(p geo.Point, k int) []Item {
+	if k <= 0 || len(g.items) == 0 {
+		return nil
+	}
+	pr, pc := g.rowOf(p.Lat), g.colOf(p.Lon)
+	maxRing := g.rows
+	if g.cols > maxRing {
+		maxRing = g.cols
+	}
+	minCell := math.Min(g.cellLat, g.cellLon)
+	seen := make(map[int]struct{})
+	var cands []Item
+	for ring := 0; ring <= maxRing; ring++ {
+		g.collectRing(pr, pc, ring, seen, &cands)
+		if len(cands) < k {
+			continue
+		}
+		// Any item first reachable at ring+1 lies at least ring*minCell
+		// degrees away on some axis; stop once that exceeds the current
+		// k-th best distance.
+		kth := kthDistSq(cands, p, k)
+		reach := float64(ring) * minCell
+		if reach*reach > kth {
+			break
+		}
+	}
+	return selectNearest(cands, p, k)
+}
+
+// kthDistSq returns the k-th smallest squared bound distance among cands.
+func kthDistSq(cands []Item, p geo.Point, k int) float64 {
+	best := selectNearest(cands, p, k)
+	return best[len(best)-1].Bounds.DistanceSqDeg(p)
+}
+
+// collectRing appends items registered in cells at Chebyshev distance ring
+// from (pr,pc), returning how many new items were added.
+func (g *Grid) collectRing(pr, pc, ring int, seen map[int]struct{}, cands *[]Item) int {
+	added := 0
+	for r := pr - ring; r <= pr+ring; r++ {
+		if r < 0 || r >= g.rows {
+			continue
+		}
+		for c := pc - ring; c <= pc+ring; c++ {
+			if c < 0 || c >= g.cols {
+				continue
+			}
+			// Only the ring boundary; interior was already visited.
+			if ring > 0 && r != pr-ring && r != pr+ring && c != pc-ring && c != pc+ring {
+				continue
+			}
+			for _, idx := range g.cells[r*g.cols+c] {
+				if _, dup := seen[idx]; dup {
+					continue
+				}
+				seen[idx] = struct{}{}
+				*cands = append(*cands, g.items[idx])
+				added++
+			}
+		}
+	}
+	return added
+}

@@ -1,0 +1,101 @@
+// Package gis provides in-memory spatial indexes over rectangles: an R-tree
+// with quadratic splits and a uniform grid. STIR uses them to answer
+// point-to-district queries inside the reverse geocoder.
+package gis
+
+import "stir/internal/geo"
+
+// Item is an indexed entry: a bounding rectangle plus an opaque value
+// (typically a district identifier).
+type Item struct {
+	Bounds geo.Rect
+	Value  any
+}
+
+// Index is the query contract shared by the R-tree and the grid index.
+type Index interface {
+	// Insert adds an item.
+	Insert(item Item)
+	// SearchPoint returns all items whose bounds contain p.
+	SearchPoint(p geo.Point) []Item
+	// SearchRect returns all items whose bounds intersect r.
+	SearchRect(r geo.Rect) []Item
+	// Nearest returns up to k items ordered by degree-space distance of
+	// their bounds from p.
+	Nearest(p geo.Point, k int) []Item
+	// Len reports the number of indexed items.
+	Len() int
+}
+
+// Linear is a brute-force index used as the correctness oracle in tests and
+// as the ablation baseline in benchmarks.
+type Linear struct {
+	items []Item
+}
+
+// NewLinear returns an empty linear index.
+func NewLinear() *Linear { return &Linear{} }
+
+// Insert implements Index.
+func (l *Linear) Insert(item Item) { l.items = append(l.items, item) }
+
+// Len implements Index.
+func (l *Linear) Len() int { return len(l.items) }
+
+// SearchPoint implements Index.
+func (l *Linear) SearchPoint(p geo.Point) []Item {
+	var out []Item
+	for _, it := range l.items {
+		if it.Bounds.Contains(p) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// SearchRect implements Index.
+func (l *Linear) SearchRect(r geo.Rect) []Item {
+	var out []Item
+	for _, it := range l.items {
+		if it.Bounds.Intersects(r) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Nearest implements Index.
+func (l *Linear) Nearest(p geo.Point, k int) []Item {
+	return selectNearest(l.items, p, k)
+}
+
+// selectNearest returns up to k items by ascending bound distance using a
+// partial selection sort; k is small in practice.
+func selectNearest(items []Item, p geo.Point, k int) []Item {
+	if k <= 0 || len(items) == 0 {
+		return nil
+	}
+	type cand struct {
+		it Item
+		d  float64
+	}
+	cands := make([]cand, len(items))
+	for i, it := range items {
+		cands[i] = cand{it, it.Bounds.DistanceSqDeg(p)}
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]Item, 0, k)
+	for n := 0; n < k; n++ {
+		best := n
+		for i := n + 1; i < len(cands); i++ {
+			if cands[i].d < cands[best].d {
+				best = i
+			}
+		}
+		cands[n], cands[best] = cands[best], cands[n]
+		out = append(out, cands[n].it)
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+// Package ratelimit provides the fixed-window request budget used by the
+// simulated Twitter API and the reverse-geocoding service: N requests per
+// window, with the window reset time reported so clients can sleep until it.
+package ratelimit
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a fixed-window rate limiter.
+type Limiter struct {
+	mu       sync.Mutex
+	limit    int
+	window   time.Duration
+	used     int
+	resetAt  time.Time
+	now      func() time.Time
+	disabled bool
+}
+
+// New allows limit requests per window. A non-positive limit disables
+// limiting (used by tests and offline pipelines).
+func New(limit int, window time.Duration) *Limiter {
+	return &Limiter{
+		limit:    limit,
+		window:   window,
+		now:      time.Now,
+		disabled: limit <= 0,
+	}
+}
+
+// SetClock overrides the limiter's time source; tests use this to avoid
+// sleeping through real windows.
+func (r *Limiter) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.now = now
+}
+
+// Status describes the current window.
+type Status struct {
+	Limit     int
+	Remaining int
+	ResetAt   time.Time
+}
+
+// Allow consumes one request if the budget permits, returning the resulting
+// status and whether the request may proceed.
+func (r *Limiter) Allow() (Status, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.disabled {
+		return Status{Limit: 0, Remaining: 1 << 30}, true
+	}
+	now := r.now()
+	if now.After(r.resetAt) {
+		r.used = 0
+		r.resetAt = now.Add(r.window)
+	}
+	st := Status{Limit: r.limit, ResetAt: r.resetAt}
+	if r.used >= r.limit {
+		st.Remaining = 0
+		return st, false
+	}
+	r.used++
+	st.Remaining = r.limit - r.used
+	return st, true
+}

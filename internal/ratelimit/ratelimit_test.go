@@ -1,0 +1,84 @@
+package ratelimit
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2011, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func TestFixedWindow(t *testing.T) {
+	rl := New(2, time.Minute)
+	now := t0
+	rl.SetClock(func() time.Time { return now })
+	if _, ok := rl.Allow(); !ok {
+		t.Fatal("first request denied")
+	}
+	st, ok := rl.Allow()
+	if !ok || st.Remaining != 0 {
+		t.Fatalf("second request: ok=%v st=%+v", ok, st)
+	}
+	if st.Limit != 2 {
+		t.Fatalf("Limit = %d", st.Limit)
+	}
+	if _, ok := rl.Allow(); ok {
+		t.Fatal("third request should be limited")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := rl.Allow(); !ok {
+		t.Fatal("window reset should admit requests")
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	free := New(0, time.Minute)
+	for i := 0; i < 1000; i++ {
+		if _, ok := free.Allow(); !ok {
+			t.Fatal("disabled limiter denied a request")
+		}
+	}
+	neg := New(-5, time.Minute)
+	if _, ok := neg.Allow(); !ok {
+		t.Fatal("negative-limit limiter should be disabled")
+	}
+}
+
+func TestResetAtAdvertised(t *testing.T) {
+	rl := New(1, 10*time.Minute)
+	now := t0
+	rl.SetClock(func() time.Time { return now })
+	st, _ := rl.Allow()
+	if !st.ResetAt.Equal(t0.Add(10 * time.Minute)) {
+		t.Fatalf("ResetAt = %v", st.ResetAt)
+	}
+	// Denied requests report the same reset.
+	st2, ok := rl.Allow()
+	if ok || !st2.ResetAt.Equal(st.ResetAt) {
+		t.Fatalf("denied status = %+v ok=%v", st2, ok)
+	}
+}
+
+func TestConcurrentBudget(t *testing.T) {
+	rl := New(100, time.Hour)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	allowed := 0
+	for g := 0; g < 20; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, ok := rl.Allow(); ok {
+					mu.Lock()
+					allowed++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if allowed != 100 {
+		t.Fatalf("allowed = %d, want exactly 100", allowed)
+	}
+}

@@ -1,0 +1,176 @@
+// Package report renders the experiment outputs: aligned ASCII tables,
+// horizontal bar charts for the paper's figures, CSV for downstream tooling,
+// and paper-vs-measured comparison rows for EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; extra cells are dropped, missing cells padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if n := len([]rune(c)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(c))))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with minimal quoting.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// BarChart renders labelled horizontal bars scaled to maxWidth characters —
+// the terminal rendition of the paper's figures.
+type BarChart struct {
+	labels []string
+	values []float64
+	// Format renders the numeric annotation (default "%.2f").
+	Format string
+	// MaxWidth is the widest bar in characters (default 40).
+	MaxWidth int
+}
+
+// NewBarChart creates an empty chart.
+func NewBarChart() *BarChart {
+	return &BarChart{Format: "%.2f", MaxWidth: 40}
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, value)
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	if len(c.values) == 0 {
+		return "(no data)\n"
+	}
+	maxVal := c.values[0]
+	labelW := 0
+	for i, v := range c.values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if n := len([]rune(c.labels[i])); n > labelW {
+			labelW = n
+		}
+	}
+	width := c.MaxWidth
+	if width <= 0 {
+		width = 40
+	}
+	format := c.Format
+	if format == "" {
+		format = "%.2f"
+	}
+	var b strings.Builder
+	for i, v := range c.values {
+		bar := 0
+		if maxVal > 0 {
+			bar = int(v / maxVal * float64(width))
+		}
+		if v > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s %s\n",
+			labelW, c.labels[i], strings.Repeat("#", bar), fmt.Sprintf(format, v))
+	}
+	return b.String()
+}
+
+// Comparison is one paper-vs-measured row of EXPERIMENTS.md.
+type Comparison struct {
+	Metric   string
+	Paper    string
+	Measured string
+	// Holds records whether the qualitative shape agrees.
+	Holds bool
+}
+
+// ComparisonTable renders comparison rows as a Markdown table.
+func ComparisonTable(rows []Comparison) string {
+	var b strings.Builder
+	b.WriteString("| Metric | Paper | Measured | Shape holds |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, r := range rows {
+		mark := "yes"
+		if !r.Holds {
+			mark = "NO"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", r.Metric, r.Paper, r.Measured, mark)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

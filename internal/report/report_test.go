@@ -1,0 +1,98 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Group", "Users", "Share")
+	tb.AddRow("Top-1", "651", "46.5%")
+	tb.AddRow("None", "407", "29.1%")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Group") || !strings.Contains(lines[1], "---") {
+		t.Fatalf("header malformed:\n%s", out)
+	}
+	// Columns align: "Users" column starts at the same offset everywhere.
+	idx0 := strings.Index(lines[0], "Users")
+	idx2 := strings.Index(lines[2], "651")
+	if idx0 != idx2 {
+		t.Fatalf("columns misaligned (%d vs %d):\n%s", idx0, idx2, out)
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("A", "B")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "dropped")
+	out := tb.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatalf("extra cell not dropped:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("plain", "1")
+	tb.AddRow("with,comma", "2")
+	tb.AddRow(`with"quote`, "3")
+	csv := tb.CSV()
+	want := "name,value\nplain,1\n\"with,comma\",2\n\"with\"\"quote\",3\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart()
+	c.Add("Top-1", 46.5)
+	c.Add("None", 29.1)
+	c.Add("Top-5", 0.9)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Largest value gets the longest bar.
+	bars := make([]int, 3)
+	for i, l := range lines {
+		bars[i] = strings.Count(l, "#")
+	}
+	if !(bars[0] > bars[1] && bars[1] > bars[2]) {
+		t.Fatalf("bar lengths not ordered: %v\n%s", bars, out)
+	}
+	// Tiny nonzero value still gets one mark.
+	if bars[2] < 1 {
+		t.Fatal("nonzero value rendered without a bar")
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	if got := NewBarChart().String(); !strings.Contains(got, "no data") {
+		t.Fatalf("empty chart = %q", got)
+	}
+}
+
+func TestComparisonTable(t *testing.T) {
+	rows := []Comparison{
+		{Metric: "Top-1 share", Paper: "~46%", Measured: "44.9%", Holds: true},
+		{Metric: "None share", Paper: "~29%", Measured: "12%", Holds: false},
+	}
+	out := ComparisonTable(rows)
+	if !strings.Contains(out, "| Top-1 share | ~46% | 44.9% | yes |") {
+		t.Fatalf("markdown row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| NO |") {
+		t.Fatalf("failed shape not flagged:\n%s", out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.465); got != "46.5%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Chi-squared goodness of fit: does an observed group histogram match an
+// expected distribution? The experiment suite uses it to verify the Top-k
+// distribution is stable across generator seeds.
+
+// ErrBadExpected reports unusable expected shares.
+var ErrBadExpected = errors.New("stats: expected shares must be positive and sum to ~1")
+
+// ChiSquareGoF returns the chi-squared statistic and p-value for observed
+// counts against expected shares. Bins with expected share zero must have
+// zero observations (otherwise the fit is impossible and p=0 is returned).
+// Degrees of freedom are len(observed)-1.
+func ChiSquareGoF(observed []int, expectedShares []float64) (stat, p float64, err error) {
+	if len(observed) == 0 || len(observed) != len(expectedShares) {
+		return 0, 0, ErrLengthMismatch
+	}
+	total := 0
+	for _, o := range observed {
+		if o < 0 {
+			return 0, 0, errors.New("stats: negative observation")
+		}
+		total += o
+	}
+	if total == 0 {
+		return 0, 0, ErrEmpty
+	}
+	var shareSum float64
+	for _, e := range expectedShares {
+		if e < 0 {
+			return 0, 0, ErrBadExpected
+		}
+		shareSum += e
+	}
+	if shareSum < 0.999 || shareSum > 1.001 {
+		return 0, 0, ErrBadExpected
+	}
+	df := -1
+	for i, o := range observed {
+		exp := expectedShares[i] * float64(total)
+		if exp == 0 {
+			if o != 0 {
+				return math.Inf(1), 0, nil
+			}
+			continue // empty bin contributes nothing, not even df
+		}
+		df++
+		d := float64(o) - exp
+		stat += d * d / exp
+	}
+	if df <= 0 {
+		return stat, 1, nil
+	}
+	p = 1 - chiSquareCDF(stat, float64(df))
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return stat, p, nil
+}
+
+// chiSquareCDF is P(X ≤ x) for X ~ χ²(k): the regularised lower incomplete
+// gamma P(k/2, x/2).
+func chiSquareCDF(x, k float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regIncGammaLower(k/2, x/2)
+}
+
+// regIncGammaLower computes P(a,x) using the series for x < a+1 and the
+// continued fraction for the complement otherwise (Numerical Recipes 6.2).
+func regIncGammaLower(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-14 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-14 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

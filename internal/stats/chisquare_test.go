@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// Reference values from standard χ² tables.
+	cases := []struct {
+		x, k, want float64
+	}{
+		{3.841, 1, 0.95},
+		{5.991, 2, 0.95},
+		{7.815, 3, 0.95},
+		{0.0, 4, 0.0},
+		{18.307, 10, 0.95},
+		{2.706, 1, 0.90},
+	}
+	for _, tc := range cases {
+		got := chiSquareCDF(tc.x, tc.k)
+		if math.Abs(got-tc.want) > 0.001 {
+			t.Errorf("chiSquareCDF(%v, %v) = %.4f, want %.4f", tc.x, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestChiSquareGoFPerfectFit(t *testing.T) {
+	observed := []int{50, 30, 20}
+	expected := []float64{0.5, 0.3, 0.2}
+	stat, p, err := ChiSquareGoF(observed, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 || p < 0.999 {
+		t.Fatalf("perfect fit: stat=%v p=%v", stat, p)
+	}
+}
+
+func TestChiSquareGoFBadFit(t *testing.T) {
+	// Heavily skewed observations against a uniform expectation.
+	observed := []int{100, 0, 0, 0}
+	expected := []float64{0.25, 0.25, 0.25, 0.25}
+	stat, p, err := ChiSquareGoF(observed, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat < 100 || p > 1e-6 {
+		t.Fatalf("bad fit not detected: stat=%v p=%v", stat, p)
+	}
+}
+
+func TestChiSquareGoFSampledFromExpected(t *testing.T) {
+	// Draw a large multinomial sample from the expected distribution; the
+	// p-value should usually be comfortably above 0.01.
+	expected := []float64{0.46, 0.13, 0.04, 0.02, 0.01, 0.01, 0.33}
+	rng := rand.New(rand.NewSource(5))
+	rejected := 0
+	for trial := 0; trial < 50; trial++ {
+		observed := make([]int, len(expected))
+		for i := 0; i < 2000; i++ {
+			r := rng.Float64()
+			acc := 0.0
+			for j, e := range expected {
+				acc += e
+				if r < acc {
+					observed[j]++
+					break
+				}
+			}
+		}
+		_, p, err := ChiSquareGoF(observed, expected)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0.01 {
+			rejected++
+		}
+	}
+	if rejected > 4 {
+		t.Fatalf("rejected %d/50 true-null samples at α=0.01", rejected)
+	}
+}
+
+func TestChiSquareGoFValidation(t *testing.T) {
+	if _, _, err := ChiSquareGoF(nil, nil); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("empty err = %v", err)
+	}
+	if _, _, err := ChiSquareGoF([]int{1}, []float64{0.5, 0.5}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("mismatch err = %v", err)
+	}
+	if _, _, err := ChiSquareGoF([]int{0, 0}, []float64{0.5, 0.5}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("zero-total err = %v", err)
+	}
+	if _, _, err := ChiSquareGoF([]int{-1, 2}, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("negative observation accepted")
+	}
+	if _, _, err := ChiSquareGoF([]int{1, 1}, []float64{0.9, 0.9}); !errors.Is(err, ErrBadExpected) {
+		t.Fatalf("non-normalised shares err = %v", err)
+	}
+	// Zero expected share with observations → impossible fit.
+	stat, p, err := ChiSquareGoF([]int{5, 5}, []float64{0, 1})
+	if err != nil || !math.IsInf(stat, 1) || p != 0 {
+		t.Fatalf("impossible fit: stat=%v p=%v err=%v", stat, p, err)
+	}
+	// Zero expected share with zero observations is fine.
+	if _, _, err := ChiSquareGoF([]int{0, 10}, []float64{0, 1}); err != nil {
+		t.Fatalf("empty zero-bin rejected: %v", err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package stats provides the descriptive statistics the analysis and the
+// experiment harness report: moments, quantiles, histograms, rank and linear
+// correlation, and bootstrap confidence intervals.
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrEmpty reports a statistic of an empty sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// ErrLengthMismatch reports paired samples of different lengths.
+var ErrLengthMismatch = errors.New("stats: sample length mismatch")
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased sample variance.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1), nil
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of [0,1]")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// Pearson returns the linear correlation of paired samples.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrLengthMismatch
+	}
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Spearman returns the rank correlation of paired samples (average ranks for
+// ties).
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrLengthMismatch
+	}
+	rx := ranks(xs)
+	ry := ranks(ys)
+	return Pearson(rx, ry)
+}
+
+// ranks assigns 1-based average ranks.
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	i := 0
+	for i < len(idx) {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Histogram counts samples into uniform bins over [min,max]; samples outside
+// clamp into the end bins.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	N        int
+}
+
+// NewHistogram builds a histogram with the given bin count.
+func NewHistogram(min, max float64, bins int) (*Histogram, error) {
+	if bins <= 0 || max <= min {
+		return nil, errors.New("stats: bad histogram shape")
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	bins := len(h.Counts)
+	i := int(float64(bins) * (x - h.Min) / (h.Max - h.Min))
+	if i < 0 {
+		i = 0
+	}
+	if i >= bins {
+		i = bins - 1
+	}
+	h.Counts[i]++
+	h.N++
+}
+
+// Share returns the fraction of samples in bin i.
+func (h *Histogram) Share(i int) float64 {
+	if h.N == 0 || i < 0 || i >= len(h.Counts) {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.N)
+}
+
+// BootstrapCI estimates a (1-alpha) confidence interval for statistic f by
+// resampling xs with replacement rounds times, deterministically from seed.
+func BootstrapCI(xs []float64, f func([]float64) float64, rounds int, alpha float64, seed int64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	if rounds <= 0 {
+		rounds = 1000
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, 0, errors.New("stats: alpha out of (0,1)")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, rounds)
+	buf := make([]float64, len(xs))
+	for r := 0; r < rounds; r++ {
+		for i := range buf {
+			buf[i] = xs[rng.Intn(len(xs))]
+		}
+		vals[r] = f(buf)
+	}
+	lo, err = Quantile(vals, alpha/2)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = Quantile(vals, 1-alpha/2)
+	return lo, hi, err
+}

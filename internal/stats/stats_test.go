@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil || !almost(m, 5) {
+		t.Fatalf("Mean = %v, %v", m, err)
+	}
+	v, err := Variance(xs)
+	if err != nil || !almost(v, 32.0/7) {
+		t.Fatalf("Variance = %v, %v", v, err)
+	}
+	sd, err := StdDev(xs)
+	if err != nil || !almost(sd, math.Sqrt(32.0/7)) {
+		t.Fatalf("StdDev = %v, %v", sd, err)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Fatal("empty mean accepted")
+	}
+	if _, err := Variance([]float64{1}); err == nil {
+		t.Fatal("single-sample variance accepted")
+	}
+}
+
+func TestQuantileAndMedian(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	med, err := Median(xs)
+	if err != nil || !almost(med, 2) {
+		t.Fatalf("Median = %v, %v", med, err)
+	}
+	q0, _ := Quantile(xs, 0)
+	q1, _ := Quantile(xs, 1)
+	if !almost(q0, 1) || !almost(q1, 3) {
+		t.Fatalf("extremes = %v, %v", q0, q1)
+	}
+	q25, _ := Quantile([]float64{1, 2, 3, 4}, 0.25)
+	if !almost(q25, 1.75) {
+		t.Fatalf("q25 = %v", q25)
+	}
+	one, _ := Quantile([]float64{42}, 0.7)
+	if !almost(one, 42) {
+		t.Fatalf("single-sample quantile = %v", one)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("bad q accepted")
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Fatal("empty quantile accepted")
+	}
+	// Quantile must not mutate its input.
+	in := []float64{3, 1, 2}
+	Quantile(in, 0.5)
+	if in[0] != 3 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestPearsonKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almost(r, 1) {
+		t.Fatalf("perfect correlation = %v, %v", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if !almost(r, -1) {
+		t.Fatalf("perfect anti-correlation = %v", r)
+	}
+	if _, err := Pearson(xs, ys[:3]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Fatal("zero variance accepted")
+	}
+}
+
+func TestSpearmanMonotonic(t *testing.T) {
+	// Any monotone transform has rank correlation 1.
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Exp(x)
+	}
+	r, err := Spearman(xs, ys)
+	if err != nil || !almost(r, 1) {
+		t.Fatalf("Spearman = %v, %v", r, err)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{10, 20, 20, 30}
+	r, err := Spearman(xs, ys)
+	if err != nil || !almost(r, 1) {
+		t.Fatalf("tied Spearman = %v, %v", r, err)
+	}
+}
+
+func TestPearsonBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r, err := Pearson(xs, ys)
+		if err != nil {
+			return true // degenerate draw
+		}
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, 10, 15, -3} {
+		h.Add(x)
+	}
+	if h.N != 8 {
+		t.Fatalf("N = %d", h.N)
+	}
+	// Bins: [0,2)(incl clamped -3): 0,1.9,-3 → 3; [2,4): 2 → 1; [4,6): 5 → 1;
+	// [8,10](incl clamped 10,15): 9.99,10,15 → 3.
+	want := []int{3, 1, 1, 0, 3}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bin %d = %d, want %d (all: %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if !almost(h.Share(0), 3.0/8) {
+		t.Fatalf("Share(0) = %v", h.Share(0))
+	}
+	if h.Share(-1) != 0 || h.Share(99) != 0 {
+		t.Fatal("out-of-range share should be 0")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Fatal("degenerate range accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	mean := func(s []float64) float64 { m, _ := Mean(s); return m }
+	lo, hi, err := BootstrapCI(xs, mean, 500, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatalf("CI inverted: [%v,%v]", lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Fatalf("CI [%v,%v] misses true mean 10", lo, hi)
+	}
+	if hi-lo > 0.5 {
+		t.Fatalf("CI [%v,%v] too wide for n=500", lo, hi)
+	}
+	// Determinism.
+	lo2, hi2, _ := BootstrapCI(xs, mean, 500, 0.05, 7)
+	if lo != lo2 || hi != hi2 {
+		t.Fatal("bootstrap not deterministic for fixed seed")
+	}
+	if _, _, err := BootstrapCI(nil, mean, 10, 0.05, 1); err == nil {
+		t.Fatal("empty bootstrap accepted")
+	}
+	if _, _, err := BootstrapCI(xs, mean, 10, 1.5, 1); err == nil {
+		t.Fatal("bad alpha accepted")
+	}
+}

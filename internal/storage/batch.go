@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Write batches: several puts/deletes committed as a single log record, so a
+// crash either applies the whole batch or none of it. The crawler uses this
+// to commit a user's profile, tweets and checkpoint together — without it,
+// a crash between the tweet writes and the checkpoint write would re-crawl
+// (or worse, skip) a user.
+
+const flagBatch = 2
+
+// Batch accumulates operations; Commit writes them atomically.
+type Batch struct {
+	store *Store
+	ops   []batchOp
+}
+
+type batchOp struct {
+	key  string
+	val  []byte
+	tomb bool
+}
+
+// NewBatch starts an empty batch.
+func (s *Store) NewBatch() *Batch { return &Batch{store: s} }
+
+// Put queues a write.
+func (b *Batch) Put(key string, val []byte) *Batch {
+	b.ops = append(b.ops, batchOp{key: key, val: val})
+	return b
+}
+
+// Delete queues a deletion.
+func (b *Batch) Delete(key string) *Batch {
+	b.ops = append(b.ops, batchOp{key: key, tomb: true})
+	return b
+}
+
+// Len returns the number of queued operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Commit writes the batch as one record and applies it to the index. An
+// empty batch is a no-op. The batch can be reused after Commit.
+func (b *Batch) Commit() error {
+	if len(b.ops) == 0 {
+		return nil
+	}
+	for _, op := range b.ops {
+		if op.key == "" {
+			return ErrEmptyKey
+		}
+	}
+	payload := encodeBatchPayload(b.ops)
+	// The batch record's own key is empty; sub-records carry the real keys.
+	rec := encodeRecordFlags(nil, payload, flagBatch)
+
+	s := b.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	pos, err := s.appendLocked(rec)
+	if err != nil {
+		return err
+	}
+	for i, op := range b.ops {
+		if op.tomb {
+			if _, had := s.index[op.key]; had {
+				s.dead += 2
+				delete(s.index, op.key)
+			} else {
+				s.dead++
+			}
+			continue
+		}
+		if _, had := s.index[op.key]; had {
+			s.dead++
+		}
+		s.index[op.key] = recordPos{seg: pos.seg, off: pos.off, size: pos.size, sub: i}
+		s.puts++
+	}
+	b.ops = b.ops[:0]
+	return nil
+}
+
+// encodeBatchPayload serialises ops: count, then per op
+// flags(1) keyLen(uvarint) valLen(uvarint) key val.
+func encodeBatchPayload(ops []batchOp) []byte {
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(ops)))
+	buf = append(buf, tmp[:n]...)
+	for _, op := range ops {
+		flags := byte(0)
+		if op.tomb {
+			flags = flagTombstone
+		}
+		buf = append(buf, flags)
+		n = binary.PutUvarint(tmp[:], uint64(len(op.key)))
+		buf = append(buf, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(len(op.val)))
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, op.key...)
+		buf = append(buf, op.val...)
+	}
+	return buf
+}
+
+// decodedOp is one operation recovered from a batch payload.
+type decodedOp struct {
+	key  string
+	val  []byte
+	tomb bool
+}
+
+func decodeBatchPayload(payload []byte) ([]decodedOp, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: batch count", ErrCorrupt)
+	}
+	payload = payload[n:]
+	if count > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible batch count %d", ErrCorrupt, count)
+	}
+	ops := make([]decodedOp, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(payload) < 1 {
+			return nil, fmt.Errorf("%w: truncated batch op", ErrCorrupt)
+		}
+		flags := payload[0]
+		payload = payload[1:]
+		keyLen, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: batch key length", ErrCorrupt)
+		}
+		payload = payload[n:]
+		valLen, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: batch value length", ErrCorrupt)
+		}
+		payload = payload[n:]
+		if uint64(len(payload)) < keyLen+valLen {
+			return nil, fmt.Errorf("%w: batch body shorter than lengths", ErrCorrupt)
+		}
+		key := string(payload[:keyLen])
+		val := payload[keyLen : keyLen+valLen]
+		payload = payload[keyLen+valLen:]
+		ops = append(ops, decodedOp{key: key, val: val, tomb: flags&flagTombstone != 0})
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes after batch", ErrCorrupt)
+	}
+	return ops, nil
+}

@@ -1,0 +1,262 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"testing/quick"
+)
+
+func TestBatchCommitAndGet(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	b := s.NewBatch()
+	b.Put("user/1", []byte("alice")).
+		Put("tweet/1", []byte("hello")).
+		Put("tweet/2", []byte("world"))
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range map[string]string{"user/1": "alice", "tweet/1": "hello", "tweet/2": "world"} {
+		got, err := s.Get(k)
+		if err != nil || string(got) != want {
+			t.Fatalf("Get(%s) = %q, %v", k, got, err)
+		}
+	}
+	// Batch is reusable after commit.
+	if b.Len() != 0 {
+		t.Fatal("batch not reset after commit")
+	}
+	if err := b.Put("extra", []byte("x")).Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has("extra") {
+		t.Fatal("reused batch did not apply")
+	}
+}
+
+func TestBatchDeleteAndOverwrite(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	s.Put("a", []byte("old"))
+	s.Put("b", []byte("keep"))
+	if err := s.NewBatch().Put("a", []byte("new")).Delete("b").Put("c", []byte("made")).Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("a"); string(v) != "new" {
+		t.Fatalf("a = %q", v)
+	}
+	if _, err := s.Get("b"); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("b err = %v", err)
+	}
+	if v, _ := s.Get("c"); string(v) != "made" {
+		t.Fatalf("c = %q", v)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestBatchSameKeyLastWins(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	if err := s.NewBatch().Put("k", []byte("first")).Put("k", []byte("second")).Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("k"); string(v) != "second" {
+		t.Fatalf("k = %q", v)
+	}
+}
+
+func TestBatchEmptyAndValidation(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	if err := s.NewBatch().Commit(); err != nil {
+		t.Fatalf("empty commit = %v", err)
+	}
+	if err := s.NewBatch().Put("", []byte("x")).Commit(); !errors.Is(err, ErrEmptyKey) {
+		t.Fatalf("empty key err = %v", err)
+	}
+	s.Close()
+	if err := s.NewBatch().Put("k", nil).Commit(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed commit err = %v", err)
+	}
+}
+
+func TestBatchSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.NewBatch().
+		Put("user/9", []byte("u")).
+		Put("tweet/90", []byte("t1")).
+		Put("tweet/91", []byte("t2")).
+		Delete("tweet/90").
+		Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Fatalf("Len after reopen = %d, want 2", s2.Len())
+	}
+	if v, err := s2.Get("tweet/91"); err != nil || string(v) != "t2" {
+		t.Fatalf("tweet/91 = %q, %v", v, err)
+	}
+	if _, err := s2.Get("tweet/90"); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("deleted-in-batch key err = %v", err)
+	}
+}
+
+// TestBatchAtomicUnderTornWrite verifies all-or-nothing semantics: chop the
+// batch record mid-way and none of its operations survive a reopen.
+func TestBatchAtomicUnderTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("before", []byte("safe"))
+	if err := s.NewBatch().
+		Put("batch/a", []byte("aaaa")).
+		Put("batch/b", []byte("bbbb")).
+		Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Truncate inside the batch record (drop the last 5 bytes).
+	path := dir + "/seg-000001.log"
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Get("before"); err != nil {
+		t.Fatalf("pre-batch record lost: %v", err)
+	}
+	for _, k := range []string{"batch/a", "batch/b"} {
+		if _, err := s2.Get(k); !errors.Is(err, ErrKeyNotFound) {
+			t.Fatalf("torn batch partially applied: %s err = %v", k, err)
+		}
+	}
+}
+
+func TestBatchThenCompact(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	for i := 0; i < 20; i++ {
+		b := s.NewBatch()
+		for j := 0; j < 5; j++ {
+			b.Put(fmt.Sprintf("k%d", j), []byte(fmt.Sprintf("gen%d", i)))
+		}
+		if err := b.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for j := 0; j < 5; j++ {
+		v, err := s.Get(fmt.Sprintf("k%d", j))
+		if err != nil || string(v) != "gen19" {
+			t.Fatalf("k%d = %q, %v", j, v, err)
+		}
+	}
+}
+
+// Model property: interleaved plain ops and batches agree with a map, across
+// reopen.
+func TestBatchModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dir, err := os.MkdirTemp("", "batchprop")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		s, err := Open(dir, Options{MaxSegmentBytes: 400})
+		if err != nil {
+			return false
+		}
+		model := map[string]string{}
+		keys := []string{"a", "b", "c", "d"}
+		for op := 0; op < 80; op++ {
+			switch r.Intn(3) {
+			case 0:
+				k := keys[r.Intn(len(keys))]
+				v := fmt.Sprintf("v%d", r.Int())
+				if s.Put(k, []byte(v)) != nil {
+					return false
+				}
+				model[k] = v
+			case 1:
+				k := keys[r.Intn(len(keys))]
+				if s.Delete(k) != nil {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				b := s.NewBatch()
+				n := 1 + r.Intn(4)
+				for i := 0; i < n; i++ {
+					k := keys[r.Intn(len(keys))]
+					if r.Intn(4) == 0 {
+						b.Delete(k)
+						delete(model, k)
+					} else {
+						v := fmt.Sprintf("b%d", r.Int())
+						b.Put(k, []byte(v))
+						model[k] = v
+					}
+				}
+				if b.Commit() != nil {
+					return false
+				}
+			}
+		}
+		check := func(st *Store) bool {
+			if st.Len() != len(model) {
+				return false
+			}
+			for k, v := range model {
+				got, err := st.Get(k)
+				if err != nil || string(got) != v {
+					return false
+				}
+			}
+			return true
+		}
+		if !check(s) {
+			return false
+		}
+		s.Close()
+		s2, err := Open(dir, Options{MaxSegmentBytes: 400})
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		return check(s2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,621 @@
+// Package storage implements a small embedded key-value store used by STIR
+// to persist crawl checkpoints and collected datasets. It is a log-structured
+// store in the bitcask style: append-only segment files on disk, an in-memory
+// hash index from key to the latest record position, CRC-checked records,
+// and a compaction pass that rewrites only live data.
+//
+// The store favours simplicity and crash-safety over write throughput, which
+// matches its role: the Twitter crawler writes a few thousand records per
+// run and must be resumable after an interrupted crawl.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	// recordHeaderSize is crc(4) + flags(1) + keyLen(4) + valLen(4).
+	recordHeaderSize = 13
+	flagTombstone    = 1
+
+	segmentPrefix = "seg-"
+	segmentSuffix = ".log"
+)
+
+// DefaultMaxSegmentBytes is the segment roll threshold when Options leaves
+// MaxSegmentBytes zero.
+const DefaultMaxSegmentBytes = 8 << 20
+
+// Errors returned by the store.
+var (
+	ErrKeyNotFound = errors.New("storage: key not found")
+	ErrClosed      = errors.New("storage: store is closed")
+	ErrCorrupt     = errors.New("storage: corrupt record")
+	ErrEmptyKey    = errors.New("storage: empty key")
+)
+
+// Options configures a Store.
+type Options struct {
+	// MaxSegmentBytes rolls the active segment once it exceeds this size.
+	MaxSegmentBytes int64
+	// SyncEveryPut fsyncs after every write. Slow but durable; crawls use
+	// periodic Sync instead.
+	SyncEveryPut bool
+}
+
+// Store is the log-structured key-value store. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	dir    string
+	opts   Options
+	index  map[string]recordPos
+	segs   map[int]*os.File // read handles by segment id
+	active *os.File
+	actID  int
+	actOff int64
+	closed bool
+	puts   int64 // total put operations, for stats
+	dead   int64 // superseded or deleted records, drives compaction advice
+}
+
+type recordPos struct {
+	seg  int
+	off  int64
+	size int64
+	// sub is the operation index inside a batch record, or -1 for a plain
+	// record.
+	sub int
+}
+
+// Open opens (or creates) a store in dir, rebuilding the index by scanning
+// all segments in order. A truncated tail record (from a crash) is dropped.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.MaxSegmentBytes <= 0 {
+		opts.MaxSegmentBytes = DefaultMaxSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create dir: %w", err)
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		index: make(map[string]recordPos),
+		segs:  make(map[int]*os.File),
+	}
+	ids, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		if err := s.loadSegment(id); err != nil {
+			s.closeAll()
+			return nil, err
+		}
+	}
+	// The newest segment becomes the active one; otherwise start at 1.
+	s.actID = 1
+	if len(ids) > 0 {
+		s.actID = ids[len(ids)-1]
+	}
+	f, err := os.OpenFile(s.segPath(s.actID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.closeAll()
+		return nil, fmt.Errorf("storage: open active segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		s.closeAll()
+		return nil, err
+	}
+	s.active = f
+	s.actOff = st.Size()
+	if _, ok := s.segs[s.actID]; !ok {
+		if err := s.openRead(s.actID); err != nil {
+			s.closeAll()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) segPath(id int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%06d%s", segmentPrefix, id, segmentSuffix))
+}
+
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		numStr := strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix)
+		id, err := strconv.Atoi(numStr)
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+func (s *Store) openRead(id int) error {
+	f, err := os.Open(s.segPath(id))
+	if err != nil {
+		return fmt.Errorf("storage: open segment %d: %w", id, err)
+	}
+	s.segs[id] = f
+	return nil
+}
+
+// loadSegment scans one segment, updating the index.
+func (s *Store) loadSegment(id int) error {
+	if err := s.openRead(id); err != nil {
+		return err
+	}
+	f := s.segs[id]
+	var off int64
+	for {
+		key, val, flags, size, err := readRecord(f, off)
+		if err == io.EOF {
+			return nil
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, ErrCorrupt) {
+			// Crash-truncated tail: drop everything from here on.
+			return s.truncateSegment(id, off)
+		}
+		if err != nil {
+			return err
+		}
+		switch {
+		case flags&flagBatch != 0:
+			ops, err := decodeBatchPayload(val)
+			if err != nil {
+				return s.truncateSegment(id, off)
+			}
+			for i, op := range ops {
+				if op.tomb {
+					if _, had := s.index[op.key]; had {
+						s.dead++
+					}
+					delete(s.index, op.key)
+					s.dead++
+					continue
+				}
+				if _, had := s.index[op.key]; had {
+					s.dead++
+				}
+				s.index[op.key] = recordPos{seg: id, off: off, size: size, sub: i}
+			}
+		case flags&flagTombstone != 0:
+			if _, had := s.index[string(key)]; had {
+				s.dead++
+			}
+			delete(s.index, string(key))
+			s.dead++ // the tombstone itself is dead weight
+		default:
+			if _, had := s.index[string(key)]; had {
+				s.dead++
+			}
+			s.index[string(key)] = recordPos{seg: id, off: off, size: size, sub: -1}
+		}
+		off += size
+	}
+}
+
+// truncateSegment chops a segment at off, discarding a torn tail record.
+func (s *Store) truncateSegment(id int, off int64) error {
+	if f, ok := s.segs[id]; ok {
+		f.Close()
+		delete(s.segs, id)
+	}
+	if err := os.Truncate(s.segPath(id), off); err != nil {
+		return fmt.Errorf("storage: truncate torn segment %d: %w", id, err)
+	}
+	return s.openRead(id)
+}
+
+// readRecord reads one record at off. size is the full on-disk length.
+func readRecord(f *os.File, off int64) (key, val []byte, flags byte, size int64, err error) {
+	var hdr [recordHeaderSize]byte
+	if _, err = f.ReadAt(hdr[:], off); err != nil {
+		if err == io.EOF {
+			return nil, nil, 0, 0, io.EOF
+		}
+		return nil, nil, 0, 0, err
+	}
+	crc := binary.LittleEndian.Uint32(hdr[0:4])
+	flags = hdr[4]
+	keyLen := binary.LittleEndian.Uint32(hdr[5:9])
+	valLen := binary.LittleEndian.Uint32(hdr[9:13])
+	if keyLen > 1<<20 || valLen > 1<<28 {
+		return nil, nil, 0, 0, fmt.Errorf("%w: implausible lengths key=%d val=%d", ErrCorrupt, keyLen, valLen)
+	}
+	body := make([]byte, int(keyLen)+int(valLen))
+	if _, err = f.ReadAt(body, off+recordHeaderSize); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, nil, 0, 0, err
+	}
+	h := crc32.NewIEEE()
+	h.Write(hdr[4:])
+	h.Write(body)
+	if h.Sum32() != crc {
+		return nil, nil, 0, 0, fmt.Errorf("%w: crc mismatch at offset %d", ErrCorrupt, off)
+	}
+	key = body[:keyLen]
+	val = body[keyLen:]
+	return key, val, flags, recordHeaderSize + int64(len(body)), nil
+}
+
+func encodeRecord(key, val []byte, tomb bool) []byte {
+	flags := byte(0)
+	if tomb {
+		flags = flagTombstone
+	}
+	return encodeRecordFlags(key, val, flags)
+}
+
+func encodeRecordFlags(key, val []byte, flags byte) []byte {
+	buf := make([]byte, recordHeaderSize+len(key)+len(val))
+	buf[4] = flags
+	binary.LittleEndian.PutUint32(buf[5:9], uint32(len(key)))
+	binary.LittleEndian.PutUint32(buf[9:13], uint32(len(val)))
+	copy(buf[recordHeaderSize:], key)
+	copy(buf[recordHeaderSize+len(key):], val)
+	h := crc32.NewIEEE()
+	h.Write(buf[4:])
+	binary.LittleEndian.PutUint32(buf[0:4], h.Sum32())
+	return buf
+}
+
+// Put stores val under key, overwriting any previous value.
+func (s *Store) Put(key string, val []byte) error {
+	if key == "" {
+		return ErrEmptyKey
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	rec := encodeRecord([]byte(key), val, false)
+	pos, err := s.appendLocked(rec)
+	if err != nil {
+		return err
+	}
+	if _, had := s.index[key]; had {
+		s.dead++
+	}
+	pos.sub = -1
+	s.index[key] = pos
+	s.puts++
+	return nil
+}
+
+// Delete removes key. Deleting a missing key is a no-op.
+func (s *Store) Delete(key string) error {
+	if key == "" {
+		return ErrEmptyKey
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.index[key]; !ok {
+		return nil
+	}
+	rec := encodeRecord([]byte(key), nil, true)
+	if _, err := s.appendLocked(rec); err != nil {
+		return err
+	}
+	delete(s.index, key)
+	s.dead += 2 // the old record and the tombstone
+	return nil
+}
+
+func (s *Store) appendLocked(rec []byte) (recordPos, error) {
+	if s.actOff+int64(len(rec)) > s.opts.MaxSegmentBytes && s.actOff > 0 {
+		if err := s.rollLocked(); err != nil {
+			return recordPos{}, err
+		}
+	}
+	off := s.actOff
+	if _, err := s.active.Write(rec); err != nil {
+		return recordPos{}, fmt.Errorf("storage: append: %w", err)
+	}
+	s.actOff += int64(len(rec))
+	if s.opts.SyncEveryPut {
+		if err := s.active.Sync(); err != nil {
+			return recordPos{}, err
+		}
+	}
+	return recordPos{seg: s.actID, off: off, size: int64(len(rec))}, nil
+}
+
+func (s *Store) rollLocked() error {
+	if err := s.active.Sync(); err != nil {
+		return err
+	}
+	if err := s.active.Close(); err != nil {
+		return err
+	}
+	s.actID++
+	f, err := os.OpenFile(s.segPath(s.actID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.active = f
+	s.actOff = 0
+	return s.openRead(s.actID)
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	pos, ok := s.index[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	return s.readValueLocked(key, pos)
+}
+
+func (s *Store) readValueLocked(key string, pos recordPos) ([]byte, error) {
+	f, ok := s.segs[pos.seg]
+	if !ok {
+		return nil, fmt.Errorf("storage: segment %d missing for key %q", pos.seg, key)
+	}
+	k, v, flags, _, err := readRecord(f, pos.off)
+	if err != nil {
+		return nil, err
+	}
+	if flags&flagBatch != 0 {
+		ops, err := decodeBatchPayload(v)
+		if err != nil {
+			return nil, err
+		}
+		if pos.sub < 0 || pos.sub >= len(ops) {
+			return nil, fmt.Errorf("%w: batch sub-index %d out of range for %q", ErrCorrupt, pos.sub, key)
+		}
+		op := ops[pos.sub]
+		if op.tomb || op.key != key {
+			return nil, fmt.Errorf("%w: batch index/record mismatch for %q", ErrCorrupt, key)
+		}
+		return op.val, nil
+	}
+	if flags&flagTombstone != 0 || string(k) != key {
+		return nil, fmt.Errorf("%w: index/record mismatch for %q", ErrCorrupt, key)
+	}
+	return v, nil
+}
+
+// Has reports whether key exists.
+func (s *Store) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.index[key]
+	return ok && !s.closed
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Keys returns all live keys, sorted. Intended for iteration and tests; the
+// store's datasets are small enough that materialising the key list is fine.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.index))
+	for k := range s.index {
+		out = append(out, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// KeysWithPrefix returns live keys having the given prefix, sorted.
+func (s *Store) KeysWithPrefix(prefix string) []string {
+	s.mu.RLock()
+	out := make([]string, 0, 16)
+	for k := range s.index {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Each calls fn for every live key/value pair in sorted key order; fn
+// returning an error stops iteration.
+func (s *Store) Each(fn func(key string, val []byte) error) error {
+	for _, k := range s.Keys() {
+		v, err := s.Get(k)
+		if err != nil {
+			if errors.Is(err, ErrKeyNotFound) {
+				continue // deleted between Keys and Get
+			}
+			return err
+		}
+		if err := fn(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.active.Sync()
+}
+
+// Stats describes the store's physical state.
+type Stats struct {
+	LiveKeys    int
+	Segments    int
+	Puts        int64
+	DeadRecords int64
+}
+
+// Stats returns current counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		LiveKeys:    len(s.index),
+		Segments:    len(s.segs),
+		Puts:        s.puts,
+		DeadRecords: s.dead,
+	}
+}
+
+// Compact rewrites all live records into fresh segments and deletes the old
+// ones, reclaiming space held by superseded records and tombstones.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	newID := s.actID + 1
+	path := s.segPath(newID)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	newIndex := make(map[string]recordPos, len(s.index))
+	var off int64
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v, err := s.readValueLocked(k, s.index[k])
+		if err != nil {
+			f.Close()
+			os.Remove(path)
+			return err
+		}
+		rec := encodeRecord([]byte(k), v, false)
+		if _, err := f.Write(rec); err != nil {
+			f.Close()
+			os.Remove(path)
+			return err
+		}
+		newIndex[k] = recordPos{seg: newID, off: off, size: int64(len(rec)), sub: -1}
+		off += int64(len(rec))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Swap in the new segment.
+	oldIDs := make([]int, 0, len(s.segs))
+	for id := range s.segs {
+		oldIDs = append(oldIDs, id)
+	}
+	if err := s.active.Close(); err != nil {
+		return err
+	}
+	for _, id := range oldIDs {
+		s.segs[id].Close()
+		delete(s.segs, id)
+		os.Remove(s.segPath(id))
+	}
+	s.index = newIndex
+	s.dead = 0
+	s.actID = newID
+	if err := s.openRead(newID); err != nil {
+		return err
+	}
+	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.active = af
+	s.actOff = off
+	return nil
+}
+
+// Close flushes and closes all file handles. The store is unusable after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.active.Sync()
+	if cerr := s.active.Close(); err == nil {
+		err = cerr
+	}
+	s.closeAllLocked()
+	return err
+}
+
+func (s *Store) closeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closeAllLocked()
+}
+
+func (s *Store) closeAllLocked() {
+	for id, f := range s.segs {
+		f.Close()
+		delete(s.segs, id)
+	}
+}
+
+// ShouldCompact advises compaction when dead records exceed the given
+// fraction of total records written (live + dead). A crawl loop can call
+// this periodically and Compact when it returns true.
+func (s *Store) ShouldCompact(deadFraction float64) bool {
+	if deadFraction <= 0 {
+		deadFraction = 0.5
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := int64(len(s.index)) + s.dead
+	if total == 0 {
+		return false
+	}
+	return float64(s.dead)/float64(total) >= deadFraction
+}

@@ -1,0 +1,461 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T, opts Options) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, dir
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	if err := s.Put("user/1", []byte("alice")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("user/1")
+	if err != nil || string(got) != "alice" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := s.Put("user/1", []byte("bob")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Get("user/1")
+	if string(got) != "bob" {
+		t.Fatalf("overwrite failed: %q", got)
+	}
+	if err := s.Delete("user/1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("user/1"); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("deleted key err = %v", err)
+	}
+	if err := s.Delete("user/1"); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+	if err := s.Put("", nil); !errors.Is(err, ErrEmptyKey) {
+		t.Fatalf("empty key err = %v", err)
+	}
+}
+
+func TestEmptyValueAndBinary(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	if err := s.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty value roundtrip = %q, %v", got, err)
+	}
+	bin := []byte{0, 1, 2, 255, 254, '\n', '#'}
+	if err := s.Put("bin", bin); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Get("bin")
+	if !bytes.Equal(got, bin) {
+		t.Fatalf("binary roundtrip = %v", got)
+	}
+}
+
+func TestReopenRecoversIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.Put(fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete("k050"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 99 {
+		t.Fatalf("reopened Len = %d, want 99", s2.Len())
+	}
+	got, err := s2.Get("k099")
+	if err != nil || string(got) != "v99" {
+		t.Fatalf("Get after reopen = %q, %v", got, err)
+	}
+	if _, err := s2.Get("k050"); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("tombstone not honoured after reopen: %v", err)
+	}
+	// Writes continue to work after recovery.
+	if err := s2.Put("k100", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentRolling(t *testing.T) {
+	s, dir := openTemp(t, Options{MaxSegmentBytes: 256})
+	for i := 0; i < 50; i++ {
+		if err := s.Put(fmt.Sprintf("key-%02d", i), bytes.Repeat([]byte{'x'}, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) < 5 {
+		t.Fatalf("expected multiple segments, got %v", ids)
+	}
+	// All keys still readable across segments.
+	for i := 0; i < 50; i++ {
+		if _, err := s.Get(fmt.Sprintf("key-%02d", i)); err != nil {
+			t.Fatalf("key %d unreadable after roll: %v", i, err)
+		}
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	s.Close()
+
+	// Corrupt: chop the last 3 bytes (mid-record).
+	path := filepath.Join(dir, "seg-000001.log")
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("torn tail should recover, got %v", err)
+	}
+	defer s2.Close()
+	if _, err := s2.Get("a"); err != nil {
+		t.Fatalf("intact record lost: %v", err)
+	}
+	if _, err := s2.Get("b"); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("torn record should be dropped, err = %v", err)
+	}
+	// Store accepts new writes after truncation.
+	if err := s2.Put("b", []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s2.Get("b"); string(v) != "again" {
+		t.Fatal("rewrite after recovery failed")
+	}
+}
+
+func TestCorruptCRCDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", []byte("payload-payload"))
+	s.Put("b", []byte("second"))
+	s.Close()
+
+	// Flip a byte inside the first record's value.
+	path := filepath.Join(dir, "seg-000001.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[recordHeaderSize+2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen treats the corruption as a torn tail at that point: everything
+	// from the bad record onward is discarded.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open after corruption: %v", err)
+	}
+	defer s2.Close()
+	if _, err := s2.Get("a"); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("corrupt record should be gone, err = %v", err)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	s, dir := openTemp(t, Options{MaxSegmentBytes: 512})
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%02d", i%20) // 20 keys overwritten 10x
+		if err := s.Put(key, []byte(fmt.Sprintf("gen%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete("k00")
+	before, _ := listSegments(dir)
+	if len(before) < 3 {
+		t.Fatalf("setup should create several segments, got %v", before)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := listSegments(dir)
+	if len(after) != 1 {
+		t.Fatalf("after compaction want 1 segment, got %v", after)
+	}
+	if s.Len() != 19 {
+		t.Fatalf("Len after compaction = %d, want 19", s.Len())
+	}
+	for i := 1; i < 20; i++ {
+		v, err := s.Get(fmt.Sprintf("k%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("gen%d", 180+i) // last generation of each key
+		if string(v) != want {
+			t.Fatalf("k%02d = %q, want %q", i, v, want)
+		}
+	}
+	if st := s.Stats(); st.DeadRecords != 0 {
+		t.Fatalf("DeadRecords after compaction = %d", st.DeadRecords)
+	}
+	// Store keeps working after compaction, including rolling.
+	for i := 0; i < 50; i++ {
+		if err := s.Put(fmt.Sprintf("post%d", i), bytes.Repeat([]byte{'y'}, 30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Get("post49"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactThenReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put("extra", []byte("e"))
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 31 {
+		t.Fatalf("Len = %d, want 31", s2.Len())
+	}
+}
+
+func TestKeysAndPrefixAndEach(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	s.Put("tweet/2", []byte("b"))
+	s.Put("tweet/1", []byte("a"))
+	s.Put("user/1", []byte("u"))
+	keys := s.Keys()
+	want := []string{"tweet/1", "tweet/2", "user/1"}
+	if len(keys) != 3 || keys[0] != want[0] || keys[1] != want[1] || keys[2] != want[2] {
+		t.Fatalf("Keys = %v", keys)
+	}
+	pk := s.KeysWithPrefix("tweet/")
+	if len(pk) != 2 || pk[0] != "tweet/1" {
+		t.Fatalf("KeysWithPrefix = %v", pk)
+	}
+	var visited []string
+	err := s.Each(func(k string, v []byte) error {
+		visited = append(visited, k+"="+string(v))
+		return nil
+	})
+	if err != nil || len(visited) != 3 || visited[0] != "tweet/1=a" {
+		t.Fatalf("Each visited %v, err %v", visited, err)
+	}
+	stop := errors.New("stop")
+	err = s.Each(func(k string, v []byte) error { return stop })
+	if !errors.Is(err, stop) {
+		t.Fatalf("Each should propagate fn error, got %v", err)
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", []byte("1"))
+	s.Close()
+	if err := s.Put("b", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put on closed = %v", err)
+	}
+	if _, err := s.Get("a"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get on closed = %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+// Model-based property test: a sequence of random operations applied to the
+// store and to a plain map must agree, including across a reopen.
+func TestModelEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dir, err := os.MkdirTemp("", "storprop")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		s, err := Open(dir, Options{MaxSegmentBytes: 300})
+		if err != nil {
+			return false
+		}
+		model := map[string]string{}
+		keys := []string{"a", "b", "c", "d", "e"}
+		for op := 0; op < 200; op++ {
+			k := keys[r.Intn(len(keys))]
+			switch r.Intn(3) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", r.Int())
+				if s.Put(k, []byte(v)) != nil {
+					return false
+				}
+				model[k] = v
+			case 2:
+				if s.Delete(k) != nil {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		check := func(st *Store) bool {
+			if st.Len() != len(model) {
+				return false
+			}
+			for k, v := range model {
+				got, err := st.Get(k)
+				if err != nil || string(got) != v {
+					return false
+				}
+			}
+			return true
+		}
+		if !check(s) {
+			return false
+		}
+		if err := s.Close(); err != nil {
+			return false
+		}
+		s2, err := Open(dir, Options{MaxSegmentBytes: 300})
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		return check(s2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := openTemp(t, Options{MaxSegmentBytes: 4096})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("g%d/k%d", g, i)
+				if err := s.Put(key, []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", s.Len())
+	}
+}
+
+func TestStats(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	s.Put("a", []byte("1"))
+	s.Put("a", []byte("2"))
+	s.Delete("a")
+	st := s.Stats()
+	if st.Puts != 2 || st.LiveKeys != 0 || st.DeadRecords < 2 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestShouldCompact(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	if s.ShouldCompact(0.5) {
+		t.Fatal("empty store should not want compaction")
+	}
+	s.Put("k", []byte("v1"))
+	if s.ShouldCompact(0.5) {
+		t.Fatal("fresh store should not want compaction")
+	}
+	for i := 0; i < 9; i++ {
+		s.Put("k", []byte("v"))
+	}
+	// 1 live, 9 dead → 90% dead.
+	if !s.ShouldCompact(0.5) {
+		t.Fatalf("overwrite-heavy store should want compaction: %+v", s.Stats())
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.ShouldCompact(0.5) {
+		t.Fatal("just-compacted store should not want compaction")
+	}
+	// Zero threshold uses the 0.5 default: one fresh key among one live
+	// record stays below it, one overwrite reaches it exactly.
+	s.Put("k2", []byte("v"))
+	if s.ShouldCompact(0) {
+		t.Fatal("fresh keys should not trigger the default threshold")
+	}
+	s.Put("k2", []byte("v2"))
+	s.Put("k", []byte("v2"))
+	if !s.ShouldCompact(0) {
+		t.Fatal("50% dead should reach the default threshold")
+	}
+}

@@ -1,0 +1,206 @@
+// Package synth generates the synthetic Twitter populations that stand in
+// for the paper's gated datasets (a 52k-user Korean crawl and a worldwide
+// "Lady Gaga" stream). Every behavioural knob the paper describes exists
+// here explicitly: how users split between staying in their profile district
+// and roaming (driving the Top-k distribution), how well-formed profile
+// location text is (driving the refinement funnel), and how rarely tweets
+// carry GPS coordinates (driving the collection funnel). Generation is fully
+// deterministic given a seed.
+package synth
+
+import (
+	"errors"
+	"time"
+
+	"stir/internal/admin"
+)
+
+// MobilityClass is the behavioural archetype of a user's geo-tweeting.
+type MobilityClass int
+
+const (
+	// Resident posts most geo-tweets from the home (profile) district —
+	// the Top-1 population.
+	Resident MobilityClass = iota
+	// SecondPlace posts more from one other anchor (workplace, campus) than
+	// from home — the Top-2/Top-3 population.
+	SecondPlace
+	// Wanderer roams widely; home appears but well down the list — the
+	// Top-3…Top-+ tail.
+	Wanderer
+	// NeverHome posts no geo-tweets from the home district at all: the
+	// paper's None group ("provide their hometown for the profile but
+	// usually stay outside", §IV). They frequent few districts.
+	NeverHome
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c MobilityClass) String() string {
+	switch c {
+	case Resident:
+		return "resident"
+	case SecondPlace:
+		return "second-place"
+	case Wanderer:
+		return "wanderer"
+	case NeverHome:
+		return "never-home"
+	default:
+		return "unknown"
+	}
+}
+
+// MobilityMix is the population share of each class; shares must sum to ~1.
+type MobilityMix struct {
+	Resident    float64
+	SecondPlace float64
+	Wanderer    float64
+	NeverHome   float64
+}
+
+// ProfileMix is the distribution of profile-location text quality; shares
+// must sum to ~1. Empty profiles dominate real crawls, which is why the
+// paper kept only ~3k of 52k users.
+type ProfileMix struct {
+	Empty        float64 // no location set
+	WellDefined  float64 // uniquely resolvable district text
+	ExactGPS     float64 // literal coordinates pasted into the profile
+	Vague        float64 // "my home"
+	Insufficient float64 // "Seoul", "Korea", "Earth"
+	Meaningless  float64 // "darangland :)"
+	Ambiguous    float64 // two locations in one field
+}
+
+// Config drives one synthetic population.
+type Config struct {
+	// Seed makes the population reproducible.
+	Seed int64
+	// Users is the number of accounts to create.
+	Users int
+	// Gazetteer supplies districts (Korean or world).
+	Gazetteer *admin.Gazetteer
+	// Mix sets the mobility-class shares.
+	Mix MobilityMix
+	// Profiles sets the profile-quality shares.
+	Profiles ProfileMix
+	// TweetsPerUserMean is the mean of the (geometric) per-user tweet count.
+	TweetsPerUserMean float64
+	// EngagedGeoUserFraction is the share of users with a well-defined (or
+	// GPS) profile location who tweet from a smart mobile device. The
+	// paper's funnel implies the two correlate strongly: 47% of the users
+	// with well-defined profiles had GPS tweets, against ~3% overall.
+	EngagedGeoUserFraction float64
+	// CasualGeoUserFraction is the geo-user share among everyone else.
+	CasualGeoUserFraction float64
+	// GeoTweetFraction is, for geo users, the per-tweet probability of
+	// carrying GPS. The paper's geo users average ~20 GPS tweets out of
+	// ~200 collected, i.e. roughly 0.1.
+	GeoTweetFraction float64
+	// Start and End bound tweet timestamps.
+	Start, End time.Time
+	// FollowerGraph wires a follower topology so the crawler can discover
+	// the population from a seed (required for crawl experiments; optional
+	// for direct analysis).
+	FollowerGraph bool
+}
+
+// Validate checks a config for the mistakes that silently skew experiments.
+func (c *Config) Validate() error {
+	if c.Users <= 0 {
+		return errors.New("synth: Users must be positive")
+	}
+	if c.Gazetteer == nil || c.Gazetteer.Len() == 0 {
+		return errors.New("synth: Gazetteer is required")
+	}
+	if s := c.Mix.Resident + c.Mix.SecondPlace + c.Mix.Wanderer + c.Mix.NeverHome; s < 0.99 || s > 1.01 {
+		return errors.New("synth: MobilityMix shares must sum to 1")
+	}
+	p := c.Profiles
+	if s := p.Empty + p.WellDefined + p.ExactGPS + p.Vague + p.Insufficient + p.Meaningless + p.Ambiguous; s < 0.99 || s > 1.01 {
+		return errors.New("synth: ProfileMix shares must sum to 1")
+	}
+	if c.TweetsPerUserMean <= 0 {
+		return errors.New("synth: TweetsPerUserMean must be positive")
+	}
+	if c.EngagedGeoUserFraction < 0 || c.EngagedGeoUserFraction > 1 ||
+		c.CasualGeoUserFraction < 0 || c.CasualGeoUserFraction > 1 ||
+		c.GeoTweetFraction < 0 || c.GeoTweetFraction > 1 {
+		return errors.New("synth: geo fractions must be in [0,1]")
+	}
+	if !c.End.After(c.Start) {
+		return errors.New("synth: End must be after Start")
+	}
+	return nil
+}
+
+// collectionStart/End match the paper's 2011 collection era.
+var (
+	collectionStart = time.Date(2011, 6, 1, 0, 0, 0, 0, time.UTC)
+	collectionEnd   = time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
+)
+
+// KoreanConfig is the preset reproducing the paper's Korean dataset at the
+// given scale. Defaults follow the paper's funnel: ~6% of users have a
+// well-defined profile location; a third of users tweet from smartphones;
+// geo-tagging is rare per tweet but geo users produce a usable handful.
+func KoreanConfig(seed int64, users int, gaz *admin.Gazetteer) Config {
+	return Config{
+		Seed:      seed,
+		Users:     users,
+		Gazetteer: gaz,
+		Mix: MobilityMix{
+			Resident:    0.48,
+			SecondPlace: 0.18,
+			Wanderer:    0.05,
+			NeverHome:   0.29,
+		},
+		Profiles: ProfileMix{
+			Empty:        0.52,
+			WellDefined:  0.065,
+			ExactGPS:     0.005,
+			Vague:        0.10,
+			Insufficient: 0.21,
+			Meaningless:  0.08,
+			Ambiguous:    0.02,
+		},
+		TweetsPerUserMean:      100,
+		EngagedGeoUserFraction: 0.5,
+		CasualGeoUserFraction:  0.02,
+		GeoTweetFraction:       0.12,
+		Start:                  collectionStart,
+		End:                    collectionEnd,
+	}
+}
+
+// LadyGagaConfig is the preset for the worldwide Streaming-API dataset: far
+// fewer tweets captured per user (a stream samples moments, not timelines),
+// a more mobile population, and messier profiles.
+func LadyGagaConfig(seed int64, users int, gaz *admin.Gazetteer) Config {
+	return Config{
+		Seed:      seed,
+		Users:     users,
+		Gazetteer: gaz,
+		Mix: MobilityMix{
+			Resident:    0.33,
+			SecondPlace: 0.18,
+			Wanderer:    0.14,
+			NeverHome:   0.35,
+		},
+		Profiles: ProfileMix{
+			Empty:        0.46,
+			WellDefined:  0.075,
+			ExactGPS:     0.005,
+			Vague:        0.13,
+			Insufficient: 0.20,
+			Meaningless:  0.12,
+			Ambiguous:    0.01,
+		},
+		TweetsPerUserMean:      9,
+		EngagedGeoUserFraction: 0.5,
+		CasualGeoUserFraction:  0.05,
+		GeoTweetFraction:       0.15,
+		Start:                  collectionStart,
+		End:                    collectionEnd,
+	}
+}

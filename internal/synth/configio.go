@@ -1,0 +1,124 @@
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"stir/internal/admin"
+)
+
+// Scenario is the serialisable form of a Config: everything except the
+// gazetteer, which is chosen by name. Researchers can keep population
+// designs as JSON files and reproduce any dataset from (scenario, seed).
+type Scenario struct {
+	// Name documents the scenario; not used programmatically.
+	Name string `json:"name"`
+	// Gazetteer is "korea" or "world".
+	Gazetteer string `json:"gazetteer"`
+	Seed      int64  `json:"seed"`
+	Users     int    `json:"users"`
+
+	Mix      MobilityMix `json:"mobility_mix"`
+	Profiles ProfileMix  `json:"profile_mix"`
+
+	TweetsPerUserMean      float64 `json:"tweets_per_user_mean"`
+	EngagedGeoUserFraction float64 `json:"engaged_geo_user_fraction"`
+	CasualGeoUserFraction  float64 `json:"casual_geo_user_fraction"`
+	GeoTweetFraction       float64 `json:"geo_tweet_fraction"`
+
+	// Start/End bound tweet timestamps (RFC 3339); empty means the 2011
+	// collection window the paper used.
+	Start string `json:"start,omitempty"`
+	End   string `json:"end,omitempty"`
+
+	FollowerGraph bool `json:"follower_graph,omitempty"`
+}
+
+// ScenarioFromConfig captures a Config as a Scenario (gazetteer named by
+// kind since the object itself is not serialisable).
+func ScenarioFromConfig(name, gazetteer string, c Config) Scenario {
+	return Scenario{
+		Name:                   name,
+		Gazetteer:              gazetteer,
+		Seed:                   c.Seed,
+		Users:                  c.Users,
+		Mix:                    c.Mix,
+		Profiles:               c.Profiles,
+		TweetsPerUserMean:      c.TweetsPerUserMean,
+		EngagedGeoUserFraction: c.EngagedGeoUserFraction,
+		CasualGeoUserFraction:  c.CasualGeoUserFraction,
+		GeoTweetFraction:       c.GeoTweetFraction,
+		Start:                  c.Start.Format(time.RFC3339),
+		End:                    c.End.Format(time.RFC3339),
+		FollowerGraph:          c.FollowerGraph,
+	}
+}
+
+// Config materialises the scenario, building the named gazetteer and
+// validating the result.
+func (s Scenario) Config() (Config, error) {
+	var (
+		gaz *admin.Gazetteer
+		err error
+	)
+	switch s.Gazetteer {
+	case "korea", "":
+		gaz, err = admin.NewKoreaGazetteer()
+	case "world":
+		gaz, err = admin.NewWorldGazetteer()
+	default:
+		return Config{}, fmt.Errorf("synth: unknown gazetteer %q (want korea or world)", s.Gazetteer)
+	}
+	if err != nil {
+		return Config{}, err
+	}
+	c := Config{
+		Seed:                   s.Seed,
+		Users:                  s.Users,
+		Gazetteer:              gaz,
+		Mix:                    s.Mix,
+		Profiles:               s.Profiles,
+		TweetsPerUserMean:      s.TweetsPerUserMean,
+		EngagedGeoUserFraction: s.EngagedGeoUserFraction,
+		CasualGeoUserFraction:  s.CasualGeoUserFraction,
+		GeoTweetFraction:       s.GeoTweetFraction,
+		Start:                  collectionStart,
+		End:                    collectionEnd,
+		FollowerGraph:          s.FollowerGraph,
+	}
+	if s.Start != "" {
+		if c.Start, err = time.Parse(time.RFC3339, s.Start); err != nil {
+			return Config{}, fmt.Errorf("synth: bad start time: %w", err)
+		}
+	}
+	if s.End != "" {
+		if c.End, err = time.Parse(time.RFC3339, s.End); err != nil {
+			return Config{}, fmt.Errorf("synth: bad end time: %w", err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// WriteScenario serialises a scenario as indented JSON.
+func WriteScenario(w io.Writer, s Scenario) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadScenario parses a scenario from JSON, rejecting unknown fields so
+// typos in config files fail loudly instead of silently using defaults.
+func ReadScenario(r io.Reader) (Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("synth: read scenario: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,94 @@
+package synth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stir/internal/twitter"
+)
+
+func TestScenarioRoundTrip(t *testing.T) {
+	gaz := koreaGaz(t)
+	orig := KoreanConfig(42, 500, gaz)
+	sc := ScenarioFromConfig("korean-1to100", "korea", orig)
+
+	var buf bytes.Buffer
+	if err := WriteScenario(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadScenario(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := back.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != orig.Seed || cfg.Users != orig.Users ||
+		cfg.Mix != orig.Mix || cfg.Profiles != orig.Profiles ||
+		cfg.TweetsPerUserMean != orig.TweetsPerUserMean ||
+		!cfg.Start.Equal(orig.Start) || !cfg.End.Equal(orig.End) {
+		t.Fatalf("roundtrip changed config:\n%+v\nvs\n%+v", cfg, orig)
+	}
+	// A population generated from the roundtripped config matches the
+	// original exactly.
+	g1, err := New(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1, svc2 := twitter.NewService(), twitter.NewService()
+	p1, err := g1.Populate(svc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := g2.Populate(svc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Tweets != p2.Tweets || p1.GeoTweets != p2.GeoTweets {
+		t.Fatalf("populations differ: %d/%d vs %d/%d", p1.Tweets, p1.GeoTweets, p2.Tweets, p2.GeoTweets)
+	}
+}
+
+func TestScenarioErrors(t *testing.T) {
+	if _, err := ReadScenario(strings.NewReader(`{"bogus_field": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ReadScenario(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	s := Scenario{Gazetteer: "mars", Users: 10}
+	if _, err := s.Config(); err == nil {
+		t.Fatal("unknown gazetteer accepted")
+	}
+	s = Scenario{Gazetteer: "korea", Users: 10, Start: "not-a-time"}
+	if _, err := s.Config(); err == nil {
+		t.Fatal("bad start time accepted")
+	}
+	// Valid gazetteer but invalid mix fails validation.
+	s = Scenario{Gazetteer: "korea", Users: 10}
+	if _, err := s.Config(); err == nil {
+		t.Fatal("zero mix should fail Validate")
+	}
+}
+
+func TestScenarioWorldGazetteer(t *testing.T) {
+	gaz, err := worldGaz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := LadyGagaConfig(7, 200, gaz)
+	sc := ScenarioFromConfig("gaga", "world", orig)
+	cfg, err := sc.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Gazetteer.Len() <= 200 {
+		t.Fatalf("world gazetteer not loaded: %d districts", cfg.Gazetteer.Len())
+	}
+}

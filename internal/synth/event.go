@@ -1,0 +1,136 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"stir/internal/geo"
+	"stir/internal/twitter"
+)
+
+// EventConfig injects a target event (the paper's motivating example is an
+// earthquake) into an existing population: users near the epicentre tweet
+// about it shortly after onset, some with GPS, some relying only on their
+// profile location — exactly the signal Toretter-style detectors consume.
+type EventConfig struct {
+	// Seed for reproducible injection.
+	Seed int64
+	// Epicenter of the event.
+	Epicenter geo.Point
+	// RadiusKm is how far the event is felt.
+	RadiusKm float64
+	// Onset is when the event happens.
+	Onset time.Time
+	// WindowMinutes is how long reports keep arriving after onset.
+	WindowMinutes int
+	// Keyword is the report term ("earthquake"); a second weaker term
+	// ("shaking") is emitted too, mirroring Toretter's two queries.
+	Keyword string
+	// ReportFraction is the probability a user who felt the event tweets
+	// about it.
+	ReportFraction float64
+	// GeoFraction is the probability a report carries GPS coordinates —
+	// reports from the user's actual position near the epicentre.
+	GeoFraction float64
+	// NoiseReports adds unrelated background mentions of the keyword from
+	// random users anywhere, testing detector robustness.
+	NoiseReports int
+}
+
+// EventTruth records what was injected, for scoring estimators.
+type EventTruth struct {
+	Epicenter   geo.Point
+	Onset       time.Time
+	Reports     int
+	GeoReports  int
+	ReporterIDs []twitter.UserID
+}
+
+// InjectEvent posts event reports into svc from the population's users. A
+// user "feels" the event when any of their haunts (or their home) lies
+// within RadiusKm of the epicentre; the report's GPS position is sampled
+// near that haunt, not at the epicentre — location estimation has to work
+// through that spatial noise.
+func InjectEvent(svc *twitter.Service, pop *Population, cfg EventConfig) (*EventTruth, error) {
+	if cfg.Keyword == "" {
+		cfg.Keyword = "earthquake"
+	}
+	if cfg.WindowMinutes <= 0 {
+		cfg.WindowMinutes = 30
+	}
+	if cfg.RadiusKm <= 0 {
+		return nil, fmt.Errorf("synth: event radius must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	truth := &EventTruth{Epicenter: cfg.Epicenter, Onset: cfg.Onset}
+
+	ids := make([]twitter.UserID, 0, len(pop.Truth))
+	for id := range pop.Truth {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, id := range ids {
+		ut := pop.Truth[id]
+		at, feltDist := nearestFeltPlace(ut, cfg.Epicenter)
+		if feltDist > cfg.RadiusKm {
+			continue
+		}
+		// Chance of reporting decays with distance from the epicentre.
+		pReport := cfg.ReportFraction * (1 - feltDist/(cfg.RadiusKm*1.2))
+		if rng.Float64() >= pReport {
+			continue
+		}
+		delay := time.Duration(rng.Intn(cfg.WindowMinutes)) * time.Minute
+		text := eventText(rng, cfg.Keyword)
+		var tag *twitter.GeoTag
+		if rng.Float64() < cfg.GeoFraction {
+			p := at.Destination(rng.Float64()*360, math.Abs(rng.NormFloat64())*3)
+			tag = &twitter.GeoTag{Lat: p.Lat, Lon: p.Lon}
+			truth.GeoReports++
+		}
+		if _, err := svc.PostTweet(id, text, cfg.Onset.Add(delay), tag); err != nil {
+			return nil, fmt.Errorf("synth: inject event: %w", err)
+		}
+		truth.Reports++
+		truth.ReporterIDs = append(truth.ReporterIDs, id)
+	}
+
+	// Background noise: keyword mentions far from the event.
+	for i := 0; i < cfg.NoiseReports && len(ids) > 0; i++ {
+		id := ids[rng.Intn(len(ids))]
+		t := cfg.Onset.Add(-time.Duration(1+rng.Intn(600)) * time.Minute)
+		text := fmt.Sprintf("reading about the %s in the news", cfg.Keyword)
+		if _, err := svc.PostTweet(id, text, t, nil); err != nil {
+			return nil, err
+		}
+	}
+	return truth, nil
+}
+
+// nearestFeltPlace returns the user's haunt (or home) closest to the
+// epicentre and its distance.
+func nearestFeltPlace(ut *UserTruth, epi geo.Point) (geo.Point, float64) {
+	best := ut.Home.Center
+	bestD := epi.DistanceKm(best)
+	for _, h := range ut.Haunts {
+		if d := epi.DistanceKm(h.District.Center); d < bestD {
+			best, bestD = h.District.Center, d
+		}
+	}
+	return best, bestD
+}
+
+func eventText(rng *rand.Rand, keyword string) string {
+	variants := []string{
+		"whoa %s just now!!",
+		"did anyone feel that %s?",
+		"%s!! the building is shaking",
+		"big %s here, everything rattled",
+		"%s... that was scary",
+	}
+	return fmt.Sprintf(variants[rng.Intn(len(variants))], keyword)
+}

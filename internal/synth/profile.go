@@ -1,0 +1,78 @@
+package synth
+
+import (
+	"fmt"
+
+	"stir/internal/admin"
+)
+
+// renderProfile produces the free-text profile location for a user of the
+// given quality kind, reproducing the shapes the paper's Fig. 3 shows.
+func (g *Generator) renderProfile(kind ProfileKind, home *admin.District) string {
+	switch kind {
+	case PEmpty:
+		return ""
+	case PWellDefined:
+		return g.wellDefinedText(home)
+	case PExactGPS:
+		p := g.pointIn(home)
+		return fmt.Sprintf("%.4f, %.4f", p.Lat, p.Lon)
+	case PVague:
+		return pick(g, vagueProfiles)
+	case PInsufficient:
+		if home.Country == "KR" && g.rng.Float64() < 0.5 {
+			return pick(g, []string{home.State, "Korea", "대한민국", "Republic of Korea"})
+		}
+		return pick(g, insufficientProfiles)
+	case PMeaningless:
+		return pick(g, meaninglessProfiles)
+	case PAmbiguous:
+		// The paper's example: two unrelated locations in one field.
+		other := pick(g, []string{"Gold Coast Australia", "NYC", "Tokyo Japan", "Haeundae"})
+		return truncateRunes(other+" / "+home.County, 30)
+	default:
+		return ""
+	}
+}
+
+// wellDefinedText picks one of the uniquely-resolvable renderings of home.
+func (g *Generator) wellDefinedText(home *admin.District) string {
+	variants := []string{
+		home.County,
+		home.State + " " + home.County,
+		home.County + ", " + home.State,
+	}
+	if home.Country == "KR" {
+		variants = append(variants, home.County+", Korea")
+	}
+	// Alias spellings (Hangul, paper romanisations) when available.
+	if len(home.Aliases) > 0 && g.rng.Float64() < 0.35 {
+		a := home.Aliases[g.rng.Intn(len(home.Aliases))]
+		variants = append(variants, a, home.State+" "+a)
+	}
+	return truncateRunes(pick(g, variants), 30)
+}
+
+func pick(g *Generator, xs []string) string { return xs[g.rng.Intn(len(xs))] }
+
+func truncateRunes(s string, n int) string {
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	return string(r[:n])
+}
+
+var vagueProfiles = []string{
+	"my home", "home", "my house", "somewhere", "everywhere",
+	"in your heart", "internet", "우리집", "집",
+}
+
+var insufficientProfiles = []string{
+	"Earth", "world", "planet earth", "Asia", "Korea", "대한민국",
+}
+
+var meaninglessProfiles = []string{
+	"darangland :)", "~~~", "lalala", "ask me", "wonderland", "♥",
+	"no.where.at.all", "(  ._.)", "behind you",
+}

@@ -1,0 +1,357 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"stir/internal/admin"
+	"stir/internal/geo"
+	"stir/internal/twitter"
+)
+
+func koreaGaz(t testing.TB) *admin.Gazetteer {
+	t.Helper()
+	g, err := admin.NewKoreaGazetteer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func generate(t testing.TB, cfg Config) (*twitter.Service, *Population) {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := twitter.NewService()
+	pop, err := g.Populate(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, pop
+}
+
+func TestConfigValidation(t *testing.T) {
+	gaz := koreaGaz(t)
+	good := KoreanConfig(1, 100, gaz)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("preset invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Users = 0 },
+		func(c *Config) { c.Gazetteer = nil },
+		func(c *Config) { c.Mix.Resident += 0.5 },
+		func(c *Config) { c.Profiles.Empty += 0.5 },
+		func(c *Config) { c.TweetsPerUserMean = 0 },
+		func(c *Config) { c.EngagedGeoUserFraction = 1.5 },
+		func(c *Config) { c.GeoTweetFraction = -0.1 },
+		func(c *Config) { c.End = c.Start },
+	}
+	for i, mut := range cases {
+		c := KoreanConfig(1, 100, gaz)
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New should validate")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	gaz := koreaGaz(t)
+	cfg := KoreanConfig(42, 200, gaz)
+	svc1, pop1 := generate(t, cfg)
+	svc2, pop2 := generate(t, cfg)
+	if svc1.TweetCount() != svc2.TweetCount() || pop1.GeoTweets != pop2.GeoTweets {
+		t.Fatalf("same seed, different output: %d/%d vs %d/%d",
+			svc1.TweetCount(), pop1.GeoTweets, svc2.TweetCount(), pop2.GeoTweets)
+	}
+	// Spot-check per-user equality.
+	for id, u1 := range pop1.Truth {
+		u2 := pop2.Truth[id]
+		if u2 == nil || u1.Home.ID() != u2.Home.ID() || u1.Class != u2.Class {
+			t.Fatalf("user %d truth differs", id)
+		}
+	}
+	// Different seed should differ somewhere.
+	cfg.Seed = 43
+	svc3, _ := generate(t, cfg)
+	if svc3.TweetCount() == svc1.TweetCount() {
+		// Counts could rarely coincide; check a profile too.
+		same := true
+		svc1.EachUser(func(u *twitter.User) bool {
+			u3, err := svc3.User(u.ID)
+			if err != nil || u3.ProfileLocation != u.ProfileLocation {
+				same = false
+				return false
+			}
+			return true
+		})
+		if same {
+			t.Fatal("different seeds produced identical populations")
+		}
+	}
+}
+
+func TestPopulationShape(t *testing.T) {
+	gaz := koreaGaz(t)
+	cfg := KoreanConfig(7, 2000, gaz)
+	svc, pop := generate(t, cfg)
+	if svc.UserCount() != 2000 {
+		t.Fatalf("users = %d", svc.UserCount())
+	}
+	if pop.Tweets != svc.TweetCount() {
+		t.Fatalf("pop.Tweets=%d svc=%d", pop.Tweets, svc.TweetCount())
+	}
+	// GPS rate should be rare overall (paper: ~0.25%); allow a loose band.
+	rate := float64(pop.GeoTweets) / float64(pop.Tweets)
+	if rate < 0.0005 || rate > 0.02 {
+		t.Fatalf("geo rate = %.4f, outside plausible band", rate)
+	}
+	// Mobility classes roughly follow the mix.
+	classCount := map[MobilityClass]int{}
+	for _, ut := range pop.Truth {
+		classCount[ut.Class]++
+	}
+	resShare := float64(classCount[Resident]) / 2000
+	if resShare < 0.40 || resShare > 0.54 {
+		t.Fatalf("resident share = %.3f, want ~0.47", resShare)
+	}
+	noneShare := float64(classCount[NeverHome]) / 2000
+	if noneShare < 0.24 || noneShare > 0.35 {
+		t.Fatalf("never-home share = %.3f, want ~0.29", noneShare)
+	}
+}
+
+func TestHauntsRespectClass(t *testing.T) {
+	gaz := koreaGaz(t)
+	cfg := KoreanConfig(11, 800, gaz)
+	_, pop := generate(t, cfg)
+	for _, ut := range pop.Truth {
+		var total, homeW float64
+		for _, h := range ut.Haunts {
+			total += h.Weight
+			if h.District == ut.Home {
+				homeW = h.Weight
+			}
+		}
+		if len(ut.Haunts) == 0 {
+			t.Fatalf("user %d has no haunts", ut.ID)
+		}
+		if total < 0.999 || total > 1.001 {
+			t.Fatalf("user %d haunt weights sum to %v", ut.ID, total)
+		}
+		switch ut.Class {
+		case Resident:
+			if homeW < 0.3 {
+				t.Fatalf("resident %d home weight %v too low", ut.ID, homeW)
+			}
+		case NeverHome:
+			if homeW != 0 {
+				t.Fatalf("never-home %d has home weight %v", ut.ID, homeW)
+			}
+		}
+	}
+}
+
+func TestProfileKindsRendered(t *testing.T) {
+	gaz := koreaGaz(t)
+	cfg := KoreanConfig(13, 3000, gaz)
+	svc, pop := generate(t, cfg)
+	kinds := map[ProfileKind]int{}
+	for _, ut := range pop.Truth {
+		kinds[ut.Profile]++
+	}
+	for _, k := range []ProfileKind{PEmpty, PWellDefined, PVague, PInsufficient, PMeaningless} {
+		if kinds[k] == 0 {
+			t.Errorf("no users with profile kind %v", k)
+		}
+	}
+	// Profile text of empty users is empty; well-defined users' text is not.
+	checked := 0
+	svc.EachUser(func(u *twitter.User) bool {
+		ut := pop.Truth[u.ID]
+		switch ut.Profile {
+		case PEmpty:
+			if u.ProfileLocation != "" {
+				t.Errorf("empty-kind user %d has text %q", u.ID, u.ProfileLocation)
+			}
+		case PWellDefined:
+			if u.ProfileLocation == "" {
+				t.Errorf("well-defined user %d has empty text", u.ID)
+			}
+		}
+		if n := len([]rune(u.ProfileLocation)); n > twitter.MaxProfileLocationLen {
+			t.Errorf("user %d profile location too long: %d runes", u.ID, n)
+		}
+		checked++
+		return checked < 500
+	})
+}
+
+func TestGeoTweetsLandInHaunts(t *testing.T) {
+	gaz := koreaGaz(t)
+	cfg := KoreanConfig(17, 600, gaz)
+	cfg.GeoTweetFraction = 0.2 // plenty of geo tweets for the check
+	svc, pop := generate(t, cfg)
+	checked := 0
+	svc.EachTweet(func(tw *twitter.Tweet) bool {
+		if tw.Geo == nil {
+			return true
+		}
+		ut := pop.Truth[tw.UserID]
+		p := geo.Point{Lat: tw.Geo.Lat, Lon: tw.Geo.Lon}
+		ok := false
+		for _, h := range ut.Haunts {
+			if h.District.Center.DistanceKm(p) <= h.District.RadiusKm+0.5 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("geo tweet %d landed outside every haunt of user %d", tw.ID, tw.UserID)
+		}
+		checked++
+		return checked < 2000
+	})
+	if checked == 0 {
+		t.Fatal("no geo tweets generated")
+	}
+}
+
+func TestFollowerGraphConnected(t *testing.T) {
+	gaz := koreaGaz(t)
+	cfg := KoreanConfig(19, 300, gaz)
+	cfg.FollowerGraph = true
+	svc, pop := generate(t, cfg)
+	if pop.SeedUser == 0 {
+		t.Fatal("seed user not set")
+	}
+	// BFS from seed over follower edges must reach everyone.
+	visited := map[twitter.UserID]bool{pop.SeedUser: true}
+	queue := []twitter.UserID{pop.SeedUser}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		fs, err := svc.Followers(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range fs {
+			if !visited[f] {
+				visited[f] = true
+				queue = append(queue, f)
+			}
+		}
+	}
+	if len(visited) != 300 {
+		t.Fatalf("BFS reached %d of 300 users", len(visited))
+	}
+}
+
+func TestLadyGagaPreset(t *testing.T) {
+	gaz, err := admin.NewWorldGazetteer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LadyGagaConfig(23, 500, gaz)
+	svc, pop := generate(t, cfg)
+	if svc.UserCount() != 500 {
+		t.Fatalf("users = %d", svc.UserCount())
+	}
+	// Stream capture: far fewer tweets per user than the Korean crawl.
+	avg := float64(pop.Tweets) / 500
+	if avg > 20 {
+		t.Fatalf("avg tweets per user = %.1f, expected stream-like small counts", avg)
+	}
+	// Home districts should span multiple countries.
+	countries := map[string]bool{}
+	for _, ut := range pop.Truth {
+		countries[ut.Home.Country] = true
+	}
+	if len(countries) < 5 {
+		t.Fatalf("only %d countries in world population", len(countries))
+	}
+}
+
+func TestInjectEvent(t *testing.T) {
+	gaz := koreaGaz(t)
+	cfg := KoreanConfig(29, 1500, gaz)
+	svc, pop := generate(t, cfg)
+	before := svc.TweetCount()
+	epi := geo.Point{Lat: 37.55, Lon: 126.99} // central Seoul
+	truth, err := InjectEvent(svc, pop, EventConfig{
+		Seed:           5,
+		Epicenter:      epi,
+		RadiusKm:       40,
+		Onset:          time.Date(2011, 10, 1, 12, 0, 0, 0, time.UTC),
+		WindowMinutes:  30,
+		Keyword:        "earthquake",
+		ReportFraction: 0.5,
+		GeoFraction:    0.4,
+		NoiseReports:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.Reports < 50 {
+		t.Fatalf("only %d reports injected near central Seoul", truth.Reports)
+	}
+	if truth.GeoReports == 0 || truth.GeoReports >= truth.Reports {
+		t.Fatalf("geo reports = %d of %d", truth.GeoReports, truth.Reports)
+	}
+	added := svc.TweetCount() - before
+	if added != truth.Reports+10 {
+		t.Fatalf("added %d tweets, want %d reports + 10 noise", added, truth.Reports)
+	}
+	// Geo reports must lie within ~radius+noise of the epicentre.
+	svc.EachTweet(func(tw *twitter.Tweet) bool {
+		if tw.Geo == nil || tw.CreatedAt.Before(truth.Onset) ||
+			!strings.Contains(tw.Text, "earthquake") {
+			return true
+		}
+		p := geo.Point{Lat: tw.Geo.Lat, Lon: tw.Geo.Lon}
+		if epi.DistanceKm(p) > 40+15 {
+			t.Fatalf("event geo report %.0f km from epicentre", epi.DistanceKm(p))
+		}
+		return true
+	})
+	if _, err := InjectEvent(svc, pop, EventConfig{RadiusKm: 0}); err == nil {
+		t.Fatal("zero radius accepted")
+	}
+}
+
+func TestSampleGeometricMean(t *testing.T) {
+	g, err := New(KoreanConfig(3, 10, koreaGaz(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += sampleGeometric(g.rng, 50)
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 45 || mean > 55 {
+		t.Fatalf("geometric mean = %.1f, want ~50", mean)
+	}
+	if sampleGeometric(g.rng, 0) != 0 {
+		t.Fatal("zero mean should produce zero")
+	}
+}
+
+func TestClassAndKindStrings(t *testing.T) {
+	if Resident.String() != "resident" || NeverHome.String() != "never-home" ||
+		MobilityClass(99).String() != "unknown" {
+		t.Fatal("class labels wrong")
+	}
+	if PWellDefined.String() != "well-defined" || ProfileKind(99).String() != "unknown" {
+		t.Fatal("profile kind labels wrong")
+	}
+}
+
+func worldGaz() (*admin.Gazetteer, error) { return admin.NewWorldGazetteer() }

@@ -1,0 +1,56 @@
+package synth
+
+import (
+	"strings"
+
+	"stir/internal/admin"
+)
+
+// Tweet text generation. Event-detection baselines (TF-IDF trends, keyword
+// tracking) need realistic word distributions: a Zipf-ish common vocabulary,
+// topical words, and occasional mentions of the district the user is in —
+// the paper's Fig. 4 shows tweets naming their own GPS location.
+
+var commonWords = []string{
+	"today", "lunch", "coffee", "work", "home", "friend", "weekend",
+	"morning", "night", "rain", "sunny", "bus", "subway", "train",
+	"movie", "music", "game", "study", "meeting", "dinner", "happy",
+	"tired", "busy", "love", "time", "photo", "news", "phone", "book",
+	"walk", "run", "shop", "food", "tea", "beer", "chicken", "pizza",
+}
+
+var topicWords = []string{
+	"kpop", "concert", "drama", "baseball", "soccer", "election",
+	"festival", "exam", "vacation", "traffic", "sale", "release",
+}
+
+// tweetText builds one tweet. When the tweet is geo-tagged at a district,
+// the text sometimes names that district, as the paper observed.
+func (g *Generator) tweetText(at *admin.District) string {
+	var b strings.Builder
+	n := 4 + g.rng.Intn(8)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		// Zipf-ish: low indices much more likely.
+		idx := int(float64(len(commonWords)) * g.rng.Float64() * g.rng.Float64())
+		if idx >= len(commonWords) {
+			idx = len(commonWords) - 1
+		}
+		b.WriteString(commonWords[idx])
+	}
+	if g.rng.Float64() < 0.2 {
+		b.WriteByte(' ')
+		b.WriteString(topicWords[g.rng.Intn(len(topicWords))])
+	}
+	if at != nil && g.rng.Float64() < 0.25 {
+		b.WriteString(" at ")
+		b.WriteString(at.County)
+	}
+	s := b.String()
+	if len([]rune(s)) > 140 {
+		s = truncateRunes(s, 140)
+	}
+	return s
+}

@@ -1,0 +1,201 @@
+// Package temporal analyses posting behaviour over time — the companion
+// study to the spatial-correlation paper (the same group's "A Temporal
+// Analysis of Posting Behavior in Social Media Streams"). STIR uses it as an
+// extension: temporal regularity is a second, independent signal of how
+// much a user's self-reported attributes can be trusted, and the library
+// lets the two be correlated.
+package temporal
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+)
+
+// ActivityClass buckets a user's dominant posting period.
+type ActivityClass int
+
+// Activity classes by local posting hour.
+const (
+	// Uniform posting spreads across the whole day (high hour entropy).
+	Uniform ActivityClass = iota
+	// Daytime concentrates in 09:00-18:00.
+	Daytime
+	// Evening concentrates in 18:00-24:00.
+	Evening
+	// Night concentrates in 00:00-06:00.
+	Night
+	// Morning concentrates in 06:00-09:00.
+	Morning
+)
+
+// String implements fmt.Stringer.
+func (c ActivityClass) String() string {
+	switch c {
+	case Uniform:
+		return "uniform"
+	case Daytime:
+		return "daytime"
+	case Evening:
+		return "evening"
+	case Night:
+		return "night"
+	case Morning:
+		return "morning"
+	default:
+		return "unknown"
+	}
+}
+
+// Profile is one user's temporal posting profile.
+type Profile struct {
+	UserID     int64
+	HourCounts [24]int
+	DayCounts  [7]int // Sunday = 0
+	Total      int
+}
+
+// BuildProfile accumulates posting timestamps into a profile. loc selects
+// the local timezone (nil means UTC; the Korean dataset should use KST).
+func BuildProfile(userID int64, times []time.Time, loc *time.Location) Profile {
+	if loc == nil {
+		loc = time.UTC
+	}
+	p := Profile{UserID: userID}
+	for _, t := range times {
+		lt := t.In(loc)
+		p.HourCounts[lt.Hour()]++
+		p.DayCounts[int(lt.Weekday())]++
+		p.Total++
+	}
+	return p
+}
+
+// KST is the fixed Korea Standard Time zone used for the Korean dataset.
+var KST = time.FixedZone("KST", 9*60*60)
+
+// PeakHour returns the hour of day with the most posts (ties favour the
+// earlier hour); -1 for an empty profile.
+func (p Profile) PeakHour() int {
+	if p.Total == 0 {
+		return -1
+	}
+	best, bestCount := 0, p.HourCounts[0]
+	for h := 1; h < 24; h++ {
+		if p.HourCounts[h] > bestCount {
+			best, bestCount = h, p.HourCounts[h]
+		}
+	}
+	return best
+}
+
+// HourEntropy returns the normalised Shannon entropy of the hour histogram
+// in [0,1]: 0 means all posts in one hour, 1 means perfectly uniform.
+func (p Profile) HourEntropy() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range p.HourCounts {
+		if c == 0 {
+			continue
+		}
+		f := float64(c) / float64(p.Total)
+		h -= f * math.Log2(f)
+	}
+	return h / math.Log2(24)
+}
+
+// periodShare sums the share of posts within [from,to) hours.
+func (p Profile) periodShare(from, to int) float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	var c int
+	for h := from; h < to; h++ {
+		c += p.HourCounts[h]
+	}
+	return float64(c) / float64(p.Total)
+}
+
+// Class buckets the profile by its dominant period; profiles with hour
+// entropy above 0.9 are Uniform regardless.
+func (p Profile) Class() ActivityClass {
+	if p.Total == 0 || p.HourEntropy() > 0.9 {
+		return Uniform
+	}
+	type period struct {
+		share float64
+		class ActivityClass
+		width float64
+	}
+	periods := []period{
+		{p.periodShare(9, 18), Daytime, 9},
+		{p.periodShare(18, 24), Evening, 6},
+		{p.periodShare(0, 6), Night, 6},
+		{p.periodShare(6, 9), Morning, 3},
+	}
+	best := periods[0]
+	bestDensity := best.share / best.width
+	for _, pr := range periods[1:] {
+		if d := pr.share / pr.width; d > bestDensity {
+			best, bestDensity = pr, d
+		}
+	}
+	return best.class
+}
+
+// WeekendShare returns the fraction of posts on Saturday/Sunday.
+func (p Profile) WeekendShare() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.DayCounts[0]+p.DayCounts[6]) / float64(p.Total)
+}
+
+// ErrTooFewEvents reports a burstiness query on fewer than three events.
+var ErrTooFewEvents = errors.New("temporal: need at least 3 events")
+
+// Burstiness returns the Goh-Barabási burstiness of the inter-arrival
+// times: (σ-μ)/(σ+μ) in [-1,1]. -1 is perfectly periodic, 0 is Poisson,
+// values near 1 are extremely bursty.
+func Burstiness(times []time.Time) (float64, error) {
+	if len(times) < 3 {
+		return 0, ErrTooFewEvents
+	}
+	ts := append([]time.Time(nil), times...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
+	gaps := make([]float64, 0, len(ts)-1)
+	for i := 1; i < len(ts); i++ {
+		gaps = append(gaps, ts[i].Sub(ts[i-1]).Seconds())
+	}
+	var mean float64
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	var varr float64
+	for _, g := range gaps {
+		d := g - mean
+		varr += d * d
+	}
+	varr /= float64(len(gaps))
+	sigma := math.Sqrt(varr)
+	if sigma+mean == 0 {
+		return 0, nil
+	}
+	return (sigma - mean) / (sigma + mean), nil
+}
+
+// ActiveDays returns how many distinct calendar days (in loc) have posts.
+func ActiveDays(times []time.Time, loc *time.Location) int {
+	if loc == nil {
+		loc = time.UTC
+	}
+	days := make(map[string]struct{})
+	for _, t := range times {
+		days[t.In(loc).Format("2006-01-02")] = struct{}{}
+	}
+	return len(days)
+}

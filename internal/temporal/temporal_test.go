@@ -1,0 +1,209 @@
+package temporal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var day0 = time.Date(2011, 9, 5, 0, 0, 0, 0, time.UTC) // a Monday
+
+func atHour(h int) time.Time { return day0.Add(time.Duration(h) * time.Hour) }
+
+func TestBuildProfileBasics(t *testing.T) {
+	times := []time.Time{atHour(10), atHour(10), atHour(14), atHour(22)}
+	p := BuildProfile(7, times, time.UTC)
+	if p.UserID != 7 || p.Total != 4 {
+		t.Fatalf("profile = %+v", p)
+	}
+	if p.HourCounts[10] != 2 || p.HourCounts[14] != 1 || p.HourCounts[22] != 1 {
+		t.Fatalf("hour counts = %v", p.HourCounts)
+	}
+	if p.DayCounts[1] != 4 { // Monday
+		t.Fatalf("day counts = %v", p.DayCounts)
+	}
+	if p.PeakHour() != 10 {
+		t.Fatalf("peak = %d", p.PeakHour())
+	}
+}
+
+func TestTimezoneShift(t *testing.T) {
+	// 23:00 UTC is 08:00 KST next day.
+	times := []time.Time{day0.Add(23 * time.Hour)}
+	utc := BuildProfile(1, times, time.UTC)
+	kst := BuildProfile(1, times, KST)
+	if utc.PeakHour() != 23 {
+		t.Fatalf("utc peak = %d", utc.PeakHour())
+	}
+	if kst.PeakHour() != 8 {
+		t.Fatalf("kst peak = %d", kst.PeakHour())
+	}
+	if BuildProfile(1, times, nil).PeakHour() != 23 {
+		t.Fatal("nil loc should mean UTC")
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	p := BuildProfile(1, nil, nil)
+	if p.PeakHour() != -1 || p.HourEntropy() != 0 || p.WeekendShare() != 0 {
+		t.Fatalf("empty profile stats wrong: %+v", p)
+	}
+	if p.Class() != Uniform {
+		t.Fatalf("empty class = %v", p.Class())
+	}
+}
+
+func TestHourEntropyExtremes(t *testing.T) {
+	// All in one hour → entropy 0.
+	var times []time.Time
+	for i := 0; i < 50; i++ {
+		times = append(times, atHour(9))
+	}
+	p := BuildProfile(1, times, nil)
+	if p.HourEntropy() != 0 {
+		t.Fatalf("concentrated entropy = %v", p.HourEntropy())
+	}
+	// One in each hour → entropy 1.
+	times = nil
+	for h := 0; h < 24; h++ {
+		times = append(times, atHour(h))
+	}
+	p = BuildProfile(1, times, nil)
+	if math.Abs(p.HourEntropy()-1) > 1e-12 {
+		t.Fatalf("uniform entropy = %v", p.HourEntropy())
+	}
+	if p.Class() != Uniform {
+		t.Fatalf("uniform class = %v", p.Class())
+	}
+}
+
+func TestActivityClasses(t *testing.T) {
+	mk := func(hours ...int) Profile {
+		var times []time.Time
+		for _, h := range hours {
+			for i := 0; i < 10; i++ {
+				times = append(times, atHour(h))
+			}
+		}
+		return BuildProfile(1, times, nil)
+	}
+	cases := []struct {
+		p    Profile
+		want ActivityClass
+	}{
+		{mk(10, 11, 14, 16), Daytime},
+		{mk(19, 20, 22), Evening},
+		{mk(1, 2, 3), Night},
+		{mk(7, 8), Morning},
+	}
+	for i, tc := range cases {
+		if got := tc.p.Class(); got != tc.want {
+			t.Errorf("case %d: Class = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	want := map[ActivityClass]string{
+		Uniform: "uniform", Daytime: "daytime", Evening: "evening",
+		Night: "night", Morning: "morning", ActivityClass(99): "unknown",
+	}
+	for c, w := range want {
+		if c.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), w)
+		}
+	}
+}
+
+func TestWeekendShare(t *testing.T) {
+	sat := time.Date(2011, 9, 10, 12, 0, 0, 0, time.UTC)
+	times := []time.Time{day0.Add(10 * time.Hour), sat, sat.Add(time.Hour)}
+	p := BuildProfile(1, times, nil)
+	if math.Abs(p.WeekendShare()-2.0/3) > 1e-12 {
+		t.Fatalf("weekend share = %v", p.WeekendShare())
+	}
+}
+
+func TestBurstinessPeriodic(t *testing.T) {
+	var times []time.Time
+	for i := 0; i < 50; i++ {
+		times = append(times, day0.Add(time.Duration(i)*time.Hour))
+	}
+	b, err := Burstiness(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b > -0.99 {
+		t.Fatalf("periodic burstiness = %v, want ~-1", b)
+	}
+}
+
+func TestBurstinessBursty(t *testing.T) {
+	// Long silences punctuated by rapid volleys.
+	var times []time.Time
+	cur := day0
+	r := rand.New(rand.NewSource(1))
+	for burst := 0; burst < 20; burst++ {
+		cur = cur.Add(time.Duration(10+r.Intn(200)) * time.Hour)
+		for i := 0; i < 10; i++ {
+			cur = cur.Add(time.Duration(1+r.Intn(20)) * time.Second)
+			times = append(times, cur)
+		}
+	}
+	b, err := Burstiness(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < 0.5 {
+		t.Fatalf("bursty burstiness = %v, want > 0.5", b)
+	}
+}
+
+func TestBurstinessErrorsAndBounds(t *testing.T) {
+	if _, err := Burstiness([]time.Time{day0, day0.Add(time.Hour)}); !errors.Is(err, ErrTooFewEvents) {
+		t.Fatalf("too-few err = %v", err)
+	}
+	// All simultaneous events: zero gaps, defined result.
+	b, err := Burstiness([]time.Time{day0, day0, day0})
+	if err != nil || b != 0 {
+		t.Fatalf("degenerate burstiness = %v, %v", b, err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(100)
+		times := make([]time.Time, n)
+		for i := range times {
+			times[i] = day0.Add(time.Duration(r.Int63n(int64(30 * 24 * time.Hour))))
+		}
+		b, err := Burstiness(times)
+		if err != nil {
+			return false
+		}
+		return b >= -1-1e-9 && b <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActiveDays(t *testing.T) {
+	times := []time.Time{
+		day0.Add(2 * time.Hour),
+		day0.Add(3 * time.Hour),
+		day0.Add(26 * time.Hour),
+	}
+	if got := ActiveDays(times, time.UTC); got != 2 {
+		t.Fatalf("ActiveDays = %d", got)
+	}
+	// 23:30 UTC on one day is the next day in KST.
+	edge := []time.Time{day0.Add(23*time.Hour + 30*time.Minute)}
+	if ActiveDays(edge, time.UTC) != 1 || ActiveDays(edge, KST) != 1 {
+		t.Fatal("single event must be one day in any zone")
+	}
+	if ActiveDays(nil, nil) != 0 {
+		t.Fatal("no events, no days")
+	}
+}

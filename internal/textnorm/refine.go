@@ -1,0 +1,270 @@
+// Package textnorm refines the free-text profile locations on Twitter into
+// administrative districts — the manual filtering step of the paper's §III-B.
+// Profiles carry anything from exact addresses and GPS coordinates to vague
+// ("my home"), insufficient ("Earth", "Seoul", "Korea") and meaningless
+// ("darangland :)") strings, sometimes two locations at once; the classifier
+// sorts them into those buckets and extracts the district when one exists.
+package textnorm
+
+import (
+	"strconv"
+	"strings"
+
+	"stir/internal/admin"
+	"stir/internal/geo"
+)
+
+// Quality buckets a profile location string, mirroring the paper's manual
+// refinement categories.
+type Quality int
+
+const (
+	// WellDefined uniquely names one administrative district.
+	WellDefined Quality = iota
+	// GPSCoordinates means the profile holds literal coordinates (some users
+	// paste them); the point still needs reverse geocoding.
+	GPSCoordinates
+	// Ambiguous names more than one possible district, like the paper's user
+	// with both "Gold Coast Australia" and a Seoul district in one field.
+	Ambiguous
+	// Vague is a relative or personal place: "my home", "everywhere".
+	Vague
+	// Insufficient is recognisable but too coarse for county-level grouping:
+	// "Earth", "Korea", or a bare state like "Seoul".
+	Insufficient
+	// Meaningless matches nothing at all: "darangland :)".
+	Meaningless
+)
+
+// String implements fmt.Stringer.
+func (q Quality) String() string {
+	switch q {
+	case WellDefined:
+		return "well-defined"
+	case GPSCoordinates:
+		return "gps-coordinates"
+	case Ambiguous:
+		return "ambiguous"
+	case Vague:
+		return "vague"
+	case Insufficient:
+		return "insufficient"
+	case Meaningless:
+		return "meaningless"
+	default:
+		return "unknown"
+	}
+}
+
+// Usable reports whether the paper's refinement keeps users with this
+// quality: only uniquely resolvable locations survive.
+func (q Quality) Usable() bool { return q == WellDefined || q == GPSCoordinates }
+
+// Result is one classified profile location.
+type Result struct {
+	Quality Quality
+	// District is set for WellDefined (and for GPSCoordinates after the
+	// caller reverse-geocodes Point).
+	District *admin.District
+	// Candidates holds the competing districts for Ambiguous.
+	Candidates []*admin.District
+	// Point is set for GPSCoordinates.
+	Point *geo.Point
+	// MatchedText is the fragment that produced the district, for audits.
+	MatchedText string
+}
+
+// Refiner classifies profile locations against a gazetteer.
+type Refiner struct {
+	gaz *admin.Gazetteer
+	// MaxNGram bounds how many consecutive tokens one district name may
+	// span; 4 covers "gold coast australia" style names.
+	MaxNGram int
+}
+
+// NewRefiner builds a Refiner over the gazetteer.
+func NewRefiner(gaz *admin.Gazetteer) *Refiner {
+	return &Refiner{gaz: gaz, MaxNGram: 4}
+}
+
+// vagueTerms are relative/personal places with no fixed district.
+var vagueTerms = map[string]bool{
+	"my home": true, "home": true, "my house": true, "house": true,
+	"my room": true, "somewhere": true, "everywhere": true, "nowhere": true,
+	"here": true, "there": true, "in your heart": true, "heart": true,
+	"internet": true, "online": true, "twitter": true, "web": true,
+	"우리집": true, "집": true, "어딘가": true,
+}
+
+// planetTerms are recognisable but uselessly coarse, the paper's "Earth"
+// case; country names land here too.
+var planetTerms = map[string]bool{
+	"earth": true, "world": true, "the world": true, "planet earth": true,
+	"moon": true, "mars": true, "universe": true, "asia": true,
+	"korea": true, "south korea": true, "republic of korea": true,
+	"대한민국": true, "한국": true, "usa": true, "united states": true,
+	"japan": true, "china": true, "uk": true, "united kingdom": true,
+	"australia": true, "canada": true, "france": true, "germany": true,
+}
+
+// Classify buckets one profile location string.
+func (r *Refiner) Classify(raw string) Result {
+	trimmed := strings.TrimSpace(raw)
+	if trimmed == "" {
+		return Result{Quality: Meaningless}
+	}
+	if p, ok := parseCoordinates(trimmed); ok {
+		return Result{Quality: GPSCoordinates, Point: &p, MatchedText: trimmed}
+	}
+	norm := admin.NormalizeName(trimmed)
+	if norm == "" {
+		return Result{Quality: Meaningless}
+	}
+	if vagueTerms[norm] {
+		return Result{Quality: Vague, MatchedText: norm}
+	}
+	if planetTerms[norm] {
+		return Result{Quality: Insufficient, MatchedText: norm}
+	}
+
+	// Whole-string match first: cheapest and least ambiguous.
+	if res, ok := r.tryResolve(norm); ok {
+		return res
+	}
+	// Bare state ("Seoul", "경기도"): recognisable but too coarse.
+	if state, ok := r.gaz.IsState(norm); ok {
+		return Result{Quality: Insufficient, MatchedText: state}
+	}
+
+	// Token scan: find district names and state names anywhere in the text.
+	return r.scanTokens(norm)
+}
+
+// tryResolve resolves a candidate name; unique hits are WellDefined, multi
+// hits collapse to one district when a single state matches.
+func (r *Refiner) tryResolve(name string) (Result, bool) {
+	ds := r.gaz.ResolveName(name)
+	switch {
+	case len(ds) == 1:
+		return Result{Quality: WellDefined, District: ds[0], MatchedText: name}, true
+	case len(ds) > 1:
+		return Result{Quality: Ambiguous, Candidates: ds, MatchedText: name}, true
+	default:
+		return Result{}, false
+	}
+}
+
+// scanTokens walks n-grams of the normalised text, collecting every district
+// and state mention, then reconciles them.
+func (r *Refiner) scanTokens(norm string) Result {
+	tokens := strings.Fields(norm)
+	maxN := r.MaxNGram
+	if maxN < 1 {
+		maxN = 1
+	}
+	var (
+		districts []*admin.District
+		states    []string
+		matched   []string
+	)
+	used := make([]bool, len(tokens))
+	// Longest spans first so "gold coast australia" wins over "gold".
+	for n := maxN; n >= 1; n-- {
+		for i := 0; i+n <= len(tokens); i++ {
+			if anyUsed(used, i, n) {
+				continue
+			}
+			frag := strings.Join(tokens[i:i+n], " ")
+			if ds := r.gaz.ResolveName(frag); len(ds) > 0 {
+				districts = append(districts, ds...)
+				matched = append(matched, frag)
+				markUsed(used, i, n)
+				continue
+			}
+			if st, ok := r.gaz.IsState(frag); ok {
+				states = append(states, st)
+				matched = append(matched, frag)
+				markUsed(used, i, n)
+			}
+		}
+	}
+	districts = dedupeDistricts(districts)
+	// A state mention disambiguates same-named counties ("Jung-gu" + "Busan").
+	if len(states) > 0 && len(districts) > 1 {
+		var narrowed []*admin.District
+		for _, d := range districts {
+			for _, st := range states {
+				if d.State == st {
+					narrowed = append(narrowed, d)
+					break
+				}
+			}
+		}
+		if len(narrowed) > 0 {
+			districts = narrowed
+		}
+	}
+	switch {
+	case len(districts) == 1:
+		return Result{Quality: WellDefined, District: districts[0], MatchedText: strings.Join(matched, " + ")}
+	case len(districts) > 1:
+		// Same county name across states, or genuinely two places listed.
+		return Result{Quality: Ambiguous, Candidates: districts, MatchedText: strings.Join(matched, " + ")}
+	case len(states) > 0:
+		return Result{Quality: Insufficient, MatchedText: strings.Join(matched, " + ")}
+	default:
+		return Result{Quality: Meaningless}
+	}
+}
+
+func anyUsed(used []bool, i, n int) bool {
+	for j := i; j < i+n; j++ {
+		if used[j] {
+			return true
+		}
+	}
+	return false
+}
+
+func markUsed(used []bool, i, n int) {
+	for j := i; j < i+n; j++ {
+		used[j] = true
+	}
+}
+
+func dedupeDistricts(ds []*admin.District) []*admin.District {
+	seen := make(map[string]bool, len(ds))
+	out := ds[:0]
+	for _, d := range ds {
+		if !seen[d.ID()] {
+			seen[d.ID()] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// parseCoordinates recognises "37.53, 126.97"-style literal coordinates:
+// exactly two decimal numbers in valid ranges, separated by a comma and/or
+// whitespace, with at least one fractional part (so "3 14" is not a match).
+func parseCoordinates(s string) (geo.Point, bool) {
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == ';' || r == '/'
+	})
+	if len(fields) != 2 {
+		return geo.Point{}, false
+	}
+	lat, err1 := strconv.ParseFloat(fields[0], 64)
+	lon, err2 := strconv.ParseFloat(fields[1], 64)
+	if err1 != nil || err2 != nil {
+		return geo.Point{}, false
+	}
+	if !strings.Contains(fields[0], ".") && !strings.Contains(fields[1], ".") {
+		return geo.Point{}, false
+	}
+	p, err := geo.NewPoint(lat, lon)
+	if err != nil {
+		return geo.Point{}, false
+	}
+	return p, true
+}

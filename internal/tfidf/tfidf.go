@@ -1,0 +1,119 @@
+// Package tfidf implements the term-weighting machinery behind the
+// Twitris-style baseline (§II): extract the terms that characterise the
+// tweets of one time/space cell against the whole corpus.
+package tfidf
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// stopwords are dropped during tokenisation; the list covers the synthetic
+// corpus's filler vocabulary plus common English function words.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "at": true, "be": true,
+	"but": true, "by": true, "for": true, "if": true, "in": true, "is": true,
+	"it": true, "of": true, "on": true, "or": true, "so": true, "that": true,
+	"the": true, "this": true, "to": true, "was": true, "with": true,
+	"i": true, "my": true, "me": true, "we": true, "you": true, "just": true,
+	"now": true, "rt": true,
+}
+
+// Tokenize lowercases s, splits on non-letter/digit runes, and drops
+// stopwords and single-character tokens.
+func Tokenize(s string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	out := fields[:0]
+	for _, f := range fields {
+		if len([]rune(f)) < 2 || stopwords[f] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Corpus accumulates documents (bags of tokens) and answers TF-IDF queries.
+// A "document" in the Twitris setting is the concatenation of all tweets in
+// one (day, district) cell.
+type Corpus struct {
+	docs []map[string]int
+	df   map[string]int
+	lens []int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{df: make(map[string]int)}
+}
+
+// Add ingests one document and returns its ID.
+func (c *Corpus) Add(tokens []string) int {
+	tf := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	for t := range tf {
+		c.df[t]++
+	}
+	c.docs = append(c.docs, tf)
+	c.lens = append(c.lens, len(tokens))
+	return len(c.docs) - 1
+}
+
+// Len returns the number of documents.
+func (c *Corpus) Len() int { return len(c.docs) }
+
+// TF returns the normalised term frequency of term in doc id.
+func (c *Corpus) TF(id int, term string) float64 {
+	if id < 0 || id >= len(c.docs) || c.lens[id] == 0 {
+		return 0
+	}
+	return float64(c.docs[id][term]) / float64(c.lens[id])
+}
+
+// IDF returns the smoothed inverse document frequency of term.
+func (c *Corpus) IDF(term string) float64 {
+	n := len(c.docs)
+	if n == 0 {
+		return 0
+	}
+	return math.Log(float64(1+n) / float64(1+c.df[term]))
+}
+
+// TFIDF returns tf·idf of term in doc id.
+func (c *Corpus) TFIDF(id int, term string) float64 {
+	return c.TF(id, term) * c.IDF(term)
+}
+
+// TermScore pairs a term with its score.
+type TermScore struct {
+	Term  string
+	Score float64
+}
+
+// TopTerms returns the k highest-TF-IDF terms of doc id, ties broken
+// alphabetically for determinism.
+func (c *Corpus) TopTerms(id, k int) []TermScore {
+	if id < 0 || id >= len(c.docs) || k <= 0 {
+		return nil
+	}
+	scores := make([]TermScore, 0, len(c.docs[id]))
+	for term := range c.docs[id] {
+		scores = append(scores, TermScore{Term: term, Score: c.TFIDF(id, term)})
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].Score != scores[j].Score {
+			return scores[i].Score > scores[j].Score
+		}
+		return scores[i].Term < scores[j].Term
+	})
+	if k > len(scores) {
+		k = len(scores)
+	}
+	return scores[:k]
+}

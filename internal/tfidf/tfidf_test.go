@@ -1,0 +1,95 @@
+package tfidf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Big Earthquake in Seoul!! RT @user http://x.co #quake")
+	want := map[string]bool{"big": true, "earthquake": true, "seoul": true, "user": true, "http": true, "co": true, "quake": true}
+	for _, tok := range got {
+		if !want[tok] {
+			t.Errorf("unexpected token %q", tok)
+		}
+	}
+	for _, tok := range got {
+		if tok == "in" || tok == "rt" {
+			t.Errorf("stopword %q survived", tok)
+		}
+	}
+	if len(Tokenize("")) != 0 || len(Tokenize("a I")) != 0 {
+		t.Error("degenerate inputs should tokenize to nothing")
+	}
+}
+
+func TestTFIDFDiscriminates(t *testing.T) {
+	c := NewCorpus()
+	// "earthquake" only in doc 0; "coffee" everywhere.
+	d0 := c.Add(Tokenize("earthquake shaking earthquake coffee"))
+	c.Add(Tokenize("coffee lunch subway"))
+	c.Add(Tokenize("coffee movie night"))
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	eq := c.TFIDF(d0, "earthquake")
+	cf := c.TFIDF(d0, "coffee")
+	if eq <= cf {
+		t.Fatalf("earthquake tfidf %v should exceed coffee %v", eq, cf)
+	}
+	top := c.TopTerms(d0, 2)
+	if len(top) != 2 || top[0].Term != "earthquake" {
+		t.Fatalf("TopTerms = %v", top)
+	}
+}
+
+func TestTFIDFEdgeCases(t *testing.T) {
+	c := NewCorpus()
+	if c.TFIDF(0, "x") != 0 {
+		t.Fatal("empty corpus should score 0")
+	}
+	id := c.Add(nil)
+	if c.TF(id, "x") != 0 {
+		t.Fatal("empty doc TF should be 0")
+	}
+	if got := c.TopTerms(id, 5); len(got) != 0 {
+		t.Fatalf("empty doc TopTerms = %v", got)
+	}
+	if got := c.TopTerms(-1, 5); got != nil {
+		t.Fatalf("bad id TopTerms = %v", got)
+	}
+	if got := c.TopTerms(id, 0); got != nil {
+		t.Fatalf("k=0 TopTerms = %v", got)
+	}
+}
+
+func TestIDFMonotone(t *testing.T) {
+	c := NewCorpus()
+	c.Add([]string{"rare", "common"})
+	c.Add([]string{"common"})
+	c.Add([]string{"common"})
+	if c.IDF("rare") <= c.IDF("common") {
+		t.Fatal("rarer term should have higher IDF")
+	}
+	if c.IDF("absent") <= c.IDF("rare") {
+		t.Fatal("absent term should have the highest IDF")
+	}
+}
+
+func TestTopTermsDeterministicTies(t *testing.T) {
+	c := NewCorpus()
+	id := c.Add([]string{"beta", "alpha"}) // same tf, same idf
+	t1 := c.TopTerms(id, 2)
+	t2 := c.TopTerms(id, 2)
+	if t1[0].Term != "alpha" || t2[0].Term != "alpha" {
+		t.Fatalf("tie-break not alphabetical: %v vs %v", t1, t2)
+	}
+}
+
+func TestTFNormalised(t *testing.T) {
+	c := NewCorpus()
+	id := c.Add([]string{"x", "x", "y", "z"})
+	if got := c.TF(id, "x"); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("TF = %v", got)
+	}
+}

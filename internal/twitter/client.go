@@ -1,0 +1,304 @@
+package twitter
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is the SDK the crawler and examples use against an APIServer. It
+// retries 429 responses by sleeping until the advertised window reset (capped
+// by MaxBackoff), the standard well-behaved-crawler discipline the paper's
+// collection needed to survive the API's limits.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+	// MaxBackoff caps a single rate-limit sleep (default 2s — the simulated
+	// server uses short windows; real deployments would raise it).
+	MaxBackoff time.Duration
+	// MaxRetries bounds retries per call (default 5).
+	MaxRetries int
+	// sleep is swappable for tests.
+	sleep func(context.Context, time.Duration) error
+}
+
+// NewClient returns a client for the API at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTP:       &http.Client{Timeout: 30 * time.Second},
+		MaxBackoff: 2 * time.Second,
+		MaxRetries: 5,
+		sleep:      sleepCtx,
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	Status int
+	Msg    string
+	Code   int
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("twitter api: status %d code %d: %s", e.Status, e.Code, e.Msg)
+}
+
+// IsNotFound reports whether err is a 404 API error.
+func IsNotFound(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Status == http.StatusNotFound
+}
+
+// getJSON performs a GET with rate-limit retries and decodes into out.
+func (c *Client) getJSON(ctx context.Context, path string, params url.Values, out any) error {
+	retries := c.MaxRetries
+	if retries <= 0 {
+		retries = 5
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path+"?"+params.Encode(), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return fmt.Errorf("twitter client: %w", err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			wait := c.backoffFrom(resp)
+			// The reset header has second granularity; when it rounds to
+			// "now", fall back to exponential backoff so short simulated
+			// windows are still ridden out.
+			if expo := (10 * time.Millisecond) << attempt; wait < expo {
+				wait = expo
+			}
+			if maxB := c.maxBackoff(); wait > maxB {
+				wait = maxB
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = &APIError{Status: resp.StatusCode, Msg: "rate limited", Code: 88}
+			if err := c.sleep(ctx, wait); err != nil {
+				return err
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			var ae apiError
+			_ = json.NewDecoder(resp.Body).Decode(&ae)
+			resp.Body.Close()
+			return &APIError{Status: resp.StatusCode, Msg: ae.Error, Code: ae.Code}
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("twitter client: decode: %w", err)
+		}
+		return nil
+	}
+	return fmt.Errorf("twitter client: retries exhausted: %w", lastErr)
+}
+
+func (c *Client) maxBackoff() time.Duration {
+	if c.MaxBackoff <= 0 {
+		return 2 * time.Second
+	}
+	return c.MaxBackoff
+}
+
+// backoffFrom derives the sleep until the advertised rate-limit reset.
+func (c *Client) backoffFrom(resp *http.Response) time.Duration {
+	maxB := c.maxBackoff()
+	raw := resp.Header.Get("X-RateLimit-Reset")
+	if raw == "" {
+		return maxB
+	}
+	unix, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return maxB
+	}
+	wait := time.Until(time.Unix(unix, 0))
+	if wait <= 0 {
+		wait = 10 * time.Millisecond
+	}
+	if wait > maxB {
+		wait = maxB
+	}
+	return wait
+}
+
+// UserShow fetches one account.
+func (c *Client) UserShow(ctx context.Context, id UserID) (*User, error) {
+	params := url.Values{"user_id": {strconv.FormatInt(int64(id), 10)}}
+	var u User
+	if err := c.getJSON(ctx, "/1/users/show.json", params, &u); err != nil {
+		return nil, err
+	}
+	return &u, nil
+}
+
+// UsersLookup fetches up to 100 users per call in ID batches, far cheaper
+// against the rate limit than per-user UserShow calls. Unknown IDs are
+// omitted from the result.
+func (c *Client) UsersLookup(ctx context.Context, ids []UserID) ([]*User, error) {
+	var out []*User
+	for start := 0; start < len(ids); start += 100 {
+		end := start + 100
+		if end > len(ids) {
+			end = len(ids)
+		}
+		var sb strings.Builder
+		for i, id := range ids[start:end] {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.FormatInt(int64(id), 10))
+		}
+		params := url.Values{"user_id": {sb.String()}}
+		var page []*User
+		if err := c.getJSON(ctx, "/1/users/lookup.json", params, &page); err != nil {
+			return nil, err
+		}
+		out = append(out, page...)
+	}
+	return out, nil
+}
+
+// FollowerIDs fetches every follower of id, walking all cursor pages.
+func (c *Client) FollowerIDs(ctx context.Context, id UserID) ([]UserID, error) {
+	var out []UserID
+	cursor := int64(0)
+	for {
+		params := url.Values{
+			"user_id": {strconv.FormatInt(int64(id), 10)},
+			"cursor":  {strconv.FormatInt(cursor, 10)},
+		}
+		var page followerIDsResponse
+		if err := c.getJSON(ctx, "/1/followers/ids.json", params, &page); err != nil {
+			return nil, err
+		}
+		out = append(out, page.IDs...)
+		if page.NextCursor == 0 {
+			return out, nil
+		}
+		cursor = page.NextCursor
+	}
+}
+
+// UserTimeline fetches up to limit tweets of a user, newest first, walking
+// max_id pages. limit <= 0 fetches the whole timeline.
+func (c *Client) UserTimeline(ctx context.Context, id UserID, limit int) ([]*Tweet, error) {
+	var out []*Tweet
+	maxID := TweetID(0)
+	for {
+		params := url.Values{
+			"user_id": {strconv.FormatInt(int64(id), 10)},
+			"count":   {"200"},
+		}
+		if maxID != 0 {
+			params.Set("max_id", strconv.FormatInt(int64(maxID), 10))
+		}
+		var page timelineResponse
+		if err := c.getJSON(ctx, "/1/statuses/user_timeline.json", params, &page); err != nil {
+			return nil, err
+		}
+		out = append(out, page.Tweets...)
+		if limit > 0 && len(out) >= limit {
+			return out[:limit], nil
+		}
+		if page.NextMaxID == 0 {
+			return out, nil
+		}
+		maxID = page.NextMaxID
+	}
+}
+
+// Search fetches tweets matching q, paging with since_id until the server
+// returns fewer than a full page or limit is reached. limit <= 0 means all.
+func (c *Client) Search(ctx context.Context, text string, onlyGeo bool, limit int) ([]*Tweet, error) {
+	var out []*Tweet
+	sinceID := TweetID(0)
+	for {
+		params := url.Values{
+			"q":        {text},
+			"count":    {"100"},
+			"since_id": {strconv.FormatInt(int64(sinceID), 10)},
+		}
+		if onlyGeo {
+			params.Set("geo_only", "1")
+		}
+		var page searchResponse
+		if err := c.getJSON(ctx, "/1/search.json", params, &page); err != nil {
+			return nil, err
+		}
+		out = append(out, page.Tweets...)
+		if limit > 0 && len(out) >= limit {
+			return out[:limit], nil
+		}
+		if len(page.Tweets) < 100 {
+			return out, nil
+		}
+		sinceID = page.Tweets[len(page.Tweets)-1].ID
+	}
+}
+
+// Stream opens the sample stream and delivers tweets to fn until ctx is
+// cancelled, the server closes the stream, or fn returns false.
+func (c *Client) Stream(ctx context.Context, track string, fn func(*Tweet) bool) error {
+	params := url.Values{}
+	if track != "" {
+		params.Set("track", track)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/1/statuses/sample.json?"+params.Encode(), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("twitter client: stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{Status: resp.StatusCode, Msg: "stream refused"}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var t Tweet
+		if err := json.Unmarshal(line, &t); err != nil {
+			return fmt.Errorf("twitter client: stream decode: %w", err)
+		}
+		if !fn(&t) {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}

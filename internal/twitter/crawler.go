@@ -1,0 +1,213 @@
+package twitter
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"stir/internal/storage"
+)
+
+// Crawler walks the follower graph breadth-first from seed users — the
+// collection strategy the paper adopted after the policy change removed bulk
+// access ("we collect the users with crawler that explores the every
+// followers of the given seed user"). Progress is checkpointed to a
+// storage.Store so an interrupted crawl resumes where it stopped.
+type Crawler struct {
+	Client *Client
+	Store  *storage.Store
+
+	// MaxUsers stops the crawl once this many profiles are collected
+	// (<= 0 means unbounded).
+	MaxUsers int
+	// TimelineLimit caps tweets fetched per user (<= 0 means all).
+	TimelineLimit int
+	// OnProgress, when set, is called after each crawled user.
+	OnProgress func(done int, queued int)
+}
+
+const (
+	crawlMetaKey    = "crawl/frontier"
+	crawlVisitedPfx = "crawl/visited/"
+	userKeyPfx      = "user/"
+	tweetKeyPfx     = "tweet/"
+)
+
+type crawlCheckpoint struct {
+	Frontier []UserID `json:"frontier"`
+	Done     int      `json:"done"`
+}
+
+// CrawlResult summarises a finished (or stopped) crawl.
+type CrawlResult struct {
+	UsersCollected  int
+	TweetsCollected int
+	GeoTweets       int
+}
+
+// Run crawls from the given seeds. If the store already holds a checkpoint,
+// seeds are ignored and the crawl resumes from the stored frontier.
+func (c *Crawler) Run(ctx context.Context, seeds ...UserID) (CrawlResult, error) {
+	var res CrawlResult
+	if c.Client == nil || c.Store == nil {
+		return res, errors.New("twitter: crawler needs Client and Store")
+	}
+	frontier, done, err := c.loadCheckpoint(seeds)
+	if err != nil {
+		return res, err
+	}
+	res.UsersCollected = done
+	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		if c.MaxUsers > 0 && res.UsersCollected >= c.MaxUsers {
+			break
+		}
+		id := frontier[0]
+		frontier = frontier[1:]
+		visitedKey := fmt.Sprintf("%s%d", crawlVisitedPfx, id)
+		if c.Store.Has(visitedKey) {
+			continue
+		}
+		batch, tweets, geo, err := c.crawlUser(ctx, id)
+		if err != nil {
+			if IsNotFound(err) {
+				// Deleted/suspended account: mark visited and move on.
+				if err := c.Store.Put(visitedKey, []byte("gone")); err != nil {
+					return res, err
+				}
+				continue
+			}
+			return res, fmt.Errorf("twitter: crawl user %d: %w", id, err)
+		}
+		res.UsersCollected++
+		res.TweetsCollected += tweets
+		res.GeoTweets += geo
+		batch.Put(visitedKey, []byte("ok"))
+		followers, err := c.Client.FollowerIDs(ctx, id)
+		if err != nil && !IsNotFound(err) {
+			return res, fmt.Errorf("twitter: followers of %d: %w", id, err)
+		}
+		for _, f := range followers {
+			if !c.Store.Has(fmt.Sprintf("%s%d", crawlVisitedPfx, f)) {
+				frontier = append(frontier, f)
+			}
+		}
+		cp, err := json.Marshal(crawlCheckpoint{Frontier: frontier, Done: res.UsersCollected})
+		if err != nil {
+			return res, err
+		}
+		batch.Put(crawlMetaKey, cp)
+		// One atomic commit per user: profile, tweets, visited marker and
+		// checkpoint land together or not at all, so a crash never leaves a
+		// half-crawled user behind.
+		if err := batch.Commit(); err != nil {
+			return res, err
+		}
+		if c.OnProgress != nil {
+			c.OnProgress(res.UsersCollected, len(frontier))
+		}
+	}
+	// Recount tweets from the store when resuming left res incomplete.
+	if res.TweetsCollected == 0 && res.UsersCollected > 0 {
+		res.TweetsCollected, res.GeoTweets = c.countStoredTweets()
+	}
+	return res, nil
+}
+
+// crawlUser fetches one user's profile and timeline, queueing the writes in
+// a batch the caller commits together with the checkpoint.
+func (c *Crawler) crawlUser(ctx context.Context, id UserID) (batch *storage.Batch, tweets, geo int, err error) {
+	u, err := c.Client.UserShow(ctx, id)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	ub, err := EncodeUser(u)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	batch = c.Store.NewBatch()
+	batch.Put(u.MarshalKey(), ub)
+	tl, err := c.Client.UserTimeline(ctx, id, c.TimelineLimit)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	for _, t := range tl {
+		tb, err := EncodeTweet(t)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		batch.Put(t.MarshalKey(), tb)
+		tweets++
+		if t.HasGeo() {
+			geo++
+		}
+	}
+	return batch, tweets, geo, nil
+}
+
+func (c *Crawler) loadCheckpoint(seeds []UserID) ([]UserID, int, error) {
+	raw, err := c.Store.Get(crawlMetaKey)
+	if errors.Is(err, storage.ErrKeyNotFound) {
+		return seeds, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	var cp crawlCheckpoint
+	if err := json.Unmarshal(raw, &cp); err != nil {
+		return nil, 0, fmt.Errorf("twitter: corrupt crawl checkpoint: %w", err)
+	}
+	if len(cp.Frontier) == 0 && cp.Done == 0 {
+		return seeds, 0, nil
+	}
+	return cp.Frontier, cp.Done, nil
+}
+
+func (c *Crawler) countStoredTweets() (tweets, geo int) {
+	for _, k := range c.Store.KeysWithPrefix(tweetKeyPfx) {
+		tweets++
+		raw, err := c.Store.Get(k)
+		if err != nil {
+			continue
+		}
+		t, err := DecodeTweet(raw)
+		if err == nil && t.HasGeo() {
+			geo++
+		}
+	}
+	return tweets, geo
+}
+
+// LoadCollected reads every stored user and tweet back out of a crawl store,
+// grouping tweets by user. This is the hand-off point from collection to the
+// refinement pipeline.
+func LoadCollected(store *storage.Store) (map[UserID]*User, map[UserID][]*Tweet, error) {
+	users := make(map[UserID]*User)
+	tweets := make(map[UserID][]*Tweet)
+	for _, k := range store.KeysWithPrefix(userKeyPfx) {
+		raw, err := store.Get(k)
+		if err != nil {
+			return nil, nil, err
+		}
+		u, err := DecodeUser(raw)
+		if err != nil {
+			return nil, nil, err
+		}
+		users[u.ID] = u
+	}
+	for _, k := range store.KeysWithPrefix(tweetKeyPfx) {
+		raw, err := store.Get(k)
+		if err != nil {
+			return nil, nil, err
+		}
+		t, err := DecodeTweet(raw)
+		if err != nil {
+			return nil, nil, err
+		}
+		tweets[t.UserID] = append(tweets[t.UserID], t)
+	}
+	return users, tweets, nil
+}

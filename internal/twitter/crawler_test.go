@@ -1,0 +1,171 @@
+package twitter
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"stir/internal/storage"
+)
+
+// buildCommunity creates a two-hop follower graph:
+// seed <- 5 followers, each of those <- 3 followers (15 leaves), 21 total.
+func buildCommunity(t *testing.T, svc *Service) UserID {
+	t.Helper()
+	seed := newUser(t, svc, "seed", "Seoul Jongno-gu")
+	svc.PostTweet(seed.ID, "hello", t0, &GeoTag{Lat: 37.57, Lon: 126.98})
+	for i := 0; i < 5; i++ {
+		mid := newUser(t, svc, "mid", "Seoul Mapo-gu")
+		if err := svc.Follow(mid.ID, seed.ID); err != nil {
+			t.Fatal(err)
+		}
+		svc.PostTweet(mid.ID, "mid tweet", t0, nil)
+		for j := 0; j < 3; j++ {
+			leaf := newUser(t, svc, "leaf", "Bucheon-si")
+			if err := svc.Follow(leaf.ID, mid.ID); err != nil {
+				t.Fatal(err)
+			}
+			svc.PostTweet(leaf.ID, "leaf tweet", t0, &GeoTag{Lat: 37.5, Lon: 126.76})
+		}
+	}
+	return seed.ID
+}
+
+func newCrawler(t *testing.T, c *Client) (*Crawler, *storage.Store) {
+	t.Helper()
+	st, err := storage.Open(t.TempDir(), storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return &Crawler{Client: c, Store: st}, st
+}
+
+func TestCrawlerBFS(t *testing.T) {
+	svc := NewService()
+	seed := buildCommunity(t, svc)
+	_, c := startAPI(t, svc, ServerOptions{})
+	cr, st := newCrawler(t, c)
+
+	res, err := cr.Run(context.Background(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UsersCollected != 21 {
+		t.Fatalf("UsersCollected = %d, want 21", res.UsersCollected)
+	}
+	if res.TweetsCollected != 21 {
+		t.Fatalf("TweetsCollected = %d, want 21", res.TweetsCollected)
+	}
+	if res.GeoTweets != 16 {
+		t.Fatalf("GeoTweets = %d, want 16", res.GeoTweets)
+	}
+	users, tweets, err := LoadCollected(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != 21 {
+		t.Fatalf("stored users = %d", len(users))
+	}
+	total := 0
+	for _, ts := range tweets {
+		total += len(ts)
+	}
+	if total != 21 {
+		t.Fatalf("stored tweets = %d", total)
+	}
+}
+
+func TestCrawlerMaxUsers(t *testing.T) {
+	svc := NewService()
+	seed := buildCommunity(t, svc)
+	_, c := startAPI(t, svc, ServerOptions{})
+	cr, _ := newCrawler(t, c)
+	cr.MaxUsers = 6
+	res, err := cr.Run(context.Background(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UsersCollected != 6 {
+		t.Fatalf("UsersCollected = %d, want 6", res.UsersCollected)
+	}
+}
+
+func TestCrawlerResume(t *testing.T) {
+	svc := NewService()
+	seed := buildCommunity(t, svc)
+	_, c := startAPI(t, svc, ServerOptions{})
+	cr, st := newCrawler(t, c)
+
+	// First leg: stop after 6 users.
+	cr.MaxUsers = 6
+	if _, err := cr.Run(context.Background(), seed); err != nil {
+		t.Fatal(err)
+	}
+	// Second leg resumes from the checkpoint (seeds ignored) and finishes.
+	cr2 := &Crawler{Client: c, Store: st}
+	res, err := cr2.Run(context.Background(), 424242) // bogus seed must be ignored
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UsersCollected != 21 {
+		t.Fatalf("resumed UsersCollected = %d, want 21", res.UsersCollected)
+	}
+	users, _, err := LoadCollected(st)
+	if err != nil || len(users) != 21 {
+		t.Fatalf("stored users after resume = %d, %v", len(users), err)
+	}
+}
+
+func TestCrawlerContextCancel(t *testing.T) {
+	svc := NewService()
+	seed := buildCommunity(t, svc)
+	_, c := startAPI(t, svc, ServerOptions{})
+	cr, _ := newCrawler(t, c)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cr.Run(ctx, seed); err == nil {
+		t.Fatal("cancelled crawl should error")
+	}
+}
+
+func TestCrawlerSurvivesRateLimits(t *testing.T) {
+	svc := NewService()
+	seed := buildCommunity(t, svc)
+	srv := httptest.NewServer(NewAPIServer(svc, ServerOptions{RESTLimit: 7, Window: 100 * time.Millisecond}))
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+	c.MaxBackoff = 120 * time.Millisecond
+	c.MaxRetries = 50
+	cr, _ := newCrawler(t, c)
+	res, err := cr.Run(context.Background(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UsersCollected != 21 {
+		t.Fatalf("UsersCollected = %d, want 21 despite rate limits", res.UsersCollected)
+	}
+}
+
+func TestCrawlerMissingConfig(t *testing.T) {
+	cr := &Crawler{}
+	if _, err := cr.Run(context.Background(), 1); err == nil {
+		t.Fatal("crawler without client/store should error")
+	}
+}
+
+func TestCrawlerOnProgress(t *testing.T) {
+	svc := NewService()
+	seed := buildCommunity(t, svc)
+	_, c := startAPI(t, svc, ServerOptions{})
+	cr, _ := newCrawler(t, c)
+	calls := 0
+	cr.OnProgress = func(done, queued int) { calls++ }
+	if _, err := cr.Run(context.Background(), seed); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 21 {
+		t.Fatalf("OnProgress calls = %d, want 21", calls)
+	}
+}

@@ -1,0 +1,95 @@
+// Package twitter implements the simulated Twitter platform STIR collects
+// its data from: an in-memory social graph of users and tweets, a REST-style
+// HTTP API mirroring the era's Twitter API v1 (followers/ids, user_timeline,
+// search, and a streaming sample endpoint), a client SDK with rate-limit
+// handling, and a follower-graph crawler with persistent checkpoints.
+//
+// The paper collected two datasets through exactly these access paths: a
+// Korean dataset crawled follower-by-follower from seed users plus the
+// Search API, and a worldwide dataset from the Streaming API. The substrate
+// reproduces the interface, the pagination, and the rate-limit behaviour so
+// the collection pipeline above it is faithful.
+package twitter
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// UserID identifies a user.
+type UserID int64
+
+// TweetID identifies a tweet. IDs are assigned in posting order, so ID order
+// is chronological order, which the API's since_id/max_id paging relies on.
+type TweetID int64
+
+// User is a Twitter account. ProfileLocation is the free-text location field
+// the paper studies: at most 30 characters, never normalised or geocoded by
+// the platform.
+type User struct {
+	ID              UserID    `json:"id"`
+	ScreenName      string    `json:"screen_name"`
+	ProfileLocation string    `json:"location"`
+	Lang            string    `json:"lang"`
+	CreatedAt       time.Time `json:"created_at"`
+}
+
+// MaxProfileLocationLen is the platform limit on the profile location field.
+const MaxProfileLocationLen = 30
+
+// GeoTag is an optional GPS coordinate attached to a tweet posted from a
+// smart mobile device.
+type GeoTag struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// Tweet is a single status update.
+type Tweet struct {
+	ID        TweetID   `json:"id"`
+	UserID    UserID    `json:"user_id"`
+	Text      string    `json:"text"`
+	CreatedAt time.Time `json:"created_at"`
+	Geo       *GeoTag   `json:"geo,omitempty"`
+}
+
+// MaxTweetLen is the platform limit on tweet text.
+const MaxTweetLen = 140
+
+// HasGeo reports whether the tweet carries GPS coordinates.
+func (t *Tweet) HasGeo() bool { return t.Geo != nil }
+
+// MarshalKey renders a stable storage key for the tweet.
+func (t *Tweet) MarshalKey() string {
+	return fmt.Sprintf("tweet/%020d", t.ID)
+}
+
+// MarshalKey renders a stable storage key for the user.
+func (u *User) MarshalKey() string {
+	return fmt.Sprintf("user/%020d", u.ID)
+}
+
+// EncodeUser serialises a user for storage.
+func EncodeUser(u *User) ([]byte, error) { return json.Marshal(u) }
+
+// DecodeUser deserialises a user from storage.
+func DecodeUser(b []byte) (*User, error) {
+	var u User
+	if err := json.Unmarshal(b, &u); err != nil {
+		return nil, fmt.Errorf("twitter: decode user: %w", err)
+	}
+	return &u, nil
+}
+
+// EncodeTweet serialises a tweet for storage.
+func EncodeTweet(t *Tweet) ([]byte, error) { return json.Marshal(t) }
+
+// DecodeTweet deserialises a tweet from storage.
+func DecodeTweet(b []byte) (*Tweet, error) {
+	var t Tweet
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("twitter: decode tweet: %w", err)
+	}
+	return &t, nil
+}

@@ -1,0 +1,318 @@
+package twitter
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"stir/internal/ratelimit"
+)
+
+// APIServer exposes a Service over HTTP with the Twitter API v1 surface the
+// paper's collection used:
+//
+//	GET /1/users/show.json?user_id=N
+//	GET /1/followers/ids.json?user_id=N&cursor=C
+//	GET /1/statuses/user_timeline.json?user_id=N&max_id=M&count=K
+//	GET /1/search.json?q=TERM&since_id=S&count=K&geo_only=1
+//	GET /1/statuses/sample.json            (streaming, newline-delimited JSON)
+//
+// Rate limits apply per endpoint class, reported via X-RateLimit-* headers
+// and a 429 status when exhausted, which is the behaviour the client SDK and
+// crawler are written against.
+type APIServer struct {
+	svc *Service
+	mux *http.ServeMux
+
+	restLimit   *ratelimit.Limiter
+	searchLimit *ratelimit.Limiter
+
+	// followersPageSize is how many IDs one followers/ids page returns.
+	followersPageSize int
+}
+
+// ServerOptions configures an APIServer.
+type ServerOptions struct {
+	// RESTLimit is the fixed-window budget for REST endpoints
+	// (users/show, followers/ids, user_timeline). Zero disables limiting.
+	RESTLimit int
+	// SearchLimit is the budget for the search endpoint. Zero disables.
+	SearchLimit int
+	// Window is the rate-limit window (default 15 minutes, the v1.1 value).
+	Window time.Duration
+	// FollowersPageSize overrides the followers/ids page size (default 5000,
+	// the real endpoint's page size).
+	FollowersPageSize int
+}
+
+// NewAPIServer wraps svc in an HTTP API.
+func NewAPIServer(svc *Service, opts ServerOptions) *APIServer {
+	if opts.Window <= 0 {
+		opts.Window = 15 * time.Minute
+	}
+	if opts.FollowersPageSize <= 0 {
+		opts.FollowersPageSize = 5000
+	}
+	s := &APIServer{
+		svc:               svc,
+		mux:               http.NewServeMux(),
+		restLimit:         ratelimit.New(opts.RESTLimit, opts.Window),
+		searchLimit:       ratelimit.New(opts.SearchLimit, opts.Window),
+		followersPageSize: opts.FollowersPageSize,
+	}
+	s.mux.HandleFunc("/1/users/show.json", s.limited(s.restLimit, s.handleUserShow))
+	s.mux.HandleFunc("/1/users/lookup.json", s.limited(s.restLimit, s.handleUserLookup))
+	s.mux.HandleFunc("/1/followers/ids.json", s.limited(s.restLimit, s.handleFollowerIDs))
+	s.mux.HandleFunc("/1/statuses/user_timeline.json", s.limited(s.restLimit, s.handleTimeline))
+	s.mux.HandleFunc("/1/search.json", s.limited(s.searchLimit, s.handleSearch))
+	s.mux.HandleFunc("/1/statuses/sample.json", s.handleSample)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *APIServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the wire shape of an error response.
+type apiError struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *APIServer) limited(rl *ratelimit.Limiter, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st, ok := rl.Allow()
+		if st.Limit > 0 {
+			w.Header().Set("X-RateLimit-Limit", strconv.Itoa(st.Limit))
+			w.Header().Set("X-RateLimit-Remaining", strconv.Itoa(st.Remaining))
+			w.Header().Set("X-RateLimit-Reset", strconv.FormatInt(st.ResetAt.Unix(), 10))
+		}
+		if !ok {
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: "Rate limit exceeded", Code: 88})
+			return
+		}
+		h(w, r)
+	}
+}
+
+func parseID(r *http.Request, name string) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing %s", name)
+	}
+	id, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || id <= 0 {
+		return 0, fmt.Errorf("invalid %s", name)
+	}
+	return id, nil
+}
+
+func parseOptInt(r *http.Request, name string, def int64) int64 {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func (s *APIServer) handleUserShow(w http.ResponseWriter, r *http.Request) {
+	id, err := parseID(r, "user_id")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error(), Code: 44})
+		return
+	}
+	u, err := s.svc.User(UserID(id))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error(), Code: 34})
+		return
+	}
+	writeJSON(w, http.StatusOK, u)
+}
+
+// handleUserLookup serves the batch users/lookup endpoint: up to 100
+// comma-separated user_ids per call, one rate-limit token for the lot —
+// the economical way to hydrate a crawl frontier. Unknown IDs are silently
+// omitted, matching the real endpoint.
+func (s *APIServer) handleUserLookup(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("user_id")
+	if raw == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "missing user_id", Code: 44})
+		return
+	}
+	parts := strings.Split(raw, ",")
+	if len(parts) > 100 {
+		parts = parts[:100]
+	}
+	users := make([]*User, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil || id <= 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid user_id list", Code: 44})
+			return
+		}
+		if u, err := s.svc.User(UserID(id)); err == nil {
+			users = append(users, u)
+		}
+	}
+	writeJSON(w, http.StatusOK, users)
+}
+
+// followerIDsResponse mirrors the v1 cursored followers/ids payload.
+type followerIDsResponse struct {
+	IDs        []UserID `json:"ids"`
+	NextCursor int64    `json:"next_cursor"`
+}
+
+func (s *APIServer) handleFollowerIDs(w http.ResponseWriter, r *http.Request) {
+	id, err := parseID(r, "user_id")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error(), Code: 44})
+		return
+	}
+	cursor := parseOptInt(r, "cursor", 0)
+	if cursor < 0 {
+		cursor = 0
+	}
+	all, err := s.svc.Followers(UserID(id))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error(), Code: 34})
+		return
+	}
+	start := int(cursor)
+	if start > len(all) {
+		start = len(all)
+	}
+	end := start + s.followersPageSize
+	if end > len(all) {
+		end = len(all)
+	}
+	resp := followerIDsResponse{IDs: all[start:end]}
+	if end < len(all) {
+		resp.NextCursor = int64(end)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// timelineResponse mirrors a user_timeline page.
+type timelineResponse struct {
+	Tweets    []*Tweet `json:"tweets"`
+	NextMaxID TweetID  `json:"next_max_id"`
+}
+
+func (s *APIServer) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	id, err := parseID(r, "user_id")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error(), Code: 44})
+		return
+	}
+	maxID := parseOptInt(r, "max_id", 0)
+	count := int(parseOptInt(r, "count", 0))
+	page, err := s.svc.UserTimeline(UserID(id), TweetID(maxID), count)
+	if err != nil {
+		if errors.Is(err, ErrUserNotFound) {
+			writeJSON(w, http.StatusNotFound, apiError{Error: err.Error(), Code: 34})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error(), Code: 131})
+		return
+	}
+	writeJSON(w, http.StatusOK, timelineResponse{Tweets: page.Tweets, NextMaxID: page.NextMaxID})
+}
+
+// searchResponse mirrors a search page.
+type searchResponse struct {
+	Tweets []*Tweet `json:"tweets"`
+}
+
+func (s *APIServer) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := SearchQuery{
+		Text:    r.URL.Query().Get("q"),
+		SinceID: TweetID(parseOptInt(r, "since_id", 0)),
+		Count:   int(parseOptInt(r, "count", 0)),
+		OnlyGeo: r.URL.Query().Get("geo_only") == "1",
+	}
+	writeJSON(w, http.StatusOK, searchResponse{Tweets: s.svc.Search(q)})
+}
+
+// handleSample streams newline-delimited tweet JSON until the client hangs
+// up, matching the statuses/sample streaming endpoint. The optional "track"
+// parameter filters by substring, approximating statuses/filter.
+func (s *APIServer) handleSample(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: "streaming unsupported", Code: 130})
+		return
+	}
+	track := r.URL.Query().Get("track")
+	ch, cancel := s.svc.OpenStream(1024)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case t, open := <-ch:
+			if !open {
+				return
+			}
+			if track != "" && !containsFold(t.Text, track) {
+				continue
+			}
+			if err := enc.Encode(t); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// containsFold reports whether s contains substr case-insensitively.
+func containsFold(s, substr string) bool {
+	n, m := len(s), len(substr)
+	if m == 0 {
+		return true
+	}
+	for i := 0; i+m <= n; i++ {
+		if equalFoldASCII(s[i:i+m], substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func equalFoldASCII(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

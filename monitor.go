@@ -1,0 +1,88 @@
+package stir
+
+import (
+	"context"
+	"net/http/httptest"
+	"time"
+
+	"stir/internal/eventdetect"
+	"stir/internal/twitter"
+)
+
+// Real-time surface: watch the dataset's live stream and alert on keyword
+// bursts, Toretter's deployment mode ("the alert of the system was far
+// faster than the rapid broadcast of announcement of JMA").
+
+// Alert is one online detection: when it fired, how hot the window was, and
+// where the event is estimated to be.
+type Alert = eventdetect.Alert
+
+// MonitorOptions tune the online detector.
+type MonitorOptions struct {
+	// Keywords to track (default: earthquake, shaking — Toretter's pair).
+	Keywords []string
+	// Window is the sliding burst window in event time (default 10m).
+	Window time.Duration
+	// MinCount and Factor gate the alarm (defaults 5 and 4).
+	MinCount int
+	Factor   float64
+	// WarmupCount is how many reports establish the background (default 20).
+	WarmupCount int
+	// Method picks the location estimator (default particle filter).
+	Method EstimationMethod
+	// Seed fixes estimator randomness.
+	Seed int64
+}
+
+// MonitorEvents consumes the dataset's live stream until ctx is cancelled or
+// onDetect returns false. res supplies refined profile districts;
+// reliability supplies the §V weights (nil = unweighted). Only tweets posted
+// after the call starts flow through the stream, so start the monitor before
+// injecting events.
+func (d *Dataset) MonitorEvents(ctx context.Context, res *Result, reliability map[int64]float64, opts MonitorOptions, onDetect func(Alert) bool) error {
+	if len(opts.Keywords) == 0 {
+		opts.Keywords = []string{"earthquake", "shaking"}
+	}
+	srv := httptest.NewServer(twitter.NewAPIServer(d.Service, twitter.ServerOptions{}))
+	defer srv.Close()
+	var profiles map[twitter.UserID]*District
+	if res != nil {
+		profiles = res.ProfileDistrict
+	}
+	m := &eventdetect.Monitor{
+		Client:          twitter.NewClient(srv.URL),
+		Keywords:        opts.Keywords,
+		ProfileDistrict: profiles,
+		Reliability:     reliability,
+		Window:          opts.Window,
+		MinCount:        opts.MinCount,
+		Factor:          opts.Factor,
+		WarmupCount:     opts.WarmupCount,
+		Method:          opts.Method,
+		Bounds:          d.Gazetteer.Bounds(),
+		Seed:            opts.Seed,
+		OnDetect:        onDetect,
+	}
+	return m.Run(ctx)
+}
+
+// PostTweet publishes a tweet into the dataset's live platform — the hook
+// examples and tests use to feed the monitor.
+func (d *Dataset) PostTweet(user int64, text string, at time.Time, lat, lon float64, hasGeo bool) error {
+	var tag *twitter.GeoTag
+	if hasGeo {
+		tag = &twitter.GeoTag{Lat: lat, Lon: lon}
+	}
+	_, err := d.Service.PostTweet(twitter.UserID(user), text, at, tag)
+	return err
+}
+
+// SomeUserIDs returns up to n user IDs from the dataset, ascending.
+func (d *Dataset) SomeUserIDs(n int) []int64 {
+	out := make([]int64, 0, n)
+	d.Service.EachUser(func(u *twitter.User) bool {
+		out = append(out, int64(u.ID))
+		return len(out) < n
+	})
+	return out
+}

@@ -1,0 +1,35 @@
+package stir
+
+import (
+	"stir/internal/eventdetect"
+	"stir/internal/twitter"
+)
+
+// Twitris-style surface: spatio-temporal-thematic summaries over a dataset.
+
+// CellSummary is the thematic summary of one (day, district) cell.
+type CellSummary = eventdetect.CellSummary
+
+// TermScore pairs a term with its TF-IDF score.
+type TermScore struct {
+	Term  string
+	Score float64
+}
+
+// Summarize runs the Twitris-style analysis over the whole dataset: every
+// tweet is placed (GPS when available, otherwise the author's refined
+// profile district from res) and each (day, district) cell is summarised by
+// its top-k TF-IDF terms.
+func (d *Dataset) Summarize(res *Result, topK int) ([]CellSummary, error) {
+	tw := &eventdetect.Twitris{
+		Gazetteer:       d.Gazetteer,
+		ProfileDistrict: res.ProfileDistrict,
+		TopK:            topK,
+	}
+	var tweets []*twitter.Tweet
+	d.Service.EachTweet(func(t *twitter.Tweet) bool {
+		tweets = append(tweets, t)
+		return true
+	})
+	return tw.Summarize(tweets)
+}

@@ -1,0 +1,29 @@
+# STIR build targets. `make verify` is the full pre-merge gate: tier-1
+# (build + tests) plus vet and a race pass over the instrumented packages,
+# where the obs middleware and crawl/pipeline counters run concurrently.
+
+GO ?= go
+
+.PHONY: build test vet race verify bench bench-obs
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the packages that share metric registries across goroutines.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/twitter/... ./internal/geocode/... ./internal/pipeline/... ./internal/storage/... ./internal/ratelimit/...
+
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Prove the observability layer stays cheap on the E1 funnel path.
+bench-obs:
+	$(GO) test -run xxx -bench BenchmarkObsOverhead -benchtime 10x .

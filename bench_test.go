@@ -21,6 +21,7 @@ import (
 	"stir/internal/geocode"
 	"stir/internal/gis"
 	"stir/internal/homeloc"
+	"stir/internal/obs"
 	"stir/internal/pipeline"
 	"stir/internal/storage"
 	"stir/internal/temporal"
@@ -109,6 +110,34 @@ func BenchmarkE1Funnel(b *testing.B) {
 		if res.Funnel.FinalUsers == 0 {
 			b.Fatal("funnel produced no users")
 		}
+	}
+}
+
+// BenchmarkObsOverhead measures what the observability layer costs on the E1
+// funnel path: the same pipeline run with a live registry (funnel gauges,
+// stage spans, resolver cache gauges) versus obs.Discard (typed-nil metrics,
+// every call a no-op). The instrumented run must stay within a few percent of
+// discard — the per-run cost is a handful of registry lookups and span
+// timestamps against thousands of users processed.
+func BenchmarkObsOverhead(b *testing.B) {
+	e := getEnv(b)
+	ctx := context.Background()
+	for _, cfg := range []struct {
+		name string
+		reg  func() *obs.Registry
+	}{
+		{"instrumented", obs.NewRegistry},
+		{"discard", func() *obs.Registry { return obs.Discard }},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			p := pipeline.New(e.gaz, 10)
+			p.Obs = cfg.reg()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(ctx, e.users, e.tweets); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

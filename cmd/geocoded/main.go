@@ -20,6 +20,7 @@ import (
 
 	"stir/internal/admin"
 	"stir/internal/geocode"
+	"stir/internal/obs"
 )
 
 func main() {
@@ -47,7 +48,11 @@ func main() {
 		Window:  *window,
 		SlackKm: *slack,
 	})
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.Handle("/metrics", obs.Handler(obs.Default))
+	mux.Handle("/healthz", obs.HealthzHandler("geocoded"))
 	fmt.Printf("geocoded: %d districts across %d states; listening on %s\n",
 		gaz.Len(), len(gaz.States()), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	log.Fatal(http.ListenAndServe(*addr, mux))
 }

@@ -14,6 +14,10 @@
 //	             [-what collection|strings|csv] [-out FILE]
 //	    export the raw JSONL collection, the Table-II location strings, or
 //	    the per-group CSV
+//	stir serve   [-addr :8032] [-dataset korean|world] [-users N] [-seed S]
+//	    run the analysis and keep serving its metrics: GET /metrics exposes
+//	    the funnel gauges, stage timings and cache stats; GET /healthz
+//	    reports liveness
 package main
 
 import (
@@ -21,12 +25,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"time"
 
 	"stir"
 	"stir/internal/admin"
+	"stir/internal/obs"
 	"stir/internal/report"
 	"stir/internal/synth"
 	"stir/internal/twitter"
@@ -51,6 +57,8 @@ func main() {
 		err = runMonitor(os.Args[2:])
 	case "scenario":
 		err = runScenario(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -71,7 +79,8 @@ func usage() {
   groups   dump per-user merged location strings (Table II)
   export   write the collection (JSONL), location strings, or group CSV
   monitor  run the online burst detector against an injected event
-  scenario dump a generator scenario as editable JSON (see analyze -scenario)`)
+  scenario dump a generator scenario as editable JSON (see analyze -scenario)
+  serve    run the analysis and serve /metrics and /healthz`)
 }
 
 func makeDataset(kind string, users int, seed int64) (*stir.Dataset, error) {
@@ -310,6 +319,34 @@ func runMonitor(args []string) error {
 	case <-ctx.Done():
 		return fmt.Errorf("no alert before timeout")
 	}
+}
+
+// runServe runs the §III analysis once and then keeps serving the metrics it
+// produced — the funnel gauges, stage timings, HTTP and cache series all land
+// in the default registry, so a scrape shows the whole run.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8032", "listen address")
+	dataset := fs.String("dataset", "korean", "korean or world")
+	users := fs.Int("users", 5200, "population size")
+	seed := fs.Int64("seed", 1, "generation seed")
+	fs.Parse(args)
+
+	ds, err := makeDataset(*dataset, *users, *seed)
+	if err != nil {
+		return err
+	}
+	res, err := ds.Analyze(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Println("Collection & refinement funnel (§III):")
+	fmt.Println(stir.FormatFunnel(&res.Funnel))
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(obs.Default))
+	mux.Handle("/healthz", obs.HealthzHandler("stir"))
+	fmt.Printf("stir serve: metrics on %s/metrics\n", *addr)
+	return http.ListenAndServe(*addr, mux)
 }
 
 // datasetFromScenario builds a dataset from a scenario JSON file.

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"stir"
+	"stir/internal/obs"
 	"stir/internal/twitter"
 )
 
@@ -49,7 +50,11 @@ func main() {
 		SearchLimit: *searchLimit,
 		Window:      *window,
 	})
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.Handle("/metrics", obs.Handler(obs.Default))
+	mux.Handle("/healthz", obs.HealthzHandler("twitterd"))
 	fmt.Printf("twitterd: %d users, %d tweets; seed user id %d; listening on %s\n",
 		ds.Service.UserCount(), ds.Service.TweetCount(), ds.Population.SeedUser, *addr)
-	log.Fatal(http.ListenAndServe(*addr, api))
+	log.Fatal(http.ListenAndServe(*addr, mux))
 }

@@ -6,54 +6,57 @@ import (
 )
 
 // lruCache is a fixed-capacity least-recently-used cache from string keys to
-// Location values. It exists because reverse-geocoding the same quantised
+// values of any type. It exists because reverse-geocoding the same quantised
 // coordinate repeatedly would burn the metered API budget: GPS tweets cluster
-// in a few districts, so the hit rate is high.
-type lruCache struct {
-	mu     sync.Mutex
-	cap    int
-	ll     *list.List
-	items  map[string]*list.Element
-	hits   int64
-	misses int64
+// in a few districts, so the hit rate is high. The client caches Locations;
+// the server memoises whole resolutions (location plus match quality).
+type lruCache[V any] struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List
+	items     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
-type lruEntry struct {
+type lruEntry[V any] struct {
 	key string
-	val Location
+	val V
 }
 
-func newLRUCache(capacity int) *lruCache {
+func newLRUCache[V any](capacity int) *lruCache[V] {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &lruCache{
+	return &lruCache[V]{
 		cap:   capacity,
 		ll:    list.New(),
 		items: make(map[string]*list.Element, capacity),
 	}
 }
 
-// Get returns the cached location and whether it was present.
-func (c *lruCache) Get(key string) (Location, bool) {
+// Get returns the cached value and whether it was present.
+func (c *lruCache[V]) Get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return Location{}, false
+		var zero V
+		return zero, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+	return el.Value.(*lruEntry[V]).val, true
 }
 
-// Put stores a location, evicting the least recently used entry when full.
-func (c *lruCache) Put(key string, val Location) {
+// Put stores a value, evicting the least recently used entry when full.
+func (c *lruCache[V]) Put(key string, val V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).val = val
+		el.Value.(*lruEntry[V]).val = val
 		c.ll.MoveToFront(el)
 		return
 	}
@@ -61,14 +64,15 @@ func (c *lruCache) Put(key string, val Location) {
 		oldest := c.ll.Back()
 		if oldest != nil {
 			c.ll.Remove(oldest)
-			delete(c.items, oldest.Value.(*lruEntry).key)
+			delete(c.items, oldest.Value.(*lruEntry[V]).key)
+			c.evictions++
 		}
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
 }
 
 // Len returns the number of cached entries.
-func (c *lruCache) Len() int {
+func (c *lruCache[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
@@ -77,11 +81,12 @@ func (c *lruCache) Len() int {
 // CacheStats reports cache effectiveness.
 type CacheStats struct {
 	Hits, Misses int64
+	Evictions    int64
 	Entries      int
 }
 
-func (c *lruCache) Stats() CacheStats {
+func (c *lruCache[V]) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len()}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
 }

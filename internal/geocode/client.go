@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"stir/internal/geo"
+	"stir/internal/obs"
 )
 
 // Client calls a geocode Server with quantisation, caching, and rate-limit
@@ -27,8 +28,11 @@ type Client struct {
 	MaxBackoff time.Duration
 	// MaxRetries bounds retries per call.
 	MaxRetries int
+	// Metrics receives request/throttle/backoff series (nil means
+	// obs.Default; obs.Discard disables).
+	Metrics *obs.Registry
 
-	cache *lruCache
+	cache *lruCache[Location]
 	sleep func(context.Context, time.Duration) error
 }
 
@@ -43,7 +47,7 @@ func NewClient(baseURL string, cacheSize int) *Client {
 		QuantizeDecimals: 3,
 		MaxBackoff:       2 * time.Second,
 		MaxRetries:       6,
-		cache:            newLRUCache(cacheSize),
+		cache:            newLRUCache[Location](cacheSize),
 		sleep: func(ctx context.Context, d time.Duration) error {
 			t := time.NewTimer(d)
 			defer t.Stop()
@@ -93,6 +97,7 @@ func (c *Client) Reverse(ctx context.Context, p geo.Point) (Location, error) {
 }
 
 func (c *Client) fetch(ctx context.Context, p geo.Point) (Location, error) {
+	reg := obs.Or(c.Metrics)
 	retries := c.MaxRetries
 	if retries <= 0 {
 		retries = 6
@@ -118,9 +123,12 @@ func (c *Client) fetch(ctx context.Context, p geo.Point) (Location, error) {
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			wait := backoffWait(resp, attempt, c.MaxBackoff)
+			reg.Counter("geocode_client_throttled_total").Inc()
+			reg.Histogram("geocode_client_backoff_seconds", obs.DefBuckets).ObserveDuration(wait)
 			if err := c.sleep(ctx, wait); err != nil {
 				return Location{}, err
 			}
+			reg.Counter("geocode_client_retries_total").Inc()
 			continue
 		}
 		rs, err := UnmarshalResultSet(body)
@@ -147,6 +155,13 @@ func backoffWait(resp *http.Response, attempt int, maxB time.Duration) time.Dura
 		maxB = 2 * time.Second
 	}
 	wait := (10 * time.Millisecond) << attempt
+	if raw := resp.Header.Get("Retry-After"); raw != "" {
+		if secs, err := strconv.Atoi(raw); err == nil {
+			if d := time.Duration(secs) * time.Second; d > wait {
+				wait = d
+			}
+		}
+	}
 	if raw := resp.Header.Get("X-RateLimit-Reset"); raw != "" {
 		if unix, err := strconv.ParseInt(raw, 10, 64); err == nil {
 			if until := time.Until(time.Unix(unix, 0)); until > wait {
@@ -170,12 +185,41 @@ type Resolver interface {
 	Reverse(ctx context.Context, p geo.Point) (Location, error)
 }
 
+// StatsProvider is the one shape every cache-bearing geocode component
+// exposes — the HTTP client, the in-process DirectResolver, and the server's
+// resolution memo — so ablations and dashboards read a single struct
+// regardless of which path resolved the points.
+type StatsProvider interface {
+	Stats() CacheStats
+}
+
+var (
+	_ StatsProvider = (*Client)(nil)
+	_ StatsProvider = (*DirectResolver)(nil)
+	_ StatsProvider = (*Server)(nil)
+)
+
+// RegisterCacheMetrics publishes p's cache counters on reg as pull-mode
+// gauges labelled cache=name. Registration is idempotent: re-registering the
+// same name rebinds the gauges to the new provider, so rebuilding a resolver
+// never duplicates series.
+func RegisterCacheMetrics(reg *obs.Registry, name string, p StatsProvider) {
+	if p == nil {
+		return
+	}
+	reg = obs.Or(reg)
+	reg.GaugeFunc("geocode_cache_hits", func() float64 { return float64(p.Stats().Hits) }, "cache", name)
+	reg.GaugeFunc("geocode_cache_misses", func() float64 { return float64(p.Stats().Misses) }, "cache", name)
+	reg.GaugeFunc("geocode_cache_evictions", func() float64 { return float64(p.Stats().Evictions) }, "cache", name)
+	reg.GaugeFunc("geocode_cache_entries", func() float64 { return float64(p.Stats().Entries) }, "cache", name)
+}
+
 // DirectResolver resolves points straight through a gazetteer, with the same
 // caching as the HTTP client. Offline pipelines and benchmarks use it.
 type DirectResolver struct {
 	Gaz     GazetteerFunc
 	SlackKm float64
-	cache   *lruCache
+	cache   *lruCache[Location]
 	quant   int
 }
 
@@ -185,7 +229,7 @@ type GazetteerFunc func(p geo.Point, slackKm float64) (Location, error)
 
 // NewDirectResolver builds an in-process resolver with an LRU of cacheSize.
 func NewDirectResolver(fn GazetteerFunc, slackKm float64, cacheSize int) *DirectResolver {
-	return &DirectResolver{Gaz: fn, SlackKm: slackKm, cache: newLRUCache(cacheSize), quant: 3}
+	return &DirectResolver{Gaz: fn, SlackKm: slackKm, cache: newLRUCache[Location](cacheSize), quant: 3}
 }
 
 // Reverse implements Resolver.

@@ -10,6 +10,7 @@ import (
 
 	"stir/internal/admin"
 	"stir/internal/geo"
+	"stir/internal/obs"
 	"stir/internal/ratelimit"
 )
 
@@ -17,12 +18,24 @@ import (
 //
 //	GET /v1/reverse?lat=37.517&lon=126.866
 //
-// responding with a ResultSet XML document.
+// responding with a ResultSet XML document. Resolutions are memoised in an
+// LRU keyed on the exact coordinates, so hot districts cost one gazetteer
+// walk; request counts, latencies and throttle rejections are published on
+// the configured metrics registry.
 type Server struct {
 	gaz     *admin.Gazetteer
 	limiter *ratelimit.Limiter
 	slackKm float64
 	mux     *http.ServeMux
+	handler http.Handler
+	memo    *lruCache[resolution]
+}
+
+// resolution is one memoised gazetteer answer.
+type resolution struct {
+	loc     Location
+	quality string
+	found   bool
 }
 
 // ServerOptions configures a Server.
@@ -35,6 +48,12 @@ type ServerOptions struct {
 	// still resolve to the nearest district (default 10 km; negative
 	// disables nearest-match fallback).
 	SlackKm float64
+	// CacheSize bounds the resolution memo (default 65536; negative
+	// disables memoisation).
+	CacheSize int
+	// Metrics receives the server's request/cache series (nil means
+	// obs.Default; obs.Discard disables).
+	Metrics *obs.Registry
 }
 
 // NewServer builds a reverse-geocoding server over the gazetteer.
@@ -45,20 +64,45 @@ func NewServer(gaz *admin.Gazetteer, opts ServerOptions) *Server {
 	if opts.SlackKm == 0 {
 		opts.SlackKm = 10
 	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = 65536
+	}
 	s := &Server{
 		gaz:     gaz,
 		limiter: ratelimit.New(opts.Limit, opts.Window),
 		slackKm: opts.SlackKm,
 		mux:     http.NewServeMux(),
 	}
+	if opts.CacheSize > 0 {
+		s.memo = newLRUCache[resolution](opts.CacheSize)
+	}
 	s.mux.HandleFunc("/v1/reverse", s.handleReverse)
 	s.mux.HandleFunc("/v1/reverse_batch", s.handleReverseBatch)
+	reg := obs.Or(opts.Metrics)
+	s.handler = obs.InstrumentHandler(reg, "geocoded", s.route, s.mux)
+	RegisterCacheMetrics(reg, "geocoded", s)
 	return s
+}
+
+// route keeps the middleware's route label bounded to registered patterns.
+func (s *Server) route(r *http.Request) string {
+	if _, pattern := s.mux.Handler(r); pattern != "" {
+		return pattern
+	}
+	return "unmatched"
+}
+
+// Stats implements StatsProvider over the server's resolution memo.
+func (s *Server) Stats() CacheStats {
+	if s.memo == nil {
+		return CacheStats{}
+	}
+	return s.memo.Stats()
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 func writeXML(w http.ResponseWriter, status int, rs *ResultSet) {
@@ -72,15 +116,47 @@ func writeXML(w http.ResponseWriter, status int, rs *ResultSet) {
 	w.Write(b)
 }
 
-func (s *Server) handleReverse(w http.ResponseWriter, r *http.Request) {
+// allow consumes one rate-limit token, writing the budget headers; on
+// exhaustion it answers the 429 itself (with Retry-After) and returns false.
+func (s *Server) allow(w http.ResponseWriter) bool {
 	st, ok := s.limiter.Allow()
-	if st.Limit > 0 {
-		w.Header().Set("X-RateLimit-Limit", strconv.Itoa(st.Limit))
-		w.Header().Set("X-RateLimit-Remaining", strconv.Itoa(st.Remaining))
-		w.Header().Set("X-RateLimit-Reset", strconv.FormatInt(st.ResetAt.Unix(), 10))
-	}
+	st.SetHeaders(w.Header())
 	if !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(st.RetryAfterSeconds(time.Now())))
 		writeXML(w, http.StatusTooManyRequests, &ResultSet{Error: CodeThrottled, Message: "rate limit exceeded"})
+	}
+	return ok
+}
+
+// resolve answers one point, consulting the memo first.
+func (s *Server) resolve(p geo.Point) resolution {
+	key := p.String()
+	if s.memo != nil {
+		if res, ok := s.memo.Get(key); ok {
+			return res
+		}
+	}
+	res := resolution{quality: "none"}
+	d, err := s.gaz.ResolvePoint(p, -1)
+	if err == nil {
+		res.quality = "exact"
+	} else if s.slackKm >= 0 {
+		if d, err = s.gaz.ResolvePoint(p, s.slackKm); err == nil {
+			res.quality = "nearest"
+		}
+	}
+	if err == nil && d != nil {
+		res.found = true
+		res.loc = Location{Country: d.Country, State: d.State, County: d.County}
+	}
+	if s.memo != nil {
+		s.memo.Put(key, res)
+	}
+	return res
+}
+
+func (s *Server) handleReverse(w http.ResponseWriter, r *http.Request) {
+	if !s.allow(w) {
 		return
 	}
 	lat, err1 := strconv.ParseFloat(r.URL.Query().Get("lat"), 64)
@@ -94,27 +170,14 @@ func (s *Server) handleReverse(w http.ResponseWriter, r *http.Request) {
 		writeXML(w, http.StatusBadRequest, &ResultSet{Error: CodeBadRequest, Message: err.Error()})
 		return
 	}
-	// Exact containment first; optionally fall back to nearest-with-slack.
-	quality := "exact"
-	d, err := s.gaz.ResolvePoint(p, -1)
-	if err != nil && s.slackKm >= 0 {
-		quality = "nearest"
-		d, err = s.gaz.ResolvePoint(p, s.slackKm)
-	}
-	if err != nil {
+	res := s.resolve(p)
+	if !res.found {
 		writeXML(w, http.StatusNotFound, &ResultSet{Error: CodeNoMatch, Message: "no district near point"})
 		return
 	}
 	writeXML(w, http.StatusOK, &ResultSet{
-		Error: CodeOK,
-		Results: []Result{{
-			Quality: quality,
-			Location: Location{
-				Country: d.Country,
-				State:   d.State,
-				County:  d.County,
-			},
-		}},
+		Error:   CodeOK,
+		Results: []Result{{Quality: res.quality, Location: res.loc}},
 	})
 }
 
@@ -130,14 +193,7 @@ func (s *Server) handleReverseBatch(w http.ResponseWriter, r *http.Request) {
 		writeXML(w, http.StatusMethodNotAllowed, &ResultSet{Error: CodeBadRequest, Message: "POST required"})
 		return
 	}
-	st, ok := s.limiter.Allow()
-	if st.Limit > 0 {
-		w.Header().Set("X-RateLimit-Limit", strconv.Itoa(st.Limit))
-		w.Header().Set("X-RateLimit-Remaining", strconv.Itoa(st.Remaining))
-		w.Header().Set("X-RateLimit-Reset", strconv.FormatInt(st.ResetAt.Unix(), 10))
-	}
-	if !ok {
-		writeXML(w, http.StatusTooManyRequests, &ResultSet{Error: CodeThrottled, Message: "rate limit exceeded"})
+	if !s.allow(w) {
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
@@ -171,19 +227,12 @@ func (s *Server) handleReverseBatch(w http.ResponseWriter, r *http.Request) {
 			writeXML(w, http.StatusBadRequest, &ResultSet{Error: CodeBadRequest, Message: "invalid coordinates in batch"})
 			return
 		}
-		res := Result{Quality: "none"}
-		d, err := s.gaz.ResolvePoint(p, -1)
-		if err == nil {
-			res.Quality = "exact"
-		} else if s.slackKm >= 0 {
-			if d, err = s.gaz.ResolvePoint(p, s.slackKm); err == nil {
-				res.Quality = "nearest"
-			}
+		res := s.resolve(p)
+		out := Result{Quality: res.quality}
+		if res.found {
+			out.Location = res.loc
 		}
-		if d != nil && res.Quality != "none" {
-			res.Location = Location{Country: d.Country, State: d.State, County: d.County}
-		}
-		rs.Results = append(rs.Results, res)
+		rs.Results = append(rs.Results, out)
 	}
 	writeXML(w, http.StatusOK, rs)
 }

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per metric name, then one line per
+// series, histograms expanded into cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	lastName := ""
+	for _, m := range snap.Metrics {
+		if m.Name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+			lastName = m.Name
+		}
+		if err := writePromMetric(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromMetric(w io.Writer, m Metric) error {
+	if m.Kind != KindHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, m.labelString(), formatValue(m.Value))
+		return err
+	}
+	for _, b := range m.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = formatValue(b.UpperBound)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, withLabel(m, "le", le), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, m.labelString(), formatValue(m.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, m.labelString(), m.Count)
+	return err
+}
+
+// withLabel renders m's labels plus one extra pair.
+func withLabel(m Metric, key, val string) string {
+	keys := make([]string, 0, len(m.Labels)+1)
+	for k := range m.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, m.Labels[k])
+	}
+	if len(keys) > 0 {
+		b.WriteByte(',')
+	}
+	fmt.Fprintf(&b, "%s=%q", key, val)
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders the snapshot as a JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler serves GET /metrics for reg: Prometheus text by default, JSON when
+// the request asks for it (?format=json or Accept: application/json).
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		wantJSON := r.URL.Query().Get("format") == "json" ||
+			strings.Contains(r.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.or().WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.or().WritePrometheus(w)
+	})
+}
+
+// processStart anchors the uptime reported by HealthzHandler.
+var processStart = time.Now()
+
+// HealthzHandler serves a liveness endpoint: 200 with a small JSON body
+// naming the service and its uptime.
+func HealthzHandler(service string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"service":        service,
+			"uptime_seconds": time.Since(processStart).Seconds(),
+		})
+	})
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestInstrumentHandler(t *testing.T) {
+	r := NewRegistry()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.URL.Path {
+		case "/throttled":
+			w.WriteHeader(http.StatusTooManyRequests)
+		case "/missing":
+			w.WriteHeader(http.StatusNotFound)
+		default:
+			w.Write([]byte("ok")) // implicit 200
+		}
+	})
+	srv := httptest.NewServer(InstrumentHandler(r, "svc", nil, inner))
+	defer srv.Close()
+
+	for _, path := range []string{"/ok", "/ok", "/missing", "/throttled"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	snap := r.Snapshot()
+	checks := []struct {
+		kv   []string
+		want float64
+	}{
+		{[]string{"route", "/ok", "class", "2xx"}, 2},
+		{[]string{"route", "/missing", "class", "4xx"}, 1},
+		{[]string{"route", "/throttled", "class", "4xx"}, 1},
+	}
+	for _, c := range checks {
+		m, ok := snap.Get(HTTPRequestsMetric, append([]string{"service", "svc"}, c.kv...)...)
+		if !ok || m.Value != c.want {
+			t.Errorf("requests%v = %+v ok=%v, want %v", c.kv, m, ok, c.want)
+		}
+	}
+	if m, ok := snap.Get(HTTPRateLimitedMetric, "route", "/throttled"); !ok || m.Value != 1 {
+		t.Errorf("ratelimited counter = %+v ok=%v, want 1", m, ok)
+	}
+	if m, ok := snap.Get(HTTPLatencyMetric, "route", "/ok"); !ok || m.Count != 2 {
+		t.Errorf("latency histogram = %+v ok=%v, want count 2", m, ok)
+	}
+}
+
+func TestMetricsHandlerFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(string(body), "x_total 1") {
+		t.Fatalf("prometheus body missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"x_total"`) {
+		t.Fatalf("json body missing counter:\n%s", body)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(HealthzHandler("twitterd"))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{`"ok"`, `"twitterd"`, "uptime_seconds"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("healthz body missing %s: %s", want, body)
+		}
+	}
+}

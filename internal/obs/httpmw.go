@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Metric names emitted by InstrumentHandler.
+const (
+	HTTPRequestsMetric    = "http_requests_total"
+	HTTPLatencyMetric     = "http_request_seconds"
+	HTTPRateLimitedMetric = "http_ratelimited_total"
+)
+
+// InstrumentHandler wraps next with per-route request counting, status-class
+// counting, a latency histogram, and a dedicated rate-limit rejection
+// counter (any 429 response). route derives the route label from the request;
+// nil uses the raw URL path — pass a mux-pattern lookup to keep label
+// cardinality bounded when paths carry IDs.
+//
+// Series:
+//
+//	http_requests_total{service,route,class}   class is "2xx".."5xx"
+//	http_request_seconds{service,route}        DefBuckets latency histogram
+//	http_ratelimited_total{service,route}      429 responses only
+func InstrumentHandler(reg *Registry, service string, route func(*http.Request) string, next http.Handler) http.Handler {
+	reg = Or(reg)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt := r.URL.Path
+		if route != nil {
+			rt = route(r)
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+
+		reg.Counter(HTTPRequestsMetric,
+			"service", service, "route", rt, "class", statusClass(rec.status)).Inc()
+		reg.Histogram(HTTPLatencyMetric, DefBuckets, "service", service, "route", rt).
+			ObserveDuration(elapsed)
+		if rec.status == http.StatusTooManyRequests {
+			reg.Counter(HTTPRateLimitedMetric, "service", service, "route", rt).Inc()
+		}
+	})
+}
+
+func statusClass(code int) string {
+	if code >= 100 && code < 600 {
+		return strconv.Itoa(code/100) + "xx"
+	}
+	return "other"
+}
+
+// statusRecorder captures the response status while passing Flush through,
+// so streaming endpoints (statuses/sample) keep working behind the
+// middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if !s.wrote {
+		s.status = code
+		s.wrote = true
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	s.wrote = true
+	return s.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (s *statusRecorder) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

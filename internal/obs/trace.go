@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer times named pipeline stages as a tree of spans. Each ended span
+// records its duration into the registry histogram StageHistogram with a
+// stage label of its dotted path ("pipeline.users.geocode"), so stage
+// timings show up on /metrics alongside everything else; the tracer also
+// keeps the finished tree for a human-readable report.
+//
+// A nil *Tracer (and the nil *Span its Start returns) is a no-op, so
+// instrumented code never needs to guard its spans.
+type Tracer struct {
+	reg *Registry
+
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// StageHistogram is the registry histogram stage durations land in.
+const StageHistogram = "stir_stage_seconds"
+
+// NewTracer builds a tracer recording into reg (nil means Default).
+func NewTracer(reg *Registry) *Tracer {
+	return &Tracer{reg: Or(reg)}
+}
+
+// Span is one timed stage. Spans form a tree via Child.
+type Span struct {
+	tracer *Tracer
+	name   string
+	path   string
+	start  time.Time
+
+	mu       sync.Mutex
+	children []*Span
+	dur      time.Duration
+	ended    bool
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tracer: t, name: name, path: name, start: time.Now()}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Child opens a nested span under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tracer: s.tracer, name: name, path: s.path + "." + name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, records its duration into the stage histogram, and
+// returns the duration. Ending twice keeps the first duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	d := s.dur
+	s.mu.Unlock()
+	s.tracer.reg.Histogram(StageHistogram, DefBuckets, "stage", s.path).ObserveDuration(d)
+	return d
+}
+
+// Duration returns the recorded duration (0 until End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dur
+}
+
+// Report renders the finished span trees, one line per span, indented by
+// depth, newest root last.
+func (t *Tracer) Report() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	t.mu.Unlock()
+	var b strings.Builder
+	for _, r := range roots {
+		writeSpan(&b, r, 0)
+	}
+	return b.String()
+}
+
+func writeSpan(b *strings.Builder, s *Span, depth int) {
+	s.mu.Lock()
+	dur := s.dur
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	fmt.Fprintf(b, "%s%s %.3fms\n", strings.Repeat("  ", depth), s.name, float64(dur.Microseconds())/1000)
+	for _, c := range kids {
+		writeSpan(b, c, depth+1)
+	}
+}

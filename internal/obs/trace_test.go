@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerSpans(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r)
+	root := tr.Start("pipeline")
+	refine := root.Child("refine")
+	time.Sleep(time.Millisecond)
+	if d := refine.End(); d <= 0 {
+		t.Fatalf("refine duration = %v", d)
+	}
+	geo := root.Child("geocode")
+	geo.End()
+	root.End()
+
+	// Durations land in the stage histogram under the dotted path.
+	snap := r.Snapshot()
+	for _, stage := range []string{"pipeline", "pipeline.refine", "pipeline.geocode"} {
+		m, ok := snap.Get(StageHistogram, "stage", stage)
+		if !ok || m.Count != 1 {
+			t.Errorf("stage %q not recorded: %+v ok=%v", stage, m, ok)
+		}
+	}
+
+	rep := tr.Report()
+	if !strings.Contains(rep, "pipeline") || !strings.Contains(rep, "  refine") {
+		t.Fatalf("report missing nested spans:\n%s", rep)
+	}
+	// Child lines are indented under the root.
+	lines := strings.Split(strings.TrimSpace(rep), "\n")
+	if len(lines) != 3 || strings.HasPrefix(lines[0], " ") || !strings.HasPrefix(lines[1], "  ") {
+		t.Fatalf("unexpected report shape:\n%s", rep)
+	}
+}
+
+func TestSpanDoubleEnd(t *testing.T) {
+	tr := NewTracer(NewRegistry())
+	s := tr.Start("x")
+	d1 := s.End()
+	time.Sleep(2 * time.Millisecond)
+	if d2 := s.End(); d2 != d1 {
+		t.Fatalf("second End changed duration: %v then %v", d1, d2)
+	}
+	if s.Duration() != d1 {
+		t.Fatalf("Duration = %v, want %v", s.Duration(), d1)
+	}
+}

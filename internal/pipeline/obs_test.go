@@ -1,0 +1,82 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"stir/internal/obs"
+)
+
+// TestFunnelGauges locks the acceptance criterion that every Funnel field is
+// mirrored one-to-one into stir_funnel stage gauges on the run's registry.
+func TestFunnelGauges(t *testing.T) {
+	gaz := koreaGaz(t)
+	users, tweets := handBuilt(t, gaz)
+	reg := obs.NewRegistry()
+	p := New(gaz, 10)
+	p.Obs = reg
+	res, err := p.Run(context.Background(), users, tweets)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := res.Funnel
+	snap := reg.Snapshot()
+	want := map[string]int{
+		"raw_users":          f.RawUsers,
+		"raw_tweets":         f.RawTweets,
+		"empty_profiles":     f.EmptyProfiles,
+		"well_defined_users": f.WellDefinedUsers,
+		"geo_tweets":         f.GeoTweets,
+		"final_users":        f.FinalUsers,
+		"final_geo_tweets":   f.FinalGeoTweets,
+		"geocode_failures":   f.GeocodeFailures,
+	}
+	for stage, v := range want {
+		m, ok := snap.Get(FunnelMetric, "stage", stage)
+		if !ok || m.Value != float64(v) {
+			t.Errorf("stir_funnel{stage=%q} = %+v ok=%v, want %d", stage, m, ok, v)
+		}
+	}
+	for q, n := range f.ProfileBreakdown {
+		m, ok := snap.Get(FunnelProfileMetric, "quality", q.String())
+		if !ok || m.Value != float64(n) {
+			t.Errorf("stir_funnel_profile{quality=%q} = %+v ok=%v, want %d", q, m, ok, n)
+		}
+	}
+
+	// The run's stages land in the stage histogram under dotted paths.
+	for _, stage := range []string{"pipeline", "pipeline.count", "pipeline.users", "pipeline.analyze"} {
+		m, ok := snap.Get(obs.StageHistogram, "stage", stage)
+		if !ok || m.Count != 1 {
+			t.Errorf("%s{stage=%q} = %+v ok=%v, want 1 observation", obs.StageHistogram, stage, m, ok)
+		}
+	}
+
+	// The in-process resolver's cache is registered under cache="pipeline".
+	if _, ok := snap.Get("geocode_cache_hits", "cache", "pipeline"); !ok {
+		t.Error("resolver cache metrics not registered on the run registry")
+	}
+}
+
+// TestFunnelGaugesRepeatedRuns verifies a second run replaces, not
+// accumulates, the funnel gauges.
+func TestFunnelGaugesRepeatedRuns(t *testing.T) {
+	gaz := koreaGaz(t)
+	users, tweets := handBuilt(t, gaz)
+	reg := obs.NewRegistry()
+	p := New(gaz, 10)
+	p.Obs = reg
+	var f Funnel
+	for i := 0; i < 2; i++ {
+		res, err := p.Run(context.Background(), users, tweets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f = res.Funnel
+	}
+	m, ok := reg.Snapshot().Get(FunnelMetric, "stage", "raw_users")
+	if !ok || m.Value != float64(f.RawUsers) {
+		t.Fatalf("after two runs stir_funnel{stage=raw_users} = %+v ok=%v, want %d", m, ok, f.RawUsers)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"stir/internal/core"
 	"stir/internal/geo"
 	"stir/internal/geocode"
+	"stir/internal/obs"
 	"stir/internal/textnorm"
 	"stir/internal/twitter"
 )
@@ -73,6 +74,9 @@ type Pipeline struct {
 	// (default 1: sequential). The output is identical at any setting —
 	// users are processed independently and results are re-sorted by ID.
 	Parallelism int
+	// Obs receives the run's stage timings and funnel gauges (nil means
+	// obs.Default; obs.Discard disables).
+	Obs *obs.Registry
 }
 
 // New builds a pipeline with an in-process resolver over gaz.
@@ -101,12 +105,18 @@ func (p *Pipeline) Run(ctx context.Context, users map[twitter.UserID]*twitter.Us
 	if minGeo <= 0 {
 		minGeo = 1
 	}
+	reg := obs.Or(p.Obs)
+	registerResolverMetrics(reg, p.Resolver)
+	tracer := obs.NewTracer(reg)
+	root := tracer.Start("pipeline")
+	defer root.End()
 	res := &Result{
 		Funnel: Funnel{
 			ProfileBreakdown: make(map[textnorm.Quality]int),
 		},
 		ProfileDistrict: make(map[twitter.UserID]*admin.District),
 	}
+	count := root.Child("count")
 	res.Funnel.RawUsers = len(users)
 	for _, ts := range tweets {
 		res.Funnel.RawTweets += len(ts)
@@ -116,6 +126,7 @@ func (p *Pipeline) Run(ctx context.Context, users map[twitter.UserID]*twitter.Us
 			}
 		}
 	}
+	count.End()
 
 	// Deterministic order regardless of map iteration and worker count.
 	ids := make([]twitter.UserID, 0, len(users))
@@ -124,6 +135,7 @@ func (p *Pipeline) Run(ctx context.Context, users map[twitter.UserID]*twitter.Us
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
+	process := root.Child("users")
 	workers := p.Parallelism
 	if workers <= 1 {
 		for _, id := range ids {
@@ -169,7 +181,11 @@ func (p *Pipeline) Run(ctx context.Context, users map[twitter.UserID]*twitter.Us
 			return res.Groupings[i].UserID < res.Groupings[j].UserID
 		})
 	}
+	process.End()
+	analyze := root.Child("analyze")
 	res.Analysis = core.Analyze(res.Groupings)
+	analyze.End()
+	publishFunnel(reg, res.Funnel)
 	return res, nil
 }
 

@@ -4,6 +4,8 @@
 package ratelimit
 
 import (
+	"net/http"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -45,6 +47,34 @@ type Status struct {
 	ResetAt   time.Time
 }
 
+// SetHeaders writes the standard X-RateLimit-* headers for the window. A
+// disabled limiter (Limit 0) writes nothing, matching endpoints that do not
+// advertise budgets.
+func (st Status) SetHeaders(h http.Header) {
+	if st.Limit <= 0 {
+		return
+	}
+	h.Set("X-RateLimit-Limit", strconv.Itoa(st.Limit))
+	h.Set("X-RateLimit-Remaining", strconv.Itoa(st.Remaining))
+	h.Set("X-RateLimit-Reset", strconv.FormatInt(st.ResetAt.Unix(), 10))
+}
+
+// RetryAfterSeconds returns the whole seconds a 429 response should advertise
+// in Retry-After: the time until the window resets, rounded up, never less
+// than one (Retry-After has second granularity, and "0" invites an immediate
+// retry into the same exhausted window).
+func (st Status) RetryAfterSeconds(now time.Time) int {
+	wait := st.ResetAt.Sub(now)
+	if wait <= 0 {
+		return 1
+	}
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // Allow consumes one request if the budget permits, returning the resulting
 // status and whether the request may proceed.
 func (r *Limiter) Allow() (Status, bool) {
@@ -53,8 +83,11 @@ func (r *Limiter) Allow() (Status, bool) {
 	if r.disabled {
 		return Status{Limit: 0, Remaining: 1 << 30}, true
 	}
+	// Reset at the advertised instant, not after it: Retry-After and
+	// X-RateLimit-Reset both promise the budget is back at resetAt, so a
+	// client that sleeps exactly that long must be admitted.
 	now := r.now()
-	if now.After(r.resetAt) {
+	if !now.Before(r.resetAt) {
 		r.used = 0
 		r.resetAt = now.Add(r.window)
 	}

@@ -1,6 +1,8 @@
 package ratelimit
 
 import (
+	"net/http"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -80,5 +82,69 @@ func TestConcurrentBudget(t *testing.T) {
 	wg.Wait()
 	if allowed != 100 {
 		t.Fatalf("allowed = %d, want exactly 100", allowed)
+	}
+}
+
+func TestSetHeaders(t *testing.T) {
+	st := Status{Limit: 5, Remaining: 2, ResetAt: t0.Add(time.Minute)}
+	h := make(http.Header)
+	st.SetHeaders(h)
+	if h.Get("X-RateLimit-Limit") != "5" || h.Get("X-RateLimit-Remaining") != "2" {
+		t.Fatalf("headers = %v", h)
+	}
+	if h.Get("X-RateLimit-Reset") != strconv.FormatInt(t0.Add(time.Minute).Unix(), 10) {
+		t.Fatalf("reset header = %q", h.Get("X-RateLimit-Reset"))
+	}
+	// A disabled limiter's status advertises nothing.
+	empty := make(http.Header)
+	Status{Limit: 0, Remaining: 1 << 30}.SetHeaders(empty)
+	if len(empty) != 0 {
+		t.Fatalf("disabled status wrote headers: %v", empty)
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	st := Status{ResetAt: t0.Add(90 * time.Second)}
+	cases := []struct {
+		now  time.Time
+		want int
+	}{
+		{t0, 90},
+		{t0.Add(89*time.Second + 500*time.Millisecond), 1}, // rounds up
+		{t0.Add(89 * time.Second), 1},
+		{t0.Add(90 * time.Second), 1},  // at reset: still advertise 1
+		{t0.Add(120 * time.Second), 1}, // past reset: never 0 or negative
+		{t0.Add(30 * time.Second), 60},
+	}
+	for _, c := range cases {
+		if got := st.RetryAfterSeconds(c.now); got != c.want {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", c.now.Sub(t0), got, c.want)
+		}
+	}
+}
+
+// TestWindowResetRestoresBudget pins the reset semantics the Retry-After
+// header promises: once the advertised reset passes, the full budget is back.
+func TestWindowResetRestoresBudget(t *testing.T) {
+	rl := New(3, time.Minute)
+	now := t0
+	rl.SetClock(func() time.Time { return now })
+	var st Status
+	for i := 0; i < 3; i++ {
+		st, _ = rl.Allow()
+	}
+	denied, ok := rl.Allow()
+	if ok {
+		t.Fatal("budget should be exhausted")
+	}
+	wait := denied.RetryAfterSeconds(now)
+	now = now.Add(time.Duration(wait) * time.Second)
+	for i := 0; i < 3; i++ {
+		if _, ok := rl.Allow(); !ok {
+			t.Fatalf("request %d after advertised reset denied", i)
+		}
+	}
+	if !denied.ResetAt.Equal(st.ResetAt) {
+		t.Fatalf("denied reset %v != allowed reset %v", denied.ResetAt, st.ResetAt)
 	}
 }

@@ -68,6 +68,7 @@ func (b *Batch) Commit() error {
 	if err != nil {
 		return err
 	}
+	s.mBatchCommits.Inc()
 	for i, op := range b.ops {
 		if op.tomb {
 			if _, had := s.index[op.key]; had {

@@ -21,6 +21,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"stir/internal/obs"
 )
 
 const (
@@ -51,6 +53,9 @@ type Options struct {
 	// SyncEveryPut fsyncs after every write. Slow but durable; crawls use
 	// periodic Sync instead.
 	SyncEveryPut bool
+	// Metrics receives the store's write/compaction series (nil means
+	// obs.Default; obs.Discard disables).
+	Metrics *obs.Registry
 }
 
 // Store is the log-structured key-value store. All methods are safe for
@@ -67,6 +72,11 @@ type Store struct {
 	closed bool
 	puts   int64 // total put operations, for stats
 	dead   int64 // superseded or deleted records, drives compaction advice
+
+	mAppends      *obs.Counter
+	mBytes        *obs.Counter
+	mBatchCommits *obs.Counter
+	mCompactions  *obs.Counter
 }
 
 type recordPos struct {
@@ -87,11 +97,17 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: create dir: %w", err)
 	}
+	reg := obs.Or(opts.Metrics)
 	s := &Store{
 		dir:   dir,
 		opts:  opts,
 		index: make(map[string]recordPos),
 		segs:  make(map[int]*os.File),
+
+		mAppends:      reg.Counter("storage_appends_total"),
+		mBytes:        reg.Counter("storage_bytes_written_total"),
+		mBatchCommits: reg.Counter("storage_batch_commits_total"),
+		mCompactions:  reg.Counter("storage_compactions_total"),
 	}
 	ids, err := listSegments(dir)
 	if err != nil {
@@ -344,6 +360,8 @@ func (s *Store) appendLocked(rec []byte) (recordPos, error) {
 		return recordPos{}, fmt.Errorf("storage: append: %w", err)
 	}
 	s.actOff += int64(len(rec))
+	s.mAppends.Inc()
+	s.mBytes.Add(int64(len(rec)))
 	if s.opts.SyncEveryPut {
 		if err := s.active.Sync(); err != nil {
 			return recordPos{}, err
@@ -572,6 +590,7 @@ func (s *Store) Compact() error {
 	}
 	s.active = af
 	s.actOff = off
+	s.mCompactions.Inc()
 	return nil
 }
 

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"stir/internal/obs"
 )
 
 // Client is the SDK the crawler and examples use against an APIServer. It
@@ -25,6 +27,9 @@ type Client struct {
 	MaxBackoff time.Duration
 	// MaxRetries bounds retries per call (default 5).
 	MaxRetries int
+	// Metrics receives the client's request/throttle series (nil means
+	// obs.Default; obs.Discard disables).
+	Metrics *obs.Registry
 	// sleep is swappable for tests.
 	sleep func(context.Context, time.Duration) error
 }
@@ -71,6 +76,7 @@ func IsNotFound(err error) bool {
 
 // getJSON performs a GET with rate-limit retries and decodes into out.
 func (c *Client) getJSON(ctx context.Context, path string, params url.Values, out any) error {
+	reg := obs.Or(c.Metrics)
 	retries := c.MaxRetries
 	if retries <= 0 {
 		retries = 5
@@ -99,6 +105,8 @@ func (c *Client) getJSON(ctx context.Context, path string, params url.Values, ou
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			lastErr = &APIError{Status: resp.StatusCode, Msg: "rate limited", Code: 88}
+			reg.Counter("twitter_client_throttled_total", "endpoint", path).Inc()
+			reg.Histogram("twitter_client_backoff_seconds", obs.DefBuckets).ObserveDuration(wait)
 			if err := c.sleep(ctx, wait); err != nil {
 				return err
 			}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 
+	"stir/internal/obs"
 	"stir/internal/storage"
 )
 
@@ -25,6 +26,9 @@ type Crawler struct {
 	TimelineLimit int
 	// OnProgress, when set, is called after each crawled user.
 	OnProgress func(done int, queued int)
+	// Metrics receives the crawl's progress series (nil means obs.Default;
+	// obs.Discard disables).
+	Metrics *obs.Registry
 }
 
 const (
@@ -53,11 +57,20 @@ func (c *Crawler) Run(ctx context.Context, seeds ...UserID) (CrawlResult, error)
 	if c.Client == nil || c.Store == nil {
 		return res, errors.New("twitter: crawler needs Client and Store")
 	}
+	reg := obs.Or(c.Metrics)
+	var (
+		mUsers    = reg.Counter("crawl_users_total")
+		mTweets   = reg.Counter("crawl_tweets_total")
+		mGeo      = reg.Counter("crawl_geo_tweets_total")
+		mGone     = reg.Counter("crawl_gone_users_total")
+		mFrontier = reg.Gauge("crawl_frontier_depth")
+	)
 	frontier, done, err := c.loadCheckpoint(seeds)
 	if err != nil {
 		return res, err
 	}
 	res.UsersCollected = done
+	mFrontier.Set(float64(len(frontier)))
 	for len(frontier) > 0 {
 		if err := ctx.Err(); err != nil {
 			return res, err
@@ -75,6 +88,7 @@ func (c *Crawler) Run(ctx context.Context, seeds ...UserID) (CrawlResult, error)
 		if err != nil {
 			if IsNotFound(err) {
 				// Deleted/suspended account: mark visited and move on.
+				mGone.Inc()
 				if err := c.Store.Put(visitedKey, []byte("gone")); err != nil {
 					return res, err
 				}
@@ -85,6 +99,9 @@ func (c *Crawler) Run(ctx context.Context, seeds ...UserID) (CrawlResult, error)
 		res.UsersCollected++
 		res.TweetsCollected += tweets
 		res.GeoTweets += geo
+		mUsers.Inc()
+		mTweets.Add(int64(tweets))
+		mGeo.Add(int64(geo))
 		batch.Put(visitedKey, []byte("ok"))
 		followers, err := c.Client.FollowerIDs(ctx, id)
 		if err != nil && !IsNotFound(err) {
@@ -106,6 +123,7 @@ func (c *Crawler) Run(ctx context.Context, seeds ...UserID) (CrawlResult, error)
 		if err := batch.Commit(); err != nil {
 			return res, err
 		}
+		mFrontier.Set(float64(len(frontier)))
 		if c.OnProgress != nil {
 			c.OnProgress(res.UsersCollected, len(frontier))
 		}

@@ -1,0 +1,161 @@
+package twitter
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"stir/internal/obs"
+	"stir/internal/storage"
+)
+
+// TestRateLimit429ThroughMiddleware drives the API server past its budget and
+// checks the full rejection contract: 429 status, X-RateLimit-* and
+// Retry-After headers, and the middleware's rejection counter.
+func TestRateLimit429ThroughMiddleware(t *testing.T) {
+	svc := NewService()
+	u := newUser(t, svc, "a", "")
+	reg := obs.NewRegistry()
+	srv := httptest.NewServer(NewAPIServer(svc, ServerOptions{
+		RESTLimit: 2,
+		Window:    time.Hour,
+		Metrics:   reg,
+	}))
+	defer srv.Close()
+
+	url := srv.URL + "/1/users/show.json?user_id=" + strconv.FormatInt(int64(u.ID), 10)
+	var last *http.Response
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		last = resp
+	}
+	if last.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third call status = %d, want 429", last.StatusCode)
+	}
+	for _, h := range []string{"X-RateLimit-Limit", "X-RateLimit-Remaining", "X-RateLimit-Reset", "Retry-After"} {
+		if last.Header.Get(h) == "" {
+			t.Errorf("429 missing %s header", h)
+		}
+	}
+	if got := last.Header.Get("X-RateLimit-Remaining"); got != "0" {
+		t.Errorf("X-RateLimit-Remaining = %q, want 0", got)
+	}
+	if ra, err := strconv.Atoi(last.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want integer >= 1", last.Header.Get("Retry-After"))
+	}
+
+	snap := reg.Snapshot()
+	route := "/1/users/show.json"
+	if m, ok := snap.Get(obs.HTTPRequestsMetric, "service", "twitterd", "route", route, "class", "2xx"); !ok || m.Value != 2 {
+		t.Errorf("2xx counter = %+v ok=%v, want 2", m, ok)
+	}
+	if m, ok := snap.Get(obs.HTTPRequestsMetric, "service", "twitterd", "route", route, "class", "4xx"); !ok || m.Value != 1 {
+		t.Errorf("4xx counter = %+v ok=%v, want 1", m, ok)
+	}
+	if m, ok := snap.Get(obs.HTTPRateLimitedMetric, "service", "twitterd", "route", route); !ok || m.Value != 1 {
+		t.Errorf("ratelimited counter = %+v ok=%v, want 1", m, ok)
+	}
+	if m, ok := snap.Get(obs.HTTPLatencyMetric, "service", "twitterd", "route", route); !ok || m.Count != 3 {
+		t.Errorf("latency histogram = %+v ok=%v, want 3 observations", m, ok)
+	}
+}
+
+// TestClientThrottleMetrics checks the client counts its 429 backoffs.
+func TestClientThrottleMetrics(t *testing.T) {
+	svc := NewService()
+	u := newUser(t, svc, "a", "")
+	_, c := startAPI(t, svc, ServerOptions{RESTLimit: 1, Window: 100 * time.Millisecond})
+	reg := obs.NewRegistry()
+	c.Metrics = reg
+	for i := 0; i < 3; i++ {
+		if _, err := c.UserShow(context.Background(), u.ID); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	m, ok := reg.Snapshot().Get("twitter_client_throttled_total", "endpoint", "/1/users/show.json")
+	if !ok || m.Value < 1 {
+		t.Fatalf("throttled counter = %+v ok=%v, want >= 1", m, ok)
+	}
+}
+
+// TestContainsFoldKorean pins the satellite fix: the stream's track filter
+// must match Korean district names, which the old ASCII-only fold handled
+// only by byte equality.
+func TestContainsFoldKorean(t *testing.T) {
+	cases := []struct {
+		s, substr string
+		want      bool
+	}{
+		{"지진 발생 강남구 인근", "강남구", true},
+		{"서울 양천구 목동", "양천구", true},
+		{"서울 양천구 목동", "강남구", false},
+		{"Earthquake in GANGNAM-GU now", "gangnam-gu", true},
+		{"Earthquake in Gangnam", "GANGNAM", true},
+		{"anything", "", true},
+		// Unicode fold beyond ASCII: the Kelvin sign (U+212A) lowers to k.
+		{"temp in Kelvin", "kelvin", true},
+	}
+	for _, c := range cases {
+		if got := containsFold(c.s, c.substr); got != c.want {
+			t.Errorf("containsFold(%q, %q) = %v, want %v", c.s, c.substr, got, c.want)
+		}
+	}
+}
+
+// TestSearchKoreanDistrict exercises the same fold through the search
+// endpoint end to end.
+func TestSearchKoreanDistrict(t *testing.T) {
+	svc := NewService()
+	u := newUser(t, svc, "a", "서울 강남구")
+	svc.PostTweet(u.ID, "강남구 맛집 추천", t0, nil)
+	svc.PostTweet(u.ID, "unrelated tweet", t0, nil)
+	_, c := startAPI(t, svc, ServerOptions{})
+	hits, err := c.Search(context.Background(), "강남구", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("search 강남구 = %d hits, want 1", len(hits))
+	}
+}
+
+// TestCrawlerMetrics verifies the crawl publishes its progress series.
+func TestCrawlerMetrics(t *testing.T) {
+	svc := NewService()
+	seed, followers := seedGraph(t, svc)
+	for _, f := range followers[:3] {
+		svc.PostTweet(f.ID, "geo", t0, &GeoTag{Lat: 37.5, Lon: 127})
+	}
+	_, c := startAPI(t, svc, ServerOptions{})
+	store, err := storage.Open(t.TempDir(), storage.Options{Metrics: obs.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	reg := obs.NewRegistry()
+	cr := &Crawler{Client: c, Store: store, Metrics: reg}
+	res, err := cr.Run(context.Background(), seed.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if m, ok := snap.Get("crawl_users_total"); !ok || m.Value != float64(res.UsersCollected) {
+		t.Errorf("crawl_users_total = %+v ok=%v, want %d", m, ok, res.UsersCollected)
+	}
+	if m, ok := snap.Get("crawl_tweets_total"); !ok || m.Value != float64(res.TweetsCollected) {
+		t.Errorf("crawl_tweets_total = %+v ok=%v, want %d", m, ok, res.TweetsCollected)
+	}
+	if m, ok := snap.Get("crawl_geo_tweets_total"); !ok || m.Value != float64(res.GeoTweets) {
+		t.Errorf("crawl_geo_tweets_total = %+v ok=%v, want %d", m, ok, res.GeoTweets)
+	}
+	if m, ok := snap.Get("crawl_frontier_depth"); !ok || m.Value != 0 {
+		t.Errorf("crawl_frontier_depth = %+v ok=%v, want drained to 0", m, ok)
+	}
+}

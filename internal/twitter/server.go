@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"stir/internal/obs"
 	"stir/internal/ratelimit"
 )
 
@@ -25,8 +26,9 @@ import (
 // and a 429 status when exhausted, which is the behaviour the client SDK and
 // crawler are written against.
 type APIServer struct {
-	svc *Service
-	mux *http.ServeMux
+	svc     *Service
+	mux     *http.ServeMux
+	handler http.Handler
 
 	restLimit   *ratelimit.Limiter
 	searchLimit *ratelimit.Limiter
@@ -47,6 +49,9 @@ type ServerOptions struct {
 	// FollowersPageSize overrides the followers/ids page size (default 5000,
 	// the real endpoint's page size).
 	FollowersPageSize int
+	// Metrics receives the server's request/latency/rejection series (nil
+	// means obs.Default; obs.Discard disables).
+	Metrics *obs.Registry
 }
 
 // NewAPIServer wraps svc in an HTTP API.
@@ -70,12 +75,21 @@ func NewAPIServer(svc *Service, opts ServerOptions) *APIServer {
 	s.mux.HandleFunc("/1/statuses/user_timeline.json", s.limited(s.restLimit, s.handleTimeline))
 	s.mux.HandleFunc("/1/search.json", s.limited(s.searchLimit, s.handleSearch))
 	s.mux.HandleFunc("/1/statuses/sample.json", s.handleSample)
+	s.handler = obs.InstrumentHandler(obs.Or(opts.Metrics), "twitterd", s.route, s.mux)
 	return s
+}
+
+// route keeps the middleware's route label bounded to registered patterns.
+func (s *APIServer) route(r *http.Request) string {
+	if _, pattern := s.mux.Handler(r); pattern != "" {
+		return pattern
+	}
+	return "unmatched"
 }
 
 // ServeHTTP implements http.Handler.
 func (s *APIServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // apiError is the wire shape of an error response.
@@ -93,12 +107,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func (s *APIServer) limited(rl *ratelimit.Limiter, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		st, ok := rl.Allow()
-		if st.Limit > 0 {
-			w.Header().Set("X-RateLimit-Limit", strconv.Itoa(st.Limit))
-			w.Header().Set("X-RateLimit-Remaining", strconv.Itoa(st.Remaining))
-			w.Header().Set("X-RateLimit-Reset", strconv.FormatInt(st.ResetAt.Unix(), 10))
-		}
+		st.SetHeaders(w.Header())
 		if !ok {
+			w.Header().Set("Retry-After", strconv.Itoa(st.RetryAfterSeconds(time.Now())))
 			writeJSON(w, http.StatusTooManyRequests, apiError{Error: "Rate limit exceeded", Code: 88})
 			return
 		}
@@ -284,35 +295,15 @@ func (s *APIServer) handleSample(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// containsFold reports whether s contains substr case-insensitively.
+// containsFold reports whether s contains substr case-insensitively. Folding
+// is Unicode-aware via strings.ToLower (the previous hand-rolled version
+// compared byte-wise and only folded ASCII, so a track filter like "Seoul"
+// matched but any non-Latin query depended on exact bytes); caseless scripts
+// such as Hangul pass through ToLower untouched, so Korean district names
+// match exactly, and it is the same fold Service.Search applies.
 func containsFold(s, substr string) bool {
-	n, m := len(s), len(substr)
-	if m == 0 {
+	if substr == "" {
 		return true
 	}
-	for i := 0; i+m <= n; i++ {
-		if equalFoldASCII(s[i:i+m], substr) {
-			return true
-		}
-	}
-	return false
-}
-
-func equalFoldASCII(a, b string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := 0; i < len(a); i++ {
-		ca, cb := a[i], b[i]
-		if 'A' <= ca && ca <= 'Z' {
-			ca += 'a' - 'A'
-		}
-		if 'A' <= cb && cb <= 'Z' {
-			cb += 'a' - 'A'
-		}
-		if ca != cb {
-			return false
-		}
-	}
-	return true
+	return strings.Contains(strings.ToLower(s), strings.ToLower(substr))
 }

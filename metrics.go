@@ -1,0 +1,24 @@
+package stir
+
+import (
+	"net/http"
+
+	"stir/internal/obs"
+)
+
+// MetricsSnapshot is a point-in-time copy of every metric the library has
+// recorded: the §III funnel gauges, pipeline stage timings, HTTP request
+// series and cache stats.
+type MetricsSnapshot = obs.Snapshot
+
+// Metrics snapshots the default registry, which every component records into
+// unless it was given its own registry (or obs.Discard).
+func Metrics() MetricsSnapshot {
+	return obs.Default.Snapshot()
+}
+
+// MetricsHandler serves the default registry in Prometheus text format (or
+// JSON with ?format=json) — mount it on /metrics next to an API server.
+func MetricsHandler() http.Handler {
+	return obs.Handler(obs.Default)
+}

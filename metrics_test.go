@@ -1,0 +1,45 @@
+package stir_test
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"stir"
+)
+
+// TestMetricsFacade runs an analysis and checks the snapshot and handler both
+// surface the funnel through the default registry.
+func TestMetricsFacade(t *testing.T) {
+	ds, err := stir.NewKoreanDataset(stir.DatasetOptions{Seed: 7, Users: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ds.Analyze(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := stir.Metrics()
+	m, ok := snap.Get("stir_funnel", "stage", "raw_users")
+	if !ok || m.Value != float64(res.Funnel.RawUsers) {
+		t.Fatalf("stir_funnel{stage=raw_users} = %+v ok=%v, want %d", m, ok, res.Funnel.RawUsers)
+	}
+
+	srv := httptest.NewServer(stir.MetricsHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `stir_funnel{stage="final_users"}`) {
+		t.Fatalf("scrape missing funnel gauge:\n%.500s", body)
+	}
+}

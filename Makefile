@@ -1,10 +1,14 @@
 # STIR build targets. `make verify` is the full pre-merge gate: tier-1
 # (build + tests) plus vet and a race pass over the instrumented packages,
 # where the obs middleware and crawl/pipeline counters run concurrently.
+# `make chaos` replays the seeded fault-injection suite under -race.
 
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-obs
+# Fixed fault schedule for reproducible chaos runs (see internal/resilience/fault).
+CHAOS_SEED ?= 2026
+
+.PHONY: build test vet race verify chaos bench bench-obs
 
 build:
 	$(GO) build ./...
@@ -17,9 +21,15 @@ vet:
 
 # Race-check the packages that share metric registries across goroutines.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/twitter/... ./internal/geocode/... ./internal/pipeline/... ./internal/storage/... ./internal/ratelimit/...
+	$(GO) test -race ./internal/obs/... ./internal/resilience/... ./internal/twitter/... ./internal/geocode/... ./internal/pipeline/... ./internal/storage/... ./internal/ratelimit/...
 
 verify: build vet test race
+
+# Run the deterministic fault-injection suite (retry/breaker under injected
+# faults, degraded pipeline runs, flaky-crawl convergence) with the race
+# detector and a fixed seed, so a failure replays bit-for-bit.
+chaos:
+	STIR_FAULT_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'Chaos|Fault|Inject|Quarantine|ContinueOnError|CrashMidUser' ./internal/resilience/... ./internal/twitter/... ./internal/pipeline/...
 
 bench:
 	$(GO) test -bench=. -benchmem .

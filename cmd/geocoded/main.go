@@ -5,6 +5,11 @@
 // Usage:
 //
 //	geocoded [-addr :8031] [-world] [-limit N] [-window 1h] [-slack 10]
+//	         [-fault-5xx R] [-fault-reset R] [-fault-timeout R] [-fault-corrupt R] [-fault-seed S]
+//
+// The -fault-* flags (defaulting from the STIR_FAULT_* environment knobs)
+// wrap the API in the deterministic fault injector, turning geocoded into a
+// flaky upstream for resilience testing.
 //
 // Try it:
 //
@@ -21,7 +26,23 @@ import (
 	"stir/internal/admin"
 	"stir/internal/geocode"
 	"stir/internal/obs"
+	"stir/internal/resilience/fault"
 )
+
+// faultFlags registers the shared server-side fault-injection flags,
+// defaulting from the STIR_FAULT_* env knobs, and returns a closure
+// producing the parsed rates and seed.
+func faultFlags() func() (fault.Rates, int64) {
+	env := fault.RatesFromEnv()
+	f5xx := flag.Float64("fault-5xx", env.Error5xx, "injected 503 rate ("+fault.Env5xx+")")
+	reset := flag.Float64("fault-reset", env.Reset, "injected connection-reset rate ("+fault.EnvReset+")")
+	timeout := flag.Float64("fault-timeout", env.Timeout, "injected hold-then-504 rate ("+fault.EnvTimeout+")")
+	corrupt := flag.Float64("fault-corrupt", env.Corrupt, "injected garbage-response rate ("+fault.EnvCorrupt+")")
+	fseed := flag.Int64("fault-seed", fault.SeedFromEnv(1), "fault-injection schedule seed ("+fault.EnvSeed+")")
+	return func() (fault.Rates, int64) {
+		return fault.Rates{Timeout: *timeout, Error5xx: *f5xx, Reset: *reset, Corrupt: *corrupt}, *fseed
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":8031", "listen address")
@@ -29,6 +50,7 @@ func main() {
 	limit := flag.Int("limit", 0, "requests per window (0 = unlimited)")
 	window := flag.Duration("window", time.Hour, "rate limit window")
 	slack := flag.Float64("slack", 10, "km of slack for nearest-district fallback (negative disables)")
+	faults := faultFlags()
 	flag.Parse()
 
 	var (
@@ -43,11 +65,15 @@ func main() {
 	if err != nil {
 		log.Fatal("geocoded: ", err)
 	}
-	srv := geocode.NewServer(gaz, geocode.ServerOptions{
+	var srv http.Handler = geocode.NewServer(gaz, geocode.ServerOptions{
 		Limit:   *limit,
 		Window:  *window,
 		SlackKm: *slack,
 	})
+	if rates, fseed := faults(); rates.Any() {
+		srv = fault.New(fseed, rates, nil).Handler(srv)
+		fmt.Printf("geocoded: fault injection armed (seed %d, rates %+v)\n", fseed, rates)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
 	mux.Handle("/metrics", obs.Handler(obs.Default))

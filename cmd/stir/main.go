@@ -4,7 +4,10 @@
 // Subcommands:
 //
 //	stir analyze [-dataset korean|world] [-users N] [-seed S] [-csv]
-//	    run the §III pipeline and print the funnel and the per-group figures
+//	             [-continue-on-error] [-fault-rate R] [-fault-seed S]
+//	    run the §III pipeline and print the funnel and the per-group figures;
+//	    -continue-on-error degrades instead of aborting on per-user failures,
+//	    -fault-rate injects a deterministic geocode fault schedule (chaos runs)
 //	stir event   [-users N] [-seed S] [-method particle|kalman|median|centroid]
 //	    inject an earthquake and compare unweighted vs reliability-weighted
 //	    location estimation (the paper's §V application)
@@ -34,6 +37,7 @@ import (
 	"stir/internal/admin"
 	"stir/internal/obs"
 	"stir/internal/report"
+	"stir/internal/resilience/fault"
 	"stir/internal/synth"
 	"stir/internal/twitter"
 )
@@ -83,6 +87,17 @@ func usage() {
   serve    run the analysis and serve /metrics and /healthz`)
 }
 
+// resilienceFlags registers the shared chaos/degraded-mode flags on fs and
+// returns a closure producing the resulting AnalyzeOptions after parsing.
+func resilienceFlags(fs *flag.FlagSet) func() stir.AnalyzeOptions {
+	cont := fs.Bool("continue-on-error", false, "degraded mode: skip users whose processing fails instead of aborting")
+	rate := fs.Float64("fault-rate", 0, "inject transient geocode faults at this total rate (chaos runs)")
+	fseed := fs.Int64("fault-seed", fault.SeedFromEnv(1), "fault-injection schedule seed ("+fault.EnvSeed+")")
+	return func() stir.AnalyzeOptions {
+		return stir.AnalyzeOptions{ContinueOnError: *cont, FaultRate: *rate, FaultSeed: *fseed}
+	}
+}
+
 func makeDataset(kind string, users int, seed int64) (*stir.Dataset, error) {
 	opts := stir.DatasetOptions{Seed: seed, Users: users}
 	if kind == "world" {
@@ -101,6 +116,7 @@ func runAnalyze(args []string) error {
 	seed := fs.Int64("seed", 1, "generation seed")
 	scenario := fs.String("scenario", "", "generate from a scenario JSON file instead of the presets")
 	csv := fs.Bool("csv", false, "emit per-group CSV instead of charts")
+	resOpts := resilienceFlags(fs)
 	fs.Parse(args)
 
 	var (
@@ -115,7 +131,7 @@ func runAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := ds.Analyze(context.Background())
+	res, err := ds.AnalyzeWith(context.Background(), resOpts())
 	if err != nil {
 		return err
 	}
@@ -330,13 +346,14 @@ func runServe(args []string) error {
 	dataset := fs.String("dataset", "korean", "korean or world")
 	users := fs.Int("users", 5200, "population size")
 	seed := fs.Int64("seed", 1, "generation seed")
+	resOpts := resilienceFlags(fs)
 	fs.Parse(args)
 
 	ds, err := makeDataset(*dataset, *users, *seed)
 	if err != nil {
 		return err
 	}
-	res, err := ds.Analyze(context.Background())
+	res, err := ds.AnalyzeWith(context.Background(), resOpts())
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,11 @@
 //
 //	twitterd [-addr :8030] [-dataset korean|world] [-users N] [-seed S]
 //	         [-rest-limit N] [-search-limit N] [-window 15m]
+//	         [-fault-5xx R] [-fault-reset R] [-fault-timeout R] [-fault-corrupt R] [-fault-seed S]
+//
+// The -fault-* flags (defaulting from the STIR_FAULT_* environment knobs)
+// wrap the API in the deterministic fault injector, turning twitterd into a
+// flaky upstream for resilience testing.
 package main
 
 import (
@@ -18,8 +23,24 @@ import (
 
 	"stir"
 	"stir/internal/obs"
+	"stir/internal/resilience/fault"
 	"stir/internal/twitter"
 )
+
+// faultFlags registers the shared server-side fault-injection flags,
+// defaulting from the STIR_FAULT_* env knobs, and returns a closure
+// producing the parsed rates and seed.
+func faultFlags() func() (fault.Rates, int64) {
+	env := fault.RatesFromEnv()
+	f5xx := flag.Float64("fault-5xx", env.Error5xx, "injected 503 rate ("+fault.Env5xx+")")
+	reset := flag.Float64("fault-reset", env.Reset, "injected connection-reset rate ("+fault.EnvReset+")")
+	timeout := flag.Float64("fault-timeout", env.Timeout, "injected hold-then-504 rate ("+fault.EnvTimeout+")")
+	corrupt := flag.Float64("fault-corrupt", env.Corrupt, "injected garbage-response rate ("+fault.EnvCorrupt+")")
+	fseed := flag.Int64("fault-seed", fault.SeedFromEnv(1), "fault-injection schedule seed ("+fault.EnvSeed+")")
+	return func() (fault.Rates, int64) {
+		return fault.Rates{Timeout: *timeout, Error5xx: *f5xx, Reset: *reset, Corrupt: *corrupt}, *fseed
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":8030", "listen address")
@@ -30,6 +51,7 @@ func main() {
 	searchLimit := flag.Int("search-limit", 0, "search rate limit per window (0 = unlimited)")
 	window := flag.Duration("window", 15*time.Minute, "rate limit window")
 	follower := flag.Bool("follower-graph", true, "wire a crawlable follower graph")
+	faults := faultFlags()
 	flag.Parse()
 
 	opts := stir.DatasetOptions{Seed: *seed, Users: *users, FollowerGraph: *follower}
@@ -45,11 +67,15 @@ func main() {
 	if err != nil {
 		log.Fatal("twitterd: ", err)
 	}
-	api := twitter.NewAPIServer(ds.Service, twitter.ServerOptions{
+	var api http.Handler = twitter.NewAPIServer(ds.Service, twitter.ServerOptions{
 		RESTLimit:   *restLimit,
 		SearchLimit: *searchLimit,
 		Window:      *window,
 	})
+	if rates, fseed := faults(); rates.Any() {
+		api = fault.New(fseed, rates, nil).Handler(api)
+		fmt.Printf("twitterd: fault injection armed (seed %d, rates %+v)\n", fseed, rates)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", api)
 	mux.Handle("/metrics", obs.Handler(obs.Default))

@@ -102,7 +102,7 @@ func Crawl(ctx context.Context, opts CrawlOptions, seeds ...int64) (CrawlStats, 
 	return CrawlStats{Users: res.UsersCollected, Tweets: res.TweetsCollected, GeoTweets: res.GeoTweets}, nil
 }
 
-// AnalyzeOptions configure AnalyzeStore.
+// AnalyzeOptions configure AnalyzeStore and Dataset.AnalyzeWith.
 type AnalyzeOptions struct {
 	// StoreDir is the crawl store to analyse.
 	StoreDir string
@@ -112,6 +112,16 @@ type AnalyzeOptions struct {
 	GeocodeURL string
 	// World selects the worldwide gazetteer (default Korean).
 	World bool
+	// ContinueOnError runs the pipeline in degraded mode: users whose
+	// processing fails are skipped and reported in Result.SkippedUsers
+	// instead of aborting the run.
+	ContinueOnError bool
+	// FaultRate, when > 0, injects transient geocode faults at this total
+	// rate through the deterministic fault harness — the built-in chaos
+	// experiment for the resilience layer.
+	FaultRate float64
+	// FaultSeed fixes the injected fault schedule (default 1).
+	FaultSeed int64
 }
 
 // AnalyzeStore runs the §III refinement pipeline over a crawl store — the
@@ -140,16 +150,12 @@ func AnalyzeStore(ctx context.Context, opts AnalyzeOptions) (*Result, error) {
 	if opts.GeocodeURL != "" {
 		p.Resolver = geocode.NewClient(opts.GeocodeURL, 65536)
 	}
+	applyResilience(p, opts)
 	r, err := p.Run(ctx, users, tweets)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
-		Funnel:          r.Funnel,
-		Groupings:       r.Groupings,
-		Analysis:        r.Analysis,
-		ProfileDistrict: r.ProfileDistrict,
-	}, nil
+	return resultOf(r), nil
 }
 
 // ResolvePoint reverse-geocodes one point through the dataset's gazetteer —

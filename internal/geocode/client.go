@@ -9,15 +9,20 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"stir/internal/geo"
 	"stir/internal/obs"
+	"stir/internal/resilience"
 )
 
-// Client calls a geocode Server with quantisation, caching, and rate-limit
-// retries. It also supports a direct (in-process) resolver so offline
-// pipelines can skip HTTP entirely while exercising the same cache.
+// Client calls a geocode Server with quantisation, caching, and a
+// resilience.Policy that rides out rate limits (429 with Retry-After),
+// transient network errors and 5xx responses — the full failure surface a
+// metered third-party geocoder exposes. It also supports a direct
+// (in-process) resolver so offline pipelines can skip HTTP entirely while
+// exercising the same cache.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
@@ -28,12 +33,19 @@ type Client struct {
 	MaxBackoff time.Duration
 	// MaxRetries bounds retries per call.
 	MaxRetries int
+	// Retry overrides the retry policy built from MaxBackoff/MaxRetries.
+	Retry *resilience.Policy
+	// Breaker, when set, gates every request so a dead geocoder fails fast
+	// instead of stalling the pipeline behind full backoff ladders.
+	Breaker *resilience.Breaker
 	// Metrics receives request/throttle/backoff series (nil means
 	// obs.Default; obs.Discard disables).
 	Metrics *obs.Registry
 
-	cache *lruCache[Location]
-	sleep func(context.Context, time.Duration) error
+	cache   *lruCache[Location]
+	sleep   func(context.Context, time.Duration) error
+	polOnce sync.Once
+	pol     *resilience.Policy
 }
 
 // ErrNoMatch reports a point no district is near.
@@ -96,65 +108,118 @@ func (c *Client) Reverse(ctx context.Context, p geo.Point) (Location, error) {
 	return loc, nil
 }
 
+// policy resolves the client's retry policy once: the explicit Retry
+// override, or one built from MaxBackoff/MaxRetries.
+func (c *Client) policy() *resilience.Policy {
+	c.polOnce.Do(func() {
+		if c.Retry != nil {
+			c.pol = c.Retry
+			if c.pol.Breaker == nil {
+				c.pol.Breaker = c.Breaker
+			}
+			return
+		}
+		retries := c.MaxRetries
+		if retries <= 0 {
+			retries = 6
+		}
+		maxB := c.MaxBackoff
+		if maxB <= 0 {
+			maxB = 2 * time.Second
+		}
+		c.pol = &resilience.Policy{
+			Name:        "geocode_client",
+			MaxAttempts: retries + 1,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    maxB,
+			Breaker:     c.Breaker,
+			Metrics:     c.Metrics,
+			Sleep:       c.sleep,
+		}
+	})
+	return c.pol
+}
+
+// throttled is a 429 response carrying the server-advertised wait; the
+// retry policy classifies it transient and honours the hint.
+type throttled struct{ wait time.Duration }
+
+func (e *throttled) Error() string             { return "geocode client: rate limited" }
+func (e *throttled) HTTPStatus() int           { return http.StatusTooManyRequests }
+func (e *throttled) RetryAfter() time.Duration { return e.wait }
+
 func (c *Client) fetch(ctx context.Context, p geo.Point) (Location, error) {
 	reg := obs.Or(c.Metrics)
-	retries := c.MaxRetries
-	if retries <= 0 {
-		retries = 6
-	}
 	params := url.Values{
 		"lat": {strconv.FormatFloat(p.Lat, 'f', 6, 64)},
 		"lon": {strconv.FormatFloat(p.Lon, 'f', 6, 64)},
 	}
 	endpoint := c.BaseURL + "/v1/reverse?" + params.Encode()
-	for attempt := 0; attempt <= retries; attempt++ {
+	var loc Location
+	err := c.policy().Do(ctx, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint, nil)
 		if err != nil {
-			return Location{}, err
+			return resilience.MarkPermanent(err)
 		}
 		resp, err := c.HTTP.Do(req)
 		if err != nil {
-			return Location{}, fmt.Errorf("geocode client: %w", err)
+			return fmt.Errorf("geocode client: %w", err)
 		}
 		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()
 		if err != nil {
-			return Location{}, fmt.Errorf("geocode client: read: %w", err)
+			return fmt.Errorf("geocode client: read: %w", err)
 		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			wait := backoffWait(resp, attempt, c.MaxBackoff)
-			reg.Counter("geocode_client_throttled_total").Inc()
-			reg.Histogram("geocode_client_backoff_seconds", obs.DefBuckets).ObserveDuration(wait)
-			if err := c.sleep(ctx, wait); err != nil {
-				return Location{}, err
-			}
-			reg.Counter("geocode_client_retries_total").Inc()
-			continue
+		if ferr := c.faultFrom(resp, body, reg); ferr != nil {
+			return ferr
 		}
 		rs, err := UnmarshalResultSet(body)
 		if err != nil {
-			return Location{}, err
+			return fmt.Errorf("geocode client: parse: %w", err)
 		}
 		switch rs.Error {
 		case CodeOK:
 			if len(rs.Results) == 0 {
-				return Location{}, fmt.Errorf("geocode client: empty result set")
+				return errors.New("geocode client: empty result set")
 			}
-			return rs.Results[0].Location, nil
+			loc = rs.Results[0].Location
+			return nil
 		case CodeNoMatch:
-			return Location{}, fmt.Errorf("%w: %s", ErrNoMatch, p)
+			return fmt.Errorf("%w: %s", ErrNoMatch, p)
 		default:
-			return Location{}, fmt.Errorf("geocode client: server error %d: %s", rs.Error, rs.Message)
+			return fmt.Errorf("geocode client: server error %d: %s", rs.Error, rs.Message)
 		}
+	})
+	if err != nil {
+		return Location{}, err
 	}
-	return Location{}, fmt.Errorf("geocode client: retries exhausted for %s", p)
+	return loc, nil
 }
 
-func backoffWait(resp *http.Response, attempt int, maxB time.Duration) time.Duration {
+// faultFrom converts a throttle or server-failure response into its typed
+// retryable error (nil when resp is fine). 429s count and carry the
+// advertised wait; 5xx becomes a transient StatusError.
+func (c *Client) faultFrom(resp *http.Response, _ []byte, reg *obs.Registry) error {
+	if resp.StatusCode == http.StatusTooManyRequests {
+		wait := retryAfterHint(resp, c.MaxBackoff)
+		reg.Counter("geocode_client_throttled_total").Inc()
+		reg.Histogram("geocode_client_backoff_seconds", obs.DefBuckets).ObserveDuration(wait)
+		reg.Counter("geocode_client_retries_total").Inc()
+		return &throttled{wait: wait}
+	}
+	if resp.StatusCode >= http.StatusInternalServerError {
+		return &resilience.StatusError{Status: resp.StatusCode}
+	}
+	return nil
+}
+
+// retryAfterHint derives the server-advertised wait from the rate-limit
+// headers, capped at maxB.
+func retryAfterHint(resp *http.Response, maxB time.Duration) time.Duration {
 	if maxB <= 0 {
 		maxB = 2 * time.Second
 	}
-	wait := (10 * time.Millisecond) << attempt
+	wait := 10 * time.Millisecond
 	if raw := resp.Header.Get("Retry-After"); raw != "" {
 		if secs, err := strconv.Atoi(raw); err == nil {
 			if d := time.Duration(secs) * time.Second; d > wait {
@@ -312,39 +377,38 @@ func (c *Client) BatchReverse(ctx context.Context, pts []geo.Point) ([]Location,
 }
 
 func (c *Client) postBatch(ctx context.Context, body string) (*ResultSet, error) {
-	retries := c.MaxRetries
-	if retries <= 0 {
-		retries = 6
-	}
-	for attempt := 0; attempt <= retries; attempt++ {
+	reg := obs.Or(c.Metrics)
+	var out *ResultSet
+	err := c.policy().Do(ctx, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 			c.BaseURL+"/v1/reverse_batch", strings.NewReader(body))
 		if err != nil {
-			return nil, err
+			return resilience.MarkPermanent(err)
 		}
 		resp, err := c.HTTP.Do(req)
 		if err != nil {
-			return nil, fmt.Errorf("geocode client: batch: %w", err)
+			return fmt.Errorf("geocode client: batch: %w", err)
 		}
 		raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 		resp.Body.Close()
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("geocode client: batch read: %w", err)
 		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			if err := c.sleep(ctx, backoffWait(resp, attempt, c.MaxBackoff)); err != nil {
-				return nil, err
-			}
-			continue
+		if ferr := c.faultFrom(resp, raw, reg); ferr != nil {
+			return ferr
 		}
 		rs, err := UnmarshalResultSet(raw)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("geocode client: batch parse: %w", err)
 		}
 		if rs.Error != CodeOK {
-			return nil, fmt.Errorf("geocode client: batch error %d: %s", rs.Error, rs.Message)
+			return fmt.Errorf("geocode client: batch error %d: %s", rs.Error, rs.Message)
 		}
-		return rs, nil
+		out = rs
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("geocode client: batch retries exhausted")
+	return out, nil
 }

@@ -28,6 +28,7 @@ func publishFunnel(reg *obs.Registry, f Funnel) {
 		{"final_users", f.FinalUsers},
 		{"final_geo_tweets", f.FinalGeoTweets},
 		{"geocode_failures", f.GeocodeFailures},
+		{"skipped_users", f.SkippedUsers},
 	}
 	for _, s := range stages {
 		reg.Gauge(FunnelMetric, "stage", s.stage).Set(float64(s.v))

@@ -43,6 +43,9 @@ type Funnel struct {
 	FinalGeoTweets int
 	// GeocodeFailures counts GPS points no district was found for.
 	GeocodeFailures int
+	// SkippedUsers counts users dropped by a ContinueOnError run after
+	// their processing failed (always 0 in strict mode).
+	SkippedUsers int
 }
 
 // Result is the pipeline's full output.
@@ -53,6 +56,9 @@ type Result struct {
 	// ProfileDistrict maps each final user to their profile district, the
 	// input event detectors need.
 	ProfileDistrict map[twitter.UserID]*admin.District
+	// SkippedUsers lists the users a ContinueOnError run dropped, sorted by
+	// ID. Empty in strict mode.
+	SkippedUsers []twitter.UserID
 }
 
 // Pipeline holds the §III processing dependencies.
@@ -74,6 +80,12 @@ type Pipeline struct {
 	// (default 1: sequential). The output is identical at any setting —
 	// users are processed independently and results are re-sorted by ID.
 	Parallelism int
+	// ContinueOnError runs the pipeline in degraded mode: a user whose
+	// processing fails (e.g. geocode errors that outlive the client's
+	// retries) is skipped and recorded in Result.SkippedUsers and the
+	// funnel instead of aborting the whole run. Context cancellation still
+	// aborts.
+	ContinueOnError bool
 	// Obs receives the run's stage timings and funnel gauges (nil means
 	// obs.Default; obs.Discard disables).
 	Obs *obs.Registry
@@ -136,6 +148,22 @@ func (p *Pipeline) Run(ctx context.Context, users map[twitter.UserID]*twitter.Us
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
 	process := root.Child("users")
+	mSkipped := reg.Counter("pipeline_skipped_users_total")
+	// skippable reports whether a per-user failure should degrade to a skip
+	// rather than abort: only in ContinueOnError mode, and never when the
+	// failure is really the run's context dying.
+	skippable := func(err error) bool {
+		return p.ContinueOnError && ctx.Err() == nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+	}
+	skip := func(id twitter.UserID, mu *sync.Mutex) {
+		if mu != nil {
+			mu.Lock()
+			defer mu.Unlock()
+		}
+		res.Funnel.SkippedUsers++
+		res.SkippedUsers = append(res.SkippedUsers, id)
+		mSkipped.Inc()
+	}
 	workers := p.Parallelism
 	if workers <= 1 {
 		for _, id := range ids {
@@ -143,6 +171,10 @@ func (p *Pipeline) Run(ctx context.Context, users map[twitter.UserID]*twitter.Us
 				return nil, err
 			}
 			if err := p.processUser(ctx, users[id], tweets[id], minGeo, res, nil); err != nil {
+				if skippable(err) {
+					skip(id, nil)
+					continue
+				}
 				return nil, err
 			}
 		}
@@ -151,26 +183,45 @@ func (p *Pipeline) Run(ctx context.Context, users map[twitter.UserID]*twitter.Us
 			mu      sync.Mutex
 			wg      sync.WaitGroup
 			jobs    = make(chan twitter.UserID)
+			stop    = make(chan struct{})
 			errOnce sync.Once
 			runErr  error
 		)
+		fail := func(err error) {
+			errOnce.Do(func() {
+				runErr = err
+				close(stop)
+			})
+		}
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for id := range jobs {
 					if err := p.processUser(ctx, users[id], tweets[id], minGeo, res, &mu); err != nil {
-						errOnce.Do(func() { runErr = err })
+						if skippable(err) {
+							skip(id, &mu)
+							continue
+						}
+						fail(err)
 					}
 				}
 			}()
 		}
+		// Dispatch until done or the first failure: once a worker fails, the
+		// stop channel unblocks the send so remaining IDs are never fed to a
+		// run that is already doomed.
+	dispatch:
 		for _, id := range ids {
 			if err := ctx.Err(); err != nil {
-				errOnce.Do(func() { runErr = err })
+				fail(err)
 				break
 			}
-			jobs <- id
+			select {
+			case jobs <- id:
+			case <-stop:
+				break dispatch
+			}
 		}
 		close(jobs)
 		wg.Wait()
@@ -181,6 +232,7 @@ func (p *Pipeline) Run(ctx context.Context, users map[twitter.UserID]*twitter.Us
 			return res.Groupings[i].UserID < res.Groupings[j].UserID
 		})
 	}
+	sort.Slice(res.SkippedUsers, func(i, j int) bool { return res.SkippedUsers[i] < res.SkippedUsers[j] })
 	process.End()
 	analyze := root.Child("analyze")
 	res.Analysis = core.Analyze(res.Groupings)
@@ -206,10 +258,13 @@ func (p *Pipeline) processUser(ctx context.Context, u *twitter.User, userTweets 
 	// the lock and the counting inside.
 	var local Funnel
 	local.ProfileBreakdown = make(map[textnorm.Quality]int)
-	profile, ok := p.refineProfile(ctx, u, &local)
+	profile, ok, err := p.refineProfile(ctx, u, &local)
 	lock()
 	mergeFunnel(&res.Funnel, &local)
 	unlock()
+	if err != nil {
+		return err
+	}
 	if !ok {
 		return nil
 	}
@@ -255,31 +310,37 @@ func mergeFunnel(dst, src *Funnel) {
 }
 
 // refineProfile classifies one profile, resolving GPS-in-profile through the
-// geocoder. Returns the district and whether the user survives.
-func (p *Pipeline) refineProfile(ctx context.Context, u *twitter.User, f *Funnel) (*admin.District, bool) {
+// geocoder. Returns the district and whether the user survives. A resolver
+// infrastructure error (anything but ErrNoMatch) is returned rather than
+// counted as attrition, so degraded runs record the user as skipped instead
+// of silently misfiling a fault as a bad profile.
+func (p *Pipeline) refineProfile(ctx context.Context, u *twitter.User, f *Funnel) (*admin.District, bool, error) {
 	if u.ProfileLocation == "" {
 		f.EmptyProfiles++
-		return nil, false
+		return nil, false, nil
 	}
 	cls := p.Refiner.Classify(u.ProfileLocation)
 	f.ProfileBreakdown[cls.Quality]++
 	switch cls.Quality {
 	case textnorm.WellDefined:
-		return cls.District, true
+		return cls.District, true, nil
 	case textnorm.GPSCoordinates:
 		loc, err := p.Resolver.Reverse(ctx, *cls.Point)
 		if err != nil {
-			f.GeocodeFailures++
-			return nil, false
+			if errors.Is(err, geocode.ErrNoMatch) {
+				f.GeocodeFailures++
+				return nil, false, nil
+			}
+			return nil, false, fmt.Errorf("pipeline: geocode profile of %d: %w", u.ID, err)
 		}
 		d, err := p.districtOf(loc)
 		if err != nil {
 			f.GeocodeFailures++
-			return nil, false
+			return nil, false, nil
 		}
-		return d, true
+		return d, true, nil
 	default:
-		return nil, false
+		return nil, false, nil
 	}
 }
 

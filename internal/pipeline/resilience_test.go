@@ -1,0 +1,167 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stir/internal/admin"
+	"stir/internal/geo"
+	"stir/internal/geocode"
+	"stir/internal/obs"
+	"stir/internal/twitter"
+)
+
+// failingResolver fails any point at failLat and optionally slows the rest,
+// counting every call.
+type failingResolver struct {
+	next    geocode.Resolver
+	failLat float64
+	slow    time.Duration
+	calls   atomic.Int64
+}
+
+func (r *failingResolver) Reverse(ctx context.Context, p geo.Point) (geocode.Location, error) {
+	r.calls.Add(1)
+	if p.Lat == r.failLat {
+		return geocode.Location{}, errors.New("resolver infrastructure down")
+	}
+	if r.slow > 0 {
+		select {
+		case <-ctx.Done():
+			return geocode.Location{}, ctx.Err()
+		case <-time.After(r.slow):
+		}
+	}
+	return r.next.Reverse(ctx, p)
+}
+
+// poisonedDataset builds n well-defined users with one geo tweet each; the
+// lowest-ID user's tweet sits at a point the failing resolver rejects.
+func poisonedDataset(t *testing.T, gaz *admin.Gazetteer, n int) (map[twitter.UserID]*twitter.User, map[twitter.UserID][]*twitter.Tweet, twitter.UserID, float64) {
+	t.Helper()
+	svc := twitter.NewService()
+	yangcheon, err := gaz.ByID("KR/Seoul/Yangcheon-gu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jung, err := gaz.ByID("KR/Seoul/Jung-gu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := svc.CreateUser("bad", "Seoul Jung-gu", "ko", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.PostTweet(bad.ID, "poisoned", t0, &twitter.GeoTag{Lat: jung.Center.Lat, Lon: jung.Center.Lon})
+	for i := 1; i < n; i++ {
+		u, err := svc.CreateUser(fmt.Sprintf("u%d", i), "Seoul Yangcheon-gu", "ko", t0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.PostTweet(u.ID, "home", t0, &twitter.GeoTag{Lat: yangcheon.Center.Lat, Lon: yangcheon.Center.Lon})
+	}
+	users, tweets := CollectFromService(svc)
+	return users, tweets, bad.ID, jung.Center.Lat
+}
+
+func TestContinueOnErrorSkipsFailingUser(t *testing.T) {
+	gaz := koreaGaz(t)
+	users, tweets, badID, badLat := poisonedDataset(t, gaz, 8)
+
+	strict := New(gaz, 10)
+	strict.Obs = obs.Discard
+	strict.Resolver = &failingResolver{next: strict.Resolver, failLat: badLat}
+	if _, err := strict.Run(context.Background(), users, tweets); err == nil {
+		t.Fatal("strict mode must abort on a resolver infrastructure error")
+	}
+
+	reg := obs.NewRegistry()
+	degraded := New(gaz, 10)
+	degraded.Obs = reg
+	degraded.ContinueOnError = true
+	degraded.Resolver = &failingResolver{next: degraded.Resolver, failLat: badLat}
+	res, err := degraded.Run(context.Background(), users, tweets)
+	if err != nil {
+		t.Fatalf("degraded mode should complete: %v", err)
+	}
+	if len(res.SkippedUsers) != 1 || res.SkippedUsers[0] != badID {
+		t.Fatalf("SkippedUsers = %v, want [%d]", res.SkippedUsers, badID)
+	}
+	if res.Funnel.SkippedUsers != 1 {
+		t.Fatalf("Funnel.SkippedUsers = %d, want 1", res.Funnel.SkippedUsers)
+	}
+	if res.Funnel.FinalUsers != 7 {
+		t.Fatalf("FinalUsers = %d, want 7", res.Funnel.FinalUsers)
+	}
+	if m, ok := reg.Snapshot().Get(FunnelMetric, "stage", "skipped_users"); !ok || m.Value != 1 {
+		t.Fatalf("funnel gauge skipped_users = %+v ok=%v, want 1", m, ok)
+	}
+}
+
+// Degraded parallel runs must match the sequential run exactly — same skips,
+// same groupings — regardless of worker count.
+func TestContinueOnErrorParallelMatchesSequential(t *testing.T) {
+	gaz := koreaGaz(t)
+	users, tweets, badID, badLat := poisonedDataset(t, gaz, 24)
+
+	run := func(workers int) *Result {
+		p := New(gaz, 10)
+		p.Obs = obs.Discard
+		p.ContinueOnError = true
+		p.Parallelism = workers
+		p.Resolver = &failingResolver{next: p.Resolver, failLat: badLat}
+		res, err := p.Run(context.Background(), users, tweets)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	seq := run(1)
+	par := run(8)
+	if len(seq.SkippedUsers) != 1 || seq.SkippedUsers[0] != badID {
+		t.Fatalf("sequential SkippedUsers = %v", seq.SkippedUsers)
+	}
+	if len(par.SkippedUsers) != len(seq.SkippedUsers) || par.SkippedUsers[0] != seq.SkippedUsers[0] {
+		t.Fatalf("parallel SkippedUsers = %v, want %v", par.SkippedUsers, seq.SkippedUsers)
+	}
+	if len(par.Groupings) != len(seq.Groupings) {
+		t.Fatalf("parallel groupings = %d, sequential = %d", len(par.Groupings), len(seq.Groupings))
+	}
+	for i := range par.Groupings {
+		if par.Groupings[i].UserID != seq.Groupings[i].UserID {
+			t.Fatalf("grouping %d: parallel user %d vs sequential %d", i, par.Groupings[i].UserID, seq.Groupings[i].UserID)
+		}
+	}
+	if par.Funnel.FinalUsers != seq.Funnel.FinalUsers || par.Funnel.SkippedUsers != seq.Funnel.SkippedUsers {
+		t.Fatalf("funnels diverge: parallel %+v sequential %+v", par.Funnel, seq.Funnel)
+	}
+}
+
+// In strict parallel mode the dispatcher must stop feeding users once a
+// worker has failed, instead of marching the whole ID list through a doomed
+// run.
+func TestParallelDispatchStopsAfterFailure(t *testing.T) {
+	gaz := koreaGaz(t)
+	const n = 200
+	users, tweets, _, badLat := poisonedDataset(t, gaz, n)
+
+	fr := &failingResolver{failLat: badLat, slow: 2 * time.Millisecond}
+	p := New(gaz, 10)
+	p.Obs = obs.Discard
+	p.Parallelism = 4
+	fr.next = p.Resolver
+	p.Resolver = fr
+	if _, err := p.Run(context.Background(), users, tweets); err == nil {
+		t.Fatal("strict parallel run must fail")
+	}
+	// The poisoned user is the first dispatched and fails immediately while
+	// every healthy resolve takes 2ms; a cancelled dispatcher strands most
+	// of the 200 IDs. Without the stop channel all 200 are resolved.
+	if calls := fr.calls.Load(); calls >= n {
+		t.Fatalf("resolver saw %d calls; dispatcher kept feeding after failure", calls)
+	}
+}

@@ -1,0 +1,219 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"stir/internal/obs"
+)
+
+// ErrOpen is returned by Breaker.Allow while the circuit is open. It is
+// classified transient: the breaker may re-close after its probe window.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// State is a breaker's position.
+type State int
+
+const (
+	// StateClosed passes every request through.
+	StateClosed State = iota
+	// StateOpen fails every request fast until OpenFor elapses.
+	StateOpen
+	// StateHalfOpen lets probe requests through; Probes consecutive
+	// successes re-close the circuit, one failure re-opens it.
+	StateHalfOpen
+)
+
+// String renders the state for logs.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// Breaker defaults.
+const (
+	DefaultFailureThreshold = 5
+	DefaultOpenFor          = 5 * time.Second
+	DefaultProbes           = 1
+)
+
+// BreakerOptions configures a Breaker or every member of a BreakerGroup.
+type BreakerOptions struct {
+	// FailureThreshold is the consecutive-failure count that trips the
+	// circuit (default 5).
+	FailureThreshold int
+	// OpenFor is how long the circuit stays open before half-opening for a
+	// probe (default 5s).
+	OpenFor time.Duration
+	// Probes is the consecutive half-open successes needed to close
+	// (default 1).
+	Probes int
+	// Metrics receives resilience_breaker_state and trip counters (nil
+	// means obs.Default; obs.Discard disables).
+	Metrics *obs.Registry
+	// Now is swappable for tests (nil = time.Now).
+	Now func() time.Time
+}
+
+func (o BreakerOptions) fill() BreakerOptions {
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = DefaultFailureThreshold
+	}
+	if o.OpenFor <= 0 {
+		o.OpenFor = DefaultOpenFor
+	}
+	if o.Probes <= 0 {
+		o.Probes = DefaultProbes
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Breaker is a closed/open/half-open circuit breaker. All methods are safe
+// for concurrent use and safe on a nil receiver (a nil breaker never
+// opens), so callers can thread an optional breaker without nil checks.
+type Breaker struct {
+	name string
+	opts BreakerOptions
+
+	mu        sync.Mutex
+	state     State
+	failures  int // consecutive failures while closed
+	successes int // consecutive successes while half-open
+	openedAt  time.Time
+
+	mState *obs.Gauge
+	mTrips *obs.Counter
+}
+
+// NewBreaker builds a breaker whose metric series carry breaker=name.
+func NewBreaker(name string, opts BreakerOptions) *Breaker {
+	opts = opts.fill()
+	reg := obs.Or(opts.Metrics)
+	b := &Breaker{
+		name:   name,
+		opts:   opts,
+		mState: reg.Gauge("resilience_breaker_state", "breaker", name),
+		mTrips: reg.Counter("resilience_breaker_trips_total", "breaker", name),
+	}
+	b.mState.Set(float64(StateClosed))
+	return b
+}
+
+// Allow reports whether a request may proceed right now: nil, or ErrOpen.
+// An open circuit whose OpenFor window has elapsed half-opens and admits
+// the caller as a probe.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen {
+		if b.opts.Now().Sub(b.openedAt) < b.opts.OpenFor {
+			return ErrOpen
+		}
+		b.setStateLocked(StateHalfOpen)
+	}
+	return nil
+}
+
+// Success reports a completed request.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		b.failures = 0
+	case StateHalfOpen:
+		b.successes++
+		if b.successes >= b.opts.Probes {
+			b.setStateLocked(StateClosed)
+		}
+	}
+}
+
+// Failure reports a failed request. While closed it counts toward the trip
+// threshold; while half-open it re-opens immediately.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		b.failures++
+		if b.failures >= b.opts.FailureThreshold {
+			b.trip()
+		}
+	case StateHalfOpen:
+		b.trip()
+	}
+}
+
+// trip opens the circuit (callers hold mu).
+func (b *Breaker) trip() {
+	b.setStateLocked(StateOpen)
+	b.openedAt = b.opts.Now()
+	b.mTrips.Inc()
+}
+
+func (b *Breaker) setStateLocked(s State) {
+	b.state = s
+	b.failures = 0
+	b.successes = 0
+	b.mState.Set(float64(s))
+}
+
+// State returns the current position (closed for a nil breaker).
+func (b *Breaker) State() State {
+	if b == nil {
+		return StateClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerGroup hands out one breaker per key (the convention is the remote
+// host), so one flaky upstream trips only its own circuit.
+type BreakerGroup struct {
+	opts BreakerOptions
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// NewBreakerGroup builds a group whose members share opts.
+func NewBreakerGroup(opts BreakerOptions) *BreakerGroup {
+	return &BreakerGroup{opts: opts, m: make(map[string]*Breaker)}
+}
+
+// For returns the breaker for key, creating it on first use. Safe on a nil
+// group (returns a nil — never-open — breaker).
+func (g *BreakerGroup) For(key string) *Breaker {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b, ok := g.m[key]
+	if !ok {
+		b = NewBreaker(key, g.opts)
+		g.m[key] = b
+	}
+	return b
+}

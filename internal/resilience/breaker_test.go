@@ -1,0 +1,150 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"stir/internal/obs"
+)
+
+// clockBreaker builds a breaker on a manual clock the test advances.
+func clockBreaker(t *testing.T, opts BreakerOptions) (*Breaker, *time.Time) {
+	t.Helper()
+	now := time.Unix(1000, 0)
+	opts.Now = func() time.Time { return now }
+	if opts.Metrics == nil {
+		opts.Metrics = obs.Discard
+	}
+	return NewBreaker("test", opts), &now
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b, _ := clockBreaker(t, BreakerOptions{FailureThreshold: 3})
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if b.State() != StateClosed {
+			t.Fatalf("opened after %d failures", i+1)
+		}
+	}
+	b.Failure()
+	if b.State() != StateOpen {
+		t.Fatal("not open after threshold failures")
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow = %v, want ErrOpen", err)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b, _ := clockBreaker(t, BreakerOptions{FailureThreshold: 2})
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.State() != StateClosed {
+		t.Fatal("non-consecutive failures should not trip")
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	b, now := clockBreaker(t, BreakerOptions{FailureThreshold: 1, OpenFor: time.Second, Probes: 2})
+	b.Failure()
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("should be open")
+	}
+	*now = now.Add(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe denied: %v", err)
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	b.Success()
+	if b.State() != StateHalfOpen {
+		t.Fatal("closed before Probes successes")
+	}
+	b.Success()
+	if b.State() != StateClosed {
+		t.Fatal("not closed after Probes successes")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, now := clockBreaker(t, BreakerOptions{FailureThreshold: 1, OpenFor: time.Second})
+	b.Failure()
+	*now = now.Add(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe denied: %v", err)
+	}
+	b.Failure()
+	if b.State() != StateOpen {
+		t.Fatal("half-open failure should reopen")
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("reopened breaker should deny")
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	if err := b.Allow(); err != nil {
+		t.Fatal("nil breaker should always allow")
+	}
+	b.Success()
+	b.Failure()
+	if b.State() != StateClosed {
+		t.Fatal("nil breaker state should read closed")
+	}
+}
+
+func TestBreakerStateMetric(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBreaker("api.example", BreakerOptions{FailureThreshold: 1, Metrics: reg})
+	b.Failure()
+	if m, ok := reg.Snapshot().Get("resilience_breaker_state", "breaker", "api.example"); !ok || m.Value != float64(StateOpen) {
+		t.Fatalf("breaker_state = %+v ok=%v, want open", m, ok)
+	}
+	if m, ok := reg.Snapshot().Get("resilience_breaker_trips_total", "breaker", "api.example"); !ok || m.Value != 1 {
+		t.Fatalf("trips_total = %+v ok=%v, want 1", m, ok)
+	}
+}
+
+func TestBreakerGroupPerKey(t *testing.T) {
+	g := NewBreakerGroup(BreakerOptions{FailureThreshold: 1, Metrics: obs.Discard})
+	g.For("a").Failure()
+	if g.For("a").State() != StateOpen {
+		t.Fatal("a should be open")
+	}
+	if g.For("b").State() != StateClosed {
+		t.Fatal("b should be unaffected")
+	}
+	if g.For("a") != g.For("a") {
+		t.Fatal("For should return the same breaker per key")
+	}
+	var nilG *BreakerGroup
+	if nilG.For("x") != nil {
+		t.Fatal("nil group should hand out nil breakers")
+	}
+}
+
+func TestBreakerConcurrentUse(t *testing.T) {
+	b := NewBreaker("race", BreakerOptions{FailureThreshold: 10, Metrics: obs.Discard})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Allow()
+				if (n+j)%2 == 0 {
+					b.Success()
+				} else {
+					b.Failure()
+				}
+				b.State()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -4,21 +4,26 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"stir/internal/obs"
+	"stir/internal/resilience"
 )
 
-// Client is the SDK the crawler and examples use against an APIServer. It
-// retries 429 responses by sleeping until the advertised window reset (capped
-// by MaxBackoff), the standard well-behaved-crawler discipline the paper's
-// collection needed to survive the API's limits.
+// Client is the SDK the crawler and examples use against an APIServer. Every
+// call runs under a resilience.Policy: 429 responses sleep until the
+// advertised window reset (capped by MaxBackoff), and transient network
+// errors and 5xx responses are retried with jittered exponential backoff —
+// the discipline the paper's weeks-long collection needed to survive both
+// the API's limits and its outages.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
@@ -27,11 +32,20 @@ type Client struct {
 	MaxBackoff time.Duration
 	// MaxRetries bounds retries per call (default 5).
 	MaxRetries int
+	// Retry overrides the retry policy built from MaxBackoff/MaxRetries.
+	Retry *resilience.Policy
+	// Breaker, when set, gates every request (fail fast while the API is
+	// down instead of hammering it). Use resilience.NewBreakerGroup keyed
+	// per host when one process talks to several upstreams.
+	Breaker *resilience.Breaker
 	// Metrics receives the client's request/throttle series (nil means
 	// obs.Default; obs.Discard disables).
 	Metrics *obs.Registry
 	// sleep is swappable for tests.
 	sleep func(context.Context, time.Duration) error
+
+	polOnce sync.Once
+	pol     *resilience.Policy
 }
 
 // NewClient returns a client for the API at baseURL.
@@ -61,6 +75,8 @@ type APIError struct {
 	Status int
 	Msg    string
 	Code   int
+	// Wait is the server-advertised backoff on a 429 (zero otherwise).
+	Wait time.Duration
 }
 
 // Error implements error.
@@ -68,24 +84,57 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("twitter api: status %d code %d: %s", e.Status, e.Code, e.Msg)
 }
 
+// HTTPStatus implements resilience.HTTPStatuser, classifying 5xx/429 as
+// transient and other statuses as permanent.
+func (e *APIError) HTTPStatus() int { return e.Status }
+
+// RetryAfter implements resilience.RetryAfterer so the retry policy honours
+// the rate-limit window the server advertised.
+func (e *APIError) RetryAfter() time.Duration { return e.Wait }
+
 // IsNotFound reports whether err is a 404 API error.
 func IsNotFound(err error) bool {
-	ae, ok := err.(*APIError)
-	return ok && ae.Status == http.StatusNotFound
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusNotFound
 }
 
-// getJSON performs a GET with rate-limit retries and decodes into out.
+// policy resolves the client's retry policy once: the explicit Retry
+// override, or one built from MaxBackoff/MaxRetries.
+func (c *Client) policy() *resilience.Policy {
+	c.polOnce.Do(func() {
+		if c.Retry != nil {
+			c.pol = c.Retry
+			if c.pol.Breaker == nil {
+				c.pol.Breaker = c.Breaker
+			}
+			return
+		}
+		retries := c.MaxRetries
+		if retries <= 0 {
+			retries = 5
+		}
+		c.pol = &resilience.Policy{
+			Name:        "twitter_client",
+			MaxAttempts: retries + 1,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    c.maxBackoff(),
+			Breaker:     c.Breaker,
+			Metrics:     c.Metrics,
+			Sleep:       c.sleep,
+		}
+	})
+	return c.pol
+}
+
+// getJSON performs a GET under the retry policy — 429s honour the
+// advertised reset, transient network errors and 5xx responses back off
+// exponentially — and decodes the response into out.
 func (c *Client) getJSON(ctx context.Context, path string, params url.Values, out any) error {
 	reg := obs.Or(c.Metrics)
-	retries := c.MaxRetries
-	if retries <= 0 {
-		retries = 5
-	}
-	var lastErr error
-	for attempt := 0; attempt <= retries; attempt++ {
+	return c.policy().Do(ctx, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path+"?"+params.Encode(), nil)
 		if err != nil {
-			return err
+			return resilience.MarkPermanent(err)
 		}
 		resp, err := c.HTTP.Do(req)
 		if err != nil {
@@ -93,24 +142,11 @@ func (c *Client) getJSON(ctx context.Context, path string, params url.Values, ou
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			wait := c.backoffFrom(resp)
-			// The reset header has second granularity; when it rounds to
-			// "now", fall back to exponential backoff so short simulated
-			// windows are still ridden out.
-			if expo := (10 * time.Millisecond) << attempt; wait < expo {
-				wait = expo
-			}
-			if maxB := c.maxBackoff(); wait > maxB {
-				wait = maxB
-			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			lastErr = &APIError{Status: resp.StatusCode, Msg: "rate limited", Code: 88}
 			reg.Counter("twitter_client_throttled_total", "endpoint", path).Inc()
 			reg.Histogram("twitter_client_backoff_seconds", obs.DefBuckets).ObserveDuration(wait)
-			if err := c.sleep(ctx, wait); err != nil {
-				return err
-			}
-			continue
+			return &APIError{Status: resp.StatusCode, Msg: "rate limited", Code: 88, Wait: wait}
 		}
 		if resp.StatusCode != http.StatusOK {
 			var ae apiError
@@ -124,8 +160,7 @@ func (c *Client) getJSON(ctx context.Context, path string, params url.Values, ou
 			return fmt.Errorf("twitter client: decode: %w", err)
 		}
 		return nil
-	}
-	return fmt.Errorf("twitter client: retries exhausted: %w", lastErr)
+	})
 }
 
 func (c *Client) maxBackoff() time.Duration {

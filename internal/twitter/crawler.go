@@ -5,8 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
 
 	"stir/internal/obs"
+	"stir/internal/resilience"
 	"stir/internal/storage"
 )
 
@@ -15,6 +20,10 @@ import (
 // access ("we collect the users with crawler that explores the every
 // followers of the given seed user"). Progress is checkpointed to a
 // storage.Store so an interrupted crawl resumes where it stopped.
+//
+// Per-user fetches run under a retry policy; a user that keeps failing is
+// quarantined under crawl/quarantined/<id> and the crawl moves on, so one
+// poisoned account cannot wedge the frontier forever.
 type Crawler struct {
 	Client *Client
 	Store  *storage.Store
@@ -24,18 +33,26 @@ type Crawler struct {
 	MaxUsers int
 	// TimelineLimit caps tweets fetched per user (<= 0 means all).
 	TimelineLimit int
+	// Retry overrides the per-user retry policy (default: 3 attempts with
+	// jittered exponential backoff — on top of the client's own per-call
+	// retries).
+	Retry *resilience.Policy
 	// OnProgress, when set, is called after each crawled user.
 	OnProgress func(done int, queued int)
 	// Metrics receives the crawl's progress series (nil means obs.Default;
 	// obs.Discard disables).
 	Metrics *obs.Registry
+
+	polOnce sync.Once
+	pol     *resilience.Policy
 }
 
 const (
-	crawlMetaKey    = "crawl/frontier"
-	crawlVisitedPfx = "crawl/visited/"
-	userKeyPfx      = "user/"
-	tweetKeyPfx     = "tweet/"
+	crawlMetaKey       = "crawl/frontier"
+	crawlVisitedPfx    = "crawl/visited/"
+	crawlQuarantinePfx = "crawl/quarantined/"
+	userKeyPfx         = "user/"
+	tweetKeyPfx        = "tweet/"
 )
 
 type crawlCheckpoint struct {
@@ -48,6 +65,29 @@ type CrawlResult struct {
 	UsersCollected  int
 	TweetsCollected int
 	GeoTweets       int
+	// UsersQuarantined counts users whose fetches kept failing and were
+	// set aside under crawl/quarantined/ instead of aborting the crawl.
+	UsersQuarantined int
+}
+
+// policy resolves the crawler's per-user retry policy once: the explicit
+// Retry override, or a modest default layered on top of the client's own
+// per-call retries.
+func (c *Crawler) policy() *resilience.Policy {
+	c.polOnce.Do(func() {
+		if c.Retry != nil {
+			c.pol = c.Retry
+			return
+		}
+		c.pol = &resilience.Policy{
+			Name:        "crawler",
+			MaxAttempts: 3,
+			BaseDelay:   25 * time.Millisecond,
+			MaxDelay:    time.Second,
+			Metrics:     c.Metrics,
+		}
+	})
+	return c.pol
 }
 
 // Run crawls from the given seeds. If the store already holds a checkpoint,
@@ -59,13 +99,14 @@ func (c *Crawler) Run(ctx context.Context, seeds ...UserID) (CrawlResult, error)
 	}
 	reg := obs.Or(c.Metrics)
 	var (
-		mUsers    = reg.Counter("crawl_users_total")
-		mTweets   = reg.Counter("crawl_tweets_total")
-		mGeo      = reg.Counter("crawl_geo_tweets_total")
-		mGone     = reg.Counter("crawl_gone_users_total")
-		mFrontier = reg.Gauge("crawl_frontier_depth")
+		mUsers       = reg.Counter("crawl_users_total")
+		mTweets      = reg.Counter("crawl_tweets_total")
+		mGeo         = reg.Counter("crawl_geo_tweets_total")
+		mGone        = reg.Counter("crawl_gone_users_total")
+		mQuarantined = reg.Counter("crawl_quarantined_total")
+		mFrontier    = reg.Gauge("crawl_frontier_depth")
 	)
-	frontier, done, err := c.loadCheckpoint(seeds)
+	frontier, done, resumed, err := c.loadCheckpoint(seeds)
 	if err != nil {
 		return res, err
 	}
@@ -84,17 +125,48 @@ func (c *Crawler) Run(ctx context.Context, seeds ...UserID) (CrawlResult, error)
 		if c.Store.Has(visitedKey) {
 			continue
 		}
-		batch, tweets, geo, err := c.crawlUser(ctx, id)
+		var (
+			batch       *storage.Batch
+			tweets, geo int
+			followers   []UserID
+		)
+		// Per-user fetches retry transient failures; the client underneath
+		// already retries individual calls, so this layer covers failures
+		// that outlive a whole call's retry budget.
+		err := c.policy().Do(ctx, func(ctx context.Context) error {
+			b, tw, g, err := c.crawlUser(ctx, id)
+			if err != nil {
+				return err
+			}
+			f, err := c.Client.FollowerIDs(ctx, id)
+			if err != nil && !IsNotFound(err) {
+				return fmt.Errorf("followers: %w", err)
+			}
+			batch, tweets, geo, followers = b, tw, g, f
+			return nil
+		})
 		if err != nil {
-			if IsNotFound(err) {
+			switch {
+			case IsNotFound(err):
 				// Deleted/suspended account: mark visited and move on.
 				mGone.Inc()
-				if err := c.Store.Put(visitedKey, []byte("gone")); err != nil {
-					return res, err
+				if perr := c.Store.Put(visitedKey, []byte("gone")); perr != nil {
+					return res, perr
+				}
+				continue
+			case ctx.Err() != nil:
+				return res, fmt.Errorf("twitter: crawl user %d: %w", id, err)
+			default:
+				// Poisoned user: retries are exhausted but the process and
+				// the upstream are alive, so quarantine the user and keep
+				// the frontier moving.
+				mQuarantined.Inc()
+				res.UsersQuarantined++
+				if perr := c.quarantine(id, err, frontier, res.UsersCollected); perr != nil {
+					return res, perr
 				}
 				continue
 			}
-			return res, fmt.Errorf("twitter: crawl user %d: %w", id, err)
 		}
 		res.UsersCollected++
 		res.TweetsCollected += tweets
@@ -103,10 +175,6 @@ func (c *Crawler) Run(ctx context.Context, seeds ...UserID) (CrawlResult, error)
 		mTweets.Add(int64(tweets))
 		mGeo.Add(int64(geo))
 		batch.Put(visitedKey, []byte("ok"))
-		followers, err := c.Client.FollowerIDs(ctx, id)
-		if err != nil && !IsNotFound(err) {
-			return res, fmt.Errorf("twitter: followers of %d: %w", id, err)
-		}
 		for _, f := range followers {
 			if !c.Store.Has(fmt.Sprintf("%s%d", crawlVisitedPfx, f)) {
 				frontier = append(frontier, f)
@@ -128,11 +196,46 @@ func (c *Crawler) Run(ctx context.Context, seeds ...UserID) (CrawlResult, error)
 			c.OnProgress(res.UsersCollected, len(frontier))
 		}
 	}
-	// Recount tweets from the store when resuming left res incomplete.
-	if res.TweetsCollected == 0 && res.UsersCollected > 0 {
+	// On a resumed crawl UsersCollected is a whole-crawl total while the
+	// tweet counters only cover this leg, so recount from the store. A
+	// fresh crawl keeps its live counters even when they are zero.
+	if resumed && res.UsersCollected > 0 {
 		res.TweetsCollected, res.GeoTweets = c.countStoredTweets()
 	}
 	return res, nil
+}
+
+// quarantine records a persistently-failing user — the cause under
+// crawl/quarantined/<id>, a visited marker so the BFS moves on, and the
+// checkpoint so progress survives a crash — in one atomic commit.
+func (c *Crawler) quarantine(id UserID, cause error, frontier []UserID, done int) error {
+	cp, err := json.Marshal(crawlCheckpoint{Frontier: frontier, Done: done})
+	if err != nil {
+		return err
+	}
+	b := c.Store.NewBatch()
+	b.Put(fmt.Sprintf("%s%d", crawlQuarantinePfx, id), []byte(cause.Error()))
+	b.Put(fmt.Sprintf("%s%d", crawlVisitedPfx, id), []byte("quarantined"))
+	b.Put(crawlMetaKey, cp)
+	return b.Commit()
+}
+
+// QuarantinedUsers lists the users a crawl quarantined, keyed to the
+// recorded failure cause.
+func QuarantinedUsers(store *storage.Store) (map[UserID]string, error) {
+	out := make(map[UserID]string)
+	for _, k := range store.KeysWithPrefix(crawlQuarantinePfx) {
+		raw, err := store.Get(k)
+		if err != nil {
+			return nil, err
+		}
+		id, err := strconv.ParseInt(strings.TrimPrefix(k, crawlQuarantinePfx), 10, 64)
+		if err != nil {
+			continue
+		}
+		out[UserID(id)] = string(raw)
+	}
+	return out, nil
 }
 
 // crawlUser fetches one user's profile and timeline, queueing the writes in
@@ -166,22 +269,22 @@ func (c *Crawler) crawlUser(ctx context.Context, id UserID) (batch *storage.Batc
 	return batch, tweets, geo, nil
 }
 
-func (c *Crawler) loadCheckpoint(seeds []UserID) ([]UserID, int, error) {
+func (c *Crawler) loadCheckpoint(seeds []UserID) (frontier []UserID, done int, resumed bool, err error) {
 	raw, err := c.Store.Get(crawlMetaKey)
 	if errors.Is(err, storage.ErrKeyNotFound) {
-		return seeds, 0, nil
+		return seeds, 0, false, nil
 	}
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	var cp crawlCheckpoint
 	if err := json.Unmarshal(raw, &cp); err != nil {
-		return nil, 0, fmt.Errorf("twitter: corrupt crawl checkpoint: %w", err)
+		return nil, 0, false, fmt.Errorf("twitter: corrupt crawl checkpoint: %w", err)
 	}
 	if len(cp.Frontier) == 0 && cp.Done == 0 {
-		return seeds, 0, nil
+		return seeds, 0, false, nil
 	}
-	return cp.Frontier, cp.Done, nil
+	return cp.Frontier, cp.Done, true, nil
 }
 
 func (c *Crawler) countStoredTweets() (tweets, geo int) {

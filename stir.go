@@ -29,6 +29,7 @@ import (
 	"stir/internal/geo"
 	"stir/internal/pipeline"
 	"stir/internal/report"
+	"stir/internal/resilience/fault"
 	"stir/internal/synth"
 	"stir/internal/twitter"
 )
@@ -159,23 +160,49 @@ type Result struct {
 	Analysis Analysis
 	// ProfileDistrict maps surviving users to their profile district.
 	ProfileDistrict map[twitter.UserID]*District
+	// SkippedUsers lists the users a degraded (ContinueOnError) run
+	// dropped, sorted by ID. Empty in strict mode.
+	SkippedUsers []twitter.UserID
 }
 
 // Analyze runs the full §III pipeline (refine → geocode → group) and the
 // §IV analysis over the dataset.
 func (d *Dataset) Analyze(ctx context.Context) (*Result, error) {
+	return d.AnalyzeWith(ctx, AnalyzeOptions{})
+}
+
+// AnalyzeWith is Analyze with explicit resilience options: ContinueOnError
+// runs degraded, FaultRate/FaultSeed inject a deterministic geocode fault
+// schedule. The store-related AnalyzeOptions fields are ignored here.
+func (d *Dataset) AnalyzeWith(ctx context.Context, opts AnalyzeOptions) (*Result, error) {
 	users, tweets := pipeline.CollectFromService(d.Service)
 	p := pipeline.New(d.Gazetteer, 10)
+	applyResilience(p, opts)
 	r, err := p.Run(ctx, users, tweets)
 	if err != nil {
 		return nil, err
 	}
+	return resultOf(r), nil
+}
+
+// applyResilience wires the shared resilience knobs into a pipeline.
+func applyResilience(p *pipeline.Pipeline, opts AnalyzeOptions) {
+	p.ContinueOnError = opts.ContinueOnError
+	if opts.FaultRate > 0 {
+		inj := fault.New(opts.FaultSeed, fault.Uniform(opts.FaultRate), nil)
+		p.Resolver = inj.Resolver(p.Resolver)
+	}
+}
+
+// resultOf converts a pipeline result into the public Result.
+func resultOf(r *pipeline.Result) *Result {
 	return &Result{
 		Funnel:          r.Funnel,
 		Groupings:       r.Groupings,
 		Analysis:        r.Analysis,
 		ProfileDistrict: r.ProfileDistrict,
-	}, nil
+		SkippedUsers:    r.SkippedUsers,
+	}
 }
 
 // ReliabilityWeights converts the analysis into per-user weights (keyed by
@@ -217,5 +244,8 @@ func FormatFunnel(f *Funnel) string {
 	t.AddRow("users with well-defined profile", fmt.Sprint(f.WellDefinedUsers))
 	t.AddRow("final users (well-defined + GPS tweets)", fmt.Sprint(f.FinalUsers))
 	t.AddRow("final users' GPS tweets", fmt.Sprint(f.FinalGeoTweets))
+	if f.SkippedUsers > 0 {
+		t.AddRow("users skipped (degraded mode)", fmt.Sprint(f.SkippedUsers))
+	}
 	return t.String()
 }

@@ -8,7 +8,7 @@ GO ?= go
 # Fixed fault schedule for reproducible chaos runs (see internal/resilience/fault).
 CHAOS_SEED ?= 2026
 
-.PHONY: build test vet race verify chaos bench bench-obs
+.PHONY: build test vet race verify chaos bench bench-obs bench-stream
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ vet:
 
 # Race-check the packages that share metric registries across goroutines.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/resilience/... ./internal/twitter/... ./internal/geocode/... ./internal/pipeline/... ./internal/storage/... ./internal/ratelimit/...
+	$(GO) test -race ./internal/obs/... ./internal/resilience/... ./internal/twitter/... ./internal/geocode/... ./internal/pipeline/... ./internal/storage/... ./internal/ratelimit/... ./internal/stream/...
 
 verify: build vet test race
 
@@ -29,7 +29,7 @@ verify: build vet test race
 # faults, degraded pipeline runs, flaky-crawl convergence) with the race
 # detector and a fixed seed, so a failure replays bit-for-bit.
 chaos:
-	STIR_FAULT_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'Chaos|Fault|Inject|Quarantine|ContinueOnError|CrashMidUser' ./internal/resilience/... ./internal/twitter/... ./internal/pipeline/...
+	STIR_FAULT_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'Chaos|Fault|Inject|Quarantine|ContinueOnError|CrashMidUser' ./internal/resilience/... ./internal/twitter/... ./internal/pipeline/... ./internal/stream/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -37,3 +37,8 @@ bench:
 # Prove the observability layer stays cheap on the E1 funnel path.
 bench-obs:
 	$(GO) test -run xxx -bench BenchmarkObsOverhead -benchtime 10x .
+
+# Sustained live-ingestion throughput (baseline recorded in BENCH_stream.json;
+# the subsystem's floor is 100k tweets/sec on 4 shards with zero drops).
+bench-stream:
+	$(GO) test -run xxx -bench BenchmarkStreamIngest -benchtime 2s ./internal/stream/

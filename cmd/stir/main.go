@@ -21,6 +21,12 @@
 //	    run the analysis and keep serving its metrics: GET /metrics exposes
 //	    the funnel gauges, stage timings and cache stats; GET /healthz
 //	    reports liveness
+//	stir stream  [-addr :8033] [-dataset korean|world] [-users N] [-seed S]
+//	             [-shards N] [-buffer N] [-drop] [-rate N] [-track S]
+//	             [-checkpoint DIR] [-checkpoint-every D] [-duration D]
+//	    run the live ingestion engine: replay the dataset's collection
+//	    through the simulated Streaming API into internal/stream and serve
+//	    the incremental analysis on /v1/groups, /v1/users/{id}, /v1/stats
 package main
 
 import (
@@ -28,8 +34,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"time"
 
@@ -38,7 +46,10 @@ import (
 	"stir/internal/obs"
 	"stir/internal/report"
 	"stir/internal/resilience/fault"
+	"stir/internal/storage"
+	"stir/internal/stream"
 	"stir/internal/synth"
+	"stir/internal/textnorm"
 	"stir/internal/twitter"
 )
 
@@ -63,6 +74,8 @@ func main() {
 		err = runScenario(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
+	case "stream":
+		err = runStream(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -84,7 +97,8 @@ func usage() {
   export   write the collection (JSONL), location strings, or group CSV
   monitor  run the online burst detector against an injected event
   scenario dump a generator scenario as editable JSON (see analyze -scenario)
-  serve    run the analysis and serve /metrics and /healthz`)
+  serve    run the analysis and serve /metrics and /healthz
+  stream   live-ingest the Streaming API and serve the incremental analysis`)
 }
 
 // resilienceFlags registers the shared chaos/degraded-mode flags on fs and
@@ -364,6 +378,187 @@ func runServe(args []string) error {
 	mux.Handle("/healthz", obs.HealthzHandler("stir"))
 	fmt.Printf("stir serve: metrics on %s/metrics\n", *addr)
 	return http.ListenAndServe(*addr, mux)
+}
+
+// runStream is the live path: it stands up the simulated platform's API
+// server, replays the dataset's collection through the sample stream at a
+// configurable rate, and runs internal/stream against it — the Streaming API
+// access path of the paper's worldwide dataset, kept continuously analysed.
+// While running (and after the replay drains), the incremental results are
+// served on /v1/groups, /v1/users/{id} and /v1/stats next to /metrics.
+func runStream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	addr := fs.String("addr", ":8033", "query/metrics listen address")
+	dataset := fs.String("dataset", "korean", "korean or world")
+	users := fs.Int("users", 2000, "population size")
+	seed := fs.Int64("seed", 1, "generation seed")
+	shards := fs.Int("shards", stream.DefaultShards, "worker shard count")
+	buffer := fs.Int("buffer", stream.DefaultBuffer, "per-shard queue capacity")
+	drop := fs.Bool("drop", false, "shed load when a shard queue is full instead of backpressuring")
+	rate := fs.Int("rate", 2000, "replay rate, tweets/second (0 = as fast as possible)")
+	track := fs.String("track", "", "filter the sample stream by substring")
+	ckptDir := fs.String("checkpoint", "", "checkpoint store directory (enables crash-safe resume)")
+	ckptEvery := fs.Duration("checkpoint-every", 10*time.Second, "periodic checkpoint interval (needs -checkpoint)")
+	duration := fs.Duration("duration", 0, "keep serving this long after the replay drains (0 = exit once drained)")
+	fs.Parse(args)
+
+	ds, err := makeDataset(*dataset, *users, *seed)
+	if err != nil {
+		return err
+	}
+
+	// The platform: the dataset's service behind its HTTP API on a loopback
+	// port, consumed through the SDK like a real collection would be.
+	api := twitter.NewAPIServer(ds.Service, twitter.ServerOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	apiSrv := &http.Server{Handler: api}
+	go apiSrv.Serve(ln)
+	defer apiSrv.Close()
+	client := twitter.NewClient("http://" + ln.Addr().String())
+	client.HTTP = &http.Client{} // no overall timeout: the stream is long-lived
+
+	var store *storage.Store
+	if *ckptDir != "" {
+		store, err = storage.Open(*ckptDir, storage.Options{})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+	}
+	resolver := stream.NewGazetteerResolver(ds.Gazetteer, 10)
+	eng, err := stream.New(stream.Config{
+		Shards:       *shards,
+		Buffer:       *buffer,
+		DropWhenFull: *drop,
+		Profiles: stream.NewProfileResolver(stream.ClientLookup(client),
+			textnorm.NewRefiner(ds.Gazetteer), resolver, ds.Gazetteer),
+		Resolver: resolver,
+		Seed:     *seed,
+		Store:    store,
+		// A resumed run replays the firehose from the start; per-user
+		// last-ID dedup makes the overlap with the checkpoint idempotent.
+		DedupByTweetID:  store != nil,
+		CheckpointEvery: *ckptEvery,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", eng.Handler())
+	mux.Handle("/metrics", obs.Handler(obs.Default))
+	mux.Handle("/healthz", obs.HealthzHandler("stir-stream"))
+	qln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	querySrv := &http.Server{Handler: mux}
+	go querySrv.Serve(qln)
+	defer querySrv.Close()
+	fmt.Printf("stir stream: queries on http://%s/v1/groups, metrics on /metrics\n", qln.Addr())
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	runCtx, stopRun := context.WithCancel(ctx)
+	defer stopRun()
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- eng.Run(runCtx, &stream.ClientSource{Client: client, Track: *track})
+	}()
+
+	// The sample stream only carries tweets posted after subscription: hold
+	// the replay until the engine's connection is actually listening.
+	for i := 0; i < 100 && ds.Service.StreamerCount() == 0 && ctx.Err() == nil; i++ {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if ds.Service.StreamerCount() == 0 {
+		return fmt.Errorf("stream connection never subscribed")
+	}
+
+	// The traffic driver: replay the generated collection into the platform
+	// so the sample stream carries it live.
+	var tweets []*twitter.Tweet
+	ds.Service.EachTweet(func(t *twitter.Tweet) bool {
+		tweets = append(tweets, t)
+		return true
+	})
+	var tick <-chan time.Time
+	if *rate > 0 {
+		ticker := time.NewTicker(time.Second / time.Duration(*rate))
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	// The sample stream is best-effort: it sheds tweets when the subscriber
+	// lags. An unthrottled replay (or a -rate far above what the connection
+	// drains) would overrun the firehose buffer and silently lose nearly
+	// everything, so hold the posted-vs-ingested gap under the buffer. With
+	// -track the server filters before delivery and the gap never closes, so
+	// flow control only applies to the unfiltered stream.
+	const flowWindow = 256
+	posted := 0
+	for _, t := range tweets {
+		if ctx.Err() != nil {
+			break
+		}
+		if tick != nil {
+			select {
+			case <-tick:
+			case <-ctx.Done():
+			}
+		}
+		if *track == "" {
+			for int64(posted)-eng.Ingested() > flowWindow && ctx.Err() == nil {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		lat, lon, hasGeo := 0.0, 0.0, false
+		if t.Geo != nil {
+			lat, lon, hasGeo = t.Geo.Lat, t.Geo.Lon, true
+		}
+		if err := ds.PostTweet(int64(t.UserID), t.Text, t.CreatedAt, lat, lon, hasGeo); err != nil {
+			return err
+		}
+		posted++
+	}
+	fmt.Printf("stir stream: replayed %d tweets\n", posted)
+	if *duration > 0 {
+		select {
+		case <-time.After(*duration):
+		case <-ctx.Done():
+		}
+	}
+	// Let the connection deliver the tail: wait until the processed counter
+	// stops moving, then shut the stream down and report.
+	last := int64(-1)
+	for ctx.Err() == nil {
+		eng.Drain()
+		if n := eng.Stats().Processed; n == last {
+			break
+		} else {
+			last = n
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+	stopRun()
+	if err := <-runDone; err != nil {
+		return err
+	}
+	eng.Drain()
+	if store != nil {
+		if err := eng.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	snap := eng.Snapshot()
+	st := eng.Stats()
+	fmt.Printf("processed %d geo tweets from %d users (%d dropped, %d reconnects)\n",
+		st.Processed, st.Users, st.Dropped, st.Reconnects)
+	fmt.Println(stir.FormatAnalysis(&snap.Analysis))
+	return nil
 }
 
 // datasetFromScenario builds a dataset from a scenario JSON file.

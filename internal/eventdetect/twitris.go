@@ -42,6 +42,19 @@ type CellSummary struct {
 // Summarize buckets tweets into (day, district) cells and extracts each
 // cell's characteristic terms against the whole corpus.
 func (tw *Twitris) Summarize(tweets []*twitter.Tweet) ([]CellSummary, error) {
+	return tw.SummarizeEach(func(fn func(*twitter.Tweet) bool) {
+		for _, t := range tweets {
+			if !fn(t) {
+				return
+			}
+		}
+	})
+}
+
+// SummarizeEach is Summarize over a tweet iterator, so callers with a large
+// backing store (Service.EachTweet) never materialise the whole corpus as a
+// slice — memory is bounded by the cell map, not the tweet count.
+func (tw *Twitris) SummarizeEach(each func(func(*twitter.Tweet) bool)) ([]CellSummary, error) {
 	if tw.Gazetteer == nil {
 		return nil, fmt.Errorf("eventdetect: twitris needs a gazetteer")
 	}
@@ -55,7 +68,7 @@ func (tw *Twitris) Summarize(tweets []*twitter.Tweet) ([]CellSummary, error) {
 	}
 	cells := make(map[CellKey][]string)
 	counts := make(map[CellKey]int)
-	for _, t := range tweets {
+	each(func(t *twitter.Tweet) bool {
 		var district *admin.District
 		if t.Geo != nil {
 			if d, err := tw.Gazetteer.ResolvePoint(pointOf(t), slack); err == nil {
@@ -66,12 +79,13 @@ func (tw *Twitris) Summarize(tweets []*twitter.Tweet) ([]CellSummary, error) {
 			district = tw.ProfileDistrict[t.UserID]
 		}
 		if district == nil {
-			continue // no spatial attribute at all
+			return true // no spatial attribute at all
 		}
 		key := CellKey{Day: t.CreatedAt.Format("2006-01-02"), District: district.ID()}
 		cells[key] = append(cells[key], tfidf.Tokenize(t.Text)...)
 		counts[key]++
-	}
+		return true
+	})
 	keys := make([]CellKey, 0, len(cells))
 	for k := range cells {
 		keys = append(keys, k)

@@ -1,0 +1,61 @@
+package eventdetect
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"stir/internal/admin"
+	"stir/internal/twitter"
+)
+
+// TestSummarizeEachMatchesSummarize pins the iterator refactor: the callback
+// path must produce the same cells as the slice path, and stop early when the
+// callback says so.
+func TestSummarizeEachMatchesSummarize(t *testing.T) {
+	gaz, err := admin.NewKoreaGazetteer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jongno, err := gaz.ByID("KR/Seoul/Jongno-gu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := map[twitter.UserID]*admin.District{1: jongno}
+	day := time.Date(2011, 10, 1, 9, 0, 0, 0, time.UTC)
+	tweets := []*twitter.Tweet{
+		{ID: 1, UserID: 1, Text: "festival parade", CreatedAt: day},
+		{ID: 2, UserID: 1, Text: "festival fireworks", CreatedAt: day},
+		{ID: 3, UserID: 1, Text: "beach holiday", CreatedAt: day.AddDate(0, 0, 1),
+			Geo: &twitter.GeoTag{Lat: 35.16, Lon: 129.16}},
+	}
+	tw := &Twitris{Gazetteer: gaz, ProfileDistrict: profiles, TopK: 3}
+	fromSlice, err := tw.Summarize(tweets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromIter, err := tw.SummarizeEach(func(fn func(*twitter.Tweet) bool) {
+		for _, x := range tweets {
+			if !fn(x) {
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromSlice, fromIter) {
+		t.Fatalf("iterator path diverged:\nslice %+v\niter  %+v", fromSlice, fromIter)
+	}
+
+	// Early stop: only the first tweet is seen.
+	partial, err := tw.SummarizeEach(func(fn func(*twitter.Tweet) bool) {
+		fn(tweets[0])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial) != 1 || partial[0].Tweets != 1 {
+		t.Fatalf("partial = %+v, want one single-tweet cell", partial)
+	}
+}

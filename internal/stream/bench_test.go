@@ -1,0 +1,52 @@
+package stream
+
+import (
+	"context"
+	"testing"
+
+	"stir/internal/core"
+	"stir/internal/obs"
+	"stir/internal/twitter"
+)
+
+// BenchmarkStreamIngest measures sustained ingestion on the default 4-shard
+// layout with no faults: pre-resolved profiles, a pre-warmed cache-shaped
+// resolver, and users spread across shards. The acceptance floor for this
+// subsystem is 100k tweets/sec with zero drops.
+func BenchmarkStreamIngest(b *testing.B) {
+	const users = 1024
+	places := somePlaces(16)
+	profiles := func(_ context.Context, id twitter.UserID) (core.Place, bool, error) {
+		return places[int(id)%len(places)], true, nil
+	}
+	eng, err := New(Config{
+		Shards:   4,
+		Profiles: profiles,
+		Resolver: echoResolver{},
+		Metrics:  obs.Discard,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+
+	tweets := make([]*twitter.Tweet, users)
+	for i := range tweets {
+		tweets[i] = geoTweet(int64(i), int64(i), float64(i%30))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Ingest(tweets[i%users])
+	}
+	eng.Drain()
+	b.StopTimer()
+	st := eng.Stats()
+	if st.Dropped != 0 {
+		b.Fatalf("dropped %d tweets under backpressure", st.Dropped)
+	}
+	if int(st.Processed) != b.N {
+		b.Fatalf("processed %d of %d", st.Processed, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tweets/sec")
+}

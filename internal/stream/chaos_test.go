@@ -1,0 +1,136 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"stir/internal/obs"
+	"stir/internal/resilience"
+	"stir/internal/resilience/fault"
+	"stir/internal/twitter"
+)
+
+// replayServer serves the whole collection as NDJSON on every connection, in
+// ascending tweet-ID order, but a seeded schedule truncates most connections
+// partway — sometimes mid-line — so the client sees dropped streams and
+// garbage tails. Completions (a connection that served everything) are
+// signalled on done.
+type replayServer struct {
+	tweets []*twitter.Tweet
+	mu     sync.Mutex
+	rnd    *rand.Rand
+	conns  int
+	done   chan struct{}
+}
+
+func (s *replayServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	flusher := w.(http.Flusher)
+	w.WriteHeader(http.StatusOK)
+	n := len(s.tweets)
+	cut := n
+	s.mu.Lock()
+	s.conns++
+	// The first connections always die partway (forcing reconnect + replay
+	// dedup); later ones survive 1 time in 4.
+	truncated := s.conns <= 2 || s.rnd.Intn(4) != 0
+	if truncated {
+		cut = n/2 + s.rnd.Intn(n/2)
+	}
+	s.mu.Unlock()
+	enc := json.NewEncoder(w)
+	for _, t := range s.tweets[:cut] {
+		if err := enc.Encode(t); err != nil {
+			return
+		}
+	}
+	if truncated {
+		// Half a record, then the connection drops: the decode-skip path.
+		b, _ := json.Marshal(s.tweets[cut-1])
+		w.Write(b[:len(b)/2])
+		flusher.Flush()
+		return
+	}
+	flusher.Flush()
+	select {
+	case s.done <- struct{}{}:
+	default:
+	}
+}
+
+// TestStreamChaosReconnectConverges runs the engine against a stream source
+// that drops, resets, 5xxes and corrupts under the seeded fault injector.
+// With replayed delivery and tweet-ID dedup, the incremental state must
+// converge to the batch result once a connection finally survives end to end.
+func TestStreamChaosReconnectConverges(t *testing.T) {
+	ds := testDataset(t, 300, 5)
+	res, err := ds.Analyze(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets := allTweets(ds)
+	sort.Slice(tweets, func(i, j int) bool { return tweets[i].ID < tweets[j].ID })
+
+	seed := fault.SeedFromEnv(2026)
+	replay := &replayServer{tweets: tweets, rnd: rand.New(rand.NewSource(seed)), done: make(chan struct{}, 1)}
+	inj := fault.New(seed, fault.Rates{Error5xx: 0.2, Reset: 0.2}, obs.NewRegistry())
+	srv := httptest.NewServer(inj.Handler(replay))
+	defer srv.Close()
+
+	client := twitter.NewClient(srv.URL)
+	client.HTTP = srv.Client()
+	client.Metrics = obs.NewRegistry()
+
+	eng := testEngine(t, ds, func(c *Config) {
+		c.DedupByTweetID = true
+		c.Reconnect = &resilience.Policy{
+			Name:        "stream_chaos",
+			MaxAttempts: 500,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    5 * time.Millisecond,
+			Seed:        seed,
+			Metrics:     obs.NewRegistry(),
+			Sleep:       func(ctx context.Context, _ time.Duration) error { return ctx.Err() },
+		}
+	})
+	defer eng.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() { runDone <- eng.Run(ctx, &ClientSource{Client: client}) }()
+
+	want := mustJSON(t, res.Analysis)
+	deadline := time.After(30 * time.Second)
+	converged := false
+	for !converged {
+		select {
+		case <-deadline:
+			t.Fatalf("no convergence: stats %+v", eng.Stats())
+		case <-time.After(10 * time.Millisecond):
+		}
+		eng.Drain()
+		snap := eng.Snapshot()
+		converged = reflect.DeepEqual(snap.Groupings, res.Groupings) &&
+			bytes.Equal(mustJSON(t, snap.Analysis), want)
+	}
+	cancel()
+	if err := <-runDone; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := eng.Stats()
+	if st.Reconnects == 0 {
+		t.Fatalf("chaos run never reconnected: %+v", st)
+	}
+	if st.Duplicates == 0 {
+		t.Fatalf("replayed stream produced no dedup hits: %+v", st)
+	}
+}

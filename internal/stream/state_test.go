@@ -1,0 +1,151 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"stir/internal/core"
+)
+
+// somePlaces builds a small pool of distinct districts.
+func somePlaces(n int) []core.Place {
+	out := make([]core.Place, n)
+	for i := range out {
+		out[i] = core.Place{State: fmt.Sprintf("S%d", i%5), County: fmt.Sprintf("C%02d", i)}
+	}
+	return out
+}
+
+// TestObserveMatchesBatchGrouping drives random tweet sequences through
+// userState and checks, after every single tweet, that grouping() equals
+// core.BuildUserGrouping over the prefix applied so far — the O(log k)
+// incremental update must never drift from the batch rebuild.
+func TestObserveMatchesBatchGrouping(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	places := somePlaces(12)
+	for trial := 0; trial < 50; trial++ {
+		profile := places[rnd.Intn(len(places))]
+		st := newUserState(int64(trial), profile)
+		prio := &prioRNG{s: uint64(trial)*977 + 1}
+		var applied []core.Place
+		for i := 0; i < 60; i++ {
+			p := places[rnd.Intn(len(places))]
+			st.observe(p, prio.next)
+			applied = append(applied, p)
+			want := core.BuildUserGrouping(int64(trial), profile, applied)
+			got := st.grouping()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d after %d tweets:\ngot  %+v\nwant %+v", trial, i+1, got, want)
+			}
+		}
+	}
+}
+
+// TestObserveNeverMatched covers the None group: a profile district the user
+// never tweets from keeps rank 0 at every step.
+func TestObserveNeverMatched(t *testing.T) {
+	places := somePlaces(4)
+	st := newUserState(1, core.Place{State: "Elsewhere", County: "Nowhere"})
+	prio := &prioRNG{s: 3}
+	for i := 0; i < 20; i++ {
+		st.observe(places[i%len(places)], prio.next)
+		if st.rank != 0 || st.group != core.None {
+			t.Fatalf("step %d: rank=%d group=%v, want 0/None", i, st.rank, st.group)
+		}
+	}
+	if st.matchedTweets() != 0 || st.matchShare() != 0 {
+		t.Fatalf("matched=%d share=%v, want zeros", st.matchedTweets(), st.matchShare())
+	}
+}
+
+// TestOSRankAbsent checks the rank query's miss path.
+func TestOSRankAbsent(t *testing.T) {
+	var root *osNode
+	prio := &prioRNG{s: 9}
+	for i, p := range somePlaces(6) {
+		n := &osNode{place: p, key: p.Key(), count: i + 1, prio: prio.next()}
+		root = osInsert(root, n)
+	}
+	if r := osRank(root, 99, "S0#C00"); r != 0 {
+		t.Fatalf("rank of absent key = %d, want 0", r)
+	}
+	if nsize(root) != 6 {
+		t.Fatalf("size = %d, want 6", nsize(root))
+	}
+}
+
+// TestOSRemoveKeepsOrder removes nodes in random order and checks the
+// in-order walk stays sorted by (count desc, key asc) throughout.
+func TestOSRemoveKeepsOrder(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	prio := &prioRNG{s: 20}
+	var root *osNode
+	nodes := make([]*osNode, 0, 30)
+	for i, p := range somePlaces(30) {
+		n := &osNode{place: p, key: p.Key(), count: 1 + i%7, prio: prio.next()}
+		nodes = append(nodes, n)
+		root = osInsert(root, n)
+	}
+	rnd.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	for _, n := range nodes {
+		root = osRemove(root, n.count, n.key)
+		prevCount, prevKey := 0, ""
+		first := true
+		osInorder(root, func(m *osNode) {
+			if !first && !beforeCK(prevCount, prevKey, m.count, m.key) {
+				t.Fatalf("order violated: (%d,%q) before (%d,%q)", prevCount, prevKey, m.count, m.key)
+			}
+			first = false
+			prevCount, prevKey = m.count, m.key
+		})
+	}
+	if root != nil {
+		t.Fatal("treap not empty after removing everything")
+	}
+}
+
+// TestCheckpointRoundTrip encodes a user and decodes them back identically.
+func TestCheckpointRoundTrip(t *testing.T) {
+	places := somePlaces(9)
+	profile := places[2]
+	st := newUserState(42, profile)
+	prio := &prioRNG{s: 5}
+	rnd := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		st.observe(places[rnd.Intn(len(places))], prio.next)
+	}
+	st.lastID = 777
+	b, err := encodeUserState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio2 := &prioRNG{s: 99} // different priorities must not change the order
+	got, err := decodeUserState(b, prio2.next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.lastID != 777 {
+		t.Fatalf("lastID = %d, want 777", got.lastID)
+	}
+	if !reflect.DeepEqual(got.grouping(), st.grouping()) {
+		t.Fatalf("round-trip grouping differs:\ngot  %+v\nwant %+v", got.grouping(), st.grouping())
+	}
+}
+
+// TestDecodeUserStateRejectsCorruption covers the checkpoint validation.
+func TestDecodeUserStateRejectsCorruption(t *testing.T) {
+	prio := &prioRNG{s: 1}
+	if _, err := decodeUserState([]byte("{"), prio.next); err == nil {
+		t.Fatal("want error for truncated JSON")
+	}
+	bad := []byte(`{"id":1,"ps":"A","pc":"B","places":[{"s":"A","c":"B","n":0}]}`)
+	if _, err := decodeUserState(bad, prio.next); err == nil {
+		t.Fatal("want error for non-positive count")
+	}
+	dup := []byte(`{"id":1,"ps":"A","pc":"B","places":[{"s":"A","c":"B","n":1},{"s":"A","c":"B","n":2}]}`)
+	if _, err := decodeUserState(dup, prio.next); err == nil {
+		t.Fatal("want error for duplicate place")
+	}
+}

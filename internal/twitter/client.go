@@ -2,6 +2,7 @@ package twitter
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -325,23 +326,60 @@ func (c *Client) Stream(ctx context.Context, track string, fn func(*Tweet) bool)
 	if resp.StatusCode != http.StatusOK {
 		return &APIError{Status: resp.StatusCode, Msg: "stream refused"}
 	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
+	// Live streams carry the occasional garbage line — a truncated record
+	// from a dropped connection, a keep-alive, a control message the model
+	// doesn't know. One bad line must not kill the connection: skip it,
+	// count it (stream_decode_errors_total), keep reading. bufio.Scanner
+	// can't do this (ErrTooLong is fatal), so read lines by hand with the
+	// same 1 MiB cap, discarding the remainder of over-long lines.
+	reg := obs.Or(c.Metrics)
+	br := bufio.NewReaderSize(resp.Body, 64*1024)
+	var line []byte
+	tooLong := false
+	for {
+		chunk, err := br.ReadSlice('\n')
+		line = append(line, chunk...)
+		switch {
+		case err == bufio.ErrBufferFull:
+			if len(line) > maxStreamLine {
+				tooLong = true
+				line = line[:0]
+			}
+			continue
+		case err != nil && len(line) == 0:
+			if err == io.EOF || ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		full := line
+		line = nil
+		if tooLong || len(full) > maxStreamLine {
+			tooLong = false
+			reg.Counter("stream_decode_errors_total", "reason", "too_long").Inc()
+			if err != nil {
+				return nil
+			}
 			continue
 		}
-		var t Tweet
-		if err := json.Unmarshal(line, &t); err != nil {
-			return fmt.Errorf("twitter client: stream decode: %w", err)
+		full = bytes.TrimSpace(full)
+		if len(full) > 0 {
+			var t Tweet
+			if jerr := json.Unmarshal(full, &t); jerr != nil {
+				reg.Counter("stream_decode_errors_total", "reason", "bad_json").Inc()
+			} else if !fn(&t) {
+				return nil
+			}
 		}
-		if !fn(&t) {
-			return nil
+		if err != nil {
+			if err == io.EOF || ctx.Err() != nil {
+				return nil
+			}
+			return err
 		}
 	}
-	if err := sc.Err(); err != nil && ctx.Err() == nil {
-		return err
-	}
-	return nil
 }
+
+// maxStreamLine is the largest stream record Stream will decode; longer
+// lines are dropped and counted, matching the old scanner's 1 MiB cap.
+const maxStreamLine = 1024 * 1024

@@ -277,6 +277,15 @@ func (s *Service) OpenStream(buffer int) (<-chan *Tweet, func()) {
 	return ch, cancel
 }
 
+// StreamerCount reports how many live stream subscriptions are open —
+// drivers that replay traffic use it to wait until a consumer is listening,
+// since the firehose only carries tweets posted after subscription.
+func (s *Service) StreamerCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.streamers)
+}
+
 // EachTweet iterates all tweets in ID order; fn returning false stops.
 func (s *Service) EachTweet(fn func(*Tweet) bool) {
 	s.mu.RLock()

@@ -1,0 +1,109 @@
+package twitter
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"stir/internal/obs"
+)
+
+// rawStreamServer serves a fixed byte payload on any path, so tests can put
+// arbitrary garbage on the wire.
+func rawStreamServer(t *testing.T, payload string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(payload))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func collectStream(t *testing.T, srv *httptest.Server, reg *obs.Registry) []*Tweet {
+	t.Helper()
+	c := NewClient(srv.URL)
+	c.HTTP = srv.Client()
+	c.Metrics = reg
+	var got []*Tweet
+	if err := c.Stream(context.Background(), "", func(tw *Tweet) bool {
+		got = append(got, tw)
+		return true
+	}); err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	return got
+}
+
+// TestStreamSkipsMalformedLine is the regression test for the stream dying on
+// one bad record: garbage lines are skipped and counted, surrounding tweets
+// still arrive.
+func TestStreamSkipsMalformedLine(t *testing.T) {
+	payload := `{"id":1,"user_id":7,"text":"a"}` + "\n" +
+		`{"id":2,"user_id":7,` + "\n" + // truncated record
+		"\x00\xff<corrupt/>{{{\n" + // binary garbage
+		"\n" + // keep-alive blank line
+		`{"id":3,"user_id":8,"text":"b"}` + "\n"
+	reg := obs.NewRegistry()
+	got := collectStream(t, rawStreamServer(t, payload), reg)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 3 {
+		t.Fatalf("delivered %d tweets: %+v", len(got), got)
+	}
+	if n := reg.Counter("stream_decode_errors_total", "reason", "bad_json").Value(); n != 2 {
+		t.Fatalf("bad_json count = %d, want 2", n)
+	}
+}
+
+// TestStreamSkipsOversizedLine is the regression test for lines beyond the
+// 1 MiB cap: the old bufio.Scanner died with ErrTooLong; now the line is
+// discarded, counted, and the stream continues.
+func TestStreamSkipsOversizedLine(t *testing.T) {
+	huge := `{"id":2,"user_id":7,"text":"` + strings.Repeat("x", 2<<20) + `"}`
+	payload := `{"id":1,"user_id":7,"text":"a"}` + "\n" +
+		huge + "\n" +
+		`{"id":3,"user_id":8,"text":"b"}` + "\n"
+	reg := obs.NewRegistry()
+	got := collectStream(t, rawStreamServer(t, payload), reg)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 3 {
+		t.Fatalf("delivered %d tweets: %+v", len(got), got)
+	}
+	if n := reg.Counter("stream_decode_errors_total", "reason", "too_long").Value(); n != 1 {
+		t.Fatalf("too_long count = %d, want 1", n)
+	}
+}
+
+// TestStreamOversizedFinalLine covers an over-long line truncated by the
+// connection dropping (no trailing newline): still skipped, never decoded.
+func TestStreamOversizedFinalLine(t *testing.T) {
+	payload := `{"id":1,"user_id":7,"text":"a"}` + "\n" +
+		strings.Repeat("y", 3<<20) // dies mid-line
+	reg := obs.NewRegistry()
+	got := collectStream(t, rawStreamServer(t, payload), reg)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("delivered %d tweets: %+v", len(got), got)
+	}
+	if n := reg.Counter("stream_decode_errors_total", "reason", "too_long").Value(); n != 1 {
+		t.Fatalf("too_long count = %d, want 1", n)
+	}
+}
+
+// TestStreamStopsWhenCallbackReturnsFalse keeps the early-stop contract.
+func TestStreamStopsWhenCallbackReturnsFalse(t *testing.T) {
+	payload := `{"id":1,"user_id":7}` + "\n" + `{"id":2,"user_id":7}` + "\n"
+	srv := rawStreamServer(t, payload)
+	c := NewClient(srv.URL)
+	c.HTTP = srv.Client()
+	c.Metrics = obs.NewRegistry()
+	var got []*Tweet
+	if err := c.Stream(context.Background(), "", func(tw *Tweet) bool {
+		got = append(got, tw)
+		return false
+	}); err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("delivered %+v, want just tweet 1", got)
+	}
+}

@@ -26,10 +26,8 @@ func (d *Dataset) Summarize(res *Result, topK int) ([]CellSummary, error) {
 		ProfileDistrict: res.ProfileDistrict,
 		TopK:            topK,
 	}
-	var tweets []*twitter.Tweet
-	d.Service.EachTweet(func(t *twitter.Tweet) bool {
-		tweets = append(tweets, t)
-		return true
+	// Feed tweets straight off the store — no O(tweets) buffer.
+	return tw.SummarizeEach(func(fn func(*twitter.Tweet) bool) {
+		d.Service.EachTweet(fn)
 	})
-	return tw.Summarize(tweets)
 }

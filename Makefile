@@ -8,7 +8,7 @@ GO ?= go
 # Fixed fault schedule for reproducible chaos runs (see internal/resilience/fault).
 CHAOS_SEED ?= 2026
 
-.PHONY: build test vet race verify chaos bench bench-obs bench-stream
+.PHONY: build test vet race verify chaos load bench bench-obs bench-stream
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ vet:
 
 # Race-check the packages that share metric registries across goroutines.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/resilience/... ./internal/twitter/... ./internal/geocode/... ./internal/pipeline/... ./internal/storage/... ./internal/ratelimit/... ./internal/stream/...
+	$(GO) test -race ./internal/obs/... ./internal/resilience/... ./internal/twitter/... ./internal/geocode/... ./internal/pipeline/... ./internal/storage/... ./internal/ratelimit/... ./internal/stream/... ./internal/overload/... ./internal/daemon/...
 
 verify: build vet test race
 
@@ -29,7 +29,13 @@ verify: build vet test race
 # faults, degraded pipeline runs, flaky-crawl convergence) with the race
 # detector and a fixed seed, so a failure replays bit-for-bit.
 chaos:
-	STIR_FAULT_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'Chaos|Fault|Inject|Quarantine|ContinueOnError|CrashMidUser' ./internal/resilience/... ./internal/twitter/... ./internal/pipeline/... ./internal/stream/...
+	STIR_FAULT_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'Chaos|Fault|Inject|Quarantine|ContinueOnError|CrashMidUser' ./internal/resilience/... ./internal/twitter/... ./internal/pipeline/... ./internal/stream/... ./internal/overload/...
+
+# Drive the seeded overload spike (5x load against an AIMD-limited server
+# with injected latency) and check the admission-control invariants: bounded
+# admitted p99, probes never shed, sheds fully accounted, goodput recovery.
+load:
+	$(GO) test -race -count=1 -run TestOverloadChaos ./internal/overload/
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -5,11 +5,16 @@
 // Usage:
 //
 //	geocoded [-addr :8031] [-world] [-limit N] [-window 1h] [-slack 10]
-//	         [-fault-5xx R] [-fault-reset R] [-fault-timeout R] [-fault-corrupt R] [-fault-seed S]
+//	         [-max-inflight N] [-queue-depth N] [-target-latency D] [-drain-timeout D]
+//	         [-fault-5xx R] [-fault-reset R] [-fault-timeout R] [-fault-corrupt R]
+//	         [-fault-slow R] [-fault-seed S]
 //
 // The -fault-* flags (defaulting from the STIR_FAULT_* environment knobs)
 // wrap the API in the deterministic fault injector, turning geocoded into a
-// flaky upstream for resilience testing.
+// flaky upstream for resilience testing. The overload flags bound concurrent
+// work; excess arrivals are shed with 503 + Retry-After while /healthz,
+// /readyz and /metrics keep answering. SIGTERM drains gracefully and the
+// process exits 0.
 //
 // Try it:
 //
@@ -20,37 +25,30 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
+	"os"
 	"time"
 
 	"stir/internal/admin"
+	"stir/internal/daemon"
 	"stir/internal/geocode"
 	"stir/internal/obs"
-	"stir/internal/resilience/fault"
+	"stir/internal/overload"
 )
 
-// faultFlags registers the shared server-side fault-injection flags,
-// defaulting from the STIR_FAULT_* env knobs, and returns a closure
-// producing the parsed rates and seed.
-func faultFlags() func() (fault.Rates, int64) {
-	env := fault.RatesFromEnv()
-	f5xx := flag.Float64("fault-5xx", env.Error5xx, "injected 503 rate ("+fault.Env5xx+")")
-	reset := flag.Float64("fault-reset", env.Reset, "injected connection-reset rate ("+fault.EnvReset+")")
-	timeout := flag.Float64("fault-timeout", env.Timeout, "injected hold-then-504 rate ("+fault.EnvTimeout+")")
-	corrupt := flag.Float64("fault-corrupt", env.Corrupt, "injected garbage-response rate ("+fault.EnvCorrupt+")")
-	fseed := flag.Int64("fault-seed", fault.SeedFromEnv(1), "fault-injection schedule seed ("+fault.EnvSeed+")")
-	return func() (fault.Rates, int64) {
-		return fault.Rates{Timeout: *timeout, Error5xx: *f5xx, Reset: *reset, Corrupt: *corrupt}, *fseed
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("geocoded: ", err)
 	}
 }
 
-func main() {
+func run() error {
 	addr := flag.String("addr", ":8031", "listen address")
 	world := flag.Bool("world", false, "serve the worldwide gazetteer instead of Korea-only")
 	limit := flag.Int("limit", 0, "requests per window (0 = unlimited)")
 	window := flag.Duration("window", time.Hour, "rate limit window")
 	slack := flag.Float64("slack", 10, "km of slack for nearest-district fallback (negative disables)")
-	faults := faultFlags()
+	faults := daemon.FaultFlags(flag.CommandLine)
+	over := daemon.OverloadFlags(flag.CommandLine)
 	flag.Parse()
 
 	var (
@@ -63,22 +61,33 @@ func main() {
 		gaz, err = admin.NewKoreaGazetteer()
 	}
 	if err != nil {
-		log.Fatal("geocoded: ", err)
+		return err
 	}
-	var srv http.Handler = geocode.NewServer(gaz, geocode.ServerOptions{
+
+	cfg := over()
+	stack := daemon.NewStack("geocoded", cfg, obs.Default)
+	api := geocode.NewServer(gaz, geocode.ServerOptions{
 		Limit:   *limit,
 		Window:  *window,
 		SlackKm: *slack,
 	})
-	if rates, fseed := faults(); rates.Any() {
-		srv = fault.New(fseed, rates, nil).Handler(srv)
-		fmt.Printf("geocoded: fault injection armed (seed %d, rates %+v)\n", fseed, rates)
+	if inj := faults().Injector(obs.Default); inj != nil {
+		stack.Mux.Handle("/", inj.Handler(api))
+		fmt.Fprintf(os.Stderr, "geocoded: fault injection armed\n")
+	} else {
+		stack.Mux.Handle("/", api)
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/", srv)
-	mux.Handle("/metrics", obs.Handler(obs.Default))
-	mux.Handle("/healthz", obs.HealthzHandler("geocoded"))
+
+	srv := overload.NewServer(overload.ServerOptions{
+		Service:      "geocoded",
+		Addr:         *addr,
+		Handler:      stack.Handler,
+		DrainTimeout: cfg.DrainTimeout,
+		Ready:        stack.Ready,
+		// Request/response only — a write deadline is safe here.
+		WriteTimeout: 30 * time.Second,
+	})
 	fmt.Printf("geocoded: %d districts across %d states; listening on %s\n",
 		gaz.Len(), len(gaz.States()), *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	return srv.ListenAndServe()
 }

@@ -39,11 +39,14 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"stir"
 	"stir/internal/admin"
+	"stir/internal/daemon"
 	"stir/internal/obs"
+	"stir/internal/overload"
 	"stir/internal/report"
 	"stir/internal/resilience/fault"
 	"stir/internal/storage"
@@ -361,6 +364,7 @@ func runServe(args []string) error {
 	users := fs.Int("users", 5200, "population size")
 	seed := fs.Int64("seed", 1, "generation seed")
 	resOpts := resilienceFlags(fs)
+	over := daemon.OverloadFlags(fs)
 	fs.Parse(args)
 
 	ds, err := makeDataset(*dataset, *users, *seed)
@@ -373,11 +377,18 @@ func runServe(args []string) error {
 	}
 	fmt.Println("Collection & refinement funnel (§III):")
 	fmt.Println(stir.FormatFunnel(&res.Funnel))
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", obs.Handler(obs.Default))
-	mux.Handle("/healthz", obs.HealthzHandler("stir"))
+	cfg := over()
+	stack := daemon.NewStack("stir", cfg, obs.Default)
+	srv := overload.NewServer(overload.ServerOptions{
+		Service:      "stir",
+		Addr:         *addr,
+		Handler:      stack.Handler,
+		DrainTimeout: cfg.DrainTimeout,
+		Ready:        stack.Ready,
+		WriteTimeout: 30 * time.Second,
+	})
 	fmt.Printf("stir serve: metrics on %s/metrics\n", *addr)
-	return http.ListenAndServe(*addr, mux)
+	return srv.ListenAndServe()
 }
 
 // runStream is the live path: it stands up the simulated platform's API
@@ -400,6 +411,7 @@ func runStream(args []string) error {
 	ckptDir := fs.String("checkpoint", "", "checkpoint store directory (enables crash-safe resume)")
 	ckptEvery := fs.Duration("checkpoint-every", 10*time.Second, "periodic checkpoint interval (needs -checkpoint)")
 	duration := fs.Duration("duration", 0, "keep serving this long after the replay drains (0 = exit once drained)")
+	over := daemon.OverloadFlags(fs)
 	fs.Parse(args)
 
 	ds, err := makeDataset(*dataset, *users, *seed)
@@ -448,20 +460,31 @@ func runStream(args []string) error {
 	}
 	defer eng.Close()
 
-	mux := http.NewServeMux()
-	mux.Handle("/v1/", eng.Handler())
-	mux.Handle("/metrics", obs.Handler(obs.Default))
-	mux.Handle("/healthz", obs.HealthzHandler("stir-stream"))
-	qln, err := net.Listen("tcp", *addr)
-	if err != nil {
+	// The query surface rides the shared daemon stack: /v1/* is bulk traffic
+	// that admission control may shed under overload, while /healthz, /readyz
+	// and /metrics always answer. SIGTERM drains it before the final
+	// checkpoint below, so no in-flight query is dropped without a response.
+	cfg := over()
+	stack := daemon.NewStack("stir-stream", cfg, obs.Default)
+	stack.Mux.Handle("/v1/", eng.Handler())
+	querySrv := overload.NewServer(overload.ServerOptions{
+		Service:      "stir-stream",
+		Addr:         *addr,
+		Handler:      stack.Handler,
+		DrainTimeout: cfg.DrainTimeout,
+		Ready:        stack.Ready,
+	})
+	if err := querySrv.Start(); err != nil {
 		return err
 	}
-	querySrv := &http.Server{Handler: mux}
-	go querySrv.Serve(qln)
-	defer querySrv.Close()
-	fmt.Printf("stir stream: queries on http://%s/v1/groups, metrics on /metrics\n", qln.Addr())
+	defer func() {
+		dctx, dcancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+		defer dcancel()
+		_ = querySrv.Shutdown(dctx)
+	}()
+	fmt.Printf("stir stream: queries on http://%s/v1/groups, metrics on /metrics\n", querySrv.Addr())
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	runCtx, stopRun := context.WithCancel(ctx)
 	defer stopRun()

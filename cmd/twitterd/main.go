@@ -6,52 +6,51 @@
 // Usage:
 //
 //	twitterd [-addr :8030] [-dataset korean|world] [-users N] [-seed S]
-//	         [-rest-limit N] [-search-limit N] [-window 15m]
-//	         [-fault-5xx R] [-fault-reset R] [-fault-timeout R] [-fault-corrupt R] [-fault-seed S]
+//	         [-rest-limit N] [-search-limit N] [-client-limit N] [-window 15m]
+//	         [-max-inflight N] [-queue-depth N] [-target-latency D] [-drain-timeout D]
+//	         [-fault-5xx R] [-fault-reset R] [-fault-timeout R] [-fault-corrupt R]
+//	         [-fault-slow R] [-fault-seed S]
 //
 // The -fault-* flags (defaulting from the STIR_FAULT_* environment knobs)
 // wrap the API in the deterministic fault injector, turning twitterd into a
-// flaky upstream for resilience testing.
+// flaky upstream for resilience testing. The overload flags bound how much
+// concurrent work the daemon accepts before shedding with 503 + Retry-After;
+// /healthz, /readyz and /metrics are never shed. SIGTERM drains gracefully:
+// readiness flips, in-flight requests finish, and the process exits 0.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
+	"os"
 	"time"
 
 	"stir"
+	"stir/internal/daemon"
 	"stir/internal/obs"
-	"stir/internal/resilience/fault"
+	"stir/internal/overload"
 	"stir/internal/twitter"
 )
 
-// faultFlags registers the shared server-side fault-injection flags,
-// defaulting from the STIR_FAULT_* env knobs, and returns a closure
-// producing the parsed rates and seed.
-func faultFlags() func() (fault.Rates, int64) {
-	env := fault.RatesFromEnv()
-	f5xx := flag.Float64("fault-5xx", env.Error5xx, "injected 503 rate ("+fault.Env5xx+")")
-	reset := flag.Float64("fault-reset", env.Reset, "injected connection-reset rate ("+fault.EnvReset+")")
-	timeout := flag.Float64("fault-timeout", env.Timeout, "injected hold-then-504 rate ("+fault.EnvTimeout+")")
-	corrupt := flag.Float64("fault-corrupt", env.Corrupt, "injected garbage-response rate ("+fault.EnvCorrupt+")")
-	fseed := flag.Int64("fault-seed", fault.SeedFromEnv(1), "fault-injection schedule seed ("+fault.EnvSeed+")")
-	return func() (fault.Rates, int64) {
-		return fault.Rates{Timeout: *timeout, Error5xx: *f5xx, Reset: *reset, Corrupt: *corrupt}, *fseed
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("twitterd: ", err)
 	}
 }
 
-func main() {
+func run() error {
 	addr := flag.String("addr", ":8030", "listen address")
 	dataset := flag.String("dataset", "korean", "korean or world")
 	users := flag.Int("users", 5200, "population size")
 	seed := flag.Int64("seed", 1, "generation seed")
 	restLimit := flag.Int("rest-limit", 0, "REST rate limit per window (0 = unlimited)")
 	searchLimit := flag.Int("search-limit", 0, "search rate limit per window (0 = unlimited)")
+	clientLimit := flag.Int("client-limit", 0, "per-client rate limit per window, keyed by bearer token or IP (0 = unlimited)")
 	window := flag.Duration("window", 15*time.Minute, "rate limit window")
 	follower := flag.Bool("follower-graph", true, "wire a crawlable follower graph")
-	faults := faultFlags()
+	faults := daemon.FaultFlags(flag.CommandLine)
+	over := daemon.OverloadFlags(flag.CommandLine)
 	flag.Parse()
 
 	opts := stir.DatasetOptions{Seed: *seed, Users: *users, FollowerGraph: *follower}
@@ -65,22 +64,34 @@ func main() {
 		ds, err = stir.NewKoreanDataset(opts)
 	}
 	if err != nil {
-		log.Fatal("twitterd: ", err)
+		return err
 	}
-	var api http.Handler = twitter.NewAPIServer(ds.Service, twitter.ServerOptions{
-		RESTLimit:   *restLimit,
-		SearchLimit: *searchLimit,
-		Window:      *window,
+
+	cfg := over()
+	stack := daemon.NewStack("twitterd", cfg, obs.Default)
+	api := twitter.NewAPIServer(ds.Service, twitter.ServerOptions{
+		RESTLimit:      *restLimit,
+		SearchLimit:    *searchLimit,
+		PerClientLimit: *clientLimit,
+		Window:         *window,
 	})
-	if rates, fseed := faults(); rates.Any() {
-		api = fault.New(fseed, rates, nil).Handler(api)
-		fmt.Printf("twitterd: fault injection armed (seed %d, rates %+v)\n", fseed, rates)
+	if inj := faults().Injector(obs.Default); inj != nil {
+		stack.Mux.Handle("/", inj.Handler(api))
+		fmt.Fprintf(os.Stderr, "twitterd: fault injection armed\n")
+	} else {
+		stack.Mux.Handle("/", api)
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/", api)
-	mux.Handle("/metrics", obs.Handler(obs.Default))
-	mux.Handle("/healthz", obs.HealthzHandler("twitterd"))
+
+	srv := overload.NewServer(overload.ServerOptions{
+		Service:      "twitterd",
+		Addr:         *addr,
+		Handler:      stack.Handler,
+		DrainTimeout: cfg.DrainTimeout,
+		Ready:        stack.Ready,
+		// WriteTimeout stays 0: the statuses/sample stream is legitimately
+		// unbounded, and a write deadline would cut every stream consumer.
+	})
 	fmt.Printf("twitterd: %d users, %d tweets; seed user id %d; listening on %s\n",
 		ds.Service.UserCount(), ds.Service.TweetCount(), ds.Population.SeedUser, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	return srv.ListenAndServe()
 }

@@ -1,0 +1,135 @@
+// Package daemon is the shared serving stack every STIR daemon boots from:
+// one place that registers the operational flag groups (fault injection,
+// overload protection), mounts the standard endpoints (/metrics, /healthz,
+// /readyz), and wraps the business mux in admission control. Before this
+// package, twitterd and geocoded each hand-rolled the same mux/metrics/fault
+// wiring and exited via log.Fatal(http.ListenAndServe(...)) — no drain, no
+// readiness, exit 1 on SIGTERM. Daemons now build a Stack and hand its
+// Handler to an overload.Server.
+package daemon
+
+import (
+	"flag"
+	"net/http"
+	"time"
+
+	"stir/internal/obs"
+	"stir/internal/overload"
+	"stir/internal/resilience/fault"
+)
+
+// FaultConfig is the parsed server-side fault-injection schedule.
+type FaultConfig struct {
+	Rates fault.Rates
+	Seed  int64
+	// SlowBy is the latency one slow injection adds (default 25ms).
+	SlowBy time.Duration
+}
+
+// Injector builds the armed injector, or nil when every rate is zero.
+func (c FaultConfig) Injector(reg *obs.Registry) *fault.Injector {
+	if !c.Rates.Any() {
+		return nil
+	}
+	inj := fault.New(c.Seed, c.Rates, reg)
+	if c.SlowBy > 0 {
+		inj.SlowBy = c.SlowBy
+	}
+	return inj
+}
+
+// FaultFlags registers the shared -fault-* flags on fs (flag.CommandLine for
+// daemons, a subcommand FlagSet otherwise), defaulting from the STIR_FAULT_*
+// env knobs, and returns a closure producing the parsed config after parsing.
+func FaultFlags(fs *flag.FlagSet) func() FaultConfig {
+	env := fault.RatesFromEnv()
+	f5xx := fs.Float64("fault-5xx", env.Error5xx, "injected 503 rate ("+fault.Env5xx+")")
+	reset := fs.Float64("fault-reset", env.Reset, "injected connection-reset rate ("+fault.EnvReset+")")
+	timeout := fs.Float64("fault-timeout", env.Timeout, "injected hold-then-504 rate ("+fault.EnvTimeout+")")
+	corrupt := fs.Float64("fault-corrupt", env.Corrupt, "injected garbage-response rate ("+fault.EnvCorrupt+")")
+	slow := fs.Float64("fault-slow", env.Slow, "injected latency-only rate ("+fault.EnvSlow+")")
+	slowBy := fs.Duration("fault-slow-by", 25*time.Millisecond, "latency one slow injection adds")
+	fseed := fs.Int64("fault-seed", fault.SeedFromEnv(1), "fault-injection schedule seed ("+fault.EnvSeed+")")
+	return func() FaultConfig {
+		return FaultConfig{
+			Rates:  fault.Rates{Timeout: *timeout, Error5xx: *f5xx, Reset: *reset, Corrupt: *corrupt, Slow: *slow},
+			Seed:   *fseed,
+			SlowBy: *slowBy,
+		}
+	}
+}
+
+// OverloadConfig is the parsed admission-control and lifecycle tuning.
+type OverloadConfig struct {
+	// MaxInflight caps concurrent bulk requests (0 disables admission
+	// control entirely — the limiter is nil and only deadline propagation
+	// remains active).
+	MaxInflight int
+	// QueueDepth bounds the admission wait queue.
+	QueueDepth int
+	// TargetLatency enables AIMD adaptation of the in-flight cap; zero keeps
+	// the cap fixed.
+	TargetLatency time.Duration
+	// DrainTimeout bounds the graceful shutdown drain.
+	DrainTimeout time.Duration
+}
+
+// OverloadFlags registers the shared overload-protection flags on fs and
+// returns a closure producing the parsed config after parsing.
+func OverloadFlags(fs *flag.FlagSet) func() OverloadConfig {
+	maxInflight := fs.Int("max-inflight", 256, "max concurrent requests before queueing (0 = unlimited)")
+	queueDepth := fs.Int("queue-depth", 128, "admission queue depth; arrivals beyond it are shed")
+	target := fs.Duration("target-latency", 0, "AIMD latency target; 0 keeps the in-flight cap fixed")
+	drain := fs.Duration("drain-timeout", overload.DefaultDrainTimeout, "max wait for in-flight requests on shutdown")
+	return func() OverloadConfig {
+		return OverloadConfig{
+			MaxInflight:   *maxInflight,
+			QueueDepth:    *queueDepth,
+			TargetLatency: *target,
+			DrainTimeout:  *drain,
+		}
+	}
+}
+
+// Stack is one daemon's serving surface: the business mux plus the standard
+// operational endpoints, wrapped in admission control.
+type Stack struct {
+	// Mux is the daemon's route table; mount business handlers on it.
+	Mux *http.ServeMux
+	// Handler is the full middleware-wrapped surface to serve.
+	Handler http.Handler
+	// Ready is the readiness flag /readyz reports; hand it to the
+	// overload.Server so draining flips it.
+	Ready *obs.Readiness
+	// Limiter is the admission controller (nil when MaxInflight is 0).
+	Limiter *overload.Limiter
+}
+
+// NewStack builds the standard daemon surface: /metrics, /healthz and
+// /readyz mounted (and classified critical, so they are never shed), bulk
+// traffic admitted through the overload limiter, deadlines propagated.
+func NewStack(service string, cfg OverloadConfig, reg *obs.Registry) *Stack {
+	reg = obs.Or(reg)
+	s := &Stack{
+		Mux:   http.NewServeMux(),
+		Ready: &obs.Readiness{},
+	}
+	s.Mux.Handle("/metrics", obs.Handler(reg))
+	s.Mux.Handle("/healthz", obs.HealthzHandler(service))
+	s.Mux.Handle("/readyz", obs.ReadyzHandler(service, s.Ready))
+	if cfg.MaxInflight > 0 {
+		s.Limiter = overload.NewLimiter(overload.LimiterOptions{
+			Service:       service,
+			MaxInflight:   cfg.MaxInflight,
+			QueueDepth:    cfg.QueueDepth,
+			TargetLatency: cfg.TargetLatency,
+			Metrics:       reg,
+		})
+	}
+	s.Handler = overload.Middleware(overload.MiddlewareOptions{
+		Service: service,
+		Limiter: s.Limiter,
+		Metrics: reg,
+	}, s.Mux)
+	return s
+}

@@ -1,0 +1,160 @@
+package daemon
+
+import (
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"stir/internal/obs"
+	"stir/internal/overload"
+)
+
+func get(t *testing.T, h http.Handler, path string, hdr http.Header) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestNewStackMountsOperationalEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	stack := NewStack("testd", OverloadConfig{MaxInflight: 4, QueueDepth: 2}, reg)
+
+	if rec := get(t, stack.Handler, "/healthz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", rec.Code)
+	}
+	if rec := get(t, stack.Handler, "/readyz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200 while serving", rec.Code)
+	}
+	if rec := get(t, stack.Handler, "/metrics", nil); rec.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", rec.Code)
+	} else if !strings.Contains(rec.Body.String(), "stir_overload_limit") {
+		t.Fatal("/metrics does not expose the overload gauges")
+	}
+
+	// Draining flips readiness but not liveness.
+	stack.Ready.SetReady(false)
+	if rec := get(t, stack.Handler, "/readyz", nil); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining = %d, want 503", rec.Code)
+	}
+	if rec := get(t, stack.Handler, "/healthz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("/healthz while draining = %d, want 200", rec.Code)
+	}
+}
+
+func TestNewStackShedsBulkButNotCritical(t *testing.T) {
+	reg := obs.NewRegistry()
+	stack := NewStack("testd", OverloadConfig{MaxInflight: 1, QueueDepth: -1}, reg)
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	stack.Mux.HandleFunc("/bulk", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-block
+	})
+	defer close(block)
+
+	go func() {
+		req := httptest.NewRequest("GET", "/bulk", nil)
+		stack.Handler.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	<-entered
+
+	// The single in-flight slot is held and queueing is disabled: bulk
+	// arrivals shed, critical endpoints still answer.
+	if rec := get(t, stack.Handler, "/bulk", nil); rec.Code != overload.ShedStatus {
+		t.Fatalf("saturated bulk request = %d, want %d", rec.Code, overload.ShedStatus)
+	} else if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("shed response carried no Retry-After")
+	}
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		if rec := get(t, stack.Handler, path, nil); rec.Code != http.StatusOK {
+			t.Fatalf("%s under saturation = %d, want 200", path, rec.Code)
+		}
+	}
+	if m, ok := reg.Snapshot().Get("stir_overload_shed_total", "service", "testd", "reason", overload.ShedQueueFull); !ok || m.Value != 1 {
+		t.Fatalf("shed counter = %+v ok=%v, want 1", m, ok)
+	}
+}
+
+func TestNewStackZeroMaxInflightDisablesAdmission(t *testing.T) {
+	stack := NewStack("testd", OverloadConfig{}, obs.Discard)
+	if stack.Limiter != nil {
+		t.Fatal("MaxInflight 0 built a limiter, want nil")
+	}
+	stack.Mux.HandleFunc("/bulk", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	if rec := get(t, stack.Handler, "/bulk", nil); rec.Code != http.StatusOK {
+		t.Fatalf("unlimited bulk request = %d, want 200", rec.Code)
+	}
+	// Deadline propagation stays active even without a limiter.
+	hdr := http.Header{}
+	hdr.Set(overload.DeadlineHeader, "0")
+	if rec := get(t, stack.Handler, "/bulk", hdr); rec.Code != overload.ShedStatus {
+		t.Fatalf("doomed request without limiter = %d, want %d", rec.Code, overload.ShedStatus)
+	}
+}
+
+func TestOverloadFlagsRoundTrip(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	over := OverloadFlags(fs)
+	err := fs.Parse([]string{
+		"-max-inflight", "32",
+		"-queue-depth", "7",
+		"-target-latency", "150ms",
+		"-drain-timeout", "3s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := over()
+	want := OverloadConfig{
+		MaxInflight:   32,
+		QueueDepth:    7,
+		TargetLatency: 150 * time.Millisecond,
+		DrainTimeout:  3 * time.Second,
+	}
+	if cfg != want {
+		t.Fatalf("parsed config = %+v, want %+v", cfg, want)
+	}
+}
+
+func TestFaultFlagsRoundTrip(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	faults := FaultFlags(fs)
+	err := fs.Parse([]string{
+		"-fault-5xx", "0.25",
+		"-fault-slow", "0.5",
+		"-fault-slow-by", "40ms",
+		"-fault-seed", "7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faults()
+	if cfg.Rates.Error5xx != 0.25 || cfg.Rates.Slow != 0.5 {
+		t.Fatalf("parsed rates = %+v", cfg.Rates)
+	}
+	if cfg.Seed != 7 || cfg.SlowBy != 40*time.Millisecond {
+		t.Fatalf("seed/slowBy = %d/%v", cfg.Seed, cfg.SlowBy)
+	}
+	inj := cfg.Injector(obs.Discard)
+	if inj == nil {
+		t.Fatal("non-zero rates produced a nil injector")
+	}
+	if inj.SlowBy != 40*time.Millisecond {
+		t.Fatalf("injector SlowBy = %v, want 40ms", inj.SlowBy)
+	}
+	if (FaultConfig{}).Injector(obs.Discard) != nil {
+		t.Fatal("zero rates produced an injector, want nil")
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"stir/internal/geo"
 	"stir/internal/obs"
+	"stir/internal/overload"
 	"stir/internal/resilience"
 )
 
@@ -161,6 +162,7 @@ func (c *Client) fetch(ctx context.Context, p geo.Point) (Location, error) {
 		if err != nil {
 			return resilience.MarkPermanent(err)
 		}
+		overload.SetDeadlineHeader(req)
 		resp, err := c.HTTP.Do(req)
 		if err != nil {
 			return fmt.Errorf("geocode client: %w", err)
@@ -208,7 +210,20 @@ func (c *Client) faultFrom(resp *http.Response, _ []byte, reg *obs.Registry) err
 		return &throttled{wait: wait}
 	}
 	if resp.StatusCode >= http.StatusInternalServerError {
-		return &resilience.StatusError{Status: resp.StatusCode}
+		// Carry a Retry-After when the server sent one: a 503 shed with a
+		// hint is cooperative backpressure (resilience.IsThrottle), which
+		// backs off without feeding the breaker.
+		var wait time.Duration
+		if raw := resp.Header.Get("Retry-After"); raw != "" {
+			if secs, err := strconv.Atoi(raw); err == nil && secs > 0 {
+				wait = time.Duration(secs) * time.Second
+				if maxB := c.MaxBackoff; maxB > 0 && wait > maxB {
+					wait = maxB
+				}
+				reg.Counter("geocode_client_throttled_total").Inc()
+			}
+		}
+		return &resilience.StatusError{Status: resp.StatusCode, Wait: wait}
 	}
 	return nil
 }
@@ -385,6 +400,7 @@ func (c *Client) postBatch(ctx context.Context, body string) (*ResultSet, error)
 		if err != nil {
 			return resilience.MarkPermanent(err)
 		}
+		overload.SetDeadlineHeader(req)
 		resp, err := c.HTTP.Do(req)
 		if err != nil {
 			return fmt.Errorf("geocode client: batch: %w", err)

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -110,12 +111,50 @@ func Handler(reg *Registry) http.Handler {
 var processStart = time.Now()
 
 // HealthzHandler serves a liveness endpoint: 200 with a small JSON body
-// naming the service and its uptime.
+// naming the service and its uptime. Liveness means "the process is up and
+// serving" — it stays 200 through a graceful drain, because a draining
+// process is alive (killing it early is exactly what drain avoids).
+// Readiness, which does flip during drain, is ReadyzHandler's job.
 func HealthzHandler(service string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]any{
 			"status":         "ok",
+			"service":        service,
+			"uptime_seconds": time.Since(processStart).Seconds(),
+		})
+	})
+}
+
+// Readiness is the shared ready/draining flag a daemon's lifecycle flips and
+// its /readyz endpoint reports. The zero value is ready; a nil *Readiness is
+// always ready (zero-config callers never gate).
+type Readiness struct{ draining atomic.Bool }
+
+// SetReady flips the flag: SetReady(false) marks the daemon draining so load
+// balancers stop routing new work to it.
+func (r *Readiness) SetReady(ok bool) {
+	if r != nil {
+		r.draining.Store(!ok)
+	}
+}
+
+// Ready reports whether new traffic should be admitted.
+func (r *Readiness) Ready() bool { return r == nil || !r.draining.Load() }
+
+// ReadyzHandler serves a readiness endpoint distinct from liveness: 200
+// while ready accepts new work, 503 once the daemon is draining — while
+// /healthz keeps answering 200 until the process actually exits.
+func ReadyzHandler(service string, ready *Readiness) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		status, state := http.StatusOK, "ready"
+		if !ready.Ready() {
+			status, state = http.StatusServiceUnavailable, "draining"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":         state,
 			"service":        service,
 			"uptime_seconds": time.Since(processStart).Seconds(),
 		})

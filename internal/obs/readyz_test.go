@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestReadinessZeroAndNil(t *testing.T) {
+	var zero Readiness
+	if !zero.Ready() {
+		t.Fatal("zero-value Readiness should be ready")
+	}
+	var nilReady *Readiness
+	if !nilReady.Ready() {
+		t.Fatal("nil Readiness should be ready")
+	}
+	nilReady.SetReady(false) // must not panic
+	if !nilReady.Ready() {
+		t.Fatal("nil Readiness should stay ready")
+	}
+}
+
+// TestReadyzDrainTransition pins the liveness/readiness split the graceful
+// lifecycle depends on: when a daemon starts draining, /readyz flips to 503
+// so load balancers stop routing to it, while /healthz keeps answering 200
+// because the process is alive and finishing in-flight work — restarting it
+// mid-drain would defeat the drain.
+func TestReadyzDrainTransition(t *testing.T) {
+	ready := &Readiness{}
+	readyz := ReadyzHandler("stird", ready)
+	healthz := HealthzHandler("stird")
+
+	get := func(h http.Handler) (int, map[string]any) {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+		var body map[string]any
+		if err := json.NewDecoder(rr.Body).Decode(&body); err != nil {
+			t.Fatalf("decode body: %v", err)
+		}
+		return rr.Code, body
+	}
+
+	// Serving normally: both endpoints healthy.
+	if code, body := get(readyz); code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("readyz while ready = %d %v, want 200 ready", code, body)
+	}
+	if code, _ := get(healthz); code != http.StatusOK {
+		t.Fatalf("healthz while ready = %d, want 200", code)
+	}
+
+	// Drain begins: readiness flips, liveness does not.
+	ready.SetReady(false)
+	code, body := get(readyz)
+	if code != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Fatalf("readyz while draining = %d %v, want 503 draining", code, body)
+	}
+	if body["service"] != "stird" {
+		t.Fatalf("readyz service = %v, want stird", body["service"])
+	}
+	if code, body := get(healthz); code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz while draining = %d %v, want 200 ok", code, body)
+	}
+
+	// A cancelled drain (e.g. test harness re-arming) restores readiness.
+	ready.SetReady(true)
+	if code, _ := get(readyz); code != http.StatusOK {
+		t.Fatalf("readyz after re-arm = %d, want 200", code)
+	}
+}

@@ -1,0 +1,45 @@
+package overload
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DeadlineHeader carries the caller's remaining budget, in whole
+// milliseconds, measured when the request left the client. Servers treat it
+// as a relative deadline — no clock synchronisation is assumed — and reject
+// requests whose budget cannot cover even admission, so doomed work is never
+// executed. Zero means "already expired"; an absent or malformed header
+// means "no deadline".
+const DeadlineHeader = "X-Stir-Deadline-Ms"
+
+// SetDeadlineHeader stamps req with the remaining budget of its context.
+// Without a context deadline it leaves the request untouched. The twitter
+// and geocode clients call this on every outbound request, which is what
+// lets a server drop work the caller has already given up on.
+func SetDeadlineHeader(req *http.Request) {
+	dl, ok := req.Context().Deadline()
+	if !ok {
+		return
+	}
+	ms := time.Until(dl).Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	req.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+}
+
+// DeadlineFrom parses the propagated deadline off an inbound request,
+// returning the remaining budget and whether one was advertised.
+func DeadlineFrom(r *http.Request) (time.Duration, bool) {
+	raw := r.Header.Get(DeadlineHeader)
+	if raw == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms < 0 {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}

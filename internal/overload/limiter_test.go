@@ -1,0 +1,339 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"stir/internal/obs"
+)
+
+// fakeClock is a hand-advanced time source for deterministic AIMD tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestLimiterFixedCapAdmitsUpToLimit(t *testing.T) {
+	l := NewLimiter(LimiterOptions{
+		Service:     "test",
+		MaxInflight: 2,
+		QueueDepth:  -1, // no queue: the third acquire must shed immediately
+		Metrics:     obs.Discard,
+	})
+	a1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	a2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	_, err = l.Acquire(context.Background())
+	var se *ShedError
+	if !errors.As(err, &se) || se.Reason != ShedQueueFull {
+		t.Fatalf("third acquire: got %v, want ShedError(queue_full)", err)
+	}
+	a1.Release()
+	a3, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	a2.Release()
+	a3.Release()
+	if got := l.Inflight(); got != 0 {
+		t.Fatalf("inflight after releases = %d, want 0", got)
+	}
+}
+
+func TestLimiterQueuePromotesFIFO(t *testing.T) {
+	l := NewLimiter(LimiterOptions{
+		Service:      "test",
+		MaxInflight:  1,
+		QueueDepth:   4,
+		MaxQueueWait: 5 * time.Second,
+		Metrics:      obs.Discard,
+	})
+	a, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	start := make(chan struct{}, 2)
+	for i := 1; i <= 2; i++ {
+		// Enqueue strictly in order: wait for waiter i to be queued before
+		// launching waiter i+1, so FIFO promotion is observable.
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start <- struct{}{}
+			adm, err := l.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("queued acquire %d: %v", i, err)
+				return
+			}
+			order <- i
+			adm.Release()
+		}(i)
+		<-start
+		waitFor(t, func() bool { return l.QueueLen() == i })
+	}
+
+	a.Release()
+	wg.Wait()
+	if first, second := <-order, <-order; first != 1 || second != 2 {
+		t.Fatalf("admission order = %d,%d, want 1,2", first, second)
+	}
+}
+
+func TestLimiterQueueFullSheds(t *testing.T) {
+	l := NewLimiter(LimiterOptions{
+		Service:      "test",
+		MaxInflight:  1,
+		QueueDepth:   1,
+		MaxQueueWait: 5 * time.Second,
+		Metrics:      obs.Discard,
+	})
+	a, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer a.Release()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		adm, err := l.Acquire(context.Background())
+		if err == nil {
+			adm.Release()
+		}
+	}()
+	waitFor(t, func() bool { return l.QueueLen() == 1 })
+
+	_, err = l.Acquire(context.Background())
+	var se *ShedError
+	if !errors.As(err, &se) || se.Reason != ShedQueueFull {
+		t.Fatalf("overflow acquire: got %v, want ShedError(queue_full)", err)
+	}
+	a.Release()
+	<-done
+}
+
+func TestLimiterQueueTimeoutSheds(t *testing.T) {
+	l := NewLimiter(LimiterOptions{
+		Service:      "test",
+		MaxInflight:  1,
+		QueueDepth:   4,
+		MaxQueueWait: 10 * time.Millisecond,
+		Metrics:      obs.Discard,
+	})
+	a, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer a.Release()
+
+	_, err = l.Acquire(context.Background())
+	var se *ShedError
+	if !errors.As(err, &se) || se.Reason != ShedQueueTimeout {
+		t.Fatalf("queued acquire: got %v, want ShedError(queue_timeout)", err)
+	}
+	if got := l.QueueLen(); got != 0 {
+		t.Fatalf("queue length after timeout = %d, want 0", got)
+	}
+}
+
+func TestLimiterDeadlineAndCancelWhileQueued(t *testing.T) {
+	l := NewLimiter(LimiterOptions{
+		Service:      "test",
+		MaxInflight:  1,
+		QueueDepth:   4,
+		MaxQueueWait: 5 * time.Second,
+		Metrics:      obs.Discard,
+	})
+	a, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer a.Release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err = l.Acquire(ctx)
+	var se *ShedError
+	if !errors.As(err, &se) || se.Reason != ShedDeadline {
+		t.Fatalf("deadline acquire: got %v, want ShedError(deadline)", err)
+	}
+
+	cctx, ccancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(cctx)
+		errc <- err
+	}()
+	waitFor(t, func() bool { return l.QueueLen() == 1 })
+	ccancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire: got %v, want context.Canceled", err)
+	}
+}
+
+func TestLimiterAIMDAdapts(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterOptions{
+		Service:       "test",
+		MaxInflight:   8,
+		MinInflight:   1,
+		QueueDepth:    4,
+		TargetLatency: 10 * time.Millisecond,
+		Window:        50 * time.Millisecond,
+		Backoff:       0.5,
+		Metrics:       obs.Discard,
+		Now:           clock.Now,
+	})
+	if got := l.Limit(); got != 8 {
+		t.Fatalf("initial limit = %v, want 8", got)
+	}
+
+	// One slow request spanning a whole window: mean latency 100ms > 10ms
+	// target, so the limit halves.
+	a, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	clock.Advance(100 * time.Millisecond)
+	a.Release()
+	if got := l.Limit(); got != 4 {
+		t.Fatalf("limit after slow window = %v, want 4", got)
+	}
+
+	// Fast requests recover the limit additively, one per window: idle past
+	// the window boundary, then serve quickly so the mean stays under target.
+	for want := 5.0; want <= 8; want++ {
+		clock.Advance(50 * time.Millisecond)
+		a, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire: %v", err)
+		}
+		clock.Advance(time.Millisecond)
+		a.Release()
+		if got := l.Limit(); got != want {
+			t.Fatalf("limit after fast window = %v, want %v", got, want)
+		}
+	}
+
+	// The limit never exceeds MaxInflight.
+	clock.Advance(50 * time.Millisecond)
+	a, err = l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	clock.Advance(time.Millisecond)
+	a.Release()
+	if got := l.Limit(); got != 8 {
+		t.Fatalf("limit capped = %v, want 8", got)
+	}
+}
+
+func TestLimiterAIMDFloorsAtMinInflight(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterOptions{
+		Service:       "test",
+		MaxInflight:   4,
+		MinInflight:   2,
+		QueueDepth:    4,
+		TargetLatency: time.Millisecond,
+		Window:        10 * time.Millisecond,
+		Backoff:       0.1,
+		Metrics:       obs.Discard,
+		Now:           clock.Now,
+	})
+	for i := 0; i < 5; i++ {
+		a, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		clock.Advance(20 * time.Millisecond)
+		a.Release()
+	}
+	if got := l.Limit(); got != 2 {
+		t.Fatalf("limit = %v, want floor 2", got)
+	}
+}
+
+func TestLimiterNilAndDoubleRelease(t *testing.T) {
+	var l *Limiter
+	adm, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("nil limiter acquire: %v", err)
+	}
+	adm.Release() // nil admission: must not panic
+	if got := l.Limit(); got != 0 {
+		t.Fatalf("nil limiter limit = %v, want 0", got)
+	}
+
+	real := NewLimiter(LimiterOptions{Service: "test", MaxInflight: 1, Metrics: obs.Discard})
+	a, err := real.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	a.Release()
+	a.Release() // second release is a no-op, not a double-free
+	if got := real.Inflight(); got != 0 {
+		t.Fatalf("inflight after double release = %d, want 0", got)
+	}
+}
+
+func TestLimiterGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := NewLimiter(LimiterOptions{Service: "gauged", MaxInflight: 3, Metrics: reg})
+	a, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	snap := reg.Snapshot()
+	if m, ok := snap.Get("stir_overload_limit", "service", "gauged"); !ok || m.Value != 3 {
+		t.Fatalf("stir_overload_limit = %+v ok=%v, want 3", m, ok)
+	}
+	if m, ok := snap.Get("stir_overload_inflight", "service", "gauged"); !ok || m.Value != 1 {
+		t.Fatalf("stir_overload_inflight = %+v ok=%v, want 1", m, ok)
+	}
+	if m, ok := snap.Get("stir_overload_queue_depth", "service", "gauged"); !ok || m.Value != 0 {
+		t.Fatalf("stir_overload_queue_depth = %+v ok=%v, want 0", m, ok)
+	}
+	a.Release()
+}
+
+// waitFor polls cond for up to 2s, failing the test on timeout. The limiter
+// queues asynchronously, so tests synchronise on observable state.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not met within 2s")
+}

@@ -1,0 +1,131 @@
+package overload
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"stir/internal/obs"
+)
+
+// Priority is a request's admission class.
+type Priority int
+
+const (
+	// PriorityBulk requests go through admission control and may be shed.
+	PriorityBulk Priority = iota
+	// PriorityCritical requests bypass the limiter entirely: health and
+	// readiness probes, metrics scrapes, and drain/checkpoint traffic must
+	// keep answering precisely when the daemon is at its worst.
+	PriorityCritical
+)
+
+// DefaultPriority classifies the operational endpoints every STIR daemon
+// mounts as critical and everything else as bulk.
+func DefaultPriority(r *http.Request) Priority {
+	switch r.URL.Path {
+	case "/healthz", "/readyz", "/metrics":
+		return PriorityCritical
+	}
+	return PriorityBulk
+}
+
+// ShedStatus is the status code shed responses carry. 503 (not 429) because
+// the *server* is the bottleneck, not the caller's budget; the resilience
+// layer classifies it transient either way and honours the Retry-After.
+const ShedStatus = http.StatusServiceUnavailable
+
+// MiddlewareOptions configures the admission middleware.
+type MiddlewareOptions struct {
+	// Service labels the shed counter series.
+	Service string
+	// Limiter is the admission controller (nil admits everything — the
+	// middleware then only propagates deadlines).
+	Limiter *Limiter
+	// Priority classifies requests (nil = DefaultPriority).
+	Priority func(*http.Request) Priority
+	// MinService is the smallest propagated budget worth admitting: a
+	// request advertising less is rejected at the door (default 1ms).
+	MinService time.Duration
+	// RetryAfter is the backoff hint stamped on shed responses (default 1s;
+	// Retry-After has whole-second granularity, so sub-second hints round up
+	// to 1).
+	RetryAfter time.Duration
+	// Metrics receives stir_overload_shed_total and friends (nil means
+	// obs.Default; obs.Discard disables).
+	Metrics *obs.Registry
+}
+
+// Middleware wraps next with admission control:
+//
+//  1. critical requests (DefaultPriority: /healthz, /readyz, /metrics) are
+//     served immediately, never queued, never shed;
+//  2. a propagated X-Stir-Deadline-Ms is parsed; an already-doomed request
+//     is shed at admission (reason "deadline") and the remaining budget is
+//     attached to the request context so handlers time out with the caller;
+//  3. the limiter admits, queues or sheds (reasons "queue_full",
+//     "queue_timeout", "deadline"); sheds answer ShedStatus with a
+//     Retry-After hint and count in stir_overload_shed_total{reason}.
+func Middleware(opts MiddlewareOptions, next http.Handler) http.Handler {
+	reg := obs.Or(opts.Metrics)
+	priority := opts.Priority
+	if priority == nil {
+		priority = DefaultPriority
+	}
+	minService := opts.MinService
+	if minService <= 0 {
+		minService = time.Millisecond
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if priority(r) == PriorityCritical {
+			next.ServeHTTP(w, r)
+			return
+		}
+		reg.Counter("stir_overload_admitted_total", "service", opts.Service, "outcome", "offered").Inc()
+		ctx := r.Context()
+		if budget, ok := DeadlineFrom(r); ok {
+			if budget < minService {
+				shed(w, reg, opts, ShedDeadline)
+				return
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, budget)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		adm, err := opts.Limiter.Acquire(ctx)
+		if err != nil {
+			var se *ShedError
+			if errors.As(err, &se) {
+				shed(w, reg, opts, se.Reason)
+				return
+			}
+			// The caller hung up while we queued; nobody reads the response.
+			reg.Counter("stir_overload_abandoned_total", "service", opts.Service).Inc()
+			return
+		}
+		defer adm.Release()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// shed writes the overload rejection: ShedStatus, a Retry-After hint, and a
+// small JSON body naming the reason, counted in stir_overload_shed_total.
+func shed(w http.ResponseWriter, reg *obs.Registry, opts MiddlewareOptions, reason string) {
+	reg.Counter("stir_overload_shed_total", "service", opts.Service, "reason", reason).Inc()
+	hint := opts.RetryAfter
+	if hint <= 0 {
+		hint = time.Second
+	}
+	secs := int((hint + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(ShedStatus)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": "overloaded", "reason": reason})
+}

@@ -1,0 +1,201 @@
+package overload
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"stir/internal/obs"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func TestMiddlewareCriticalBypassesSaturatedLimiter(t *testing.T) {
+	l := NewLimiter(LimiterOptions{
+		Service:     "test",
+		MaxInflight: 1,
+		QueueDepth:  -1,
+		Metrics:     obs.Discard,
+	})
+	// Saturate the limiter out-of-band: bulk traffic would now shed.
+	adm, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer adm.Release()
+
+	h := Middleware(MiddlewareOptions{Service: "test", Limiter: l, Metrics: obs.Discard}, okHandler())
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("%s under saturation: status %d, want 200", path, rr.Code)
+		}
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/query", nil))
+	if rr.Code != ShedStatus {
+		t.Fatalf("bulk under saturation: status %d, want %d", rr.Code, ShedStatus)
+	}
+}
+
+func TestMiddlewareShedResponseShape(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := NewLimiter(LimiterOptions{
+		Service:     "shape",
+		MaxInflight: 1,
+		QueueDepth:  -1,
+		Metrics:     reg,
+	})
+	adm, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer adm.Release()
+
+	h := Middleware(MiddlewareOptions{
+		Service:    "shape",
+		Limiter:    l,
+		RetryAfter: 1500 * time.Millisecond,
+		Metrics:    reg,
+	}, okHandler())
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/query", nil))
+
+	if rr.Code != ShedStatus {
+		t.Fatalf("status = %d, want %d", rr.Code, ShedStatus)
+	}
+	secs, err := strconv.Atoi(rr.Header().Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want whole seconds >= 1", rr.Header().Get("Retry-After"))
+	}
+	if secs != 2 {
+		t.Fatalf("Retry-After = %d, want 1.5s rounded up to 2", secs)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(rr.Body).Decode(&body); err != nil {
+		t.Fatalf("decode shed body: %v", err)
+	}
+	if body["error"] != "overloaded" || body["reason"] != ShedQueueFull {
+		t.Fatalf("shed body = %v, want error=overloaded reason=%s", body, ShedQueueFull)
+	}
+	m, ok := reg.Snapshot().Get("stir_overload_shed_total", "service", "shape", "reason", ShedQueueFull)
+	if !ok || m.Value != 1 {
+		t.Fatalf("stir_overload_shed_total{queue_full} = %+v ok=%v, want 1", m, ok)
+	}
+}
+
+func TestMiddlewareRejectsDoomedDeadline(t *testing.T) {
+	reg := obs.NewRegistry()
+	called := false
+	h := Middleware(MiddlewareOptions{Service: "dl", Metrics: reg},
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { called = true }))
+
+	req := httptest.NewRequest("GET", "/v1/query", nil)
+	req.Header.Set(DeadlineHeader, "0")
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+
+	if called {
+		t.Fatal("handler ran for a request whose budget had already expired")
+	}
+	if rr.Code != ShedStatus {
+		t.Fatalf("status = %d, want %d", rr.Code, ShedStatus)
+	}
+	m, ok := reg.Snapshot().Get("stir_overload_shed_total", "service", "dl", "reason", ShedDeadline)
+	if !ok || m.Value != 1 {
+		t.Fatalf("stir_overload_shed_total{deadline} = %+v ok=%v, want 1", m, ok)
+	}
+}
+
+func TestMiddlewarePropagatesDeadlineToHandler(t *testing.T) {
+	var gotDeadline bool
+	var budget time.Duration
+	h := Middleware(MiddlewareOptions{Service: "dl", Metrics: obs.Discard},
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if dl, ok := r.Context().Deadline(); ok {
+				gotDeadline = true
+				budget = time.Until(dl)
+			}
+		}))
+
+	req := httptest.NewRequest("GET", "/v1/query", nil)
+	req.Header.Set(DeadlineHeader, "250")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	if !gotDeadline {
+		t.Fatal("handler context carried no deadline despite propagated header")
+	}
+	if budget <= 0 || budget > 250*time.Millisecond {
+		t.Fatalf("handler budget = %v, want within (0, 250ms]", budget)
+	}
+}
+
+func TestMiddlewareNilLimiterStillPropagates(t *testing.T) {
+	// With no limiter the middleware is deadline propagation only: nothing
+	// sheds, but doomed requests are still rejected.
+	h := Middleware(MiddlewareOptions{Service: "free", Metrics: obs.Discard}, okHandler())
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/query", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rr.Code)
+	}
+}
+
+func TestSetDeadlineHeaderRoundTrip(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest("GET", "/v1/query", nil).WithContext(ctx)
+	SetDeadlineHeader(req)
+
+	budget, ok := DeadlineFrom(req)
+	if !ok {
+		t.Fatal("DeadlineFrom found no header after SetDeadlineHeader")
+	}
+	if budget <= 0 || budget > 500*time.Millisecond {
+		t.Fatalf("round-tripped budget = %v, want within (0, 500ms]", budget)
+	}
+}
+
+func TestSetDeadlineHeaderNoDeadline(t *testing.T) {
+	req := httptest.NewRequest("GET", "/v1/query", nil)
+	SetDeadlineHeader(req)
+	if req.Header.Get(DeadlineHeader) != "" {
+		t.Fatal("header stamped without a context deadline")
+	}
+	if _, ok := DeadlineFrom(req); ok {
+		t.Fatal("DeadlineFrom reported a deadline on a bare request")
+	}
+}
+
+func TestDeadlineFromMalformed(t *testing.T) {
+	for _, raw := range []string{"abc", "-5", "1.5"} {
+		req := httptest.NewRequest("GET", "/v1/query", nil)
+		req.Header.Set(DeadlineHeader, raw)
+		if _, ok := DeadlineFrom(req); ok {
+			t.Fatalf("DeadlineFrom(%q) parsed, want rejected", raw)
+		}
+	}
+}
+
+func TestSetDeadlineHeaderExpiredClampsToZero(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	req := httptest.NewRequest("GET", "/v1/query", nil).WithContext(ctx)
+	SetDeadlineHeader(req)
+	if got := req.Header.Get(DeadlineHeader); got != "0" {
+		t.Fatalf("expired deadline header = %q, want \"0\"", got)
+	}
+	budget, ok := DeadlineFrom(req)
+	if !ok || budget != 0 {
+		t.Fatalf("DeadlineFrom = %v,%v, want 0,true", budget, ok)
+	}
+}

@@ -1,0 +1,224 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"stir/internal/obs"
+)
+
+// Server lifecycle defaults.
+const (
+	DefaultDrainTimeout      = 10 * time.Second
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultIdleTimeout       = 2 * time.Minute
+)
+
+// ServerOptions configures the shared daemon lifecycle.
+type ServerOptions struct {
+	// Service names the daemon in logs and metrics.
+	Service string
+	// Addr is the listen address (":8030", "127.0.0.1:0", ...).
+	Addr string
+	// Handler is the full serving surface, normally a Middleware-wrapped mux.
+	Handler http.Handler
+	// DrainTimeout bounds how long Shutdown waits for in-flight requests
+	// before force-closing their connections (default 10s).
+	DrainTimeout time.Duration
+	// ReadHeaderTimeout guards against slow-loris header dribble (default 5s).
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading one full request (0 = none; request bodies
+	// here are tiny, ReadHeaderTimeout is the real defence).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response. Default 0 — twitterd's
+	// statuses/sample stream is legitimately unbounded; request/response
+	// daemons like geocoded should set it.
+	WriteTimeout time.Duration
+	// IdleTimeout reaps idle keep-alive connections (default 2m).
+	IdleTimeout time.Duration
+	// Ready is flipped unready when draining begins, so /readyz answers 503
+	// while in-flight work completes (created when nil; see Ready()).
+	Ready *obs.Readiness
+	// OnDrained runs after the listener is closed and in-flight requests
+	// have finished (or hit the drain deadline): the final-checkpoint /
+	// sync hook. Its error is returned from Run/ListenAndServe.
+	OnDrained func(context.Context) error
+	// Signals are the shutdown triggers ListenAndServe installs
+	// (default SIGINT + SIGTERM).
+	Signals []os.Signal
+	// Metrics receives lifecycle series (nil means obs.Default).
+	Metrics *obs.Registry
+	// Logf reports lifecycle transitions (default log.Printf; set to a
+	// no-op func to silence).
+	Logf func(format string, args ...any)
+}
+
+// Server runs one STIR daemon's HTTP surface with hardened timeouts and a
+// graceful drain: a shutdown signal flips readiness, stops the listener,
+// lets in-flight requests finish under DrainTimeout, force-closes
+// stragglers, runs the OnDrained hook, and returns nil — so mains exit 0
+// and no admitted request is ever dropped without a response.
+type Server struct {
+	opts  ServerOptions
+	reg   *obs.Registry
+	srv   *http.Server
+	ready *obs.Readiness
+
+	mu       sync.Mutex
+	ln       net.Listener
+	serveErr chan error
+	started  bool
+	shutOnce sync.Once
+	shutErr  error
+}
+
+// NewServer builds the lifecycle around opts, filling defaults.
+func NewServer(opts ServerOptions) *Server {
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = DefaultDrainTimeout
+	}
+	if opts.ReadHeaderTimeout <= 0 {
+		opts.ReadHeaderTimeout = DefaultReadHeaderTimeout
+	}
+	if opts.IdleTimeout <= 0 {
+		opts.IdleTimeout = DefaultIdleTimeout
+	}
+	if opts.Ready == nil {
+		opts.Ready = &obs.Readiness{}
+	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	if len(opts.Signals) == 0 {
+		opts.Signals = []os.Signal{os.Interrupt, syscall.SIGTERM}
+	}
+	s := &Server{
+		opts:     opts,
+		reg:      obs.Or(opts.Metrics),
+		ready:    opts.Ready,
+		serveErr: make(chan error, 1),
+	}
+	s.srv = &http.Server{
+		Handler:           opts.Handler,
+		ReadHeaderTimeout: opts.ReadHeaderTimeout,
+		ReadTimeout:       opts.ReadTimeout,
+		WriteTimeout:      opts.WriteTimeout,
+		IdleTimeout:       opts.IdleTimeout,
+	}
+	s.reg.GaugeFunc("stir_daemon_ready", func() float64 {
+		if s.ready.Ready() {
+			return 1
+		}
+		return 0
+	}, "service", opts.Service)
+	return s
+}
+
+// Ready exposes the server's readiness flag for /readyz wiring.
+func (s *Server) Ready() *obs.Readiness { return s.ready }
+
+// Start binds the listener and serves in the background. It returns once
+// the address is bound, so callers can read Addr() immediately.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("overload: server already started")
+	}
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.started = true
+	go func() {
+		err := s.srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		s.serveErr <- err
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown drains the server once: readiness flips unhealthy, the listener
+// closes, in-flight requests get until ctx (callers usually pass a
+// DrainTimeout-bounded context) before stragglers are force-closed, and the
+// OnDrained hook runs. Subsequent calls return the first call's result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() {
+		start := time.Now()
+		s.ready.SetReady(false)
+		s.opts.Logf("%s: draining (readyz now unhealthy)", s.opts.Service)
+		err := s.srv.Shutdown(ctx)
+		if err != nil {
+			// Deadline hit with requests still in flight: force-close them.
+			s.srv.Close()
+			s.reg.Counter("stir_daemon_drain_forced_total", "service", s.opts.Service).Inc()
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				err = nil
+			}
+		}
+		if s.opts.OnDrained != nil {
+			if herr := s.opts.OnDrained(ctx); herr != nil && err == nil {
+				err = herr
+			}
+		}
+		s.reg.Histogram("stir_daemon_drain_seconds", obs.DefBuckets, "service", s.opts.Service).
+			ObserveDuration(time.Since(start))
+		s.opts.Logf("%s: drained in %s", s.opts.Service, time.Since(start).Round(time.Millisecond))
+		s.shutErr = err
+	})
+	return s.shutErr
+}
+
+// Run starts the server (unless already started) and blocks until ctx is
+// cancelled or the listener fails, then drains under DrainTimeout. A
+// cancelled ctx is the normal shutdown path and returns the drain result,
+// not ctx.Err().
+func (s *Server) Run(ctx context.Context) error {
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		if err := s.Start(); err != nil {
+			return err
+		}
+	}
+	select {
+	case err := <-s.serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
+	defer cancel()
+	err := s.Shutdown(dctx)
+	<-s.serveErr // serve goroutine has exited (ErrServerClosed folded to nil)
+	return err
+}
+
+// ListenAndServe runs the full daemon lifecycle: serve until one of
+// opts.Signals arrives, then drain gracefully and return nil so main exits 0.
+func (s *Server) ListenAndServe() error {
+	ctx, stop := signal.NotifyContext(context.Background(), s.opts.Signals...)
+	defer stop()
+	return s.Run(ctx)
+}

@@ -1,0 +1,136 @@
+package ratelimit
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestKeyedIndependentBudgets(t *testing.T) {
+	kl := NewKeyed(2, time.Minute)
+	now := t0
+	kl.SetClock(func() time.Time { return now })
+
+	// Client a exhausts its budget; client b is untouched.
+	for i := 0; i < 2; i++ {
+		if _, ok := kl.Allow("token:a"); !ok {
+			t.Fatalf("a request %d denied", i)
+		}
+	}
+	if _, ok := kl.Allow("token:a"); ok {
+		t.Fatal("a's third request should be limited")
+	}
+	st, ok := kl.Allow("token:b")
+	if !ok {
+		t.Fatal("b denied despite a fresh budget")
+	}
+	if st.Limit != 2 || st.Remaining != 1 {
+		t.Fatalf("b status = %+v, want Limit 2 Remaining 1", st)
+	}
+
+	// a's window resets on schedule.
+	now = now.Add(2 * time.Minute)
+	if _, ok := kl.Allow("token:a"); !ok {
+		t.Fatal("a denied after window reset")
+	}
+}
+
+func TestKeyedDisabled(t *testing.T) {
+	kl := NewKeyed(0, time.Minute)
+	for i := 0; i < 100; i++ {
+		if _, ok := kl.Allow("token:a"); !ok {
+			t.Fatal("disabled keyed limiter denied a request")
+		}
+	}
+	if kl.Keys() != 0 {
+		t.Fatalf("disabled limiter tracked %d keys, want 0", kl.Keys())
+	}
+}
+
+func TestKeyedStatusDrivesHeaders(t *testing.T) {
+	kl := NewKeyed(5, time.Minute)
+	now := t0
+	kl.SetClock(func() time.Time { return now })
+	st, ok := kl.Allow("token:a")
+	if !ok {
+		t.Fatal("denied")
+	}
+	h := make(http.Header)
+	st.SetHeaders(h)
+	if got := h.Get("X-RateLimit-Remaining"); got != "4" {
+		t.Fatalf("X-RateLimit-Remaining = %q, want 4", got)
+	}
+	if h.Get("X-RateLimit-Limit") != "5" {
+		t.Fatalf("X-RateLimit-Limit = %q, want 5", h.Get("X-RateLimit-Limit"))
+	}
+}
+
+func TestKeyedEviction(t *testing.T) {
+	kl := NewKeyed(1, time.Minute)
+	kl.SetMaxKeys(3)
+	now := t0
+	kl.SetClock(func() time.Time { return now })
+
+	kl.Allow("a")
+	kl.Allow("b")
+	kl.Allow("c")
+	if kl.Keys() != 3 {
+		t.Fatalf("keys = %d, want 3", kl.Keys())
+	}
+
+	// All three windows are live, so a fourth key evicts exactly one (the
+	// earliest-expiring) rather than growing past the bound.
+	kl.Allow("d")
+	if kl.Keys() != 3 {
+		t.Fatalf("keys after live eviction = %d, want 3", kl.Keys())
+	}
+
+	// Once the windows expire, a new key sweeps them all.
+	now = now.Add(2 * time.Minute)
+	kl.Allow("e")
+	if got := kl.Keys(); got != 1 {
+		t.Fatalf("keys after expiry sweep = %d, want 1", got)
+	}
+}
+
+func TestKeyedEvictionDoesNotResetSurvivors(t *testing.T) {
+	kl := NewKeyed(1, time.Minute)
+	kl.SetMaxKeys(2)
+	now := t0
+	kl.SetClock(func() time.Time { return now })
+
+	kl.Allow("a")
+	now = now.Add(time.Second)
+	kl.Allow("b") // b expires after a
+	kl.Allow("c") // table full: evicts a (earliest resetAt)
+
+	// b's exhausted budget must have survived the eviction.
+	if _, ok := kl.Allow("b"); ok {
+		t.Fatal("b's window was reset by an unrelated eviction")
+	}
+}
+
+func TestClientKey(t *testing.T) {
+	r := httptest.NewRequest("GET", "/1/statuses/sample.json", nil)
+	r.RemoteAddr = "203.0.113.9:4512"
+	if got := ClientKey(r); got != "ip:203.0.113.9" {
+		t.Fatalf("ip key = %q", got)
+	}
+
+	r.Header.Set("Authorization", "Bearer crawler-7")
+	if got := ClientKey(r); got != "token:crawler-7" {
+		t.Fatalf("token key = %q", got)
+	}
+
+	// Non-bearer auth falls back to IP; so does a bare (portless) address.
+	r.Header.Set("Authorization", "Basic dXNlcjpwYXNz")
+	if got := ClientKey(r); got != "ip:203.0.113.9" {
+		t.Fatalf("basic-auth key = %q", got)
+	}
+	r.Header.Del("Authorization")
+	r.RemoteAddr = "203.0.113.9"
+	if got := ClientKey(r); got != "ip:203.0.113.9" {
+		t.Fatalf("portless key = %q", got)
+	}
+}

@@ -1,11 +1,16 @@
 // Package ratelimit provides the fixed-window request budget used by the
 // simulated Twitter API and the reverse-geocoding service: N requests per
 // window, with the window reset time reported so clients can sleep until it.
+// KeyedLimiter layers per-client windows on top (keyed by bearer token,
+// falling back to remote IP), so one hot client cannot drain a server's
+// whole shared budget.
 package ratelimit
 
 import (
+	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -99,4 +104,136 @@ func (r *Limiter) Allow() (Status, bool) {
 	r.used++
 	st.Remaining = r.limit - r.used
 	return st, true
+}
+
+// DefaultMaxKeys bounds how many client windows a KeyedLimiter tracks.
+const DefaultMaxKeys = 4096
+
+// KeyedLimiter is a fixed-window limiter per client key: each key gets its
+// own budget of limit requests per window. Use ClientKey to derive the key
+// from a request (bearer token, else remote IP). Expired windows are swept
+// when the table fills, and the oldest window is evicted if sweeping is not
+// enough, so the table stays bounded under key churn.
+type KeyedLimiter struct {
+	mu       sync.Mutex
+	limit    int
+	window   time.Duration
+	now      func() time.Time
+	disabled bool
+	maxKeys  int
+	clients  map[string]*clientWindow
+}
+
+// clientWindow is one key's current fixed window.
+type clientWindow struct {
+	used    int
+	resetAt time.Time
+}
+
+// NewKeyed allows limit requests per window per client key. A non-positive
+// limit disables limiting.
+func NewKeyed(limit int, window time.Duration) *KeyedLimiter {
+	return &KeyedLimiter{
+		limit:    limit,
+		window:   window,
+		now:      time.Now,
+		disabled: limit <= 0,
+		maxKeys:  DefaultMaxKeys,
+		clients:  make(map[string]*clientWindow),
+	}
+}
+
+// SetClock overrides the limiter's time source for tests.
+func (k *KeyedLimiter) SetClock(now func() time.Time) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.now = now
+}
+
+// SetMaxKeys adjusts the tracked-client bound (non-positive restores the
+// default).
+func (k *KeyedLimiter) SetMaxKeys(n int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if n <= 0 {
+		n = DefaultMaxKeys
+	}
+	k.maxKeys = n
+}
+
+// Keys reports how many client windows are currently tracked.
+func (k *KeyedLimiter) Keys() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.clients)
+}
+
+// Allow consumes one request from key's window if its budget permits,
+// returning the per-client status (suitable for Status.SetHeaders) and
+// whether the request may proceed.
+func (k *KeyedLimiter) Allow(key string) (Status, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.disabled {
+		return Status{Limit: 0, Remaining: 1 << 30}, true
+	}
+	now := k.now()
+	cw, ok := k.clients[key]
+	if !ok {
+		if len(k.clients) >= k.maxKeys {
+			k.evictLocked(now)
+		}
+		cw = &clientWindow{}
+		k.clients[key] = cw
+	}
+	// Same reset-at-the-advertised-instant discipline as Limiter.Allow: a
+	// client that sleeps exactly until resetAt must be admitted.
+	if !now.Before(cw.resetAt) {
+		cw.used = 0
+		cw.resetAt = now.Add(k.window)
+	}
+	st := Status{Limit: k.limit, ResetAt: cw.resetAt}
+	if cw.used >= k.limit {
+		st.Remaining = 0
+		return st, false
+	}
+	cw.used++
+	st.Remaining = k.limit - cw.used
+	return st, true
+}
+
+// evictLocked drops every expired window; if none had expired, it evicts
+// the window closest to expiry (the least useful entry to keep).
+func (k *KeyedLimiter) evictLocked(now time.Time) {
+	oldestKey, oldest := "", time.Time{}
+	dropped := false
+	for key, cw := range k.clients {
+		if !now.Before(cw.resetAt) {
+			delete(k.clients, key)
+			dropped = true
+			continue
+		}
+		if oldestKey == "" || cw.resetAt.Before(oldest) {
+			oldestKey, oldest = key, cw.resetAt
+		}
+	}
+	if !dropped && oldestKey != "" {
+		delete(k.clients, oldestKey)
+	}
+}
+
+// ClientKey identifies the caller for per-client limiting: the bearer token
+// when the request carries one (each credential gets its own budget, however
+// many connections it opens), else the remote IP.
+func ClientKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if tok, ok := strings.CutPrefix(auth, "Bearer "); ok && strings.TrimSpace(tok) != "" {
+			return "token:" + strings.TrimSpace(tok)
+		}
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "ip:" + host
 }

@@ -20,6 +20,7 @@ import (
 	"net"
 	"net/http"
 	"syscall"
+	"time"
 )
 
 // Class is the retry-worthiness of an error.
@@ -141,7 +142,12 @@ type HTTPStatuser interface{ HTTPStatus() int }
 
 // StatusError is a bare HTTP status failure for callers with no richer
 // error type of their own (the geocode client wraps 5xx responses in it).
-type StatusError struct{ Status int }
+// Wait carries a server-advertised Retry-After when the response had one,
+// which marks the error as a cooperative shed (see IsThrottle).
+type StatusError struct {
+	Status int
+	Wait   time.Duration
+}
 
 // Error implements error.
 func (e *StatusError) Error() string {
@@ -150,6 +156,28 @@ func (e *StatusError) Error() string {
 
 // HTTPStatus implements HTTPStatuser.
 func (e *StatusError) HTTPStatus() int { return e.Status }
+
+// RetryAfter implements RetryAfterer (zero when the server gave no hint).
+func (e *StatusError) RetryAfter() time.Duration { return e.Wait }
+
+// IsThrottle reports whether err is a cooperative shed: the server is alive
+// and explicitly asking the caller to back off, either with a 429 or with a
+// Retry-After hint on any status (overload sheds answer 503 + Retry-After).
+// Throttles are retried like any transient error, but they must NOT feed the
+// circuit breaker's failure count — tripping the breaker on "please slow
+// down" would turn cooperative backpressure into an outage, and the whole
+// point of server-side admission control is that clients ride a shed out.
+func IsThrottle(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ra RetryAfterer
+	if errors.As(err, &ra) && ra.RetryAfter() > 0 {
+		return true
+	}
+	var h HTTPStatuser
+	return errors.As(err, &h) && h.HTTPStatus() == http.StatusTooManyRequests
+}
 
 // IsHTTPStatus classifies errors exposing an HTTP status: 5xx, 429 and 408
 // are transient, every other status permanent.

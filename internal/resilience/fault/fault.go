@@ -38,6 +38,7 @@ const (
 	Kind5xx     Kind = "5xx"
 	KindReset   Kind = "reset"
 	KindCorrupt Kind = "corrupt"
+	KindSlow    Kind = "slow"
 )
 
 // Rates are per-operation injection probabilities in [0,1]; their sum is
@@ -53,11 +54,15 @@ type Rates struct {
 	// Corrupt injects a garbage payload (client/server) or a permanent
 	// decode-style error (resolver/store).
 	Corrupt float64
+	// Slow injects pure latency (SlowBy) and then lets the operation
+	// succeed — the overload-chaos spike shape: the upstream is alive but
+	// degraded, which retries make worse and admission control must absorb.
+	Slow float64
 }
 
 // Any reports whether any rate is non-zero.
 func (r Rates) Any() bool {
-	return r.Timeout > 0 || r.Error5xx > 0 || r.Reset > 0 || r.Corrupt > 0
+	return r.Timeout > 0 || r.Error5xx > 0 || r.Reset > 0 || r.Corrupt > 0 || r.Slow > 0
 }
 
 // Uniform spreads a total fault rate evenly over timeout, 5xx and reset
@@ -73,6 +78,7 @@ const (
 	Env5xx     = "STIR_FAULT_5XX"
 	EnvReset   = "STIR_FAULT_RESET"
 	EnvCorrupt = "STIR_FAULT_CORRUPT"
+	EnvSlow    = "STIR_FAULT_SLOW"
 )
 
 // RatesFromEnv reads the STIR_FAULT_* rate knobs (unset or unparsable
@@ -85,7 +91,7 @@ func RatesFromEnv() Rates {
 		}
 		return v
 	}
-	return Rates{Timeout: f(EnvTimeout), Error5xx: f(Env5xx), Reset: f(EnvReset), Corrupt: f(EnvCorrupt)}
+	return Rates{Timeout: f(EnvTimeout), Error5xx: f(Env5xx), Reset: f(EnvReset), Corrupt: f(EnvCorrupt), Slow: f(EnvSlow)}
 }
 
 // SeedFromEnv reads STIR_FAULT_SEED (unset or unparsable means def).
@@ -131,6 +137,9 @@ type Injector struct {
 	// Hold is how long the server-side Handler sits on a request before
 	// failing it when injecting a timeout (default 50ms).
 	Hold time.Duration
+	// SlowBy is the latency one Slow injection adds before the operation
+	// proceeds normally (default 25ms).
+	SlowBy time.Duration
 
 	rates Rates
 	reg   *obs.Registry
@@ -146,10 +155,25 @@ func New(seed int64, rates Rates, reg *obs.Registry) *Injector {
 		seed = 1
 	}
 	return &Injector{
-		Hold:  50 * time.Millisecond,
-		rates: rates,
-		reg:   obs.Or(reg),
-		rng:   rand.New(rand.NewSource(seed)),
+		Hold:   50 * time.Millisecond,
+		SlowBy: 25 * time.Millisecond,
+		rates:  rates,
+		reg:    obs.Or(reg),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// slow sleeps the injected latency, cut short if ctx dies first.
+func (i *Injector) slow(ctx context.Context) {
+	d := i.SlowBy
+	if d <= 0 {
+		d = 25 * time.Millisecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
 	}
 }
 
@@ -169,6 +193,7 @@ func (i *Injector) roll() (Kind, bool) {
 		{Kind5xx, i.rates.Error5xx},
 		{KindReset, i.rates.Reset},
 		{KindCorrupt, i.rates.Corrupt},
+		{KindSlow, i.rates.Slow},
 	} {
 		if u < c.rate {
 			i.reg.Counter("fault_injected_total", "kind", string(c.kind)).Inc()
@@ -200,6 +225,9 @@ func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
 		return rt.next.RoundTrip(req)
 	}
 	switch k {
+	case KindSlow:
+		rt.inj.slow(req.Context())
+		return rt.next.RoundTrip(req)
 	case KindTimeout, KindReset:
 		if req.Body != nil {
 			req.Body.Close()
@@ -241,6 +269,9 @@ func (i *Injector) Handler(next http.Handler) http.Handler {
 			return
 		}
 		switch k {
+		case KindSlow:
+			i.slow(r.Context())
+			next.ServeHTTP(w, r)
 		case Kind5xx:
 			http.Error(w, "fault: injected 5xx", http.StatusServiceUnavailable)
 		case KindReset:
@@ -284,6 +315,10 @@ type resolver struct {
 // Reverse implements geocode.Resolver.
 func (r *resolver) Reverse(ctx context.Context, p geo.Point) (geocode.Location, error) {
 	if k, ok := r.inj.roll(); ok {
+		if k == KindSlow {
+			r.inj.slow(ctx)
+			return r.next.Reverse(ctx, p)
+		}
 		return geocode.Location{}, &Err{Kind: k}
 	}
 	return r.next.Reverse(ctx, p)
@@ -311,6 +346,10 @@ type store struct {
 
 func (s *store) Put(key string, val []byte) error {
 	if k, ok := s.inj.roll(); ok && k != KindCorrupt {
+		if k == KindSlow {
+			s.inj.slow(context.Background())
+			return s.next.Put(key, val)
+		}
 		return &Err{Kind: k}
 	}
 	return s.next.Put(key, val)
@@ -319,6 +358,10 @@ func (s *store) Put(key string, val []byte) error {
 func (s *store) Get(key string) ([]byte, error) {
 	k, ok := s.inj.roll()
 	if !ok {
+		return s.next.Get(key)
+	}
+	if k == KindSlow {
+		s.inj.slow(context.Background())
 		return s.next.Get(key)
 	}
 	if k == KindCorrupt {
@@ -334,6 +377,10 @@ func (s *store) Get(key string) ([]byte, error) {
 func (s *store) Has(key string) bool { return s.next.Has(key) }
 func (s *store) Delete(key string) error {
 	if k, ok := s.inj.roll(); ok && k != KindCorrupt {
+		if k == KindSlow {
+			s.inj.slow(context.Background())
+			return s.next.Delete(key)
+		}
 		return &Err{Kind: k}
 	}
 	return s.next.Delete(key)

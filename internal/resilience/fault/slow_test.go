@@ -1,0 +1,80 @@
+package fault
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"stir/internal/obs"
+)
+
+// TestSlowInjection covers the latency-only fault kind across every seam:
+// the operation must still SUCCEED (slow is degradation, not failure — the
+// shape the overload chaos test drives), just later.
+func TestSlowInjection(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(backend.Close)
+
+	inj := New(1, Rates{Slow: 1}, obs.Discard)
+	inj.SlowBy = 30 * time.Millisecond
+
+	// Client seam.
+	client := &http.Client{Transport: inj.RoundTripper(nil)}
+	start := time.Now()
+	resp, err := client.Get(backend.URL)
+	if err != nil {
+		t.Fatalf("slow round trip failed: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("slow round trip body = %q, want ok", body)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= injected 30ms", elapsed)
+	}
+
+	// Server seam.
+	sinj := New(1, Rates{Slow: 1}, obs.Discard)
+	sinj.SlowBy = 30 * time.Millisecond
+	h := sinj.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "served")
+	}))
+	start = time.Now()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusOK || rr.Body.String() != "served" {
+		t.Fatalf("slow handler = %d %q, want 200 served", rr.Code, rr.Body.String())
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("handler took %v, want >= injected 30ms", elapsed)
+	}
+}
+
+func TestSlowRespectsContext(t *testing.T) {
+	inj := New(1, Rates{Slow: 1}, obs.Discard)
+	inj.SlowBy = 10 * time.Second
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	inj.slow(ctx)
+	if elapsed := time.Since(start); elapsed >= time.Second {
+		t.Fatalf("slow ignored a dead context, slept %v", elapsed)
+	}
+}
+
+func TestSlowRateFromEnv(t *testing.T) {
+	t.Setenv(EnvSlow, "0.4")
+	if r := RatesFromEnv(); r.Slow != 0.4 {
+		t.Fatalf("Slow rate = %v, want 0.4", r.Slow)
+	}
+	if !(Rates{Slow: 0.1}).Any() {
+		t.Fatal("Rates.Any must report a slow-only schedule")
+	}
+}

@@ -116,7 +116,14 @@ func (p *Policy) Do(ctx context.Context, op func(context.Context) error) error {
 			cls = ClassTransient
 		}
 		if !denied {
-			p.Breaker.Failure()
+			// Cooperative sheds (429, or Retry-After on any status) are the
+			// server managing load, not the server failing: back off without
+			// counting them toward the breaker's trip threshold.
+			if IsThrottle(err) {
+				reg.Counter("resilience_throttled_total", "policy", name).Inc()
+			} else {
+				p.Breaker.Failure()
+			}
 		}
 		if cls == ClassPermanent {
 			reg.Counter("resilience_permanent_total", "policy", name).Inc()

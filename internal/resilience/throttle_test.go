@@ -1,0 +1,115 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"stir/internal/obs"
+)
+
+func TestIsThrottle(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain error", errors.New("boom"), false},
+		{"429 without hint", &StatusError{Status: http.StatusTooManyRequests}, true},
+		{"503 with Retry-After", &StatusError{Status: http.StatusServiceUnavailable, Wait: time.Second}, true},
+		{"503 without hint", &StatusError{Status: http.StatusServiceUnavailable}, false},
+		{"500 without hint", &StatusError{Status: http.StatusInternalServerError}, false},
+		{"wrapped shed", MarkTransient(&StatusError{Status: 503, Wait: 2 * time.Second}), true},
+	}
+	for _, c := range cases {
+		if got := IsThrottle(c.err); got != c.want {
+			t.Errorf("IsThrottle(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestBreakerIgnoresThrottles pins the contract the overload layer depends
+// on: a server shedding with Retry-After is managing load, and clients that
+// trip their breakers on sheds would turn that backpressure into an outage.
+func TestBreakerIgnoresThrottles(t *testing.T) {
+	reg := obs.NewRegistry()
+	br := NewBreaker("shed", BreakerOptions{FailureThreshold: 2, Metrics: reg})
+	p := &Policy{
+		Name:        "shed",
+		MaxAttempts: 6,
+		Breaker:     br,
+		Metrics:     reg,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}
+
+	shed := &StatusError{Status: http.StatusServiceUnavailable, Wait: time.Second}
+	err := p.Do(context.Background(), func(context.Context) error { return shed })
+	if err == nil {
+		t.Fatal("Do succeeded, want exhausted attempts")
+	}
+	if got := br.State(); got != StateClosed {
+		t.Fatalf("breaker state after 6 sheds = %v, want closed", got)
+	}
+	m, ok := reg.Snapshot().Get("resilience_throttled_total", "policy", "shed")
+	if !ok || m.Value != 6 {
+		t.Fatalf("resilience_throttled_total = %+v ok=%v, want 6", m, ok)
+	}
+}
+
+// TestBreakerStillTripsOnFailures is the control: a genuine 500 (no
+// Retry-After, not a 429) must keep feeding the breaker.
+func TestBreakerStillTripsOnFailures(t *testing.T) {
+	reg := obs.NewRegistry()
+	br := NewBreaker("hard", BreakerOptions{FailureThreshold: 2, Metrics: reg})
+	p := &Policy{
+		Name:        "hard",
+		MaxAttempts: 6,
+		Breaker:     br,
+		Metrics:     reg,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}
+
+	hard := &StatusError{Status: http.StatusInternalServerError}
+	err := p.Do(context.Background(), func(context.Context) error { return hard })
+	if err == nil {
+		t.Fatal("Do succeeded, want failure")
+	}
+	if got := br.State(); got != StateOpen {
+		t.Fatalf("breaker state after repeated 500s = %v, want open", got)
+	}
+}
+
+// TestRetryAfterHintStretchesBackoff verifies the shed hint actually shapes
+// the client's sleep: the first backoff would nominally be ~25ms, but the
+// server asked for 300ms, so the client waits at least that.
+func TestRetryAfterHintStretchesBackoff(t *testing.T) {
+	var slept []time.Duration
+	p := &Policy{
+		Name:        "hinted",
+		MaxAttempts: 2,
+		JitterFrac:  -1, // deterministic delays
+		Metrics:     obs.Discard,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	shed := &StatusError{Status: http.StatusServiceUnavailable, Wait: 300 * time.Millisecond}
+	attempts := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		attempts++
+		if attempts == 1 {
+			return shed
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if len(slept) != 1 || slept[0] != 300*time.Millisecond {
+		t.Fatalf("slept %v, want exactly the 300ms server hint", slept)
+	}
+}

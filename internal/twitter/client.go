@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"stir/internal/obs"
+	"stir/internal/overload"
 	"stir/internal/resilience"
 )
 
@@ -137,6 +138,9 @@ func (c *Client) getJSON(ctx context.Context, path string, params url.Values, ou
 		if err != nil {
 			return resilience.MarkPermanent(err)
 		}
+		// Propagate the caller's remaining budget so the server can reject
+		// work this attempt has already given up on.
+		overload.SetDeadlineHeader(req)
 		resp, err := c.HTTP.Do(req)
 		if err != nil {
 			return fmt.Errorf("twitter client: %w", err)
@@ -153,7 +157,13 @@ func (c *Client) getJSON(ctx context.Context, path string, params url.Values, ou
 			var ae apiError
 			_ = json.NewDecoder(resp.Body).Decode(&ae)
 			resp.Body.Close()
-			return &APIError{Status: resp.StatusCode, Msg: ae.Error, Code: ae.Code}
+			// A Retry-After on a 5xx is an overload shed: carry the hint so
+			// the retry policy backs off to it and the breaker ignores it.
+			wait := retryAfterWait(resp, c.maxBackoff())
+			if wait > 0 {
+				reg.Counter("twitter_client_throttled_total", "endpoint", path).Inc()
+			}
+			return &APIError{Status: resp.StatusCode, Msg: ae.Error, Code: ae.Code, Wait: wait}
 		}
 		err = json.NewDecoder(resp.Body).Decode(out)
 		resp.Body.Close()
@@ -171,9 +181,31 @@ func (c *Client) maxBackoff() time.Duration {
 	return c.MaxBackoff
 }
 
-// backoffFrom derives the sleep until the advertised rate-limit reset.
+// retryAfterWait parses a Retry-After header (whole seconds) into the wait
+// it advertises, capped at maxB; zero when absent or malformed.
+func retryAfterWait(resp *http.Response, maxB time.Duration) time.Duration {
+	raw := resp.Header.Get("Retry-After")
+	if raw == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(raw)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	wait := time.Duration(secs) * time.Second
+	if wait > maxB {
+		wait = maxB
+	}
+	return wait
+}
+
+// backoffFrom derives the sleep until the advertised rate-limit reset: an
+// explicit Retry-After wins, else the X-RateLimit-Reset timestamp.
 func (c *Client) backoffFrom(resp *http.Response) time.Duration {
 	maxB := c.maxBackoff()
+	if wait := retryAfterWait(resp, maxB); wait > 0 {
+		return wait
+	}
 	raw := resp.Header.Get("X-RateLimit-Reset")
 	if raw == "" {
 		return maxB

@@ -32,6 +32,7 @@ type APIServer struct {
 
 	restLimit   *ratelimit.Limiter
 	searchLimit *ratelimit.Limiter
+	clientLimit *ratelimit.KeyedLimiter
 
 	// followersPageSize is how many IDs one followers/ids page returns.
 	followersPageSize int
@@ -44,6 +45,10 @@ type ServerOptions struct {
 	RESTLimit int
 	// SearchLimit is the budget for the search endpoint. Zero disables.
 	SearchLimit int
+	// PerClientLimit is a per-caller budget layered under the shared ones,
+	// keyed by bearer token (falling back to remote IP), so one hot crawler
+	// cannot drain the budget every other client shares. Zero disables.
+	PerClientLimit int
 	// Window is the rate-limit window (default 15 minutes, the v1.1 value).
 	Window time.Duration
 	// FollowersPageSize overrides the followers/ids page size (default 5000,
@@ -67,6 +72,7 @@ func NewAPIServer(svc *Service, opts ServerOptions) *APIServer {
 		mux:               http.NewServeMux(),
 		restLimit:         ratelimit.New(opts.RESTLimit, opts.Window),
 		searchLimit:       ratelimit.New(opts.SearchLimit, opts.Window),
+		clientLimit:       ratelimit.NewKeyed(opts.PerClientLimit, opts.Window),
 		followersPageSize: opts.FollowersPageSize,
 	}
 	s.mux.HandleFunc("/1/users/show.json", s.limited(s.restLimit, s.handleUserShow))
@@ -106,8 +112,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *APIServer) limited(rl *ratelimit.Limiter, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Per-client budget first: a hot client is rejected on its own
+		// account and never consumes a shared token.
+		cst, ok := s.clientLimit.Allow(ratelimit.ClientKey(r))
+		if !ok {
+			cst.SetHeaders(w.Header())
+			w.Header().Set("Retry-After", strconv.Itoa(cst.RetryAfterSeconds(time.Now())))
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: "Client rate limit exceeded", Code: 88})
+			return
+		}
 		st, ok := rl.Allow()
 		st.SetHeaders(w.Header())
+		if cst.Limit > 0 {
+			// Advertise the tighter per-client budget when both are enabled.
+			cst.SetHeaders(w.Header())
+		}
 		if !ok {
 			w.Header().Set("Retry-After", strconv.Itoa(st.RetryAfterSeconds(time.Now())))
 			writeJSON(w, http.StatusTooManyRequests, apiError{Error: "Rate limit exceeded", Code: 88})

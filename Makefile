@@ -8,7 +8,7 @@ GO ?= go
 # Fixed fault schedule for reproducible chaos runs (see internal/resilience/fault).
 CHAOS_SEED ?= 2026
 
-.PHONY: build test vet race verify chaos load bench bench-obs bench-stream
+.PHONY: build test vet race verify chaos crash load bench bench-obs bench-stream
 
 build:
 	$(GO) build ./...
@@ -23,13 +23,20 @@ vet:
 race:
 	$(GO) test -race ./internal/obs/... ./internal/resilience/... ./internal/twitter/... ./internal/geocode/... ./internal/pipeline/... ./internal/storage/... ./internal/ratelimit/... ./internal/stream/... ./internal/overload/... ./internal/daemon/...
 
-verify: build vet test race
+verify: build vet test race crash
 
 # Run the deterministic fault-injection suite (retry/breaker under injected
 # faults, degraded pipeline runs, flaky-crawl convergence) with the race
 # detector and a fixed seed, so a failure replays bit-for-bit.
-chaos:
+chaos: crash
 	STIR_FAULT_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'Chaos|Fault|Inject|Quarantine|ContinueOnError|CrashMidUser' ./internal/resilience/... ./internal/twitter/... ./internal/pipeline/... ./internal/stream/... ./internal/overload/...
+
+# Power-cut chaos for the durable store: a seeded workload is crashed at
+# every filesystem mutation boundary (writes, fsyncs, dir fsyncs, renames —
+# including mid-compaction), rebooted and verified: no acked-synced write is
+# ever lost, damage is salvaged and quarantined, the log verifies clean.
+crash:
+	STIR_CRASH_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'TestPowerCut|TestBatchAtomicUnderInjectedCrash|TestSalvage|TestRepair|TestSegmentRollSurvivesCrash' ./internal/storage/...
 
 # Drive the seeded overload spike (5x load against an AIMD-limited server
 # with injected latency) and check the admission-control invariants: bounded

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stir/internal/obs"
+	"stir/internal/storage"
+)
+
+// runFsck is the operator's door into the store's durability machinery:
+// verify a checkpoint directory record-by-record, quarantine-and-repair
+// damage, take an online backup, or rebuild a directory from one.
+//
+//	stir fsck -dir data/ckpt                    # verify, report, exit 1 if dirty
+//	stir fsck -dir data/ckpt -repair            # quarantine damage, rewrite segments
+//	stir fsck -dir data/ckpt -backup snap.seg   # verified snapshot to a file
+//	stir fsck -dir new/ckpt -restore snap.seg   # materialise a snapshot as a store
+func runFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory to check (required)")
+	verify := fs.Bool("verify", true, "re-read and CRC-verify every record; exit 1 unless clean")
+	repair := fs.Bool("repair", false, "rewrite damaged segments, preserving bad ranges under quarantine/")
+	backup := fs.String("backup", "", "write a verified snapshot of the live records to this file")
+	restore := fs.String("restore", "", "restore this snapshot into -dir (must hold no segments)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("fsck: -dir is required")
+	}
+	if *restore != "" && (*repair || *backup != "") {
+		return fmt.Errorf("fsck: -restore cannot be combined with -repair or -backup")
+	}
+
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rep, err := storage.RestoreSnapshot(*dir, f, storage.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fsck: restored %d records (%d bytes) into %s\n", rep.Records, rep.Bytes, *dir)
+		// Fall through to the verify of the freshly restored store.
+	}
+
+	store, err := storage.Open(*dir, storage.Options{Metrics: obs.Discard})
+	if err != nil {
+		return fmt.Errorf("fsck: open: %w", err)
+	}
+	defer store.Close()
+
+	// What Open itself had to do tells the first half of the story: torn
+	// tails it truncated, corrupt ranges it skipped, records it salvaged.
+	openRep := store.ScrubReport()
+	fmt.Printf("fsck: open: %s\n", openRep.String())
+
+	if *repair {
+		rep, err := store.Repair()
+		if err != nil {
+			return fmt.Errorf("fsck: repair: %w", err)
+		}
+		if rep.QuarantinedRanges == 0 {
+			fmt.Println("fsck: repair: nothing to repair")
+		} else {
+			fmt.Printf("fsck: repair: rewrote %d segments, quarantined %d ranges (%d bytes):\n",
+				rep.RewrittenSegments, rep.QuarantinedRanges, rep.QuarantinedBytes)
+			for _, q := range rep.QuarantineFiles {
+				fmt.Printf("fsck:   %s\n", q)
+			}
+		}
+	}
+
+	if *backup != "" {
+		f, err := os.Create(*backup)
+		if err != nil {
+			return err
+		}
+		rep, err := store.Snapshot(f)
+		if err != nil {
+			f.Close()
+			os.Remove(*backup)
+			return fmt.Errorf("fsck: backup: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("fsck: backup: %d records (%d bytes) -> %s\n", rep.Records, rep.Bytes, *backup)
+	}
+
+	if *verify {
+		rep, err := store.Scrub()
+		if err != nil {
+			return fmt.Errorf("fsck: verify: %w", err)
+		}
+		fmt.Printf("fsck: verify: %s\n", rep.String())
+		if !rep.Clean() {
+			return fmt.Errorf("fsck: store is damaged (run with -repair to quarantine and rewrite)")
+		}
+		fmt.Println("fsck: clean")
+	}
+	return nil
+}

@@ -79,6 +79,8 @@ func main() {
 		err = runServe(os.Args[2:])
 	case "stream":
 		err = runStream(os.Args[2:])
+	case "fsck":
+		err = runFsck(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -101,7 +103,8 @@ func usage() {
   monitor  run the online burst detector against an injected event
   scenario dump a generator scenario as editable JSON (see analyze -scenario)
   serve    run the analysis and serve /metrics and /healthz
-  stream   live-ingest the Streaming API and serve the incremental analysis`)
+  stream   live-ingest the Streaming API and serve the incremental analysis
+  fsck     verify, repair, back up or restore a checkpoint store directory`)
 }
 
 // resilienceFlags registers the shared chaos/degraded-mode flags on fs and
@@ -439,6 +442,12 @@ func runStream(args []string) error {
 			return err
 		}
 		defer store.Close()
+		// Open salvages what it can from a damaged log; an operator should
+		// hear about it (and `stir fsck -repair` it) rather than find out later.
+		if rep := store.ScrubReport(); !rep.Clean() || rep.TornTails > 0 {
+			fmt.Fprintf(os.Stderr, "stir: checkpoint store needed salvage: %s (run `stir fsck -dir %s -repair`)\n",
+				rep.String(), *ckptDir)
+		}
 	}
 	resolver := stream.NewGazetteerResolver(ds.Gazetteer, 10)
 	eng, err := stream.New(stream.Config{

@@ -7,6 +7,9 @@ import (
 	"os"
 	"testing"
 	"testing/quick"
+
+	"stir/internal/obs"
+	"stir/internal/storage/vfs"
 )
 
 func TestBatchCommitAndGet(t *testing.T) {
@@ -259,4 +262,90 @@ func TestBatchModelProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestBatchAtomicUnderInjectedCrash sweeps a power cut across every mutation
+// boundary of a batch-heavy workload — so the cut lands inside batch record
+// writes, the syncs that ack them, and the segment machinery around them —
+// and checks after each reboot that every batch applied all-or-nothing, and
+// that every batch acked by a successful Sync survived whole.
+func TestBatchAtomicUnderInjectedCrash(t *testing.T) {
+	const (
+		seed     = 99
+		nBatches = 12
+	)
+	const dir = "store"
+	// run drives the batches, returning how many were acked (Commit+Sync both
+	// succeeded) before err stopped it.
+	run := func(fsys *vfs.Fault) (acked int, err error) {
+		s, err := Open(dir, Options{FS: fsys, Metrics: obs.Discard})
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < nBatches; i++ {
+			b := s.NewBatch().
+				Put(fmt.Sprintf("b%02d/x", i), []byte(fmt.Sprintf("x%d", i))).
+				Put(fmt.Sprintf("b%02d/y", i), []byte(fmt.Sprintf("y%d", i))).
+				Put(fmt.Sprintf("b%02d/z", i), []byte(fmt.Sprintf("z%d", i)))
+			if i%3 == 0 && i > 0 {
+				// Some batches also retract the previous batch's z key, so
+				// tombstones ride inside batch records too.
+				b.Delete(fmt.Sprintf("b%02d/z", i-1))
+			}
+			if err := b.Commit(); err != nil {
+				return acked, err
+			}
+			if err := s.Sync(); err != nil {
+				return acked, err
+			}
+			acked++
+		}
+		return acked, s.Close()
+	}
+
+	// Fault-free pass counts the boundaries to sweep.
+	flt := vfs.NewFault(vfs.FaultConfig{Seed: seed})
+	if _, err := run(flt); err != nil {
+		t.Fatal(err)
+	}
+	total := flt.Boundaries()
+
+	for k := int64(1); k <= total; k++ {
+		flt := vfs.NewFault(vfs.FaultConfig{Seed: seed, CrashAt: k})
+		acked, err := run(flt)
+		if err != nil && !errors.Is(err, vfs.ErrPowerCut) {
+			t.Fatalf("boundary %d: %v", k, err)
+		}
+		flt.Restart()
+		s2, err := Open(dir, Options{FS: flt, Metrics: obs.Discard})
+		if err != nil {
+			t.Fatalf("boundary %d: reopen: %v", k, err)
+		}
+		for i := 0; i < nBatches; i++ {
+			present := 0
+			for _, suffix := range []string{"x", "y", "z"} {
+				key := fmt.Sprintf("b%02d/%s", i, suffix)
+				v, gerr := s2.Get(key)
+				if gerr == nil {
+					if string(v) != fmt.Sprintf("%s%d", suffix, i) {
+						t.Fatalf("boundary %d: %s = %q", k, key, v)
+					}
+					present++
+				} else if !errors.Is(gerr, ErrKeyNotFound) {
+					t.Fatalf("boundary %d: %s: %v", k, key, gerr)
+				}
+			}
+			// All-or-nothing, modulo the follow-up batch deleting this
+			// batch's z key: 3 (whole), 2 (whole minus retracted z), 0.
+			zRetractable := (i+1)%3 == 0 && i+1 < nBatches
+			if present == 1 || (present == 2 && !zRetractable) {
+				t.Fatalf("boundary %d: batch %d partially applied (%d of 3 keys)", k, i, present)
+			}
+			if i < acked && present == 0 {
+				t.Fatalf("boundary %d: acked batch %d lost", k, i)
+			}
+		}
+		s2.Close()
+	}
+	t.Logf("seed %d: %d batches swept across %d crash boundaries", seed, nBatches, total)
 }

@@ -7,6 +7,13 @@
 // The store favours simplicity and crash-safety over write throughput, which
 // matches its role: the Twitter crawler writes a few thousand records per
 // run and must be resumable after an interrupted crawl.
+//
+// Durability model (see DESIGN.md §11): every disk operation goes through an
+// injectable filesystem seam (internal/storage/vfs), the directory is fsynced
+// whenever the segment set changes, compaction commits via temp-file+rename,
+// and Open salvages damaged logs — a torn tail is truncated, while a
+// mid-segment corrupt range is skipped (resyncing on the next valid record)
+// and reported for Repair to quarantine.
 package storage
 
 import (
@@ -15,7 +22,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -23,6 +29,7 @@ import (
 	"sync"
 
 	"stir/internal/obs"
+	"stir/internal/storage/vfs"
 )
 
 const (
@@ -32,6 +39,7 @@ const (
 
 	segmentPrefix = "seg-"
 	segmentSuffix = ".log"
+	tmpSuffix     = ".tmp"
 )
 
 // DefaultMaxSegmentBytes is the segment roll threshold when Options leaves
@@ -56,6 +64,10 @@ type Options struct {
 	// Metrics receives the store's write/compaction series (nil means
 	// obs.Default; obs.Discard disables).
 	Metrics *obs.Registry
+	// FS is the filesystem seam (nil means the real filesystem). Tests
+	// inject vfs.Mem/vfs.Fault here to simulate power cuts, torn writes,
+	// dropped fsyncs and bit flips.
+	FS vfs.FS
 }
 
 // Store is the log-structured key-value store. All methods are safe for
@@ -63,20 +75,29 @@ type Options struct {
 type Store struct {
 	mu     sync.RWMutex
 	dir    string
+	fs     vfs.FS
 	opts   Options
 	index  map[string]recordPos
-	segs   map[int]*os.File // read handles by segment id
-	active *os.File
+	segs   map[int]vfs.File // read handles by segment id
+	active vfs.File
 	actID  int
 	actOff int64
 	closed bool
-	puts   int64 // total put operations, for stats
-	dead   int64 // superseded or deleted records, drives compaction advice
+	puts   int64       // total put operations, for stats
+	dead   int64       // superseded or deleted records, drives compaction advice
+	scrub  ScrubReport // what Open found (and salvaged) in the on-disk log
 
 	mAppends      *obs.Counter
 	mBytes        *obs.Counter
 	mBatchCommits *obs.Counter
 	mCompactions  *obs.Counter
+	mScrubs       *obs.Counter
+	mTornTails    *obs.Counter
+	mCorrupt      *obs.Counter
+	mSalvaged     *obs.Counter
+	mQuarantined  *obs.Counter
+	mSnapshots    *obs.Counter
+	mRepairs      *obs.Counter
 }
 
 type recordPos struct {
@@ -89,34 +110,80 @@ type recordPos struct {
 }
 
 // Open opens (or creates) a store in dir, rebuilding the index by scanning
-// all segments in order. A truncated tail record (from a crash) is dropped.
+// all segments in order. Damage from a crash or from media corruption is
+// salvaged rather than fatal: a truncated tail record is dropped, and a
+// corrupt range in the middle of a segment is skipped with every later valid
+// record recovered. What was found is available via ScrubReport.
 func Open(dir string, opts Options) (*Store, error) {
 	if opts.MaxSegmentBytes <= 0 {
 		opts.MaxSegmentBytes = DefaultMaxSegmentBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := vfs.Or(opts.FS)
+	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("storage: create dir: %w", err)
 	}
 	reg := obs.Or(opts.Metrics)
 	s := &Store{
 		dir:   dir,
+		fs:    fsys,
 		opts:  opts,
 		index: make(map[string]recordPos),
-		segs:  make(map[int]*os.File),
+		segs:  make(map[int]vfs.File),
 
 		mAppends:      reg.Counter("storage_appends_total"),
 		mBytes:        reg.Counter("storage_bytes_written_total"),
 		mBatchCommits: reg.Counter("storage_batch_commits_total"),
 		mCompactions:  reg.Counter("storage_compactions_total"),
+		mScrubs:       reg.Counter("storage_scrub_runs_total"),
+		mTornTails:    reg.Counter("storage_scrub_torn_tails_total"),
+		mCorrupt:      reg.Counter("storage_scrub_corrupt_ranges_total"),
+		mSalvaged:     reg.Counter("storage_salvaged_records_total"),
+		mQuarantined:  reg.Counter("storage_quarantined_records_total"),
+		mSnapshots:    reg.Counter("storage_snapshots_total"),
+		mRepairs:      reg.Counter("storage_repairs_total"),
 	}
-	ids, err := listSegments(dir)
-	if err != nil {
+	if err := s.removeStaleTemps(); err != nil {
 		return nil, err
+	}
+	if err := s.loadAllLocked(); err != nil {
+		s.closeAll()
+		return nil, err
+	}
+	return s, nil
+}
+
+// removeStaleTemps deletes temp files left by a compaction or restore that
+// crashed before its rename — they were never part of the store.
+func (s *Store) removeStaleTemps() error {
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, name := range names {
+		if strings.HasSuffix(name, tmpSuffix) {
+			if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil {
+				return fmt.Errorf("storage: remove stale temp %s: %w", name, err)
+			}
+			removed = true
+		}
+	}
+	if removed {
+		return s.fs.SyncDir(s.dir)
+	}
+	return nil
+}
+
+// loadAllLocked scans every segment, rebuilds the index and opens the active
+// segment. Callers hold no lock yet (Open) or the write lock (Repair reload).
+func (s *Store) loadAllLocked() error {
+	ids, err := listSegments(s.fs, s.dir)
+	if err != nil {
+		return err
 	}
 	for _, id := range ids {
 		if err := s.loadSegment(id); err != nil {
-			s.closeAll()
-			return nil, err
+			return err
 		}
 	}
 	// The newest segment becomes the active one; otherwise start at 1.
@@ -124,40 +191,43 @@ func Open(dir string, opts Options) (*Store, error) {
 	if len(ids) > 0 {
 		s.actID = ids[len(ids)-1]
 	}
-	f, err := os.OpenFile(s.segPath(s.actID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	created := len(ids) == 0
+	f, err := s.fs.OpenAppend(s.segPath(s.actID))
 	if err != nil {
-		s.closeAll()
-		return nil, fmt.Errorf("storage: open active segment: %w", err)
+		return fmt.Errorf("storage: open active segment: %w", err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
-		s.closeAll()
-		return nil, err
+		return err
 	}
 	s.active = f
-	s.actOff = st.Size()
-	if _, ok := s.segs[s.actID]; !ok {
-		if err := s.openRead(s.actID); err != nil {
-			s.closeAll()
-			return nil, err
+	s.actOff = size
+	if created {
+		// Make the freshly created first segment's directory entry durable.
+		if err := s.fs.SyncDir(s.dir); err != nil {
+			return err
 		}
 	}
-	return s, nil
+	if _, ok := s.segs[s.actID]; !ok {
+		if err := s.openRead(s.actID); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (s *Store) segPath(id int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("%s%06d%s", segmentPrefix, id, segmentSuffix))
 }
 
-func listSegments(dir string) ([]int, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys vfs.FS, dir string) ([]int, error) {
+	names, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var ids []int
-	for _, e := range entries {
-		name := e.Name()
+	for _, name := range names {
 		if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
 			continue
 		}
@@ -173,7 +243,7 @@ func listSegments(dir string) ([]int, error) {
 }
 
 func (s *Store) openRead(id int) error {
-	f, err := os.Open(s.segPath(id))
+	f, err := s.fs.Open(s.segPath(id))
 	if err != nil {
 		return fmt.Errorf("storage: open segment %d: %w", id, err)
 	}
@@ -181,30 +251,64 @@ func (s *Store) openRead(id int) error {
 	return nil
 }
 
-// loadSegment scans one segment, updating the index.
+// loadSegment scans one segment, updating the index. Corruption is not
+// fatal: a damaged range followed by valid records is skipped (the records
+// beyond it are salvaged), and a torn tail is truncated away.
 func (s *Store) loadSegment(id int) error {
 	if err := s.openRead(id); err != nil {
 		return err
 	}
 	f := s.segs[id]
+	size, err := f.Size()
+	if err != nil {
+		return err
+	}
+	s.scrub.Segments++
 	var off int64
-	for {
-		key, val, flags, size, err := readRecord(f, off)
+	salvaging := false
+	for off < size {
+		key, val, flags, n, err := readRecord(f, off)
 		if err == io.EOF {
-			return nil
+			break
 		}
 		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, ErrCorrupt) {
-			// Crash-truncated tail: drop everything from here on.
-			return s.truncateSegment(id, off)
+			next, found, serr := resyncRecord(f, off+1, size)
+			if serr != nil {
+				return serr
+			}
+			if !found {
+				// Nothing valid follows: a torn tail from a crash
+				// mid-append. Truncate so new appends land after the last
+				// good record.
+				s.scrub.TornTails++
+				s.scrub.TornBytes += size - off
+				s.mTornTails.Inc()
+				return s.truncateSegment(id, off)
+			}
+			// Mid-segment corruption with valid data beyond it: this is not
+			// a torn tail, so discarding the rest would lose good records.
+			// Skip the damaged range, resume at the next valid record and
+			// leave the physical cleanup to Repair.
+			s.scrub.addCorrupt(id, off, next-off, corruptReason(err))
+			s.mCorrupt.Inc()
+			salvaging = true
+			off = next
+			continue
 		}
 		if err != nil {
 			return err
 		}
 		switch {
 		case flags&flagBatch != 0:
-			ops, err := decodeBatchPayload(val)
-			if err != nil {
-				return s.truncateSegment(id, off)
+			ops, derr := decodeBatchPayload(val)
+			if derr != nil {
+				// CRC-valid yet undecodable batch: quarantine-in-place this
+				// one record and keep scanning.
+				s.scrub.addCorrupt(id, off, n, "undecodable batch payload")
+				s.mCorrupt.Inc()
+				salvaging = true
+				off += n
+				continue
 			}
 			for i, op := range ops {
 				if op.tomb {
@@ -218,7 +322,7 @@ func (s *Store) loadSegment(id int) error {
 				if _, had := s.index[op.key]; had {
 					s.dead++
 				}
-				s.index[op.key] = recordPos{seg: id, off: off, size: size, sub: i}
+				s.index[op.key] = recordPos{seg: id, off: off, size: n, sub: i}
 			}
 		case flags&flagTombstone != 0:
 			if _, had := s.index[string(key)]; had {
@@ -230,10 +334,16 @@ func (s *Store) loadSegment(id int) error {
 			if _, had := s.index[string(key)]; had {
 				s.dead++
 			}
-			s.index[string(key)] = recordPos{seg: id, off: off, size: size, sub: -1}
+			s.index[string(key)] = recordPos{seg: id, off: off, size: n, sub: -1}
 		}
-		off += size
+		s.scrub.Records++
+		if salvaging {
+			s.scrub.Salvaged++
+			s.mSalvaged.Inc()
+		}
+		off += n
 	}
+	return nil
 }
 
 // truncateSegment chops a segment at off, discarding a torn tail record.
@@ -242,20 +352,28 @@ func (s *Store) truncateSegment(id int, off int64) error {
 		f.Close()
 		delete(s.segs, id)
 	}
-	if err := os.Truncate(s.segPath(id), off); err != nil {
+	if err := s.fs.Truncate(s.segPath(id), off); err != nil {
 		return fmt.Errorf("storage: truncate torn segment %d: %w", id, err)
 	}
 	return s.openRead(id)
 }
 
 // readRecord reads one record at off. size is the full on-disk length.
-func readRecord(f *os.File, off int64) (key, val []byte, flags byte, size int64, err error) {
+// io.EOF means a clean end; io.ErrUnexpectedEOF means the record extends
+// past the end of the file (a torn tail).
+func readRecord(f io.ReaderAt, off int64) (key, val []byte, flags byte, size int64, err error) {
 	var hdr [recordHeaderSize]byte
-	if _, err = f.ReadAt(hdr[:], off); err != nil {
-		if err == io.EOF {
-			return nil, nil, 0, 0, io.EOF
-		}
+	n, err := f.ReadAt(hdr[:], off)
+	if err != nil && err != io.EOF {
 		return nil, nil, 0, 0, err
+	}
+	if n == 0 {
+		return nil, nil, 0, 0, io.EOF
+	}
+	if n < recordHeaderSize {
+		// A partial header at the end of the file is a torn write, not a
+		// clean EOF — leaving it in place would corrupt the next append.
+		return nil, nil, 0, 0, io.ErrUnexpectedEOF
 	}
 	crc := binary.LittleEndian.Uint32(hdr[0:4])
 	flags = hdr[4]
@@ -378,8 +496,15 @@ func (s *Store) rollLocked() error {
 		return err
 	}
 	s.actID++
-	f, err := os.OpenFile(s.segPath(s.actID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := s.fs.OpenAppend(s.segPath(s.actID))
 	if err != nil {
+		return err
+	}
+	// Without a directory fsync a crash could drop the new segment's entry
+	// even after its contents were synced, silently losing every record
+	// appended post-roll.
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		f.Close()
 		return err
 	}
 	s.active = f
@@ -520,8 +645,18 @@ func (s *Store) Stats() Stats {
 	}
 }
 
-// Compact rewrites all live records into fresh segments and deletes the old
+// Compact rewrites all live records into a fresh segment and deletes the old
 // ones, reclaiming space held by superseded records and tombstones.
+//
+// The pass is crash-atomic: the new segment is built in a temp file, synced,
+// renamed into place and the directory fsynced before any old state is
+// touched — a crash at any point leaves either the old segment set or the
+// new one, never a mix. Every error path leaves the store usable: failures
+// while building discard the temp file and keep the old state; failures
+// removing old segments after the commit point are reported but the store
+// continues on the new segment (a leftover segment is re-deleted by the next
+// compaction and is harmless to recovery, since rebuilding the index replays
+// segments in order and the new one wins).
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -529,9 +664,15 @@ func (s *Store) Compact() error {
 		return ErrClosed
 	}
 	newID := s.actID + 1
-	path := s.segPath(newID)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	finalPath := s.segPath(newID)
+	tmpPath := finalPath + tmpSuffix
+	f, err := s.fs.Create(tmpPath)
 	if err != nil {
+		return err
+	}
+	discard := func(err error) error {
+		f.Close()
+		s.fs.Remove(tmpPath) // best-effort; Open sweeps stale temps anyway
 		return err
 	}
 	newIndex := make(map[string]recordPos, len(s.index))
@@ -544,53 +685,76 @@ func (s *Store) Compact() error {
 	for _, k := range keys {
 		v, err := s.readValueLocked(k, s.index[k])
 		if err != nil {
-			f.Close()
-			os.Remove(path)
-			return err
+			return discard(err)
 		}
 		rec := encodeRecord([]byte(k), v, false)
 		if _, err := f.Write(rec); err != nil {
-			f.Close()
-			os.Remove(path)
-			return err
+			return discard(err)
 		}
 		newIndex[k] = recordPos{seg: newID, off: off, size: int64(len(rec)), sub: -1}
 		off += int64(len(rec))
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(path)
-		return err
+		return discard(err)
 	}
 	if err := f.Close(); err != nil {
+		s.fs.Remove(tmpPath)
 		return err
 	}
-	// Swap in the new segment.
-	oldIDs := make([]int, 0, len(s.segs))
-	for id := range s.segs {
-		oldIDs = append(oldIDs, id)
-	}
-	if err := s.active.Close(); err != nil {
+	// Commit point: rename into place and make the entry durable.
+	if err := s.fs.Rename(tmpPath, finalPath); err != nil {
+		s.fs.Remove(tmpPath)
 		return err
 	}
-	for _, id := range oldIDs {
-		s.segs[id].Close()
-		delete(s.segs, id)
-		os.Remove(s.segPath(id))
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		s.fs.Remove(finalPath)
+		return err
 	}
+	// Open the new segment's handles before dismantling the old state, so a
+	// failure here can still fall back to the old, untouched store.
+	rf, err := s.fs.Open(finalPath)
+	if err != nil {
+		s.fs.Remove(finalPath)
+		return err
+	}
+	af, err := s.fs.OpenAppend(finalPath)
+	if err != nil {
+		rf.Close()
+		s.fs.Remove(finalPath)
+		return err
+	}
+	// Swap in the new segment. From here every path keeps the store usable.
+	oldActive, oldSegs := s.active, s.segs
+	s.active = af
+	s.actID = newID
+	s.actOff = off
+	s.segs = map[int]vfs.File{newID: rf}
 	s.index = newIndex
 	s.dead = 0
-	s.actID = newID
-	if err := s.openRead(newID); err != nil {
-		return err
-	}
-	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	s.active = af
-	s.actOff = off
 	s.mCompactions.Inc()
+	oldActive.Close()
+	var rmErr error
+	removed := 0
+	for id, h := range oldSegs {
+		h.Close()
+		if err := s.fs.Remove(s.segPath(id)); err != nil {
+			if rmErr == nil {
+				rmErr = err
+			}
+			continue
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := s.fs.SyncDir(s.dir); err != nil && rmErr == nil {
+			rmErr = err
+		}
+	}
+	if rmErr != nil {
+		// The compaction itself committed; only space reclamation is
+		// incomplete. A resurrected old segment is harmless (see above).
+		return fmt.Errorf("storage: compacted, but removing old segments failed (store remains usable): %w", rmErr)
+	}
 	return nil
 }
 
@@ -606,6 +770,7 @@ func (s *Store) Close() error {
 	if cerr := s.active.Close(); err == nil {
 		err = cerr
 	}
+	s.active = nil
 	s.closeAllLocked()
 	return err
 }
@@ -620,6 +785,10 @@ func (s *Store) closeAllLocked() {
 	for id, f := range s.segs {
 		f.Close()
 		delete(s.segs, id)
+	}
+	if s.active != nil {
+		s.active.Close()
+		s.active = nil
 	}
 }
 

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"stir/internal/storage/vfs"
+
 	"bytes"
 	"errors"
 	"fmt"
@@ -118,7 +120,7 @@ func TestSegmentRolling(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ids, err := listSegments(dir)
+	ids, err := listSegments(vfs.OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,8 +196,8 @@ func TestCorruptCRCDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Reopen treats the corruption as a torn tail at that point: everything
-	// from the bad record onward is discarded.
+	// Reopen detects the damaged record, skips it, and salvages the valid
+	// record beyond it — mid-segment corruption is not a torn tail.
 	s2, err := Open(dir, Options{})
 	if err != nil {
 		t.Fatalf("open after corruption: %v", err)
@@ -203,6 +205,13 @@ func TestCorruptCRCDetected(t *testing.T) {
 	defer s2.Close()
 	if _, err := s2.Get("a"); !errors.Is(err, ErrKeyNotFound) {
 		t.Fatalf("corrupt record should be gone, err = %v", err)
+	}
+	if v, err := s2.Get("b"); err != nil || string(v) != "second" {
+		t.Fatalf("record beyond the corruption should be salvaged: %q, %v", v, err)
+	}
+	rep := s2.ScrubReport()
+	if len(rep.CorruptRanges) != 1 || rep.Salvaged != 1 || rep.TornTails != 0 {
+		t.Fatalf("scrub report = %+v", rep)
 	}
 }
 
@@ -215,14 +224,14 @@ func TestCompact(t *testing.T) {
 		}
 	}
 	s.Delete("k00")
-	before, _ := listSegments(dir)
+	before, _ := listSegments(vfs.OS{}, dir)
 	if len(before) < 3 {
 		t.Fatalf("setup should create several segments, got %v", before)
 	}
 	if err := s.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	after, _ := listSegments(dir)
+	after, _ := listSegments(vfs.OS{}, dir)
 	if len(after) != 1 {
 		t.Fatalf("after compaction want 1 segment, got %v", after)
 	}

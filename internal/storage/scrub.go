@@ -1,0 +1,336 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Scrub and salvage: the machinery that turns "a damaged log" from a fatal
+// condition into an accounted-for one. Open uses it to classify damage —
+// a torn tail (crash mid-append, truncated away) versus a mid-segment
+// corrupt range (media damage, skipped with everything after it salvaged).
+// Scrub re-verifies every byte of every segment online, and Repair rewrites
+// damaged segments, moving the bad ranges into a quarantine directory so
+// nothing is silently thrown away.
+
+// quarantineDir is the subdirectory (under the store dir) that Repair moves
+// damaged byte ranges into.
+const quarantineDir = "quarantine"
+
+// CorruptRange is one damaged byte range found in a segment.
+type CorruptRange struct {
+	Segment int
+	Off     int64
+	Len     int64
+	Reason  string
+}
+
+// ScrubReport summarises a scan of the on-disk log.
+type ScrubReport struct {
+	// Segments and Records count what was scanned and parsed clean.
+	Segments int
+	Records  int
+	// Salvaged counts valid records recovered from beyond a corrupt range —
+	// records a truncate-at-first-error recovery would have discarded.
+	Salvaged int
+	// TornTails counts segments that ended in a truncated record (the
+	// normal crash artifact; Open chops these off).
+	TornTails int
+	TornBytes int64
+	// CorruptRanges lists mid-segment damage still present on disk; Repair
+	// quarantines it.
+	CorruptRanges []CorruptRange
+	CorruptBytes  int64
+}
+
+func (r *ScrubReport) addCorrupt(seg int, off, n int64, reason string) {
+	r.CorruptRanges = append(r.CorruptRanges, CorruptRange{Segment: seg, Off: off, Len: n, Reason: reason})
+	r.CorruptBytes += n
+}
+
+// Clean reports whether the scan found no corrupt ranges. Torn tails do not
+// count: they are expected after a crash and are repaired by truncation the
+// moment Open sees them.
+func (r *ScrubReport) Clean() bool { return len(r.CorruptRanges) == 0 }
+
+// String renders a one-line summary for CLI output.
+func (r *ScrubReport) String() string {
+	return fmt.Sprintf("%d segments, %d records, %d salvaged, %d torn tails (%d bytes), %d corrupt ranges (%d bytes)",
+		r.Segments, r.Records, r.Salvaged, r.TornTails, r.TornBytes, len(r.CorruptRanges), r.CorruptBytes)
+}
+
+// ScrubReport returns what Open found (and salvaged) while loading the log.
+func (s *Store) ScrubReport() ScrubReport {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.scrub
+}
+
+func corruptReason(err error) string {
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return "short record"
+	}
+	return err.Error()
+}
+
+// resyncRecord scans forward from `from` for the next offset at which a
+// whole record parses with a valid CRC, returning (offset, true) or
+// (0, false) when nothing valid remains. The CRC makes a false resync
+// astronomically unlikely. The remainder of the segment is buffered in
+// memory; segments are bounded by MaxSegmentBytes and corruption is rare,
+// so the simplicity wins over a streaming scan.
+func resyncRecord(f io.ReaderAt, from, size int64) (int64, bool, error) {
+	if from >= size {
+		return 0, false, nil
+	}
+	buf := make([]byte, size-from)
+	if n, err := f.ReadAt(buf, from); err != nil && (err != io.EOF || int64(n) < size-from) {
+		return 0, false, fmt.Errorf("storage: resync read: %w", err)
+	}
+	for pos := 0; pos+recordHeaderSize <= len(buf); pos++ {
+		crc := binary.LittleEndian.Uint32(buf[pos : pos+4])
+		keyLen := binary.LittleEndian.Uint32(buf[pos+5 : pos+9])
+		valLen := binary.LittleEndian.Uint32(buf[pos+9 : pos+13])
+		if keyLen > 1<<20 || valLen > 1<<28 {
+			continue
+		}
+		total := recordHeaderSize + int(keyLen) + int(valLen)
+		if pos+total > len(buf) {
+			continue
+		}
+		if crc32.ChecksumIEEE(buf[pos+4:pos+total]) == crc {
+			return from + int64(pos), true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// scanSegment verifies every byte of one open segment, appending damage to
+// rep. Unlike the load-time scan it treats an unparsable tail as a corrupt
+// range too: after Open has run, the log should parse clean to the end.
+func scanSegment(f io.ReaderAt, id int, size int64, rep *ScrubReport) error {
+	rep.Segments++
+	var off int64
+	salvaging := false
+	for off < size {
+		_, val, flags, n, err := readRecord(f, off)
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, ErrCorrupt) {
+			next, found, serr := resyncRecord(f, off+1, size)
+			if serr != nil {
+				return serr
+			}
+			if !found {
+				rep.addCorrupt(id, off, size-off, corruptReason(err))
+				return nil
+			}
+			rep.addCorrupt(id, off, next-off, corruptReason(err))
+			salvaging = true
+			off = next
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if flags&flagBatch != 0 {
+			if _, derr := decodeBatchPayload(val); derr != nil {
+				rep.addCorrupt(id, off, n, "undecodable batch payload")
+				salvaging = true
+				off += n
+				continue
+			}
+		}
+		rep.Records++
+		if salvaging {
+			rep.Salvaged++
+		}
+		off += n
+	}
+	return nil
+}
+
+// Scrub re-reads and CRC-verifies every record of every segment without
+// modifying anything, and reports what it found. It runs online: readers
+// are unaffected and writers are only paused for the duration of the scan.
+func (s *Store) Scrub() (ScrubReport, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ScrubReport{}, ErrClosed
+	}
+	s.mScrubs.Inc()
+	var rep ScrubReport
+	for _, id := range s.segIDsLocked() {
+		f := s.segs[id]
+		size, err := f.Size()
+		if err != nil {
+			return rep, err
+		}
+		if err := scanSegment(f, id, size, &rep); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+func (s *Store) segIDsLocked() []int {
+	ids := make([]int, 0, len(s.segs))
+	for id := range s.segs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// RepairReport summarises a Repair pass.
+type RepairReport struct {
+	// RewrittenSegments is how many damaged segments were rewritten.
+	RewrittenSegments int
+	// QuarantinedRanges and QuarantinedBytes count the damage moved into
+	// the quarantine directory.
+	QuarantinedRanges int
+	QuarantinedBytes  int64
+	// QuarantineFiles lists the files the damage was preserved in.
+	QuarantineFiles []string
+}
+
+// Repair rewrites every damaged segment with only its valid records,
+// preserving the damaged byte ranges as files under <dir>/quarantine/
+// instead of discarding them, then rebuilds the index. Each rewrite commits
+// via temp-file+rename+dir-fsync, so a crash mid-repair loses nothing.
+// After a successful Repair, Scrub reports clean.
+func (s *Store) Repair() (RepairReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep RepairReport
+	if s.closed {
+		return rep, ErrClosed
+	}
+	var scan ScrubReport
+	for _, id := range s.segIDsLocked() {
+		f := s.segs[id]
+		size, err := f.Size()
+		if err != nil {
+			return rep, err
+		}
+		var segScan ScrubReport
+		if err := scanSegment(f, id, size, &segScan); err != nil {
+			return rep, err
+		}
+		scan.CorruptRanges = append(scan.CorruptRanges, segScan.CorruptRanges...)
+	}
+	if len(scan.CorruptRanges) == 0 {
+		return rep, nil
+	}
+	s.mRepairs.Inc()
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := s.fs.MkdirAll(qdir); err != nil {
+		return rep, err
+	}
+	bySeg := make(map[int][]CorruptRange)
+	for _, cr := range scan.CorruptRanges {
+		bySeg[cr.Segment] = append(bySeg[cr.Segment], cr)
+	}
+	for id, ranges := range bySeg {
+		f := s.segs[id]
+		size, err := f.Size()
+		if err != nil {
+			return rep, err
+		}
+		data := make([]byte, size)
+		if n, err := f.ReadAt(data, 0); err != nil && (err != io.EOF || int64(n) < size) {
+			return rep, err
+		}
+		// Quarantine each damaged range before rewriting the segment, so
+		// even a crash between the two leaves the bytes preserved.
+		for _, cr := range ranges {
+			qpath := filepath.Join(qdir, fmt.Sprintf("seg-%06d-%d.bad", id, cr.Off))
+			qf, err := s.fs.Create(qpath)
+			if err != nil {
+				return rep, err
+			}
+			if _, err := qf.Write(data[cr.Off : cr.Off+cr.Len]); err != nil {
+				qf.Close()
+				return rep, err
+			}
+			if err := qf.Sync(); err != nil {
+				qf.Close()
+				return rep, err
+			}
+			if err := qf.Close(); err != nil {
+				return rep, err
+			}
+			rep.QuarantineFiles = append(rep.QuarantineFiles, qpath)
+			rep.QuarantinedRanges++
+			rep.QuarantinedBytes += cr.Len
+			s.mQuarantined.Inc()
+		}
+		if err := s.fs.SyncDir(qdir); err != nil {
+			return rep, err
+		}
+		// Rewrite the segment without the damaged ranges, keeping the valid
+		// records in their original order.
+		segPath := s.segPath(id)
+		tmpPath := segPath + tmpSuffix
+		tf, err := s.fs.Create(tmpPath)
+		if err != nil {
+			return rep, err
+		}
+		var off int64
+		for _, cr := range ranges {
+			if cr.Off > off {
+				if _, err := tf.Write(data[off:cr.Off]); err != nil {
+					tf.Close()
+					s.fs.Remove(tmpPath)
+					return rep, err
+				}
+			}
+			off = cr.Off + cr.Len
+		}
+		if off < size {
+			if _, err := tf.Write(data[off:]); err != nil {
+				tf.Close()
+				s.fs.Remove(tmpPath)
+				return rep, err
+			}
+		}
+		if err := tf.Sync(); err != nil {
+			tf.Close()
+			s.fs.Remove(tmpPath)
+			return rep, err
+		}
+		if err := tf.Close(); err != nil {
+			s.fs.Remove(tmpPath)
+			return rep, err
+		}
+		if err := s.fs.Rename(tmpPath, segPath); err != nil {
+			s.fs.Remove(tmpPath)
+			return rep, err
+		}
+		if err := s.fs.SyncDir(s.dir); err != nil {
+			return rep, err
+		}
+		rep.RewrittenSegments++
+	}
+	sort.Strings(rep.QuarantineFiles)
+	// Record offsets moved: rebuild the whole in-memory state from disk.
+	return rep, s.reloadLocked()
+}
+
+// reloadLocked closes every handle and rebuilds index and active segment
+// from the on-disk state. Put/dead/compaction counters survive; the scrub
+// report is replaced by what the reload finds.
+func (s *Store) reloadLocked() error {
+	s.closeAllLocked()
+	s.index = make(map[string]recordPos)
+	s.dead = 0
+	s.scrub = ScrubReport{}
+	return s.loadAllLocked()
+}

@@ -1,0 +1,426 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stir/internal/obs"
+	"stir/internal/storage/vfs"
+)
+
+// flipTestRecordLen is the on-disk size of the uniform records the salvage
+// tests write: header + "k000" + "value-000".
+const flipTestRecordLen = recordHeaderSize + 4 + 9
+
+func fillUniform(t *testing.T, s *Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := s.Put(fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("value-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSalvageBitFlipMidSegment(t *testing.T) {
+	mem := vfs.NewMem(1)
+	reg := obs.NewRegistry()
+	const dir = "store"
+	s, err := Open(dir, Options{FS: mem, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillUniform(t, s, 100)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one bit inside record 50's value: mid-segment media corruption.
+	seg := filepath.Join(dir, "seg-000001.log")
+	if err := mem.FlipBit(seg, int64(50*flipTestRecordLen+recordHeaderSize+6), 0x01); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := obs.NewRegistry()
+	s2, err := Open(dir, Options{FS: mem, Metrics: reg2})
+	if err != nil {
+		t.Fatalf("open over bit flip must salvage, got %v", err)
+	}
+	// The damaged record is lost; every other record survives.
+	if _, err := s2.Get("k050"); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("k050 should be gone, err = %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if i == 50 {
+			continue
+		}
+		v, err := s2.Get(fmt.Sprintf("k%03d", i))
+		if err != nil || string(v) != fmt.Sprintf("value-%03d", i) {
+			t.Fatalf("k%03d = %q, %v", i, v, err)
+		}
+	}
+	rep := s2.ScrubReport()
+	if len(rep.CorruptRanges) != 1 || rep.Salvaged != 49 || rep.TornTails != 0 {
+		t.Fatalf("open scrub report = %+v", rep)
+	}
+	if got := reg2.Counter("storage_salvaged_records_total").Value(); got != 49 {
+		t.Fatalf("storage_salvaged_records_total = %d", got)
+	}
+	if got := reg2.Counter("storage_scrub_corrupt_ranges_total").Value(); got != 1 {
+		t.Fatalf("storage_scrub_corrupt_ranges_total = %d", got)
+	}
+
+	// The damage is still physically present: an online Scrub re-finds it.
+	scan, err := s2.Scrub()
+	if err != nil || scan.Clean() {
+		t.Fatalf("pre-repair scrub = %+v, %v", scan, err)
+	}
+
+	// Repair quarantines the damaged range and rewrites the segment.
+	rrep, err := s2.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrep.RewrittenSegments != 1 || rrep.QuarantinedRanges != 1 || rrep.QuarantinedBytes != flipTestRecordLen {
+		t.Fatalf("repair report = %+v", rrep)
+	}
+	if got := reg2.Counter("storage_quarantined_records_total").Value(); got != 1 {
+		t.Fatalf("storage_quarantined_records_total = %d", got)
+	}
+	if len(rrep.QuarantineFiles) != 1 {
+		t.Fatalf("quarantine files = %v", rrep.QuarantineFiles)
+	}
+	qf, err := mem.Open(rrep.QuarantineFiles[0])
+	if err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	qsize, _ := qf.Size()
+	qf.Close()
+	if qsize != flipTestRecordLen {
+		t.Fatalf("quarantine size = %d", qsize)
+	}
+
+	// After repair the log verifies clean, and the store still serves.
+	scan, err = s2.Scrub()
+	if err != nil || !scan.Clean() {
+		t.Fatalf("post-repair scrub = %+v, %v", scan, err)
+	}
+	if v, err := s2.Get("k099"); err != nil || string(v) != "value-099" {
+		t.Fatalf("post-repair read: %q, %v", v, err)
+	}
+	if err := s2.Put("new", []byte("write")); err != nil {
+		t.Fatalf("post-repair write: %v", err)
+	}
+	s2.Close()
+
+	// A fresh open of the repaired directory is clean.
+	s3, err := Open(dir, Options{FS: mem, Metrics: obs.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if rep := s3.ScrubReport(); !rep.Clean() || rep.TornTails != 0 {
+		t.Fatalf("reopen after repair = %+v", rep)
+	}
+	if s3.Len() != 100 { // 99 salvaged + "new"
+		t.Fatalf("Len = %d", s3.Len())
+	}
+}
+
+// TestRepairOnRealDisk runs the salvage/repair cycle through vfs.OS against
+// real files, including the directory fsyncs and the on-disk quarantine.
+func TestRepairOnRealDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillUniform(t, s, 20)
+	s.Close()
+
+	seg := filepath.Join(dir, "seg-000001.log")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt two separate records.
+	for _, i := range []int{5, 11} {
+		data[i*flipTestRecordLen+recordHeaderSize+2] ^= 0xFF
+	}
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rep := s2.ScrubReport(); len(rep.CorruptRanges) != 2 {
+		t.Fatalf("open report = %+v", rep)
+	}
+	rrep, err := s2.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrep.QuarantinedRanges != 2 {
+		t.Fatalf("repair = %+v", rrep)
+	}
+	for _, q := range rrep.QuarantineFiles {
+		qb, err := os.ReadFile(q)
+		if err != nil {
+			t.Fatalf("quarantine file: %v", err)
+		}
+		if len(qb) != flipTestRecordLen {
+			t.Fatalf("quarantine %s has %d bytes", q, len(qb))
+		}
+	}
+	scan, err := s2.Scrub()
+	if err != nil || !scan.Clean() {
+		t.Fatalf("post-repair scrub = %+v, %v", scan, err)
+	}
+	for i := 0; i < 20; i++ {
+		_, err := s2.Get(fmt.Sprintf("k%03d", i))
+		if i == 5 || i == 11 {
+			if !errors.Is(err, ErrKeyNotFound) {
+				t.Fatalf("damaged k%03d err = %v", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("k%03d: %v", i, err)
+		}
+	}
+}
+
+func TestRepairNoDamageIsNoop(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	fillUniform(t, s, 10)
+	rep, err := s.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RewrittenSegments != 0 || rep.QuarantinedRanges != 0 {
+		t.Fatalf("noop repair = %+v", rep)
+	}
+	if v, err := s.Get("k003"); err != nil || string(v) != "value-003" {
+		t.Fatalf("after noop repair: %q, %v", v, err)
+	}
+}
+
+func TestScrubCleanStore(t *testing.T) {
+	s, _ := openTemp(t, Options{MaxSegmentBytes: 256})
+	fillUniform(t, s, 30)
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Records != 30 || rep.Segments < 2 {
+		t.Fatalf("scrub = %+v", rep)
+	}
+}
+
+func TestOpenSweepsStaleCompactionTemp(t *testing.T) {
+	mem := vfs.NewMem(7)
+	const dir = "store"
+	s, err := Open(dir, Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", []byte("1"))
+	s.Sync()
+	s.Close()
+	// Simulate a compaction that crashed before its rename.
+	f, err := mem.Create(filepath.Join(dir, "seg-000002.log.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("half a compaction"))
+	f.Close()
+	mem.SyncDir(dir)
+
+	s2, err := Open(dir, Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	names, err := mem.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if strings.HasSuffix(n, ".tmp") {
+			t.Fatalf("stale temp survived open: %v", names)
+		}
+	}
+	if v, err := s2.Get("a"); err != nil || string(v) != "1" {
+		t.Fatalf("data lost sweeping temps: %q, %v", v, err)
+	}
+}
+
+// TestSegmentRollSurvivesCrash: records synced before a roll, and the roll's
+// fresh segment itself, must survive a power cut — the directory fsync after
+// the roll is what keeps the new segment's entry alive.
+func TestSegmentRollSurvivesCrash(t *testing.T) {
+	mem := vfs.NewMem(8)
+	const dir = "store"
+	s, err := Open(dir, Options{FS: mem, MaxSegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked []string
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("roll-%02d", i)
+		if err := s.Put(k, bytes.Repeat([]byte{'r'}, 20)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		acked = append(acked, k)
+	}
+	if ids, _ := listSegments(mem, dir); len(ids) < 3 {
+		t.Fatalf("setup should roll segments, got %v", ids)
+	}
+	mem.Crash() // power cut with no warning
+
+	s2, err := Open(dir, Options{FS: mem, MaxSegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, k := range acked {
+		if _, err := s2.Get(k); err != nil {
+			t.Fatalf("acked key %s lost after crash: %v", k, err)
+		}
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s, _ := openTemp(t, Options{MaxSegmentBytes: 512})
+	for i := 0; i < 50; i++ {
+		s.Put(fmt.Sprintf("k%02d", i%25), []byte(fmt.Sprintf("gen%d", i)))
+	}
+	s.Delete("k00")
+	if err := s.NewBatch().Put("b/1", []byte("x")).Put("b/2", []byte("y")).Delete("k01").Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	rep, err := s.Snapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != s.Len() || rep.Bytes != int64(buf.Len()) {
+		t.Fatalf("snapshot report = %+v, buf %d", rep, buf.Len())
+	}
+
+	dir2 := t.TempDir()
+	rrep, err := RestoreSnapshot(dir2, bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrep.Records != rep.Records {
+		t.Fatalf("restore records = %d, want %d", rrep.Records, rep.Records)
+	}
+	s2, err := Open(dir2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, want := s2.Keys(), s.Keys(); len(got) != len(want) {
+		t.Fatalf("restored keys %v != %v", got, want)
+	}
+	if err := s.Each(func(k string, v []byte) error {
+		got, err := s2.Get(k)
+		if err != nil || !bytes.Equal(got, v) {
+			return fmt.Errorf("restored %q = %q, %v (want %q)", k, got, err, v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The restored store accepts writes.
+	if err := s2.Put("post-restore", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreRefusesNonEmptyDirAndBadSnapshot(t *testing.T) {
+	s, dir := openTemp(t, Options{})
+	s.Put("a", []byte("1"))
+	var buf bytes.Buffer
+	if _, err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Non-empty target refused.
+	if _, err := RestoreSnapshot(dir, bytes.NewReader(buf.Bytes()), Options{}); err == nil {
+		t.Fatal("restore into a live store dir should fail")
+	}
+	// Damaged snapshot refused, and nothing is left behind.
+	bad := append([]byte{}, buf.Bytes()...)
+	bad[recordHeaderSize] ^= 0xFF
+	dir2 := t.TempDir()
+	if _, err := RestoreSnapshot(dir2, bytes.NewReader(bad), Options{}); err == nil {
+		t.Fatal("damaged snapshot should fail verification")
+	}
+	entries, err := os.ReadDir(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("failed restore left files: %v", entries)
+	}
+	// Truncated snapshot refused too.
+	dir3 := t.TempDir()
+	if _, err := RestoreSnapshot(dir3, bytes.NewReader(buf.Bytes()[:buf.Len()-2]), Options{}); err == nil {
+		t.Fatal("truncated snapshot should fail verification")
+	}
+}
+
+func TestSnapshotOfSalvagedStoreIsClean(t *testing.T) {
+	// Back up a store that is carrying mid-segment damage: the snapshot
+	// contains only the live, valid records and restores clean.
+	mem := vfs.NewMem(9)
+	const dir = "store"
+	s, err := Open(dir, Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillUniform(t, s, 10)
+	s.Close()
+	seg := filepath.Join(dir, "seg-000001.log")
+	if err := mem.FlipBit(seg, int64(4*flipTestRecordLen+recordHeaderSize+1), 0x10); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var buf bytes.Buffer
+	rep, err := s2.Snapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 9 {
+		t.Fatalf("snapshot records = %d", rep.Records)
+	}
+	rrep, err := RestoreSnapshot("restored", bytes.NewReader(buf.Bytes()), Options{FS: mem})
+	if err != nil || rrep.Records != 9 {
+		t.Fatalf("restore = %+v, %v", rrep, err)
+	}
+	s3, err := Open("restored", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if rep := s3.ScrubReport(); !rep.Clean() {
+		t.Fatalf("restored store dirty: %+v", rep)
+	}
+}

@@ -1,0 +1,219 @@
+package vfs
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// FaultConfig configures a Fault FS.
+type FaultConfig struct {
+	// Seed drives both the drop-sync rolls and the Mem's crash-time torn
+	// writes, so a run replays bit-for-bit.
+	Seed int64
+	// CrashAt is the 1-based mutation boundary at which the power cut
+	// fires (0 = never). Boundaries are counted across writes, syncs,
+	// directory syncs, creates, renames, removes and truncates — every
+	// point at which a real machine can lose power mid-operation.
+	CrashAt int64
+	// DropSyncRate is the probability a Sync or SyncDir silently does
+	// nothing while still reporting success — the lying-fsync failure
+	// mode of consumer drives and some virtualised disks.
+	DropSyncRate float64
+}
+
+// Fault wraps a Mem with a seeded fault schedule. A write that hits the
+// crash boundary is applied to the volatile state and then fails — exactly
+// a torn write: the caller sees an error, but a prefix of the bytes may
+// still survive the reboot. A sync that hits the boundary fails before
+// taking effect.
+type Fault struct {
+	mem *Mem
+	cfg FaultConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	ops     int64
+	crashed bool
+	dropped int64
+}
+
+// NewFault returns a Fault FS over a fresh Mem. The Mem's crash-time tear
+// schedule is seeded from both Seed and CrashAt: a suite sweeping CrashAt
+// across every boundary then also sweeps the tear outcomes (kept, lost,
+// torn, bit-flipped) instead of replaying one fixed tear at every boundary.
+func NewFault(cfg FaultConfig) *Fault {
+	return &Fault{
+		mem: NewMem(cfg.Seed*31 + cfg.CrashAt*2654435761 + 1),
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Mem returns the underlying in-memory filesystem.
+func (f *Fault) Mem() *Mem { return f.mem }
+
+// Boundaries returns how many mutation boundaries have been crossed.
+func (f *Fault) Boundaries() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the power cut has fired.
+func (f *Fault) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// DroppedSyncs returns how many syncs were silently dropped.
+func (f *Fault) DroppedSyncs() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// Restart reboots after a power cut: torn writes are applied to the
+// unsynced state and the FS powers back on. It is also safe to call when no
+// cut fired.
+func (f *Fault) Restart() {
+	f.mu.Lock()
+	f.crashed = false
+	f.mu.Unlock()
+	f.mem.Crash()
+}
+
+// boundary advances the op counter and fires the configured power cut.
+func (f *Fault) boundary() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrPowerCut
+	}
+	f.ops++
+	if f.cfg.CrashAt > 0 && f.ops == f.cfg.CrashAt {
+		f.crashed = true
+		f.mem.PowerOff()
+		return ErrPowerCut
+	}
+	return nil
+}
+
+// dropSync rolls the lying-fsync die.
+func (f *Fault) dropSync() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cfg.DropSyncRate > 0 && f.rng.Float64() < f.cfg.DropSyncRate {
+		f.dropped++
+		return true
+	}
+	return false
+}
+
+// MkdirAll implements FS (not a boundary: the store calls it once at open).
+func (f *Fault) MkdirAll(dir string) error { return f.mem.MkdirAll(dir) }
+
+// Create implements FS.
+func (f *Fault) Create(name string) (File, error) {
+	if err := f.boundary(); err != nil {
+		return nil, err
+	}
+	h, err := f.mem.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: h}, nil
+}
+
+// OpenAppend implements FS.
+func (f *Fault) OpenAppend(name string) (File, error) {
+	if err := f.boundary(); err != nil {
+		return nil, err
+	}
+	h, err := f.mem.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: h}, nil
+}
+
+// Open implements FS (reads are not boundaries).
+func (f *Fault) Open(name string) (File, error) {
+	h, err := f.mem.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: h}, nil
+}
+
+// ReadDir implements FS.
+func (f *Fault) ReadDir(dir string) ([]string, error) { return f.mem.ReadDir(dir) }
+
+// Rename implements FS.
+func (f *Fault) Rename(oldName, newName string) error {
+	if err := f.boundary(); err != nil {
+		return err
+	}
+	return f.mem.Rename(oldName, newName)
+}
+
+// Remove implements FS.
+func (f *Fault) Remove(name string) error {
+	if err := f.boundary(); err != nil {
+		return err
+	}
+	return f.mem.Remove(name)
+}
+
+// Truncate implements FS.
+func (f *Fault) Truncate(name string, size int64) error {
+	if err := f.boundary(); err != nil {
+		return err
+	}
+	return f.mem.Truncate(name, size)
+}
+
+// SyncDir implements FS.
+func (f *Fault) SyncDir(dir string) error {
+	if err := f.boundary(); err != nil {
+		return err
+	}
+	if f.dropSync() {
+		return nil
+	}
+	return f.mem.SyncDir(dir)
+}
+
+type faultFile struct {
+	f     *Fault
+	inner File
+}
+
+// Write applies the bytes to the volatile state first and then checks the
+// boundary, so a cut at a write boundary leaves a torn write behind.
+func (h *faultFile) Write(p []byte) (int, error) {
+	n, err := h.inner.Write(p)
+	if err != nil {
+		return n, err
+	}
+	if err := h.f.boundary(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Sync checks the boundary before taking effect: a cut at a sync boundary
+// means the sync never happened.
+func (h *faultFile) Sync() error {
+	if err := h.f.boundary(); err != nil {
+		return err
+	}
+	if h.f.dropSync() {
+		return nil
+	}
+	return h.inner.Sync()
+}
+
+func (h *faultFile) ReadAt(p []byte, off int64) (int, error) { return h.inner.ReadAt(p, off) }
+func (h *faultFile) Size() (int64, error)                    { return h.inner.Size() }
+func (h *faultFile) Close() error                            { return h.inner.Close() }

@@ -1,0 +1,334 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Mem is an in-memory FS that models what real disks actually promise:
+//
+//   - File content written but not fsynced is volatile. On Crash, each file
+//     keeps its synced prefix; of the unsynced suffix a seeded-random amount
+//     survives — nothing, everything, or a torn prefix that may carry a bit
+//     flip (a half-written sector is not guaranteed to hold clean bytes).
+//   - Namespace changes (create, rename, remove) are volatile until SyncDir.
+//     On Crash the directory rolls back to its last-synced entry set: files
+//     created but never dir-synced vanish, files removed without a dir sync
+//     come back.
+//
+// Crash powers the FS back on over the surviving state, so a test can run a
+// workload, cut the power at any point, "reboot" and reopen the store.
+type Mem struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	files   map[string]*memFile // volatile namespace (cleaned full paths)
+	durable map[string]*memFile // namespace as of the last SyncDir per dir
+	dirs    map[string]bool
+	down    bool
+}
+
+type memFile struct {
+	data   []byte
+	synced int // durable prefix length
+}
+
+// NewMem returns an empty Mem whose crash-time torn-write decisions replay
+// deterministically from seed.
+func NewMem(seed int64) *Mem {
+	return &Mem{
+		rng:     rand.New(rand.NewSource(seed)),
+		files:   make(map[string]*memFile),
+		durable: make(map[string]*memFile),
+		dirs:    make(map[string]bool),
+	}
+}
+
+// PowerOff makes every subsequent operation fail with ErrPowerCut until
+// Crash powers the FS back on.
+func (m *Mem) PowerOff() {
+	m.mu.Lock()
+	m.down = true
+	m.mu.Unlock()
+}
+
+// Crash simulates a power cut and reboot: volatile namespace changes roll
+// back, unsynced file suffixes are torn per the seeded schedule, and the FS
+// powers back on.
+func (m *Mem) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	files := make(map[string]*memFile, len(m.durable))
+	seen := make(map[*memFile]bool, len(m.durable))
+	for name, f := range m.durable {
+		files[name] = f
+		if !seen[f] {
+			seen[f] = true
+			m.tearFile(f)
+		}
+	}
+	m.files = files
+	m.down = false
+}
+
+// tearFile applies crash semantics to one file's content: the synced prefix
+// survives, the unsynced suffix survives fully, partially (possibly with a
+// bit flip), or not at all. Whatever survived is durable after the reboot.
+func (m *Mem) tearFile(f *memFile) {
+	if un := len(f.data) - f.synced; un > 0 {
+		keep := 0
+		switch m.rng.Intn(3) {
+		case 0: // lost entirely
+		case 1:
+			keep = m.rng.Intn(un + 1)
+			if keep > 0 && m.rng.Intn(2) == 0 {
+				i := f.synced + m.rng.Intn(keep)
+				f.data[i] ^= 1 << m.rng.Intn(8)
+			}
+		case 2:
+			keep = un
+		}
+		f.data = f.data[:f.synced+keep]
+	}
+	f.synced = len(f.data)
+}
+
+// FlipBit corrupts one durable byte of name in place (both the volatile and
+// durable views share the content), simulating media corruption for scrub
+// and salvage tests.
+func (m *Mem) FlipBit(name string, off int64, mask byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[filepath.Clean(name)]
+	if !ok {
+		return fmt.Errorf("vfs: flip bit: %w: %s", fs.ErrNotExist, name)
+	}
+	if off < 0 || off >= int64(len(f.data)) {
+		return fmt.Errorf("vfs: flip bit: offset %d out of range [0,%d)", off, len(f.data))
+	}
+	f.data[off] ^= mask
+	return nil
+}
+
+func (m *Mem) check() error {
+	if m.down {
+		return ErrPowerCut
+	}
+	return nil
+}
+
+// MkdirAll implements FS. Directory creation is treated as immediately
+// durable — losing a mkdir is not an interesting failure mode for the store.
+func (m *Mem) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(); err != nil {
+		return err
+	}
+	dir = filepath.Clean(dir)
+	for dir != "." && dir != string(filepath.Separator) {
+		m.dirs[dir] = true
+		dir = filepath.Dir(dir)
+	}
+	return nil
+}
+
+// Create implements FS.
+func (m *Mem) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(); err != nil {
+		return nil, err
+	}
+	name = filepath.Clean(name)
+	f := &memFile{}
+	m.files[name] = f
+	return &memHandle{m: m, f: f, write: true}, nil
+}
+
+// OpenAppend implements FS.
+func (m *Mem) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(); err != nil {
+		return nil, err
+	}
+	name = filepath.Clean(name)
+	f, ok := m.files[name]
+	if !ok {
+		f = &memFile{}
+		m.files[name] = f
+	}
+	return &memHandle{m: m, f: f, write: true}, nil
+}
+
+// Open implements FS.
+func (m *Mem) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(); err != nil {
+		return nil, err
+	}
+	f, ok := m.files[filepath.Clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("vfs: open: %w: %s", fs.ErrNotExist, name)
+	}
+	return &memHandle{m: m, f: f}, nil
+}
+
+// ReadDir implements FS.
+func (m *Mem) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(); err != nil {
+		return nil, err
+	}
+	dir = filepath.Clean(dir)
+	if !m.dirs[dir] {
+		return nil, fmt.Errorf("vfs: readdir: %w: %s", fs.ErrNotExist, dir)
+	}
+	var names []string
+	for name := range m.files {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (m *Mem) Rename(oldName, newName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(); err != nil {
+		return err
+	}
+	oldName, newName = filepath.Clean(oldName), filepath.Clean(newName)
+	f, ok := m.files[oldName]
+	if !ok {
+		return fmt.Errorf("vfs: rename: %w: %s", fs.ErrNotExist, oldName)
+	}
+	delete(m.files, oldName)
+	m.files[newName] = f
+	return nil
+}
+
+// Remove implements FS.
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(); err != nil {
+		return err
+	}
+	name = filepath.Clean(name)
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("vfs: remove: %w: %s", fs.ErrNotExist, name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Truncate implements FS.
+func (m *Mem) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(); err != nil {
+		return err
+	}
+	f, ok := m.files[filepath.Clean(name)]
+	if !ok {
+		return fmt.Errorf("vfs: truncate: %w: %s", fs.ErrNotExist, name)
+	}
+	if size < 0 || size > int64(len(f.data)) {
+		return fmt.Errorf("vfs: truncate: size %d out of range [0,%d]", size, len(f.data))
+	}
+	f.data = f.data[:size]
+	if f.synced > int(size) {
+		f.synced = int(size)
+	}
+	return nil
+}
+
+// SyncDir implements FS: the current entry set of dir becomes durable.
+func (m *Mem) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(); err != nil {
+		return err
+	}
+	dir = filepath.Clean(dir)
+	for name := range m.durable {
+		if filepath.Dir(name) == dir {
+			if _, ok := m.files[name]; !ok {
+				delete(m.durable, name)
+			}
+		}
+	}
+	for name, f := range m.files {
+		if filepath.Dir(name) == dir {
+			m.durable[name] = f
+		}
+	}
+	return nil
+}
+
+type memHandle struct {
+	m     *Mem
+	f     *memFile
+	write bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if err := h.m.check(); err != nil {
+		return 0, err
+	}
+	if !h.write {
+		return 0, fmt.Errorf("vfs: write on read-only handle")
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if err := h.m.check(); err != nil {
+		return 0, err
+	}
+	if off < 0 || off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *memHandle) Sync() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if err := h.m.check(); err != nil {
+		return err
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Size() (int64, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if err := h.m.check(); err != nil {
+		return 0, err
+	}
+	return int64(len(h.f.data)), nil
+}
+
+func (h *memHandle) Close() error { return nil }

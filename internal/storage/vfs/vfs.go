@@ -1,0 +1,154 @@
+// Package vfs is the filesystem seam under internal/storage. The store
+// performs every disk operation through the FS interface, so tests can swap
+// the real filesystem for an in-memory model (Mem) that distinguishes
+// volatile from durable state, or for a seeded fault wrapper (Fault) that
+// simulates a power cut at any chosen write/sync/rename boundary — the
+// disk-layer sibling of internal/resilience/fault.
+//
+// The interface is deliberately verb-shaped rather than a generic OpenFile:
+// the store only ever creates-and-truncates (compaction temp files),
+// opens-for-append (the active segment) or opens-for-read, and naming those
+// three keeps both implementations small.
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sort"
+	"syscall"
+)
+
+// ErrPowerCut is returned by a Fault FS for every operation at and after the
+// simulated power cut. Errors from the store wrap it, so callers can detect a
+// cut with errors.Is regardless of which layer surfaced it.
+var ErrPowerCut = errors.New("vfs: simulated power cut")
+
+// File is the handle surface the store needs: append writes, positional
+// reads, fsync, and the current size.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	// Size returns the file's current length in bytes.
+	Size() (int64, error)
+}
+
+// FS abstracts the directory the store lives in.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if missing.
+	OpenAppend(name string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// ReadDir lists the base names of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newName with oldName's file.
+	Rename(oldName, newName string) error
+	// Remove unlinks name.
+	Remove(name string) error
+	// Truncate chops name to size bytes.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory itself, making created, renamed and
+	// removed entries durable. Without it a crash can roll the namespace
+	// back even though the file contents were synced.
+	SyncDir(dir string) error
+}
+
+// Or returns fsys, or the real filesystem when fsys is nil.
+func Or(fsys FS) FS {
+	if fsys == nil {
+		return OS{}
+	}
+	return fsys
+}
+
+// OS is the production FS backed by the real filesystem.
+type OS struct{}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// OpenAppend implements FS.
+func (OS) OpenAppend(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Open implements FS.
+func (OS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (OS) Rename(oldName, newName string) error { return os.Rename(oldName, newName) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncDir implements FS: open the directory and fsync it.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	// Some filesystems refuse directory fsync; treating that as fatal would
+	// make the store unusable there for no gain.
+	if err != nil && (errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)) {
+		err = nil
+	}
+	if err != nil {
+		return err
+	}
+	return cerr
+}

@@ -1,0 +1,312 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"testing"
+)
+
+func writeAll(t *testing.T, f File, b []byte) {
+	t.Helper()
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, fsys FS, name string) []byte {
+	t.Helper()
+	f, err := fsys.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, size)
+	if size > 0 {
+		if n, err := f.ReadAt(buf, 0); err != nil && (err != io.EOF || int64(n) < size) {
+			t.Fatal(err)
+		}
+	}
+	return buf
+}
+
+func TestMemSyncedPrefixSurvivesCrash(t *testing.T) {
+	m := NewMem(1)
+	if err := m.MkdirAll("db"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenAppend("db/seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("db"); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("+volatile"))
+	m.Crash()
+	got := readAll(t, m, "db/seg")
+	if len(got) < len("durable") || string(got[:7]) != "durable" {
+		t.Fatalf("synced prefix damaged: %q", got)
+	}
+	if len(got) > len("durable+volatile") {
+		t.Fatalf("crash grew the file: %q", got)
+	}
+}
+
+func TestMemUnsyncedSuffixTornDeterministically(t *testing.T) {
+	// The same seed must tear the same way; across many seeds all three
+	// outcomes (lost, torn, kept) must occur.
+	outcomes := map[int]bool{}
+	var first, second []byte
+	for seed := int64(0); seed < 64; seed++ {
+		run := func() []byte {
+			m := NewMem(seed)
+			m.MkdirAll("d")
+			f, _ := m.OpenAppend("d/f")
+			writeAll(t, f, []byte("sync"))
+			f.Sync()
+			m.SyncDir("d")
+			writeAll(t, f, []byte("unsynced-data"))
+			m.Crash()
+			return readAll(t, m, "d/f")
+		}
+		a, b := run(), run()
+		if string(a) != string(b) {
+			t.Fatalf("seed %d not deterministic: %q vs %q", seed, a, b)
+		}
+		if seed == 0 {
+			first = a
+		}
+		if seed == 1 {
+			second = a
+		}
+		outcomes[len(a)] = true
+	}
+	if len(outcomes) < 3 {
+		t.Fatalf("tearing not varied across seeds: lengths %v", outcomes)
+	}
+	_ = first
+	_ = second
+}
+
+func TestMemCreateWithoutDirSyncVanishes(t *testing.T) {
+	m := NewMem(2)
+	m.MkdirAll("d")
+	f, _ := m.Create("d/new")
+	writeAll(t, f, []byte("x"))
+	f.Sync() // file content synced, directory entry not
+	f.Close()
+	m.Crash()
+	if _, err := m.Open("d/new"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("un-dir-synced file should vanish, got %v", err)
+	}
+}
+
+func TestMemRemoveWithoutDirSyncResurrects(t *testing.T) {
+	m := NewMem(3)
+	m.MkdirAll("d")
+	f, _ := m.Create("d/f")
+	writeAll(t, f, []byte("back"))
+	f.Sync()
+	f.Close()
+	m.SyncDir("d")
+	if err := m.Remove("d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Open("d/f"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("removed file still visible")
+	}
+	m.Crash()
+	if got := readAll(t, m, "d/f"); string(got) != "back" {
+		t.Fatalf("removed-but-not-dir-synced file should resurrect, got %q", got)
+	}
+	// After a dir sync the removal is durable.
+	m.Remove("d/f")
+	m.SyncDir("d")
+	m.Crash()
+	if _, err := m.Open("d/f"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("durably removed file came back: %v", err)
+	}
+}
+
+func TestMemRenameWithoutDirSyncRevertsOnCrash(t *testing.T) {
+	m := NewMem(4)
+	m.MkdirAll("d")
+	f, _ := m.Create("d/tmp")
+	writeAll(t, f, []byte("v"))
+	f.Sync()
+	f.Close()
+	m.SyncDir("d")
+	if err := m.Rename("d/tmp", "d/final"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if _, err := m.Open("d/final"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("un-synced rename should revert, got %v", err)
+	}
+	if got := readAll(t, m, "d/tmp"); string(got) != "v" {
+		t.Fatalf("old name should survive, got %q", got)
+	}
+	// Synced rename sticks.
+	m.Rename("d/tmp", "d/final")
+	m.SyncDir("d")
+	m.Crash()
+	if got := readAll(t, m, "d/final"); string(got) != "v" {
+		t.Fatalf("synced rename lost: %q", got)
+	}
+}
+
+func TestMemReadDirAndTruncate(t *testing.T) {
+	m := NewMem(5)
+	m.MkdirAll("d")
+	for _, n := range []string{"b", "a", "c"} {
+		f, _ := m.Create("d/" + n)
+		f.Close()
+	}
+	names, err := m.ReadDir("d")
+	if err != nil || len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	f, _ := m.OpenAppend("d/a")
+	writeAll(t, f, []byte("0123456789"))
+	f.Sync()
+	if err := m.Truncate("d/a", 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, m, "d/a"); string(got) != "0123" {
+		t.Fatalf("truncate: %q", got)
+	}
+	m.SyncDir("d")
+	m.Crash()
+	if got := readAll(t, m, "d/a"); string(got) != "0123" {
+		t.Fatalf("truncate not durable: %q", got)
+	}
+}
+
+func TestMemFlipBit(t *testing.T) {
+	m := NewMem(6)
+	m.MkdirAll("d")
+	f, _ := m.Create("d/f")
+	writeAll(t, f, []byte{0x00, 0x00})
+	f.Close()
+	if err := m.FlipBit("d/f", 1, 0x80); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, m, "d/f"); got[1] != 0x80 {
+		t.Fatalf("bit not flipped: %v", got)
+	}
+	if err := m.FlipBit("d/f", 99, 1); err == nil {
+		t.Fatal("out-of-range flip should error")
+	}
+}
+
+func TestFaultCrashAtBoundary(t *testing.T) {
+	// Boundary 3 is the Sync: the write survives volatile, the sync never
+	// lands, and every later op fails with ErrPowerCut until Restart.
+	flt := NewFault(FaultConfig{Seed: 7, CrashAt: 3})
+	flt.MkdirAll("d")
+	f, err := flt.OpenAppend("d/f") // boundary 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("x")) // boundary 2
+	if err := f.Sync(); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("sync at crash boundary = %v", err)
+	}
+	if !flt.Crashed() {
+		t.Fatal("fault not marked crashed")
+	}
+	if _, err := f.Write([]byte("y")); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("write after cut = %v", err)
+	}
+	if _, err := flt.Open("d/f"); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("open after cut = %v", err)
+	}
+	flt.Restart()
+	if flt.Crashed() {
+		t.Fatal("restart did not clear crash")
+	}
+	// The un-dir-synced file is gone after the reboot.
+	if _, err := flt.Open("d/f"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("after restart open = %v", err)
+	}
+	if flt.Boundaries() != 3 {
+		t.Fatalf("boundaries = %d", flt.Boundaries())
+	}
+}
+
+func TestFaultDropSync(t *testing.T) {
+	flt := NewFault(FaultConfig{Seed: 8, DropSyncRate: 1})
+	flt.MkdirAll("d")
+	f, _ := flt.OpenAppend("d/f")
+	writeAll(t, f, []byte("never-durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying fsync should report success, got %v", err)
+	}
+	if err := flt.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if flt.DroppedSyncs() != 2 {
+		t.Fatalf("dropped = %d", flt.DroppedSyncs())
+	}
+	flt.Mem().Crash()
+	// Both the content sync and the dir sync were dropped: the file may
+	// have vanished entirely, or survived torn — but never as durable.
+	if _, err := flt.Open("d/f"); err == nil {
+		got := readAll(t, flt, "d/f")
+		if string(got) == "never-durable" {
+			t.Fatalf("dropped fsync still made data durable")
+		}
+	}
+}
+
+func TestOSRoundTripAndSyncDir(t *testing.T) {
+	dir := t.TempDir()
+	var fsys FS = OS{}
+	sub := filepath.Join(dir, "db")
+	if err := fsys.MkdirAll(sub); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.OpenAppend(filepath.Join(sub, "seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("hello"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(sub); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if got := readAll(t, fsys, filepath.Join(sub, "seg")); string(got) != "hello" {
+		t.Fatalf("roundtrip: %q", got)
+	}
+	if err := fsys.Rename(filepath.Join(sub, "seg"), filepath.Join(sub, "seg2")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fsys.ReadDir(sub)
+	if err != nil || len(names) != 1 || names[0] != "seg2" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if err := fsys.Truncate(filepath.Join(sub, "seg2"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, fsys, filepath.Join(sub, "seg2")); string(got) != "he" {
+		t.Fatalf("truncate: %q", got)
+	}
+	if err := fsys.Remove(filepath.Join(sub, "seg2")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -179,32 +179,46 @@ func (e *Engine) Checkpoint() error {
 
 // loadCheckpoint rebuilds shard state from the store (called by New, before
 // the workers start, so no locking is needed).
+//
+// A salvaged store can be missing records or carry a damaged one that still
+// parsed (a scrubbed log never hands back bytes with a bad CRC, but a record
+// written by a buggy writer can decode and fail validation). Dropping one
+// user's state only costs a re-crawl of that user, while refusing to start
+// costs the whole pipeline — so per-record failures are skipped and counted
+// in stream_checkpoint_salvage_dropped_total rather than returned. Only a
+// version mismatch stays fatal: that is a config problem, not damage.
 func (e *Engine) loadCheckpoint() error {
 	store := e.cfg.Store
+	dropped := e.reg.Counter("stream_checkpoint_salvage_dropped_total")
 	if b, err := store.Get(ckptMetaKey); err == nil {
 		var meta ckptMeta
 		if err := json.Unmarshal(b, &meta); err != nil {
-			return fmt.Errorf("stream: decode checkpoint meta: %w", err)
+			// Counters restart from zero; the per-user state is unaffected.
+			dropped.Inc()
+		} else {
+			if meta.Version != ckptFormatVersion {
+				return fmt.Errorf("stream: unsupported checkpoint version %d", meta.Version)
+			}
+			e.restored = meta.Counters
 		}
-		if meta.Version != ckptFormatVersion {
-			return fmt.Errorf("stream: unsupported checkpoint version %d", meta.Version)
-		}
-		e.restored = meta.Counters
 	}
 	for _, key := range store.KeysWithPrefix(ckptUserPrefix) {
 		idStr := strings.TrimPrefix(key, ckptUserPrefix)
 		id, err := strconv.ParseInt(idStr, 10, 64)
 		if err != nil {
-			return fmt.Errorf("stream: bad checkpoint key %q", key)
+			dropped.Inc()
+			continue
 		}
 		b, err := store.Get(key)
 		if err != nil {
-			return err
+			dropped.Inc()
+			continue
 		}
 		sh := e.shardOf(twitter.UserID(id))
 		st, err := decodeUserState(b, sh.rnd.next)
 		if err != nil {
-			return err
+			dropped.Inc()
+			continue
 		}
 		sh.users[twitter.UserID(id)] = st
 		if st.total > 0 {
@@ -216,7 +230,8 @@ func (e *Engine) loadCheckpoint() error {
 		idStr := strings.TrimPrefix(key, ckptRejectPrefix)
 		id, err := strconv.ParseInt(idStr, 10, 64)
 		if err != nil {
-			return fmt.Errorf("stream: bad checkpoint key %q", key)
+			dropped.Inc()
+			continue
 		}
 		e.shardOf(twitter.UserID(id)).rejected[twitter.UserID(id)] = true
 	}

@@ -1,0 +1,114 @@
+package stream
+
+import (
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"stir/internal/obs"
+	"stir/internal/storage"
+)
+
+// countUsers sums loaded user states across shards (engine not yet running).
+func countUsers(e *Engine) int {
+	n := 0
+	for _, sh := range e.shards {
+		n += len(sh.users)
+	}
+	return n
+}
+
+// TestCheckpointLoadSalvagesDamagedRecords: a checkpoint with damaged or
+// alien records must not stop the engine from starting — bad records are
+// dropped and counted, good ones restored.
+func TestCheckpointLoadSalvagesDamagedRecords(t *testing.T) {
+	ds := testDataset(t, 60, 31)
+	tweets := allTweets(ds)
+	store, err := storage.Open(filepath.Join(t.TempDir(), "ckpt"), storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	eng := testEngine(t, ds, func(c *Config) { c.Store = store })
+	for _, tw := range tweets {
+		eng.Ingest(tw)
+	}
+	if err := eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+
+	userKeys := store.KeysWithPrefix(ckptUserPrefix)
+	if len(userKeys) < 3 {
+		t.Fatalf("checkpoint too small to damage: %d user records", len(userKeys))
+	}
+
+	// Damage the checkpoint three ways: one user record that no longer
+	// decodes, one key that is not a user id at all, and a meta record that
+	// is not JSON.
+	victim := userKeys[0]
+	if err := store.Put(victim, []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(ckptUserPrefix+"not-a-number", []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(ckptMetaKey, []byte("####")); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	eng2 := testEngine(t, ds, func(c *Config) {
+		c.Store = store
+		c.Metrics = reg
+	})
+	defer eng2.Close()
+	if got := reg.Counter("stream_checkpoint_salvage_dropped_total").Value(); got != 3 {
+		t.Fatalf("salvage dropped = %d, want 3", got)
+	}
+	if got, want := countUsers(eng2), len(userKeys)-1; got != want {
+		t.Fatalf("restored %d users, want %d", got, want)
+	}
+	// The damaged user is absent, a healthy one restored.
+	victimID := strings.TrimPrefix(victim, ckptUserPrefix)
+	for _, sh := range eng2.shards {
+		for id := range sh.users {
+			if strconv.FormatInt(int64(id), 10) == victimID {
+				t.Fatalf("damaged user %s restored from garbage", victimID)
+			}
+		}
+	}
+	// Counters were in the damaged meta record: they restart from zero
+	// rather than poisoning the run.
+	if eng2.restored.Processed != 0 {
+		t.Fatalf("restored counters from damaged meta: %+v", eng2.restored)
+	}
+	// The salvaged engine still ingests.
+	eng2.Ingest(tweets[0])
+	eng2.Drain()
+}
+
+// TestCheckpointVersionMismatchStaysFatal: a wrong format version is a
+// configuration error, not damage — salvage must not paper over it.
+func TestCheckpointVersionMismatchStaysFatal(t *testing.T) {
+	ds := testDataset(t, 10, 32)
+	store, err := storage.Open(filepath.Join(t.TempDir(), "ckpt"), storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if err := store.Put(ckptMetaKey, []byte(`{"version":99}`)); err != nil {
+		t.Fatal(err)
+	}
+	resolver := NewGazetteerResolver(ds.Gazetteer, 10)
+	_, err = New(Config{
+		Profiles: NewProfileResolver(ServiceLookup(ds.Service), nil, resolver, ds.Gazetteer),
+		Resolver: resolver,
+		Store:    store,
+	})
+	if err == nil || !strings.Contains(err.Error(), "unsupported checkpoint version") {
+		t.Fatalf("version mismatch err = %v", err)
+	}
+}

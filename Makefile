@@ -8,7 +8,7 @@ GO ?= go
 # Fixed fault schedule for reproducible chaos runs (see internal/resilience/fault).
 CHAOS_SEED ?= 2026
 
-.PHONY: build test vet race verify chaos crash load bench bench-obs bench-stream
+.PHONY: build test vet race verify chaos crash load bench bench-obs bench-stream profile
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ vet:
 
 # Race-check the packages that share metric registries across goroutines.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/resilience/... ./internal/twitter/... ./internal/geocode/... ./internal/pipeline/... ./internal/storage/... ./internal/ratelimit/... ./internal/stream/... ./internal/overload/... ./internal/daemon/...
+	$(GO) test -race ./internal/obs/... ./internal/resilience/... ./internal/twitter/... ./internal/geocode/... ./internal/pipeline/... ./internal/storage/... ./internal/ratelimit/... ./internal/stream/... ./internal/overload/... ./internal/daemon/... ./internal/logx
 
 verify: build vet test race crash
 
@@ -55,3 +55,13 @@ bench-obs:
 # the subsystem's floor is 100k tweets/sec on 4 shards with zero drops).
 bench-stream:
 	$(GO) test -run xxx -bench BenchmarkStreamIngest -benchtime 2s ./internal/stream/
+
+# Offline continuous-profiling capture: run the sustained ingestion benchmark
+# under the CPU and heap profilers and drop the profiles in profiles/ for
+# `go tool pprof`. The live equivalents are served by every daemon at
+# /debug/pprof/ (e.g. /debug/pprof/profile?seconds=10).
+profile:
+	mkdir -p profiles
+	$(GO) test -run xxx -bench BenchmarkStreamIngest -benchtime 2s \
+		-cpuprofile profiles/cpu.out -memprofile profiles/heap.out \
+		-o profiles/stream.test ./internal/stream/

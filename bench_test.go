@@ -22,6 +22,7 @@ import (
 	"stir/internal/gis"
 	"stir/internal/homeloc"
 	"stir/internal/obs"
+	"stir/internal/obs/trace"
 	"stir/internal/pipeline"
 	"stir/internal/storage"
 	"stir/internal/temporal"
@@ -139,6 +140,35 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 		})
 	}
+	// The same run with an unsampled distributed tracer wired in: Root
+	// returns (ctx, nil) and every nil-span method is a no-op, so the cost
+	// must match the discard baseline.
+	b.Run("unsampled-trace", func(b *testing.B) {
+		p := pipeline.New(e.gaz, 10)
+		p.Obs = obs.Discard
+		p.Trace = trace.New(trace.Options{Service: "bench", Sample: 0, Metrics: obs.Discard})
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Run(ctx, e.users, e.tweets); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The unsampled span surface in isolation — root, child, annotate, end —
+	// must report 0 allocs/op: that is the contract that lets clients leave
+	// tracing calls on the hot path unconditionally.
+	b.Run("unsampled-trace-ops", func(b *testing.B) {
+		tr := trace.New(trace.Options{Service: "bench", Sample: 0, Metrics: obs.Discard})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sctx, sp := tr.Root(ctx, "bench.root")
+			_, child := trace.Start(sctx, "bench.child")
+			child.Annotate("key", "value")
+			child.AnnotateInt("n", int64(i))
+			child.End()
+			sp.End()
+		}
+	})
 }
 
 // analyzeRows re-aggregates the per-user groupings into the per-group stats

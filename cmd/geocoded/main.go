@@ -8,13 +8,17 @@
 //	         [-max-inflight N] [-queue-depth N] [-target-latency D] [-drain-timeout D]
 //	         [-fault-5xx R] [-fault-reset R] [-fault-timeout R] [-fault-corrupt R]
 //	         [-fault-slow R] [-fault-seed S]
+//	         [-trace-sample P] [-trace-ring N] [-trace-slow D] [-trace-seed S]
 //
 // The -fault-* flags (defaulting from the STIR_FAULT_* environment knobs)
 // wrap the API in the deterministic fault injector, turning geocoded into a
 // flaky upstream for resilience testing. The overload flags bound concurrent
 // work; excess arrivals are shed with 503 + Retry-After while /healthz,
-// /readyz and /metrics keep answering. SIGTERM drains gracefully and the
-// process exits 0.
+// /readyz and /metrics keep answering. The -trace-* flags control the
+// distributed-tracing surface: inbound traceparent headers are continued,
+// finished spans land in the ring served at /debug/trace, and /debug/pprof/
+// exposes the live profiles. SIGTERM drains gracefully and the process
+// exits 0.
 //
 // Try it:
 //
@@ -23,21 +27,19 @@ package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
-	"os"
 	"time"
 
 	"stir/internal/admin"
 	"stir/internal/daemon"
 	"stir/internal/geocode"
+	"stir/internal/logx"
 	"stir/internal/obs"
 	"stir/internal/overload"
 )
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal("geocoded: ", err)
+		logx.New(nil, "geocoded").Fatal("startup failed", "err", err)
 	}
 }
 
@@ -49,6 +51,7 @@ func run() error {
 	slack := flag.Float64("slack", 10, "km of slack for nearest-district fallback (negative disables)")
 	faults := daemon.FaultFlags(flag.CommandLine)
 	over := daemon.OverloadFlags(flag.CommandLine)
+	traces := daemon.TraceFlags(flag.CommandLine)
 	flag.Parse()
 
 	var (
@@ -65,7 +68,12 @@ func run() error {
 	}
 
 	cfg := over()
-	stack := daemon.NewStack("geocoded", cfg, obs.Default)
+	stack := daemon.NewStackOpts(daemon.StackOptions{
+		Service:  "geocoded",
+		Overload: cfg,
+		Trace:    traces(),
+		Metrics:  obs.Default,
+	})
 	api := geocode.NewServer(gaz, geocode.ServerOptions{
 		Limit:   *limit,
 		Window:  *window,
@@ -73,7 +81,7 @@ func run() error {
 	})
 	if inj := faults().Injector(obs.Default); inj != nil {
 		stack.Mux.Handle("/", inj.Handler(api))
-		fmt.Fprintf(os.Stderr, "geocoded: fault injection armed\n")
+		stack.Log.Warn(nil, "fault injection armed")
 	} else {
 		stack.Mux.Handle("/", api)
 	}
@@ -84,10 +92,11 @@ func run() error {
 		Handler:      stack.Handler,
 		DrainTimeout: cfg.DrainTimeout,
 		Ready:        stack.Ready,
+		Logf:         stack.Log.Printf,
 		// Request/response only — a write deadline is safe here.
 		WriteTimeout: 30 * time.Second,
 	})
-	fmt.Printf("geocoded: %d districts across %d states; listening on %s\n",
-		gaz.Len(), len(gaz.States()), *addr)
+	stack.Log.Info(nil, "listening",
+		"addr", *addr, "districts", gaz.Len(), "states", len(gaz.States()))
 	return srv.ListenAndServe()
 }

@@ -24,9 +24,14 @@
 //	stir stream  [-addr :8033] [-dataset korean|world] [-users N] [-seed S]
 //	             [-shards N] [-buffer N] [-drop] [-rate N] [-track S]
 //	             [-checkpoint DIR] [-checkpoint-every D] [-duration D]
+//	             [-geocode URL] [-trace-sample P] [-trace-ring N]
 //	    run the live ingestion engine: replay the dataset's collection
 //	    through the simulated Streaming API into internal/stream and serve
 //	    the incremental analysis on /v1/groups, /v1/users/{id}, /v1/stats
+//	stir trace   [-addrs host:port,...] [-trace PREFIX] [-n N] [-json]
+//	    fetch the finished-span rings from the daemons' /debug/trace
+//	    endpoints, merge them by trace ID, and print each cross-process
+//	    request tree
 package main
 
 import (
@@ -45,6 +50,7 @@ import (
 	"stir"
 	"stir/internal/admin"
 	"stir/internal/daemon"
+	"stir/internal/geocode"
 	"stir/internal/obs"
 	"stir/internal/overload"
 	"stir/internal/report"
@@ -81,6 +87,8 @@ func main() {
 		err = runStream(os.Args[2:])
 	case "fsck":
 		err = runFsck(os.Args[2:])
+	case "trace":
+		err = runTrace(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -104,7 +112,8 @@ func usage() {
   scenario dump a generator scenario as editable JSON (see analyze -scenario)
   serve    run the analysis and serve /metrics and /healthz
   stream   live-ingest the Streaming API and serve the incremental analysis
-  fsck     verify, repair, back up or restore a checkpoint store directory`)
+  fsck     verify, repair, back up or restore a checkpoint store directory
+  trace    fetch /debug/trace rings from daemons and print request trees`)
 }
 
 // resilienceFlags registers the shared chaos/degraded-mode flags on fs and
@@ -368,26 +377,37 @@ func runServe(args []string) error {
 	seed := fs.Int64("seed", 1, "generation seed")
 	resOpts := resilienceFlags(fs)
 	over := daemon.OverloadFlags(fs)
+	traces := daemon.TraceFlags(fs)
 	fs.Parse(args)
 
 	ds, err := makeDataset(*dataset, *users, *seed)
 	if err != nil {
 		return err
 	}
-	res, err := ds.AnalyzeWith(context.Background(), resOpts())
+	// The stack comes up before the analysis so the run's own spans land in
+	// the ring /debug/trace serves afterwards.
+	cfg := over()
+	stack := daemon.NewStackOpts(daemon.StackOptions{
+		Service:  "stir",
+		Overload: cfg,
+		Trace:    traces(),
+		Metrics:  obs.Default,
+	})
+	aOpts := resOpts()
+	aOpts.Trace = stack.Tracer
+	res, err := ds.AnalyzeWith(context.Background(), aOpts)
 	if err != nil {
 		return err
 	}
 	fmt.Println("Collection & refinement funnel (§III):")
 	fmt.Println(stir.FormatFunnel(&res.Funnel))
-	cfg := over()
-	stack := daemon.NewStack("stir", cfg, obs.Default)
 	srv := overload.NewServer(overload.ServerOptions{
 		Service:      "stir",
 		Addr:         *addr,
 		Handler:      stack.Handler,
 		DrainTimeout: cfg.DrainTimeout,
 		Ready:        stack.Ready,
+		Logf:         stack.Log.Printf,
 		WriteTimeout: 30 * time.Second,
 	})
 	fmt.Printf("stir serve: metrics on %s/metrics\n", *addr)
@@ -414,7 +434,9 @@ func runStream(args []string) error {
 	ckptDir := fs.String("checkpoint", "", "checkpoint store directory (enables crash-safe resume)")
 	ckptEvery := fs.Duration("checkpoint-every", 10*time.Second, "periodic checkpoint interval (needs -checkpoint)")
 	duration := fs.Duration("duration", 0, "keep serving this long after the replay drains (0 = exit once drained)")
+	geocodeURL := fs.String("geocode", "", "reverse-geocode through this HTTP service (cmd/geocoded) instead of in-process")
 	over := daemon.OverloadFlags(fs)
+	traces := daemon.TraceFlags(fs)
 	fs.Parse(args)
 
 	ds, err := makeDataset(*dataset, *users, *seed)
@@ -449,7 +471,24 @@ func runStream(args []string) error {
 				rep.String(), *ckptDir)
 		}
 	}
-	resolver := stream.NewGazetteerResolver(ds.Gazetteer, 10)
+	// The query surface rides the shared daemon stack: /v1/* is bulk traffic
+	// that admission control may shed under overload, while /healthz, /readyz
+	// and /metrics always answer. SIGTERM drains it before the final
+	// checkpoint below, so no in-flight query is dropped without a response.
+	// It comes up first so the engine can feed spans into its trace ring.
+	cfg := over()
+	stack := daemon.NewStackOpts(daemon.StackOptions{
+		Service:  "stir-stream",
+		Overload: cfg,
+		Trace:    traces(),
+		Metrics:  obs.Default,
+	})
+	// -geocode swaps the in-process gazetteer for the HTTP hop through
+	// geocoded — the cross-daemon path whose traces span three services.
+	var resolver geocode.Resolver = stream.NewGazetteerResolver(ds.Gazetteer, 10)
+	if *geocodeURL != "" {
+		resolver = geocode.NewClient(*geocodeURL, 65536)
+	}
 	eng, err := stream.New(stream.Config{
 		Shards:       *shards,
 		Buffer:       *buffer,
@@ -459,6 +498,7 @@ func runStream(args []string) error {
 		Resolver: resolver,
 		Seed:     *seed,
 		Store:    store,
+		Trace:    stack.Tracer,
 		// A resumed run replays the firehose from the start; per-user
 		// last-ID dedup makes the overlap with the checkpoint idempotent.
 		DedupByTweetID:  store != nil,
@@ -469,12 +509,6 @@ func runStream(args []string) error {
 	}
 	defer eng.Close()
 
-	// The query surface rides the shared daemon stack: /v1/* is bulk traffic
-	// that admission control may shed under overload, while /healthz, /readyz
-	// and /metrics always answer. SIGTERM drains it before the final
-	// checkpoint below, so no in-flight query is dropped without a response.
-	cfg := over()
-	stack := daemon.NewStack("stir-stream", cfg, obs.Default)
 	stack.Mux.Handle("/v1/", eng.Handler())
 	querySrv := overload.NewServer(overload.ServerOptions{
 		Service:      "stir-stream",
@@ -482,6 +516,7 @@ func runStream(args []string) error {
 		Handler:      stack.Handler,
 		DrainTimeout: cfg.DrainTimeout,
 		Ready:        stack.Ready,
+		Logf:         stack.Log.Printf,
 	})
 	if err := querySrv.Start(); err != nil {
 		return err

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"stir/internal/obs/trace"
+)
+
+// runTrace fetches the finished-span rings from a set of daemons'
+// /debug/trace endpoints, merges them by trace ID, and prints each
+// cross-process request tree — the CLI view of one logical request as it
+// hopped stir → twitterd → geocoded.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	addrs := fs.String("addrs", "localhost:8030,localhost:8031,localhost:8032",
+		"comma-separated daemon addresses to scrape (host:port or full URL)")
+	prefix := fs.String("trace", "", "only traces whose hex ID starts with this prefix")
+	n := fs.Int("n", 0, "only the N newest spans per daemon (0 = whole ring)")
+	jsonOut := fs.Bool("json", false, "emit the merged records as JSONL instead of trees")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-daemon fetch timeout")
+	fs.Parse(args)
+
+	client := &http.Client{Timeout: *timeout}
+	var recs []trace.Record
+	fetched := 0
+	for _, addr := range strings.Split(*addrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		got, err := fetchRing(client, addr, *prefix, *n)
+		if err != nil {
+			// A daemon that is down (or predates tracing) should not hide the
+			// rings the others still hold.
+			fmt.Fprintf(os.Stderr, "stir trace: %s: %v\n", addr, err)
+			continue
+		}
+		fetched++
+		recs = append(recs, got...)
+	}
+	if fetched == 0 {
+		return fmt.Errorf("no daemon answered at %s", *addrs)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	forest := trace.BuildForest(recs)
+	if len(forest) == 0 {
+		fmt.Println("no spans (is -trace-sample set on the daemons?)")
+		return nil
+	}
+	trace.WriteForest(os.Stdout, forest)
+	return nil
+}
+
+// fetchRing pulls one daemon's /debug/trace JSONL export.
+func fetchRing(client *http.Client, addr, prefix string, n int) ([]trace.Record, error) {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	u := strings.TrimRight(base, "/") + "/debug/trace"
+	sep := "?"
+	if prefix != "" {
+		u += sep + "trace=" + prefix
+		sep = "&"
+	}
+	if n > 0 {
+		u += sep + "n=" + strconv.Itoa(n)
+	}
+	resp, err := client.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	var recs []trace.Record
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var rec trace.Record
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("decode %s: %w", u, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}

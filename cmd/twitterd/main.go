@@ -10,24 +10,26 @@
 //	         [-max-inflight N] [-queue-depth N] [-target-latency D] [-drain-timeout D]
 //	         [-fault-5xx R] [-fault-reset R] [-fault-timeout R] [-fault-corrupt R]
 //	         [-fault-slow R] [-fault-seed S]
+//	         [-trace-sample P] [-trace-ring N] [-trace-slow D] [-trace-seed S]
 //
 // The -fault-* flags (defaulting from the STIR_FAULT_* environment knobs)
 // wrap the API in the deterministic fault injector, turning twitterd into a
 // flaky upstream for resilience testing. The overload flags bound how much
 // concurrent work the daemon accepts before shedding with 503 + Retry-After;
-// /healthz, /readyz and /metrics are never shed. SIGTERM drains gracefully:
-// readiness flips, in-flight requests finish, and the process exits 0.
+// /healthz, /readyz and /metrics are never shed. The -trace-* flags control
+// the distributed-tracing surface: inbound traceparent headers are continued,
+// finished spans land in the ring served at /debug/trace, and /debug/pprof/
+// exposes the live profiles. SIGTERM drains gracefully: readiness flips,
+// in-flight requests finish, and the process exits 0.
 package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
-	"os"
 	"time"
 
 	"stir"
 	"stir/internal/daemon"
+	"stir/internal/logx"
 	"stir/internal/obs"
 	"stir/internal/overload"
 	"stir/internal/twitter"
@@ -35,7 +37,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal("twitterd: ", err)
+		logx.New(nil, "twitterd").Fatal("startup failed", "err", err)
 	}
 }
 
@@ -51,6 +53,7 @@ func run() error {
 	follower := flag.Bool("follower-graph", true, "wire a crawlable follower graph")
 	faults := daemon.FaultFlags(flag.CommandLine)
 	over := daemon.OverloadFlags(flag.CommandLine)
+	traces := daemon.TraceFlags(flag.CommandLine)
 	flag.Parse()
 
 	opts := stir.DatasetOptions{Seed: *seed, Users: *users, FollowerGraph: *follower}
@@ -68,7 +71,12 @@ func run() error {
 	}
 
 	cfg := over()
-	stack := daemon.NewStack("twitterd", cfg, obs.Default)
+	stack := daemon.NewStackOpts(daemon.StackOptions{
+		Service:  "twitterd",
+		Overload: cfg,
+		Trace:    traces(),
+		Metrics:  obs.Default,
+	})
 	api := twitter.NewAPIServer(ds.Service, twitter.ServerOptions{
 		RESTLimit:      *restLimit,
 		SearchLimit:    *searchLimit,
@@ -77,7 +85,7 @@ func run() error {
 	})
 	if inj := faults().Injector(obs.Default); inj != nil {
 		stack.Mux.Handle("/", inj.Handler(api))
-		fmt.Fprintf(os.Stderr, "twitterd: fault injection armed\n")
+		stack.Log.Warn(nil, "fault injection armed")
 	} else {
 		stack.Mux.Handle("/", api)
 	}
@@ -88,10 +96,12 @@ func run() error {
 		Handler:      stack.Handler,
 		DrainTimeout: cfg.DrainTimeout,
 		Ready:        stack.Ready,
+		Logf:         stack.Log.Printf,
 		// WriteTimeout stays 0: the statuses/sample stream is legitimately
 		// unbounded, and a write deadline would cut every stream consumer.
 	})
-	fmt.Printf("twitterd: %d users, %d tweets; seed user id %d; listening on %s\n",
-		ds.Service.UserCount(), ds.Service.TweetCount(), ds.Population.SeedUser, *addr)
+	stack.Log.Info(nil, "listening",
+		"addr", *addr, "users", ds.Service.UserCount(), "tweets", ds.Service.TweetCount(),
+		"seed_user", ds.Population.SeedUser)
 	return srv.ListenAndServe()
 }

@@ -9,6 +9,7 @@ import (
 	"stir/internal/admin"
 	"stir/internal/geo"
 	"stir/internal/geocode"
+	"stir/internal/obs/trace"
 	"stir/internal/pipeline"
 	"stir/internal/storage"
 	"stir/internal/twitter"
@@ -122,6 +123,9 @@ type AnalyzeOptions struct {
 	FaultRate float64
 	// FaultSeed fixes the injected fault schedule (default 1).
 	FaultSeed int64
+	// Trace, when set, opens a distributed root span for the run; client
+	// hops (geocode over HTTP) join its tree and export at /debug/trace.
+	Trace *trace.Tracer
 }
 
 // AnalyzeStore runs the §III refinement pipeline over a crawl store — the

@@ -11,9 +11,12 @@ package daemon
 import (
 	"flag"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
+	"stir/internal/logx"
 	"stir/internal/obs"
+	"stir/internal/obs/trace"
 	"stir/internal/overload"
 	"stir/internal/resilience/fault"
 )
@@ -91,8 +94,33 @@ func OverloadFlags(fs *flag.FlagSet) func() OverloadConfig {
 	}
 }
 
+// TraceConfig is the parsed distributed-tracing tuning.
+type TraceConfig struct {
+	// Sample is the head-sampling probability for locally-originated traces
+	// in [0,1]; 0 disables span creation (the /debug/trace ring stays empty).
+	Sample float64
+	// RingSize bounds the finished-span ring served at /debug/trace.
+	RingSize int
+	// Slow is the slow-request log threshold; 0 disables the slow log.
+	Slow time.Duration
+	// Seed fixes the trace-ID stream so chaos runs keep the same sampled set.
+	Seed int64
+}
+
+// TraceFlags registers the shared -trace-* flags on fs and returns a closure
+// producing the parsed config after parsing.
+func TraceFlags(fs *flag.FlagSet) func() TraceConfig {
+	sample := fs.Float64("trace-sample", 0, "head-sampling probability for distributed traces [0,1]")
+	ring := fs.Int("trace-ring", trace.DefaultRingSize, "finished-span ring capacity served at /debug/trace")
+	slow := fs.Duration("trace-slow", 0, "slow-request log threshold (0 disables)")
+	seed := fs.Int64("trace-seed", 1, "trace ID stream seed (fixes the sampled-trace set)")
+	return func() TraceConfig {
+		return TraceConfig{Sample: *sample, RingSize: *ring, Slow: *slow, Seed: *seed}
+	}
+}
+
 // Stack is one daemon's serving surface: the business mux plus the standard
-// operational endpoints, wrapped in admission control.
+// operational endpoints, wrapped in admission control and trace extraction.
 type Stack struct {
 	// Mux is the daemon's route table; mount business handlers on it.
 	Mux *http.ServeMux
@@ -103,33 +131,93 @@ type Stack struct {
 	Ready *obs.Readiness
 	// Limiter is the admission controller (nil when MaxInflight is 0).
 	Limiter *overload.Limiter
+	// Tracer owns the daemon's span ring; pass it to clients and business
+	// code that open child spans.
+	Tracer *trace.Tracer
+	// Log is the daemon's structured logger (never nil after NewStackOpts;
+	// discard via a logger writing to io.Discard).
+	Log *logx.Logger
+}
+
+// StackOptions configures NewStackOpts.
+type StackOptions struct {
+	// Service names the daemon in metrics, spans and log lines.
+	Service string
+	// Overload is the admission-control tuning.
+	Overload OverloadConfig
+	// Trace is the distributed-tracing tuning.
+	Trace TraceConfig
+	// Metrics receives every series (nil means obs.Default).
+	Metrics *obs.Registry
+	// Log receives structured events (nil builds a stderr logger for Service).
+	Log *logx.Logger
 }
 
 // NewStack builds the standard daemon surface: /metrics, /healthz and
 // /readyz mounted (and classified critical, so they are never shed), bulk
 // traffic admitted through the overload limiter, deadlines propagated.
+// Tracing is off; use NewStackOpts to turn it on.
 func NewStack(service string, cfg OverloadConfig, reg *obs.Registry) *Stack {
-	reg = obs.Or(reg)
+	return NewStackOpts(StackOptions{Service: service, Overload: cfg, Metrics: reg})
+}
+
+// NewStackOpts is NewStack plus the observability surface: a traceparent-
+// extracting middleware outermost (so sheds are traced too), the span ring
+// at /debug/trace, the pprof handlers at /debug/pprof/, runtime health
+// gauges, and a structured slow-request log.
+func NewStackOpts(opts StackOptions) *Stack {
+	reg := obs.Or(opts.Metrics)
+	logger := opts.Log
+	if logger == nil {
+		logger = logx.New(nil, opts.Service)
+	}
 	s := &Stack{
 		Mux:   http.NewServeMux(),
 		Ready: &obs.Readiness{},
+		Log:   logger,
+		Tracer: trace.New(trace.Options{
+			Service:  opts.Service,
+			Sample:   opts.Trace.Sample,
+			RingSize: opts.Trace.RingSize,
+			Seed:     opts.Trace.Seed,
+			Metrics:  reg,
+		}),
 	}
 	s.Mux.Handle("/metrics", obs.Handler(reg))
-	s.Mux.Handle("/healthz", obs.HealthzHandler(service))
-	s.Mux.Handle("/readyz", obs.ReadyzHandler(service, s.Ready))
-	if cfg.MaxInflight > 0 {
+	s.Mux.Handle("/healthz", obs.HealthzHandler(opts.Service))
+	s.Mux.Handle("/readyz", obs.ReadyzHandler(opts.Service, s.Ready))
+	s.Mux.Handle("/debug/trace", s.Tracer.DebugHandler())
+	s.Mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.Mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.Mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.Mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.Mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	RegisterRuntimeMetrics(reg, opts.Service)
+	if opts.Overload.MaxInflight > 0 {
 		s.Limiter = overload.NewLimiter(overload.LimiterOptions{
-			Service:       service,
-			MaxInflight:   cfg.MaxInflight,
-			QueueDepth:    cfg.QueueDepth,
-			TargetLatency: cfg.TargetLatency,
+			Service:       opts.Service,
+			MaxInflight:   opts.Overload.MaxInflight,
+			QueueDepth:    opts.Overload.QueueDepth,
+			TargetLatency: opts.Overload.TargetLatency,
 			Metrics:       reg,
 		})
 	}
-	s.Handler = overload.Middleware(overload.MiddlewareOptions{
-		Service: service,
+	// Trace extraction wraps admission control so a shed request still
+	// produces a span carrying its shed reason.
+	s.Handler = trace.Middleware(trace.MiddlewareOptions{
+		Tracer: s.Tracer,
+		Slow:   opts.Trace.Slow,
+		SlowLog: func(r *http.Request, status int, d time.Duration, traceID string) {
+			kv := []any{"method", r.Method, "path", r.URL.Path, "status", status, "dur", d.Round(time.Microsecond)}
+			if traceID != "" {
+				kv = append(kv, "trace", traceID)
+			}
+			logger.Warn(nil, "slow request", kv...)
+		},
+	}, overload.Middleware(overload.MiddlewareOptions{
+		Service: opts.Service,
 		Limiter: s.Limiter,
 		Metrics: reg,
-	}, s.Mux)
+	}, s.Mux))
 	return s
 }

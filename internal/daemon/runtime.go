@@ -1,0 +1,67 @@
+package daemon
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"stir/internal/obs"
+)
+
+// Runtime health gauge names, published per-service by every Stack.
+const (
+	RuntimeGoroutinesMetric = "stir_runtime_goroutines"
+	RuntimeHeapBytesMetric  = "stir_runtime_heap_bytes"
+	RuntimeGCPauseMetric    = "stir_runtime_gc_pause_seconds_total"
+	RuntimeUptimeMetric     = "stir_runtime_uptime_seconds"
+)
+
+// memSampler caches runtime.ReadMemStats reads. ReadMemStats stops the world;
+// a scrape hitting three heap-derived gauges must not pay (or inflict) that
+// three times, and aggressive scrapers must not turn it into a DoS on the GC.
+type memSampler struct {
+	mu   sync.Mutex
+	last time.Time
+	ms   runtime.MemStats
+	ttl  time.Duration
+	now  func() time.Time
+}
+
+func newMemSampler(ttl time.Duration) *memSampler {
+	return &memSampler{ttl: ttl, now: time.Now}
+}
+
+// stats returns the cached MemStats, refreshing when older than ttl.
+func (s *memSampler) stats() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := s.now(); s.last.IsZero() || now.Sub(s.last) >= s.ttl {
+		runtime.ReadMemStats(&s.ms)
+		s.last = now
+	}
+	return s.ms
+}
+
+// processStart anchors the uptime gauge.
+var processStart = time.Now()
+
+// RegisterRuntimeMetrics publishes the process health gauges on reg under a
+// service label: live goroutines, heap in use, cumulative GC pause, and
+// uptime. Pull-mode: values are read at scrape time, with heap stats served
+// from a ~1s cache so scrapes stay cheap. Re-registration is idempotent.
+func RegisterRuntimeMetrics(reg *obs.Registry, service string) {
+	reg = obs.Or(reg)
+	sampler := newMemSampler(time.Second)
+	reg.GaugeFunc(RuntimeGoroutinesMetric, func() float64 {
+		return float64(runtime.NumGoroutine())
+	}, "service", service)
+	reg.GaugeFunc(RuntimeHeapBytesMetric, func() float64 {
+		return float64(sampler.stats().HeapAlloc)
+	}, "service", service)
+	reg.GaugeFunc(RuntimeGCPauseMetric, func() float64 {
+		return float64(sampler.stats().PauseTotalNs) / 1e9
+	}, "service", service)
+	reg.GaugeFunc(RuntimeUptimeMetric, func() float64 {
+		return time.Since(processStart).Seconds()
+	}, "service", service)
+}

@@ -1,0 +1,215 @@
+package daemon
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"stir/internal/obs"
+	"stir/internal/obs/trace"
+	"stir/internal/overload"
+)
+
+func TestStackTraceEndpointAndPropagation(t *testing.T) {
+	reg := obs.NewRegistry()
+	stack := NewStackOpts(StackOptions{
+		Service:  "testd",
+		Overload: OverloadConfig{MaxInflight: 4, QueueDepth: 2},
+		Trace:    TraceConfig{Sample: 1, RingSize: 64},
+		Metrics:  reg,
+	})
+	stack.Mux.HandleFunc("/bulk", func(w http.ResponseWriter, r *http.Request) {
+		sp := trace.FromContext(r.Context())
+		if sp == nil {
+			t.Error("handler context carries no span")
+			return
+		}
+		sp.Annotate("handled", "yes")
+		w.WriteHeader(http.StatusOK)
+	})
+
+	// Inbound sampled traceparent must be continued, not re-rooted.
+	parent := trace.FormatTraceparent(
+		trace.TraceID{0xaa, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+		trace.SpanID{0xbb, 1, 2, 3, 4, 5, 6, 7}, true)
+	hdr := http.Header{}
+	hdr.Set(trace.Header, parent)
+	if rec := get(t, stack.Handler, "/bulk", hdr); rec.Code != http.StatusOK {
+		t.Fatalf("/bulk = %d", rec.Code)
+	}
+
+	rec := get(t, stack.Handler, "/debug/trace", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/trace = %d", rec.Code)
+	}
+	var recs []trace.Record
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		var r trace.Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSONL: %v", err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("ring has %d records, want 1 (operational endpoints must not trace)", len(recs))
+	}
+	got := recs[0]
+	if got.Trace != "aa0102030405060708090a0b0c0d0e0f" || got.Parent != "bb01020304050607" {
+		t.Fatalf("span did not continue the inbound trace: %+v", got)
+	}
+	if got.Service != "testd" || got.Name != "GET /bulk" || got.Status != 200 {
+		t.Fatalf("span fields: %+v", got)
+	}
+	annots := map[string]string{}
+	for _, a := range got.Annots {
+		annots[a.Key] = a.Val
+	}
+	if annots["handled"] != "yes" {
+		t.Fatalf("handler annotation missing: %v", got.Annots)
+	}
+	if _, ok := annots["queue_wait"]; !ok {
+		t.Fatalf("overload queue_wait annotation missing: %v", got.Annots)
+	}
+}
+
+func TestStackTracesSheds(t *testing.T) {
+	reg := obs.NewRegistry()
+	stack := NewStackOpts(StackOptions{
+		Service:  "testd",
+		Overload: OverloadConfig{MaxInflight: 1, QueueDepth: -1},
+		Trace:    TraceConfig{Sample: 1},
+		Metrics:  reg,
+	})
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	stack.Mux.HandleFunc("/bulk", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-block
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		get(t, stack.Handler, "/bulk", nil)
+	}()
+	<-entered
+
+	if rec := get(t, stack.Handler, "/bulk", nil); rec.Code != overload.ShedStatus {
+		t.Fatalf("saturated request = %d, want %d", rec.Code, overload.ShedStatus)
+	}
+	close(block)
+	<-done
+
+	var shedRec *trace.Record
+	for _, r := range stack.Tracer.Records() {
+		for _, a := range r.Annots {
+			if a.Key == "shed" {
+				rr := r
+				shedRec = &rr
+			}
+		}
+	}
+	if shedRec == nil {
+		t.Fatal("no span carries a shed annotation")
+	}
+	if shedRec.Status != overload.ShedStatus {
+		t.Fatalf("shed span status = %d, want %d", shedRec.Status, overload.ShedStatus)
+	}
+}
+
+func TestStackMountsPprof(t *testing.T) {
+	stack := NewStackOpts(StackOptions{Service: "testd", Metrics: obs.NewRegistry()})
+	rec := get(t, stack.Handler, "/debug/pprof/", nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d, body %q...", rec.Code, rec.Body.String()[:min(80, rec.Body.Len())])
+	}
+	// One concrete profile endpoint (cheap, no sampling duration).
+	if rec := get(t, stack.Handler, "/debug/pprof/cmdline", nil); rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline = %d", rec.Code)
+	}
+}
+
+func TestStackDebugSurvivesSaturation(t *testing.T) {
+	stack := NewStackOpts(StackOptions{
+		Service:  "testd",
+		Overload: OverloadConfig{MaxInflight: 1, QueueDepth: -1},
+		Metrics:  obs.NewRegistry(),
+	})
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	stack.Mux.HandleFunc("/bulk", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-block
+	})
+	defer close(block)
+	go get(t, stack.Handler, "/bulk", nil)
+	<-entered
+
+	// The debug surface is classified critical: it must answer exactly when
+	// the daemon is saturated, because that is when you need it.
+	for _, p := range []string{"/debug/trace", "/debug/pprof/cmdline"} {
+		if rec := get(t, stack.Handler, p, nil); rec.Code != http.StatusOK {
+			t.Fatalf("%s under saturation = %d, want 200", p, rec.Code)
+		}
+	}
+}
+
+func TestRuntimeMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	RegisterRuntimeMetrics(reg, "testd")
+	snap := reg.Snapshot()
+	if m, ok := snap.Get(RuntimeGoroutinesMetric, "service", "testd"); !ok || m.Value < 1 {
+		t.Fatalf("goroutines gauge = %+v ok=%v", m, ok)
+	}
+	if m, ok := snap.Get(RuntimeHeapBytesMetric, "service", "testd"); !ok || m.Value <= 0 {
+		t.Fatalf("heap gauge = %+v ok=%v", m, ok)
+	}
+	if m, ok := snap.Get(RuntimeGCPauseMetric, "service", "testd"); !ok || m.Value < 0 {
+		t.Fatalf("gc pause gauge = %+v ok=%v", m, ok)
+	}
+	if m, ok := snap.Get(RuntimeUptimeMetric, "service", "testd"); !ok || m.Value <= 0 {
+		t.Fatalf("uptime gauge = %+v ok=%v", m, ok)
+	}
+	// Re-registration is idempotent (GaugeFunc replaces).
+	RegisterRuntimeMetrics(reg, "testd")
+}
+
+func TestMemSamplerCaches(t *testing.T) {
+	s := newMemSampler(time.Hour)
+	now := time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)
+	s.now = func() time.Time { return now }
+	first := s.stats()
+	// Within the TTL the cached stats are returned verbatim even if the heap
+	// moved; a forced refresh past the TTL re-reads.
+	if again := s.stats(); again.HeapAlloc != first.HeapAlloc || again.NumGC != first.NumGC {
+		t.Fatal("sampler re-read inside TTL")
+	}
+	now = now.Add(2 * time.Hour)
+	_ = s.stats() // must not panic; value refreshed
+}
+
+func TestTraceFlagsRoundTrip(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	traceCfg := TraceFlags(fs)
+	if err := fs.Parse([]string{"-trace-sample", "0.25", "-trace-ring", "128", "-trace-slow", "200ms", "-trace-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := traceCfg()
+	want := TraceConfig{Sample: 0.25, RingSize: 128, Slow: 200 * time.Millisecond, Seed: 9}
+	if cfg != want {
+		t.Fatalf("parsed config = %+v, want %+v", cfg, want)
+	}
+	// Defaults.
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	def := TraceFlags(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if cfg := def(); cfg.Sample != 0 || cfg.RingSize != trace.DefaultRingSize || cfg.Seed != 1 {
+		t.Fatalf("default config = %+v", cfg)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"stir/internal/geo"
 	"stir/internal/obs"
+	"stir/internal/obs/trace"
 	"stir/internal/overload"
 	"stir/internal/resilience"
 )
@@ -157,12 +158,15 @@ func (c *Client) fetch(ctx context.Context, p geo.Point) (Location, error) {
 	}
 	endpoint := c.BaseURL + "/v1/reverse?" + params.Encode()
 	var loc Location
+	ctx, sp := trace.Start(ctx, "geocode.reverse")
+	defer sp.End()
 	err := c.policy().Do(ctx, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint, nil)
 		if err != nil {
 			return resilience.MarkPermanent(err)
 		}
 		overload.SetDeadlineHeader(req)
+		trace.Inject(req)
 		resp, err := c.HTTP.Do(req)
 		if err != nil {
 			return fmt.Errorf("geocode client: %w", err)
@@ -193,6 +197,9 @@ func (c *Client) fetch(ctx context.Context, p geo.Point) (Location, error) {
 		}
 	})
 	if err != nil {
+		if sp != nil {
+			sp.Annotate("error", err.Error())
+		}
 		return Location{}, err
 	}
 	return loc, nil
@@ -394,6 +401,8 @@ func (c *Client) BatchReverse(ctx context.Context, pts []geo.Point) ([]Location,
 func (c *Client) postBatch(ctx context.Context, body string) (*ResultSet, error) {
 	reg := obs.Or(c.Metrics)
 	var out *ResultSet
+	ctx, sp := trace.Start(ctx, "geocode.reverse_batch")
+	defer sp.End()
 	err := c.policy().Do(ctx, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 			c.BaseURL+"/v1/reverse_batch", strings.NewReader(body))
@@ -401,6 +410,7 @@ func (c *Client) postBatch(ctx context.Context, body string) (*ResultSet, error)
 			return resilience.MarkPermanent(err)
 		}
 		overload.SetDeadlineHeader(req)
+		trace.Inject(req)
 		resp, err := c.HTTP.Do(req)
 		if err != nil {
 			return fmt.Errorf("geocode client: batch: %w", err)
@@ -424,6 +434,9 @@ func (c *Client) postBatch(ctx context.Context, body string) (*ResultSet, error)
 		return nil
 	})
 	if err != nil {
+		if sp != nil {
+			sp.Annotate("error", err.Error())
+		}
 		return nil, err
 	}
 	return out, nil

@@ -1,0 +1,139 @@
+// Package logx is STIR's structured logger: one key=value line per event,
+// stamped with timestamp, level, service, and — when the context carries an
+// active span — the trace ID, so a log line and its distributed trace at
+// /debug/trace cross-reference each other. It replaces the bare log.Printf
+// calls in the daemon mains; the trace middleware's slow-request log and the
+// overload server's lifecycle messages both feed through it.
+//
+// A nil *Logger is a no-op, matching the obs/trace convention, so components
+// can take an optional logger without guards.
+package logx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"stir/internal/obs/trace"
+)
+
+// Levels, in increasing severity.
+const (
+	LevelDebug = "debug"
+	LevelInfo  = "info"
+	LevelWarn  = "warn"
+	LevelError = "error"
+)
+
+// Logger writes structured key=value lines. Safe for concurrent use.
+type Logger struct {
+	mu      sync.Mutex
+	w       io.Writer
+	service string
+	now     func() time.Time
+}
+
+// New builds a logger writing to w (nil means os.Stderr), stamping service
+// on every line.
+func New(w io.Writer, service string) *Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	return &Logger{w: w, service: service, now: time.Now}
+}
+
+// SetClock overrides the timestamp source (tests).
+func (l *Logger) SetClock(now func() time.Time) {
+	if l == nil || now == nil {
+		return
+	}
+	l.mu.Lock()
+	l.now = now
+	l.mu.Unlock()
+}
+
+// Log emits one line at level with alternating key, value pairs. Values are
+// formatted with %v and quoted when they contain spaces, quotes, or '='. A
+// context carrying an active trace span contributes trace=<id>.
+func (l *Logger) Log(ctx context.Context, level, msg string, kv ...any) {
+	if l == nil {
+		return
+	}
+	var b strings.Builder
+	b.Grow(128)
+	l.mu.Lock()
+	ts := l.now().UTC()
+	l.mu.Unlock()
+	b.WriteString("ts=")
+	b.WriteString(ts.Format(time.RFC3339Nano))
+	b.WriteString(" level=")
+	b.WriteString(level)
+	if l.service != "" {
+		b.WriteString(" service=")
+		writeValue(&b, l.service)
+	}
+	if ctx != nil {
+		if sp := trace.FromContext(ctx); sp != nil {
+			b.WriteString(" trace=")
+			b.WriteString(sp.TraceID().String())
+		}
+	}
+	b.WriteString(" msg=")
+	writeValue(&b, msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		fmt.Fprintf(&b, "%v", kv[i])
+		b.WriteByte('=')
+		writeValue(&b, fmt.Sprintf("%v", kv[i+1]))
+	}
+	if len(kv)%2 == 1 { // dangling key: surface it rather than drop it
+		b.WriteByte(' ')
+		fmt.Fprintf(&b, "%v", kv[len(kv)-1])
+		b.WriteString("=MISSING")
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// Debug, Info, Warn and Error emit at their respective levels.
+func (l *Logger) Debug(ctx context.Context, msg string, kv ...any) { l.Log(ctx, LevelDebug, msg, kv...) }
+func (l *Logger) Info(ctx context.Context, msg string, kv ...any)  { l.Log(ctx, LevelInfo, msg, kv...) }
+func (l *Logger) Warn(ctx context.Context, msg string, kv ...any)  { l.Log(ctx, LevelWarn, msg, kv...) }
+func (l *Logger) Error(ctx context.Context, msg string, kv ...any) { l.Log(ctx, LevelError, msg, kv...) }
+
+// Printf adapts the logger to the classic log.Printf shape components like
+// overload.ServerOptions.Logf expect: the formatted string becomes the msg
+// of an info-level line.
+func (l *Logger) Printf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.Log(nil, LevelInfo, fmt.Sprintf(format, args...))
+}
+
+// Fatal logs msg at error level and exits 1 — the structured stand-in for
+// log.Fatal in daemon mains.
+func (l *Logger) Fatal(msg string, kv ...any) {
+	l.Log(nil, LevelError, msg, kv...)
+	osExit(1)
+}
+
+// osExit is swappable so tests can observe Fatal without dying.
+var osExit = os.Exit
+
+// writeValue writes v, quoting when it contains characters that would break
+// key=value tokenization.
+func writeValue(b *strings.Builder, v string) {
+	if v == "" || strings.ContainsAny(v, " \t\n\"=") {
+		b.WriteString(strconv.Quote(v))
+		return
+	}
+	b.WriteString(v)
+}

@@ -1,0 +1,107 @@
+package logx
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"stir/internal/obs"
+	"stir/internal/obs/trace"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+}
+
+func TestLogLine(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, "stir")
+	l.SetClock(fixedClock)
+	l.Info(context.Background(), "started", "addr", ":8080", "shards", 4)
+	got := b.String()
+	want := `ts=2026-08-08T12:00:00Z level=info service=stir msg=started addr=:8080 shards=4` + "\n"
+	if got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+}
+
+func TestLogQuoting(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, "s")
+	l.SetClock(fixedClock)
+	l.Warn(nil, "two words", "err", `broken "pipe" x=1`)
+	got := b.String()
+	if !strings.Contains(got, `msg="two words"`) {
+		t.Fatalf("msg not quoted: %q", got)
+	}
+	if !strings.Contains(got, `err="broken \"pipe\" x=1"`) {
+		t.Fatalf("value not quoted: %q", got)
+	}
+}
+
+func TestLogTraceID(t *testing.T) {
+	tr := trace.New(trace.Options{Service: "s", Sample: 1, Metrics: obs.NewRegistry()})
+	ctx, sp := tr.Root(context.Background(), "op")
+	defer sp.End()
+
+	var b strings.Builder
+	l := New(&b, "s")
+	l.SetClock(fixedClock)
+	l.Info(ctx, "traced")
+	if !strings.Contains(b.String(), " trace="+sp.TraceID().String()+" ") {
+		t.Fatalf("line lacks trace ID: %q", b.String())
+	}
+
+	b.Reset()
+	l.Info(context.Background(), "untraced")
+	if strings.Contains(b.String(), " trace=") {
+		t.Fatalf("untraced line carries trace ID: %q", b.String())
+	}
+}
+
+func TestDanglingKey(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, "s")
+	l.SetClock(fixedClock)
+	l.Error(nil, "oops", "orphan")
+	if !strings.Contains(b.String(), "orphan=MISSING") {
+		t.Fatalf("dangling key dropped: %q", b.String())
+	}
+}
+
+func TestPrintfAdapter(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, "twitterd")
+	l.SetClock(fixedClock)
+	l.Printf("listening on %s", ":9001")
+	got := b.String()
+	if !strings.Contains(got, "level=info") || !strings.Contains(got, `msg="listening on :9001"`) {
+		t.Fatalf("Printf line = %q", got)
+	}
+}
+
+func TestNilLogger(t *testing.T) {
+	var l *Logger
+	l.Info(context.Background(), "nothing")
+	l.Printf("nothing %d", 1)
+	l.SetClock(fixedClock)
+}
+
+func TestFatal(t *testing.T) {
+	code := -1
+	old := osExit
+	osExit = func(c int) { code = c }
+	defer func() { osExit = old }()
+
+	var b strings.Builder
+	l := New(&b, "s")
+	l.SetClock(fixedClock)
+	l.Fatal("boom", "err", "down")
+	if code != 1 {
+		t.Fatalf("exit code = %d", code)
+	}
+	if !strings.Contains(b.String(), "level=error") || !strings.Contains(b.String(), "err=down") {
+		t.Fatalf("fatal line = %q", b.String())
+	}
+}

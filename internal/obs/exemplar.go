@@ -1,0 +1,34 @@
+package obs
+
+import "context"
+
+// Exemplar links one histogram bucket to a concrete trace: the last sampled
+// observation that landed in the bucket, with the trace ID to look it up at
+// /debug/trace. This is what turns "p99 is 800ms" into "p99 is 800ms and
+// here is one such request".
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
+	TS      int64   `json:"ts_us"` // Unix microseconds
+}
+
+// exemplarKey carries the current request's trace ID through the context.
+// obs owns the key (rather than the trace package) so InstrumentHandler can
+// read it without obs importing trace — trace imports obs, not vice versa.
+type exemplarKey struct{}
+
+// ContextWithExemplar returns ctx carrying traceID as the exemplar for any
+// histogram observations made under it. Empty IDs pass through unchanged.
+func ContextWithExemplar(ctx context.Context, traceID string) context.Context {
+	if traceID == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, exemplarKey{}, traceID)
+}
+
+// ExemplarFromContext returns the trace ID attached by ContextWithExemplar,
+// or "" when the request is untraced.
+func ExemplarFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(exemplarKey{}).(string)
+	return id
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExemplarContext(t *testing.T) {
+	ctx := context.Background()
+	if got := ExemplarFromContext(ctx); got != "" {
+		t.Fatalf("empty ctx exemplar = %q", got)
+	}
+	if ContextWithExemplar(ctx, "") != ctx {
+		t.Fatal("empty trace ID should not derive a context")
+	}
+	ctx = ContextWithExemplar(ctx, "abc123")
+	if got := ExemplarFromContext(ctx); got != "abc123" {
+		t.Fatalf("exemplar = %q, want abc123", got)
+	}
+}
+
+func TestObserveWithExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("ex_seconds", []float64{0.1, 1})
+	now := time.Now()
+	h.ObserveWithExemplar(0.05, "tr-fast", now)
+	h.ObserveWithExemplar(0.5, "", now) // untraced: counted, no exemplar
+	h.ObserveWithExemplar(5, "tr-slow", now)
+
+	m, ok := reg.Snapshot().Get("ex_seconds")
+	if !ok || m.Count != 3 {
+		t.Fatalf("snapshot = %+v", m)
+	}
+	if m.Buckets[0].Exemplar == nil || m.Buckets[0].Exemplar.TraceID != "tr-fast" {
+		t.Fatalf("fast bucket exemplar = %+v", m.Buckets[0].Exemplar)
+	}
+	if m.Buckets[1].Exemplar != nil {
+		t.Fatalf("untraced observation left exemplar %+v", m.Buckets[1].Exemplar)
+	}
+	if m.Buckets[2].Exemplar == nil || m.Buckets[2].Exemplar.TraceID != "tr-slow" || m.Buckets[2].Exemplar.Value != 5 {
+		t.Fatalf("+Inf bucket exemplar = %+v", m.Buckets[2].Exemplar)
+	}
+
+	// Exemplars ride the JSON exposition…
+	js, err := json.Marshal(m.Buckets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), `"trace_id":"tr-fast"`) {
+		t.Fatalf("bucket JSON %s lacks exemplar", js)
+	}
+	// …but never the Prometheus text format (0.0.4 parsers would choke).
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "tr-fast") {
+		t.Fatal("exemplar leaked into Prometheus text exposition")
+	}
+
+	// Nil histogram stays a no-op.
+	var nh *Histogram
+	nh.ObserveWithExemplar(1, "x", now)
+}
+
+func TestInstrumentHandlerExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := InstrumentHandler(reg, "svc", nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	req := httptest.NewRequest("GET", "/v1/x", nil)
+	req = req.WithContext(ContextWithExemplar(req.Context(), "deadbeef"))
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	m, ok := reg.Snapshot().Get(HTTPLatencyMetric, "service", "svc", "route", "/v1/x")
+	if !ok || m.Count != 1 {
+		t.Fatalf("latency metric = %+v", m)
+	}
+	found := false
+	for _, b := range m.Buckets {
+		if b.Exemplar != nil && b.Exemplar.TraceID == "deadbeef" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no bucket carries the request's trace exemplar")
+	}
+}
+
+func TestInstrumentHandlerStatusWithoutWriteHeader(t *testing.T) {
+	// A handler that only Writes (or does nothing) must still count as 2xx.
+	for _, body := range []bool{true, false} {
+		reg := NewRegistry()
+		h := InstrumentHandler(reg, "svc", nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if body {
+				w.Write([]byte("ok"))
+			}
+		}))
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/x", nil))
+		m, ok := reg.Snapshot().Get(HTTPRequestsMetric, "service", "svc", "route", "/v1/x", "class", "2xx")
+		if !ok || m.Value != 1 {
+			t.Fatalf("body=%v: 2xx count = %+v", body, m)
+		}
+	}
+}

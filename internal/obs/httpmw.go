@@ -38,8 +38,11 @@ func InstrumentHandler(reg *Registry, service string, route func(*http.Request) 
 
 		reg.Counter(HTTPRequestsMetric,
 			"service", service, "route", rt, "class", statusClass(rec.status)).Inc()
+		// A traced request carries its trace ID as the context exemplar (set
+		// by the trace middleware outside this one), linking latency buckets
+		// to concrete traces at /debug/trace.
 		reg.Histogram(HTTPLatencyMetric, DefBuckets, "service", service, "route", rt).
-			ObserveDuration(elapsed)
+			ObserveWithExemplar(elapsed.Seconds(), ExemplarFromContext(r.Context()), start)
 		if rec.status == http.StatusTooManyRequests {
 			reg.Counter(HTTPRateLimitedMetric, "service", service, "route", rt).Inc()
 		}

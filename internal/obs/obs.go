@@ -89,12 +89,15 @@ var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.
 var SizeBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000}
 
 // Histogram counts observations into fixed upper-bound buckets (plus an
-// implicit +Inf bucket) and tracks the running sum.
+// implicit +Inf bucket) and tracks the running sum. Each bucket additionally
+// keeps the last sampled-trace exemplar that landed in it, linking latency
+// tails back to concrete traces.
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Int64 // len(bounds)+1; last is +Inf
-	sum    atomic.Uint64  // float64 bits, CAS-updated
-	n      atomic.Int64
+	bounds    []float64
+	counts    []atomic.Int64 // len(bounds)+1; last is +Inf
+	exemplars []atomic.Pointer[Exemplar]
+	sum       atomic.Uint64 // float64 bits, CAS-updated
+	n         atomic.Int64
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -104,7 +107,11 @@ func newHistogram(bounds []float64) *Histogram {
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // Observe records one value.
@@ -123,6 +130,20 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveWithExemplar records v and, when traceID is non-empty, pins it as
+// the bucket's exemplar so the exposition can point at a sampled trace that
+// actually hit that latency band.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string, ts time.Time) {
+	if h == nil {
+		return
+	}
+	if traceID != "" {
+		i := sort.SearchFloat64s(h.bounds, v)
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, TS: ts.UnixMicro()})
+	}
+	h.Observe(v)
 }
 
 // ObserveDuration records d in seconds.
@@ -144,10 +165,14 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
-// Bucket is one cumulative histogram bucket in a snapshot.
+// Bucket is one cumulative histogram bucket in a snapshot. Exemplar, when
+// present, is the last sampled trace that landed in this band; it appears in
+// the JSON exposition only (the Prometheus 0.0.4 text format predates
+// exemplars, and the OpenMetrics `#`-suffix would break its parsers).
 type Bucket struct {
-	UpperBound float64 `json:"-"` // +Inf for the last bucket
-	Count      int64   `json:"count"`
+	UpperBound float64   `json:"-"` // +Inf for the last bucket
+	Count      int64     `json:"count"`
+	Exemplar   *Exemplar `json:"exemplar,omitempty"`
 }
 
 // MarshalJSON renders the upper bound as a string because encoding/json
@@ -158,9 +183,10 @@ func (b Bucket) MarshalJSON() ([]byte, error) {
 		le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
 	}
 	return json.Marshal(struct {
-		LE    string `json:"le"`
-		Count int64  `json:"count"`
-	}{le, b.Count})
+		LE       string    `json:"le"`
+		Count    int64     `json:"count"`
+		Exemplar *Exemplar `json:"exemplar,omitempty"`
+	}{le, b.Count, b.Exemplar})
 }
 
 // metric kinds.
@@ -385,10 +411,10 @@ func (r *Registry) Snapshot() Snapshot {
 			cum := int64(0)
 			for i, ub := range e.hist.bounds {
 				cum += e.hist.counts[i].Load()
-				m.Buckets = append(m.Buckets, Bucket{UpperBound: ub, Count: cum})
+				m.Buckets = append(m.Buckets, Bucket{UpperBound: ub, Count: cum, Exemplar: e.hist.exemplars[i].Load()})
 			}
 			cum += e.hist.counts[len(e.hist.bounds)].Load()
-			m.Buckets = append(m.Buckets, Bucket{UpperBound: math.Inf(1), Count: cum})
+			m.Buckets = append(m.Buckets, Bucket{UpperBound: math.Inf(1), Count: cum, Exemplar: e.hist.exemplars[len(e.hist.bounds)].Load()})
 		}
 		ms = append(ms, m)
 	}

@@ -15,19 +15,59 @@ import (
 //
 // A nil *Tracer (and the nil *Span its Start returns) is a no-op, so
 // instrumented code never needs to guard its spans.
+//
+// Retained roots are bounded: once MaxRoots trees accumulate, each new root
+// evicts the oldest. The stage histogram is unaffected — only the trees kept
+// for Report are capped — so a long-lived process (streamd checkpoints every
+// few seconds, forever) no longer leaks a span tree per operation.
 type Tracer struct {
 	reg *Registry
 
 	mu    sync.Mutex
 	roots []*Span
+	head  int // index of the oldest retained root once wrapped
+	max   int
 }
 
 // StageHistogram is the registry histogram stage durations land in.
 const StageHistogram = "stir_stage_seconds"
 
-// NewTracer builds a tracer recording into reg (nil means Default).
+// DefaultMaxRoots bounds the root span trees a Tracer retains for Report.
+const DefaultMaxRoots = 256
+
+// NewTracer builds a tracer recording into reg (nil means Default),
+// retaining at most DefaultMaxRoots root trees.
 func NewTracer(reg *Registry) *Tracer {
-	return &Tracer{reg: Or(reg)}
+	return &Tracer{reg: Or(reg), max: DefaultMaxRoots}
+}
+
+// NewTracerN is NewTracer with an explicit root-retention bound (values < 1
+// fall back to DefaultMaxRoots).
+func NewTracerN(reg *Registry, maxRoots int) *Tracer {
+	if maxRoots < 1 {
+		maxRoots = DefaultMaxRoots
+	}
+	return &Tracer{reg: Or(reg), max: maxRoots}
+}
+
+// Reset drops every retained root tree. Stage histogram series are untouched.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.roots, t.head = nil, 0
+	t.mu.Unlock()
+}
+
+// RootCount returns how many root trees are currently retained.
+func (t *Tracer) RootCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.roots)
 }
 
 // Span is one timed stage. Spans form a tree via Child.
@@ -43,14 +83,24 @@ type Span struct {
 	ended    bool
 }
 
-// Start opens a root span.
+// Start opens a root span. When the retention bound is full the new root
+// replaces the oldest retained tree.
 func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
 	s := &Span{tracer: t, name: name, path: name, start: time.Now()}
 	t.mu.Lock()
-	t.roots = append(t.roots, s)
+	max := t.max
+	if max < 1 {
+		max = DefaultMaxRoots // zero-value Tracer from older call sites
+	}
+	if len(t.roots) < max {
+		t.roots = append(t.roots, s)
+	} else {
+		t.roots[t.head] = s
+		t.head = (t.head + 1) % max
+	}
 	t.mu.Unlock()
 	return s
 }
@@ -101,7 +151,10 @@ func (t *Tracer) Report() string {
 		return ""
 	}
 	t.mu.Lock()
-	roots := append([]*Span(nil), t.roots...)
+	// Oldest-first: once wrapped, head marks the oldest retained root.
+	roots := make([]*Span, 0, len(t.roots))
+	roots = append(roots, t.roots[t.head:]...)
+	roots = append(roots, t.roots[:t.head]...)
 	t.mu.Unlock()
 	var b strings.Builder
 	for _, r := range roots {

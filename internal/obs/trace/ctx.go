@@ -1,0 +1,44 @@
+package trace
+
+import "context"
+
+// ctxKey is the private context key the active span rides under.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sp as the active span. A nil span returns
+// ctx unchanged, so unsampled paths never allocate a derived context.
+func ContextWith(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the active span, or nil when ctx is untraced. One map
+// walk, no allocation — cheap enough for hot paths to call unconditionally.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// Start opens a child of the context's active span and returns a context
+// carrying it. Untraced contexts pass through untouched with a nil span, so
+// instrumented call sites need no guards and pay nothing when unsampled.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.Child(name)
+	return context.WithValue(ctx, ctxKey{}, c), c
+}
+
+// Root begins a new trace on t (head-sampled) and returns a context carrying
+// its root span. Nil tracer or an unsampled draw returns (ctx, nil).
+func (t *Tracer) Root(ctx context.Context, name string) (context.Context, *Span) {
+	sp := t.StartRoot(name)
+	if sp == nil {
+		return ctx, nil
+	}
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Node is one span in a reassembled trace tree.
+type Node struct {
+	Rec      Record
+	Children []*Node
+}
+
+// Trace is one reassembled request tree: every record sharing a trace ID,
+// parent-linked across processes. Orphans (spans whose parent never reached
+// a ring, e.g. evicted or from an unscraped daemon) surface as extra roots
+// so no span is silently dropped.
+type Trace struct {
+	ID    string
+	Roots []*Node
+}
+
+// Spans counts the nodes in the trace.
+func (t *Trace) Spans() int {
+	n := 0
+	var walk func(*Node)
+	walk = func(nd *Node) {
+		n++
+		for _, c := range nd.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return n
+}
+
+// Services lists the distinct services contributing spans, sorted.
+func (t *Trace) Services() []string {
+	set := map[string]bool{}
+	var walk func(*Node)
+	walk = func(nd *Node) {
+		set[nd.Rec.Service] = true
+		for _, c := range nd.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Start returns the earliest span start in the trace (Unix micros).
+func (t *Trace) Start() int64 {
+	start := int64(0)
+	first := true
+	var walk func(*Node)
+	walk = func(nd *Node) {
+		if first || nd.Rec.Start < start {
+			start, first = nd.Rec.Start, false
+		}
+		for _, c := range nd.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return start
+}
+
+// Find returns the first node (pre-order) whose name contains substr, or nil.
+func (t *Trace) Find(substr string) *Node {
+	var found *Node
+	var walk func(*Node)
+	walk = func(nd *Node) {
+		if found != nil {
+			return
+		}
+		if strings.Contains(nd.Rec.Name, substr) {
+			found = nd
+			return
+		}
+		for _, c := range nd.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return found
+}
+
+// BuildForest reassembles raw records (typically fetched from several
+// daemons' /debug/trace rings) into per-trace trees, oldest trace first.
+// Duplicate span IDs (the same ring fetched twice) collapse to one node.
+func BuildForest(recs []Record) []*Trace {
+	type key struct{ trace, span string }
+	nodes := make(map[key]*Node, len(recs))
+	order := make([]string, 0, 8) // trace IDs in first-seen order
+	seen := make(map[string]bool)
+	for _, rec := range recs {
+		k := key{rec.Trace, rec.Span}
+		if _, dup := nodes[k]; dup {
+			continue
+		}
+		nodes[k] = &Node{Rec: rec}
+		if !seen[rec.Trace] {
+			seen[rec.Trace] = true
+			order = append(order, rec.Trace)
+		}
+	}
+	byTrace := make(map[string]*Trace, len(order))
+	traces := make([]*Trace, 0, len(order))
+	for _, id := range order {
+		t := &Trace{ID: id}
+		byTrace[id] = t
+		traces = append(traces, t)
+	}
+	for _, nd := range nodes {
+		rec := nd.Rec
+		if rec.Parent != "" {
+			if p, ok := nodes[key{rec.Trace, rec.Parent}]; ok {
+				p.Children = append(p.Children, nd)
+				continue
+			}
+		}
+		byTrace[rec.Trace].Roots = append(byTrace[rec.Trace].Roots, nd)
+	}
+	sortNodes := func(ns []*Node) {
+		sort.Slice(ns, func(i, j int) bool {
+			if ns[i].Rec.Start != ns[j].Rec.Start {
+				return ns[i].Rec.Start < ns[j].Rec.Start
+			}
+			return ns[i].Rec.Span < ns[j].Rec.Span
+		})
+	}
+	var sortTree func(*Node)
+	sortTree = func(nd *Node) {
+		sortNodes(nd.Children)
+		for _, c := range nd.Children {
+			sortTree(c)
+		}
+	}
+	for _, t := range traces {
+		sortNodes(t.Roots)
+		for _, r := range t.Roots {
+			sortTree(r)
+		}
+	}
+	sort.SliceStable(traces, func(i, j int) bool { return traces[i].Start() < traces[j].Start() })
+	return traces
+}
+
+// WriteForest pretty-prints the reassembled traces: one header line per
+// trace, then the span tree indented by depth, each span as
+//
+//	service: name dur [status=N] [k=v ...]
+func WriteForest(w io.Writer, traces []*Trace) {
+	for i, t := range traces {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "trace %s (%d spans, %s)\n", t.ID, t.Spans(), strings.Join(t.Services(), " → "))
+		for _, r := range t.Roots {
+			writeNode(w, r, 1)
+		}
+	}
+}
+
+func writeNode(w io.Writer, nd *Node, depth int) {
+	rec := nd.Rec
+	fmt.Fprintf(w, "%s%s: %s %s", strings.Repeat("  ", depth), rec.Service, rec.Name,
+		(time.Duration(rec.Dur) * time.Microsecond).String())
+	if rec.Status != 0 && rec.Status != 200 {
+		fmt.Fprintf(w, " status=%d", rec.Status)
+	}
+	if len(rec.Annots) > 0 {
+		parts := make([]string, len(rec.Annots))
+		for i, a := range rec.Annots {
+			parts[i] = a.Key + "=" + a.Val
+		}
+		fmt.Fprintf(w, " [%s]", strings.Join(parts, " "))
+	}
+	fmt.Fprintln(w)
+	for _, c := range nd.Children {
+		writeNode(w, c, depth+1)
+	}
+}

@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"stir/internal/obs"
+)
+
+// Header is the W3C trace-context carrier: 00-<32 hex trace>-<16 hex
+// span>-<2 hex flags>, flag bit 0 = sampled. It rides the same hop path as
+// overload.DeadlineHeader — every outbound client stamps it, every daemon's
+// stack extracts it.
+const Header = "traceparent"
+
+// FormatTraceparent renders the header value for one hop.
+func FormatTraceparent(tr TraceID, sp SpanID, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + tr.String() + "-" + sp.String() + "-" + flags
+}
+
+// ParseTraceparent parses a traceparent value. ok is false for a missing or
+// malformed header; sampled reflects the upstream head-sampling decision.
+func ParseTraceparent(s string) (tr TraceID, sp SpanID, sampled, ok bool) {
+	// version "00": 2+1+32+1+16+1+2 = 55 bytes, fixed layout.
+	if len(s) != 55 || s[0] != '0' || s[1] != '0' || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tr, sp, false, false
+	}
+	if !hexDecode(tr[:], s[3:35]) || !hexDecode(sp[:], s[36:52]) {
+		return tr, sp, false, false
+	}
+	if tr.IsZero() || sp.IsZero() {
+		return tr, sp, false, false
+	}
+	flags, err := strconv.ParseUint(s[53:55], 16, 8)
+	if err != nil {
+		return tr, sp, false, false
+	}
+	return tr, sp, flags&1 == 1, true
+}
+
+// hexDecode fills dst from exactly len(dst)*2 lowercase/uppercase hex digits.
+func hexDecode(dst []byte, s string) bool {
+	for i := range dst {
+		hi, ok1 := hexVal(s[2*i])
+		lo, ok2 := hexVal(s[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// Inject stamps req with the traceparent of its context's active span. An
+// untraced request is left untouched — the absence of the header is itself
+// the propagated "unsampled" decision.
+func Inject(req *http.Request) {
+	sp := FromContext(req.Context())
+	if sp == nil {
+		return
+	}
+	req.Header.Set(Header, FormatTraceparent(sp.trace, sp.id, true))
+}
+
+// MiddlewareOptions configures the server-side extraction middleware.
+type MiddlewareOptions struct {
+	// Tracer creates the server spans (nil disables the middleware).
+	Tracer *Tracer
+	// Skip exempts requests from tracing (nil = DefaultSkip: the operational
+	// endpoints, whose self-scrapes would otherwise flood the ring).
+	Skip func(*http.Request) bool
+	// Slow is the slow-request log threshold; 0 disables the slow log.
+	Slow time.Duration
+	// SlowLog receives requests slower than Slow (traceID is "" when the
+	// request was unsampled). Wire it to the structured logger.
+	SlowLog func(r *http.Request, status int, d time.Duration, traceID string)
+}
+
+// DefaultSkip exempts the operational endpoints every daemon mounts.
+func DefaultSkip(r *http.Request) bool {
+	switch r.URL.Path {
+	case "/metrics", "/healthz", "/readyz":
+		return true
+	}
+	return strings.HasPrefix(r.URL.Path, "/debug/")
+}
+
+// Middleware wraps next with trace extraction: an inbound traceparent
+// continues the caller's trace (obeying its sampling decision), a bare
+// request head-samples a fresh root. The span carries the method and path,
+// captures the response status, and its trace ID is attached to the request
+// context as the obs exemplar, so the latency histograms can link their p99
+// buckets back to exemplar traces. Requests slower than Slow hit SlowLog
+// whether sampled or not.
+func Middleware(opts MiddlewareOptions, next http.Handler) http.Handler {
+	if opts.Tracer == nil {
+		return next
+	}
+	skip := opts.Skip
+	if skip == nil {
+		skip = DefaultSkip
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if skip(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		var sp *Span
+		if tr, psp, sampled, ok := ParseTraceparent(r.Header.Get(Header)); ok {
+			if sampled {
+				sp = opts.Tracer.StartRemote(tr, psp, r.Method+" "+r.URL.Path)
+			}
+		} else {
+			sp = opts.Tracer.StartRoot(r.Method + " " + r.URL.Path)
+		}
+		if sp != nil {
+			ctx := ContextWith(r.Context(), sp)
+			ctx = obs.ContextWithExemplar(ctx, sp.trace.String())
+			r = r.WithContext(ctx)
+		}
+		start := time.Now()
+		rec := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		if sp != nil {
+			sp.SetStatus(rec.status)
+			sp.End()
+		}
+		if opts.Slow > 0 && elapsed >= opts.Slow && opts.SlowLog != nil {
+			id := ""
+			if sp != nil {
+				id = sp.trace.String()
+			}
+			opts.SlowLog(r, rec.status, elapsed, id)
+		}
+	})
+}
+
+// statusWriter captures the response status, passing Flush through so
+// streaming endpoints keep working behind the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	if !s.wrote {
+		s.status = code
+		s.wrote = true
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusWriter) Write(b []byte) (int, error) {
+	s.wrote = true
+	return s.ResponseWriter.Write(b)
+}
+
+func (s *statusWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// DebugHandler serves the finished-span ring as JSONL (one Record per line),
+// the format `stir trace` fetches and merges across daemons.
+//
+//	GET /debug/trace              all ring records, oldest first
+//	GET /debug/trace?trace=HEX    records of traces whose ID starts with HEX
+//	GET /debug/trace?n=N          only the newest N records
+func (t *Tracer) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		recs := t.Records()
+		if pfx := r.URL.Query().Get("trace"); pfx != "" {
+			kept := recs[:0]
+			for _, rec := range recs {
+				if strings.HasPrefix(rec.Trace, pfx) {
+					kept = append(kept, rec)
+				}
+			}
+			recs = kept
+		}
+		if ns := r.URL.Query().Get("n"); ns != "" {
+			if n, err := strconv.Atoi(ns); err == nil && n >= 0 && n < len(recs) {
+				recs = recs[len(recs)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,403 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"stir/internal/obs"
+)
+
+func newTestTracer(t *testing.T, sample float64) *Tracer {
+	t.Helper()
+	return New(Options{Service: "test", Sample: sample, Seed: 7, Metrics: obs.NewRegistry()})
+}
+
+func TestTraceparentRoundtrip(t *testing.T) {
+	tr := TraceID{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f, 0x10}
+	sp := SpanID{0xde, 0xad, 0xbe, 0xef, 0x00, 0x11, 0x22, 0x33}
+	for _, sampled := range []bool{true, false} {
+		s := FormatTraceparent(tr, sp, sampled)
+		gt, gs, gsam, ok := ParseTraceparent(s)
+		if !ok {
+			t.Fatalf("ParseTraceparent(%q) not ok", s)
+		}
+		if gt != tr || gs != sp || gsam != sampled {
+			t.Fatalf("roundtrip mismatch: got (%v,%v,%v) want (%v,%v,%v)", gt, gs, gsam, tr, sp, sampled)
+		}
+	}
+	if got := FormatTraceparent(tr, sp, true); got != "00-0102030405060708090a0b0c0d0e0f10-deadbeef00112233-01" {
+		t.Fatalf("unexpected traceparent %q", got)
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-0102030405060708090a0b0c0d0e0f10-deadbeef00112233",     // missing flags
+		"01-0102030405060708090a0b0c0d0e0f10-deadbeef00112233-01",  // wrong version
+		"00-0102030405060708090a0b0c0d0e0fXX-deadbeef00112233-01",  // bad hex in trace
+		"00-0102030405060708090a0b0c0d0e0f10-deadbeef001122zz-01",  // bad hex in span
+		"00-00000000000000000000000000000000-deadbeef00112233-01",  // zero trace
+		"00-0102030405060708090a0b0c0d0e0f10-0000000000000000-01",  // zero span
+		"00-0102030405060708090a0b0c0d0e0f10-deadbeef00112233-zz",  // bad flags
+		"00_0102030405060708090a0b0c0d0e0f10-deadbeef00112233-01",  // bad separator
+		"00-0102030405060708090a0b0c0d0e0f10-deadbeef00112233-011", // too long
+	}
+	for _, s := range bad {
+		if _, _, _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed value", s)
+		}
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	// Same seed → identical kept-trace decisions, run after run.
+	a := newTestTracer(t, 0.5)
+	b := newTestTracer(t, 0.5)
+	kept := 0
+	for i := 0; i < 200; i++ {
+		sa := a.StartRoot("op")
+		sb := b.StartRoot("op")
+		if (sa == nil) != (sb == nil) {
+			t.Fatalf("draw %d: tracers with same seed disagreed", i)
+		}
+		if sa != nil {
+			kept++
+			// The decision must be a pure function of the trace ID at any hop.
+			if !a.Sampled(sa.TraceID()) || !b.Sampled(sa.TraceID()) {
+				t.Fatalf("draw %d: Sampled disagrees with StartRoot", i)
+			}
+			sa.End()
+		}
+		sb.End()
+	}
+	if kept < 50 || kept > 150 {
+		t.Fatalf("0.5 sampling kept %d/200, far from expectation", kept)
+	}
+}
+
+func TestSampleExtremes(t *testing.T) {
+	always := newTestTracer(t, 1)
+	never := newTestTracer(t, 0)
+	for i := 0; i < 50; i++ {
+		if always.StartRoot("op") == nil {
+			t.Fatal("Sample=1 dropped a root")
+		}
+		if never.StartRoot("op") != nil {
+			t.Fatal("Sample=0 produced a root")
+		}
+	}
+}
+
+func TestRingBounds(t *testing.T) {
+	tr := New(Options{Service: "ring", Sample: 1, RingSize: 8, Metrics: obs.NewRegistry()})
+	for i := 0; i < 20; i++ {
+		sp := tr.StartRoot("op")
+		sp.AnnotateInt("i", int64(i))
+		sp.End()
+	}
+	recs := tr.Records()
+	if len(recs) != 8 {
+		t.Fatalf("ring holds %d records, want 8", len(recs))
+	}
+	// Oldest-first: the survivors are i=12..19.
+	for j, rec := range recs {
+		want := 12 + j
+		if len(rec.Annots) != 1 || rec.Annots[0].Val != itoa(want) {
+			t.Fatalf("record %d: got annots %v, want i=%d", j, rec.Annots, want)
+		}
+	}
+	tr.ResetRing()
+	if got := tr.Records(); len(got) != 0 {
+		t.Fatalf("after ResetRing, %d records remain", len(got))
+	}
+}
+
+func itoa(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	var sp *Span
+	if tr.StartRoot("x") != nil || tr.StartRemote(TraceID{1}, SpanID{1}, "x") != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	sp.Annotate("k", "v")
+	sp.AnnotateInt("k", 1)
+	sp.AnnotateDuration("k", time.Second)
+	sp.SetStatus(500)
+	if sp.Child("c") != nil {
+		t.Fatal("nil span produced a child")
+	}
+	sp.End()
+	ctx := ContextWith(context.Background(), nil)
+	if FromContext(ctx) != nil {
+		t.Fatal("nil span landed in context")
+	}
+	if c, s := Start(ctx, "x"); s != nil || c != ctx {
+		t.Fatal("Start on untraced ctx was not a passthrough")
+	}
+	if tr.Records() != nil {
+		t.Fatal("nil tracer returned records")
+	}
+	tr.ResetRing()
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := newTestTracer(t, 1)
+	ctx, root := tr.Root(context.Background(), "root")
+	if root == nil {
+		t.Fatal("Sample=1 root is nil")
+	}
+	cctx, child := Start(ctx, "child")
+	if child == nil {
+		t.Fatal("child is nil under traced ctx")
+	}
+	if child.TraceID() != root.TraceID() {
+		t.Fatal("child trace ID differs from root")
+	}
+	if FromContext(cctx) != child {
+		t.Fatal("child not active in derived ctx")
+	}
+	child.End()
+	root.End()
+	recs := tr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	// child ended first, parent link must point at root.
+	if recs[0].Parent != recs[1].Span {
+		t.Fatalf("child parent %q != root span %q", recs[0].Parent, recs[1].Span)
+	}
+}
+
+func TestUnsampledPathAllocFree(t *testing.T) {
+	tr := newTestTracer(t, 0)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		c, sp := tr.Root(ctx, "op")
+		_, csp := Start(c, "child")
+		csp.Annotate("k", "v")
+		csp.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled trace path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestInjectAndMiddlewareContinueTrace(t *testing.T) {
+	server := newTestTracer(t, 1)
+	client := newTestTracer(t, 1)
+
+	var gotSpan *Span
+	h := Middleware(MiddlewareOptions{Tracer: server}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotSpan = FromContext(r.Context())
+		if obs.ExemplarFromContext(r.Context()) == "" {
+			t.Error("exemplar trace ID missing from handler context")
+		}
+		w.WriteHeader(http.StatusTeapot)
+	}))
+
+	ctx, root := client.Root(context.Background(), "client_op")
+	req := httptest.NewRequest("GET", "/v1/thing", nil).WithContext(ctx)
+	Inject(req)
+	if req.Header.Get(Header) == "" {
+		t.Fatal("Inject left no traceparent")
+	}
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	root.End()
+
+	if gotSpan == nil {
+		t.Fatal("middleware made no span for sampled inbound trace")
+	}
+	if gotSpan.TraceID() != root.TraceID() {
+		t.Fatal("server span continued a different trace")
+	}
+	recs := server.Records()
+	if len(recs) != 1 || recs[0].Status != http.StatusTeapot {
+		t.Fatalf("server record = %+v, want one span with status 418", recs)
+	}
+	if recs[0].Parent != root.ID().String() {
+		t.Fatalf("server span parent %q, want client span %q", recs[0].Parent, root.ID().String())
+	}
+}
+
+func TestMiddlewareFreshRootAndSkip(t *testing.T) {
+	server := newTestTracer(t, 1)
+	h := Middleware(MiddlewareOptions{Tracer: server}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok")) // no WriteHeader: status must default to 200
+	}))
+
+	// Bare request → fresh head-sampled root.
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/x", nil))
+	recs := server.Records()
+	if len(recs) != 1 || recs[0].Parent != "" || recs[0].Status != 200 {
+		t.Fatalf("bare request record = %+v, want parentless status-200 root", recs)
+	}
+
+	// Operational endpoints are skipped.
+	server.ResetRing()
+	for _, p := range []string{"/metrics", "/healthz", "/readyz", "/debug/trace", "/debug/pprof/heap"} {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", p, nil))
+	}
+	if recs := server.Records(); len(recs) != 0 {
+		t.Fatalf("operational endpoints produced %d spans", len(recs))
+	}
+}
+
+func TestMiddlewareObeysUnsampledUpstream(t *testing.T) {
+	server := newTestTracer(t, 1)
+	h := Middleware(MiddlewareOptions{Tracer: server}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if FromContext(r.Context()) != nil {
+			t.Error("span created despite upstream unsampled flag")
+		}
+	}))
+	req := httptest.NewRequest("GET", "/v1/x", nil)
+	req.Header.Set(Header, FormatTraceparent(TraceID{1}, SpanID{1}, false))
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if recs := server.Records(); len(recs) != 0 {
+		t.Fatalf("unsampled upstream produced %d spans", len(recs))
+	}
+}
+
+func TestMiddlewareSlowLog(t *testing.T) {
+	server := newTestTracer(t, 1)
+	var logged []string
+	h := Middleware(MiddlewareOptions{
+		Tracer: server,
+		Slow:   time.Nanosecond,
+		SlowLog: func(r *http.Request, status int, d time.Duration, traceID string) {
+			logged = append(logged, r.URL.Path+" "+itoa(status)+" "+traceID)
+		},
+	}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(50 * time.Microsecond)
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/slow", nil))
+	if len(logged) != 1 {
+		t.Fatalf("slow log fired %d times, want 1", len(logged))
+	}
+	recs := server.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	want := "/v1/slow " + itoa(http.StatusBadGateway) + " " + recs[0].Trace
+	if logged[0] != want {
+		t.Fatalf("slow log entry %q, want %q", logged[0], want)
+	}
+}
+
+func TestDebugHandlerJSONL(t *testing.T) {
+	tr := newTestTracer(t, 1)
+	sp := tr.StartRoot("alpha")
+	sp.Annotate("k", "v")
+	sp.End()
+	tr.StartRoot("beta").End()
+
+	rw := httptest.NewRecorder()
+	tr.DebugHandler().ServeHTTP(rw, httptest.NewRequest("GET", "/debug/trace", nil))
+	if ct := rw.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var recs []Record
+	sc := bufio.NewScanner(rw.Body)
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 2 || recs[0].Name != "alpha" || recs[1].Name != "beta" {
+		t.Fatalf("JSONL records %+v", recs)
+	}
+
+	// ?trace= prefix filter.
+	rw = httptest.NewRecorder()
+	tr.DebugHandler().ServeHTTP(rw, httptest.NewRequest("GET", "/debug/trace?trace="+recs[0].Trace[:8], nil))
+	if n := strings.Count(rw.Body.String(), "\n"); n != 1 {
+		t.Fatalf("prefix filter returned %d lines, want 1", n)
+	}
+
+	// ?n= newest filter.
+	rw = httptest.NewRecorder()
+	tr.DebugHandler().ServeHTTP(rw, httptest.NewRequest("GET", "/debug/trace?n=1", nil))
+	if !strings.Contains(rw.Body.String(), `"beta"`) || strings.Contains(rw.Body.String(), `"alpha"`) {
+		t.Fatalf("?n=1 body = %q, want only newest", rw.Body.String())
+	}
+}
+
+func TestBuildForestAndFormat(t *testing.T) {
+	// Reassemble a synthetic three-service trace plus an orphaned span.
+	recs := []Record{
+		{Trace: "t1", Span: "s3", Parent: "s2", Service: "geocoded", Name: "GET /v1/reverse", Start: 300, Dur: 50, Status: 200},
+		{Trace: "t1", Span: "s1", Service: "stir", Name: "stream.profile", Start: 100, Dur: 400,
+			Annots: []Annot{{Key: "user", Val: "42"}}},
+		{Trace: "t1", Span: "s2", Parent: "s1", Service: "twitterd", Name: "GET /1.1/users/show.json", Start: 200, Dur: 150, Status: 429},
+		{Trace: "t1", Span: "s9", Parent: "missing", Service: "stir", Name: "orphan", Start: 500, Dur: 5},
+		{Trace: "t2", Span: "s1", Service: "stir", Name: "other", Start: 50, Dur: 1},
+		// Duplicate of t1/s2 (same ring fetched twice) must collapse.
+		{Trace: "t1", Span: "s2", Parent: "s1", Service: "twitterd", Name: "GET /1.1/users/show.json", Start: 200, Dur: 150, Status: 429},
+	}
+	traces := BuildForest(recs)
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(traces))
+	}
+	if traces[0].ID != "t2" {
+		t.Fatalf("traces not oldest-first: first is %s", traces[0].ID)
+	}
+	t1 := traces[1]
+	if t1.Spans() != 4 {
+		t.Fatalf("t1 has %d spans, want 4 (duplicate must collapse)", t1.Spans())
+	}
+	if len(t1.Roots) != 2 {
+		t.Fatalf("t1 has %d roots, want 2 (true root + orphan)", len(t1.Roots))
+	}
+	if got := t1.Services(); len(got) != 3 || got[0] != "geocoded" || got[1] != "stir" || got[2] != "twitterd" {
+		t.Fatalf("t1 services %v", got)
+	}
+	if t1.Find("users/show") == nil || t1.Find("nope") != nil {
+		t.Fatal("Find misbehaved")
+	}
+
+	var b bytes.Buffer
+	WriteForest(&b, traces)
+	out := b.String()
+	for _, want := range []string{
+		"trace t1 (4 spans, geocoded → stir → twitterd)",
+		"  stir: stream.profile 400µs [user=42]",
+		"    twitterd: GET /1.1/users/show.json 150µs status=429",
+		"      geocoded: GET /v1/reverse 50µs",
+		"  stir: orphan 5µs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := New(Options{Service: "m", Sample: 1, RingSize: 2, Metrics: reg})
+	for i := 0; i < 5; i++ {
+		tr.StartRoot("op").End()
+	}
+	snap := reg.Snapshot()
+	if m, ok := snap.Get("trace_spans_total", "service", "m"); !ok || m.Value != 5 {
+		t.Fatalf("trace_spans_total = %+v", m)
+	}
+	if m, ok := snap.Get("trace_spans_dropped_total", "service", "m"); !ok || m.Value != 3 {
+		t.Fatalf("trace_spans_dropped_total = %+v", m)
+	}
+}

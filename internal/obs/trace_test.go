@@ -39,6 +39,52 @@ func TestTracerSpans(t *testing.T) {
 	}
 }
 
+func TestTracerRootsBounded(t *testing.T) {
+	// Regression: Start used to append roots forever, leaking one span tree
+	// per operation in long-lived processes (stream checkpoints run for the
+	// life of the daemon). Retention must cap at the bound, evicting oldest.
+	tr := NewTracerN(NewRegistry(), 4)
+	for i := 0; i < 100; i++ {
+		tr.Start("op").End()
+	}
+	if n := tr.RootCount(); n != 4 {
+		t.Fatalf("retained %d roots, want 4", n)
+	}
+	// Eviction is oldest-first: survivors are the last 4 started.
+	tr.Reset()
+	if n := tr.RootCount(); n != 0 {
+		t.Fatalf("after Reset, %d roots remain", n)
+	}
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for _, n := range names {
+		tr.Start(n).End()
+	}
+	rep := tr.Report()
+	if strings.Contains(rep, "a") || strings.Contains(rep, "b") {
+		t.Fatalf("evicted roots still reported:\n%s", rep)
+	}
+	lines := strings.Split(strings.TrimSpace(rep), "\n")
+	if len(lines) != 4 || !strings.HasPrefix(lines[0], "c ") || !strings.HasPrefix(lines[3], "f ") {
+		t.Fatalf("report not oldest-first over survivors:\n%s", rep)
+	}
+
+	// Default bound applies via NewTracer too.
+	def := NewTracer(NewRegistry())
+	for i := 0; i < DefaultMaxRoots+50; i++ {
+		def.Start("op").End()
+	}
+	if n := def.RootCount(); n != DefaultMaxRoots {
+		t.Fatalf("default retention %d, want %d", n, DefaultMaxRoots)
+	}
+
+	// Nil tracer stays a no-op for the new methods.
+	var nt *Tracer
+	nt.Reset()
+	if nt.RootCount() != 0 {
+		t.Fatal("nil tracer RootCount != 0")
+	}
+}
+
 func TestSpanDoubleEnd(t *testing.T) {
 	tr := NewTracer(NewRegistry())
 	s := tr.Start("x")

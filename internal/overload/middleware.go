@@ -6,9 +6,11 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"stir/internal/obs"
+	"stir/internal/obs/trace"
 )
 
 // Priority is a request's admission class.
@@ -24,10 +26,15 @@ const (
 )
 
 // DefaultPriority classifies the operational endpoints every STIR daemon
-// mounts as critical and everything else as bulk.
+// mounts — including the /debug/ surface (trace ring, pprof), which exists
+// precisely to diagnose an overloaded daemon — as critical and everything
+// else as bulk.
 func DefaultPriority(r *http.Request) Priority {
 	switch r.URL.Path {
 	case "/healthz", "/readyz", "/metrics":
+		return PriorityCritical
+	}
+	if strings.HasPrefix(r.URL.Path, "/debug/") {
 		return PriorityCritical
 	}
 	return PriorityBulk
@@ -86,8 +93,11 @@ func Middleware(opts MiddlewareOptions, next http.Handler) http.Handler {
 		}
 		reg.Counter("stir_overload_admitted_total", "service", opts.Service, "outcome", "offered").Inc()
 		ctx := r.Context()
+		sp := trace.FromContext(ctx) // server span opened by the trace middleware outside
 		if budget, ok := DeadlineFrom(r); ok {
+			sp.AnnotateDuration("deadline_budget", budget)
 			if budget < minService {
+				sp.Annotate("shed", ShedDeadline)
 				shed(w, reg, opts, ShedDeadline)
 				return
 			}
@@ -96,14 +106,20 @@ func Middleware(opts MiddlewareOptions, next http.Handler) http.Handler {
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
+		enqueued := time.Now()
 		adm, err := opts.Limiter.Acquire(ctx)
+		if sp != nil && opts.Limiter != nil {
+			sp.AnnotateDuration("queue_wait", time.Since(enqueued))
+		}
 		if err != nil {
 			var se *ShedError
 			if errors.As(err, &se) {
+				sp.Annotate("shed", se.Reason)
 				shed(w, reg, opts, se.Reason)
 				return
 			}
 			// The caller hung up while we queued; nobody reads the response.
+			sp.Annotate("shed", "abandoned")
 			reg.Counter("stir_overload_abandoned_total", "service", opts.Service).Inc()
 			return
 		}

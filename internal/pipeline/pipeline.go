@@ -19,6 +19,7 @@ import (
 	"stir/internal/geo"
 	"stir/internal/geocode"
 	"stir/internal/obs"
+	"stir/internal/obs/trace"
 	"stir/internal/textnorm"
 	"stir/internal/twitter"
 )
@@ -89,6 +90,11 @@ type Pipeline struct {
 	// Obs receives the run's stage timings and funnel gauges (nil means
 	// obs.Default; obs.Discard disables).
 	Obs *obs.Registry
+	// Trace, when set, opens a distributed root span for the run with stage
+	// children and funnel annotations; the geocode client spans it induces
+	// parent under the stages, so one run reassembles into one tree at
+	// /debug/trace. Nil disables (zero overhead).
+	Trace *trace.Tracer
 }
 
 // New builds a pipeline with an in-process resolver over gaz.
@@ -122,6 +128,10 @@ func (p *Pipeline) Run(ctx context.Context, users map[twitter.UserID]*twitter.Us
 	tracer := obs.NewTracer(reg)
 	root := tracer.Start("pipeline")
 	defer root.End()
+	// The distributed span rides the context so every geocode/twitter client
+	// call a stage makes joins the run's tree.
+	ctx, dspan := p.Trace.Root(ctx, "pipeline.run")
+	defer dspan.End()
 	res := &Result{
 		Funnel: Funnel{
 			ProfileBreakdown: make(map[textnorm.Quality]int),
@@ -129,6 +139,7 @@ func (p *Pipeline) Run(ctx context.Context, users map[twitter.UserID]*twitter.Us
 		ProfileDistrict: make(map[twitter.UserID]*admin.District),
 	}
 	count := root.Child("count")
+	_, dcount := trace.Start(ctx, "pipeline.count")
 	res.Funnel.RawUsers = len(users)
 	for _, ts := range tweets {
 		res.Funnel.RawTweets += len(ts)
@@ -139,6 +150,7 @@ func (p *Pipeline) Run(ctx context.Context, users map[twitter.UserID]*twitter.Us
 		}
 	}
 	count.End()
+	dcount.End()
 
 	// Deterministic order regardless of map iteration and worker count.
 	ids := make([]twitter.UserID, 0, len(users))
@@ -148,6 +160,8 @@ func (p *Pipeline) Run(ctx context.Context, users map[twitter.UserID]*twitter.Us
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
 	process := root.Child("users")
+	uctx, dusers := trace.Start(ctx, "pipeline.users")
+	defer dusers.End() // idempotent; covers the error returns mid-stage
 	mSkipped := reg.Counter("pipeline_skipped_users_total")
 	// skippable reports whether a per-user failure should degrade to a skip
 	// rather than abort: only in ContinueOnError mode, and never when the
@@ -170,7 +184,7 @@ func (p *Pipeline) Run(ctx context.Context, users map[twitter.UserID]*twitter.Us
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if err := p.processUser(ctx, users[id], tweets[id], minGeo, res, nil); err != nil {
+			if err := p.processUser(uctx, users[id], tweets[id], minGeo, res, nil); err != nil {
 				if skippable(err) {
 					skip(id, nil)
 					continue
@@ -198,7 +212,7 @@ func (p *Pipeline) Run(ctx context.Context, users map[twitter.UserID]*twitter.Us
 			go func() {
 				defer wg.Done()
 				for id := range jobs {
-					if err := p.processUser(ctx, users[id], tweets[id], minGeo, res, &mu); err != nil {
+					if err := p.processUser(uctx, users[id], tweets[id], minGeo, res, &mu); err != nil {
 						if skippable(err) {
 							skip(id, &mu)
 							continue
@@ -234,10 +248,22 @@ func (p *Pipeline) Run(ctx context.Context, users map[twitter.UserID]*twitter.Us
 	}
 	sort.Slice(res.SkippedUsers, func(i, j int) bool { return res.SkippedUsers[i] < res.SkippedUsers[j] })
 	process.End()
+	dusers.End()
 	analyze := root.Child("analyze")
+	_, danalyze := trace.Start(ctx, "pipeline.analyze")
 	res.Analysis = core.Analyze(res.Groupings)
 	analyze.End()
+	danalyze.End()
 	publishFunnel(reg, res.Funnel)
+	if dspan != nil {
+		f := res.Funnel
+		dspan.AnnotateInt("funnel.raw_users", int64(f.RawUsers))
+		dspan.AnnotateInt("funnel.well_defined", int64(f.WellDefinedUsers))
+		dspan.AnnotateInt("funnel.final_users", int64(f.FinalUsers))
+		dspan.AnnotateInt("funnel.geo_tweets", int64(f.GeoTweets))
+		dspan.AnnotateInt("funnel.geocode_failures", int64(f.GeocodeFailures))
+		dspan.AnnotateInt("funnel.skipped", int64(f.SkippedUsers))
+	}
 	return res, nil
 }
 

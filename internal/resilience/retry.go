@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
 	"stir/internal/obs"
+	"stir/internal/obs/trace"
 )
 
 // Retry defaults, applied field-by-field when a Policy leaves them zero.
@@ -86,6 +88,10 @@ func (p *Policy) Do(ctx context.Context, op func(context.Context) error) error {
 		classify = Classify
 	}
 	reg := obs.Or(p.Metrics)
+	// The active span is the caller's logical-request span (e.g. the twitter
+	// client's): N attempts annotate that one span rather than spawning N.
+	// Every annotation below is guarded so the unsampled path builds nothing.
+	sp := trace.FromContext(ctx)
 	if p.Budget > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, p.Budget)
@@ -106,6 +112,9 @@ func (p *Policy) Do(ctx context.Context, op func(context.Context) error) error {
 		}
 		if err == nil {
 			p.Breaker.Success()
+			if sp != nil && attempt > 0 {
+				sp.AnnotateInt("retry.attempts", int64(attempt+1))
+			}
 			return nil
 		}
 		lastErr = err
@@ -114,6 +123,17 @@ func (p *Policy) Do(ctx context.Context, op func(context.Context) error) error {
 		// timing out, not the caller giving up.
 		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil && p.AttemptTimeout > 0 {
 			cls = ClassTransient
+		}
+		if sp != nil {
+			if denied {
+				sp.Annotate("retry.breaker", "open")
+			} else {
+				outcome := cls.String()
+				if IsThrottle(err) {
+					outcome = "throttle"
+				}
+				sp.Annotate("retry.fail", strconv.Itoa(attempt+1)+" "+outcome)
+			}
 		}
 		if !denied {
 			// Cooperative sheds (429, or Retry-After on any status) are the
@@ -127,6 +147,7 @@ func (p *Policy) Do(ctx context.Context, op func(context.Context) error) error {
 		}
 		if cls == ClassPermanent {
 			reg.Counter("resilience_permanent_total", "policy", name).Inc()
+			sp.Annotate("retry.outcome", "permanent")
 			return err
 		}
 		if attempt == attempts-1 {
@@ -141,11 +162,18 @@ func (p *Policy) Do(ctx context.Context, op func(context.Context) error) error {
 		}
 		reg.Counter("resilience_retries_total", "policy", name).Inc()
 		reg.Histogram("resilience_backoff_seconds", obs.DefBuckets, "policy", name).ObserveDuration(d)
+		if sp != nil {
+			sp.AnnotateDuration("retry.backoff", d)
+		}
 		if serr := p.sleep(ctx, d); serr != nil {
 			return fmt.Errorf("resilience: %w (after %d attempts: %v)", serr, attempt+1, lastErr)
 		}
 	}
 	reg.Counter("resilience_giveups_total", "policy", name).Inc()
+	if sp != nil {
+		sp.Annotate("retry.outcome", "exhausted")
+		sp.AnnotateInt("retry.attempts", int64(attempts))
+	}
 	return fmt.Errorf("resilience: %d attempts exhausted: %w", attempts, lastErr)
 }
 

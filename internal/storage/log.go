@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"stir/internal/obs"
+	"stir/internal/obs/trace"
 	"stir/internal/storage/vfs"
 )
 
@@ -68,6 +69,9 @@ type Options struct {
 	// inject vfs.Mem/vfs.Fault here to simulate power cuts, torn writes,
 	// dropped fsyncs and bit flips.
 	FS vfs.FS
+	// Trace, when set, records a span per segment-level operation (currently
+	// compaction) with before/after segment counts. Nil disables.
+	Trace *trace.Tracer
 }
 
 // Store is the log-structured key-value store. All methods are safe for
@@ -663,6 +667,13 @@ func (s *Store) Compact() error {
 	if s.closed {
 		return ErrClosed
 	}
+	sp := s.opts.Trace.StartRoot("storage.compact")
+	if sp != nil {
+		sp.AnnotateInt("segments_before", int64(len(s.segs)))
+		sp.AnnotateInt("live_keys", int64(len(s.index)))
+		sp.AnnotateInt("dead_records", s.dead)
+		defer sp.End()
+	}
 	newID := s.actID + 1
 	finalPath := s.segPath(newID)
 	tmpPath := finalPath + tmpSuffix
@@ -750,9 +761,11 @@ func (s *Store) Compact() error {
 			rmErr = err
 		}
 	}
+	sp.AnnotateInt("segments_removed", int64(removed))
 	if rmErr != nil {
 		// The compaction itself committed; only space reclamation is
 		// incomplete. A resurrected old segment is harmless (see above).
+		sp.Annotate("error", "old segment removal incomplete")
 		return fmt.Errorf("storage: compacted, but removing old segments failed (store remains usable): %w", rmErr)
 	}
 	return nil

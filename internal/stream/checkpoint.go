@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strconv"
@@ -108,6 +109,8 @@ func (e *Engine) Checkpoint() error {
 	defer e.ckptMu.Unlock()
 	span := e.tracer.Start("stream_checkpoint")
 	defer span.End()
+	_, dspan := e.cfg.Trace.Root(context.Background(), "stream.checkpoint")
+	defer dspan.End()
 	e.Drain()
 
 	batch := e.cfg.Store.NewBatch()
@@ -166,14 +169,27 @@ func (e *Engine) Checkpoint() error {
 	batch.Put(ckptMetaKey, mb)
 	if err := batch.Commit(); err != nil {
 		restoreDirty()
+		dspan.Annotate("error", err.Error())
 		return fmt.Errorf("stream: checkpoint commit: %w", err)
 	}
 	if err := e.cfg.Store.Sync(); err != nil {
+		dspan.Annotate("error", err.Error())
 		return fmt.Errorf("stream: checkpoint sync: %w", err)
 	}
 	e.checkpoints.Add(1)
 	e.reg.Counter("stream_checkpoints_total").Inc()
 	e.reg.Histogram("stream_checkpoint_seconds", obs.DefBuckets).ObserveDuration(span.End())
+	if dspan != nil {
+		dirty := 0
+		for _, t := range takenSets {
+			dirty += len(t.ids)
+		}
+		st := e.cfg.Store.Stats()
+		dspan.AnnotateInt("dirty_users", int64(dirty))
+		dspan.AnnotateInt("store.live_keys", int64(st.LiveKeys))
+		dspan.AnnotateInt("store.segments", int64(st.Segments))
+		dspan.AnnotateInt("store.dead_records", int64(st.DeadRecords))
+	}
 	return nil
 }
 

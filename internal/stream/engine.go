@@ -28,6 +28,7 @@ import (
 	"stir/internal/geo"
 	"stir/internal/geocode"
 	"stir/internal/obs"
+	"stir/internal/obs/trace"
 	"stir/internal/resilience"
 	"stir/internal/storage"
 	"stir/internal/twitter"
@@ -77,6 +78,11 @@ type Config struct {
 	// Metrics receives the stream_* series (nil means obs.Default;
 	// obs.Discard disables).
 	Metrics *obs.Registry
+	// Trace, when set, opens a distributed root span per cold-user profile
+	// resolution (the twitterd → geocoded leg) and per checkpoint. The hot
+	// per-tweet path stays untraced — at firehose rates a span per tweet
+	// would be all overhead and no signal. Nil disables.
+	Trace *trace.Tracer
 }
 
 // Source is one streaming connection attempt: deliver tweets to fn until the
@@ -327,19 +333,36 @@ func (e *Engine) process(sh *shard, t *twitter.Tweet) {
 	}
 	st := sh.users[t.UserID]
 	if st == nil {
-		place, ok, err := e.cfg.Profiles(e.ctx, t.UserID)
+		// Cold user: the profile leg fans out over HTTP (twitterd user lookup,
+		// geocoded reverse for GPS-in-profile), so it gets a distributed root
+		// span — the trace the acceptance run reassembles across daemons.
+		pctx, sp := e.cfg.Trace.Root(e.ctx, "stream.profile")
+		if sp != nil {
+			sp.AnnotateInt("user", int64(t.UserID))
+			sp.AnnotateInt("shard", int64(sh.id))
+		}
+		place, ok, err := e.cfg.Profiles(pctx, t.UserID)
 		if err != nil {
 			// Transient: leave the user unknown so their next tweet retries.
 			sh.profileErr++
 			e.reg.Counter("stream_profile_errors_total").Inc()
+			if sp != nil {
+				sp.Annotate("outcome", "error")
+				sp.Annotate("error", err.Error())
+				sp.End()
+			}
 			return
 		}
 		if !ok {
 			sh.rejected[t.UserID] = true
 			sh.dirty[t.UserID] = true
 			e.reg.Counter("stream_profile_rejected_total").Inc()
+			sp.Annotate("outcome", "rejected")
+			sp.End()
 			return
 		}
+		sp.Annotate("outcome", "admitted")
+		sp.End()
 		st = newUserState(int64(t.UserID), place)
 		sh.users[t.UserID] = st
 	}

@@ -1,0 +1,284 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stir/internal/daemon"
+	"stir/internal/geo"
+	"stir/internal/geocode"
+	"stir/internal/logx"
+	"stir/internal/obs"
+	"stir/internal/obs/trace"
+	"stir/internal/resilience"
+	"stir/internal/resilience/fault"
+	"stir/internal/textnorm"
+	"stir/internal/twitter"
+)
+
+// testStack builds a full daemon stack with tracing on and a quiet logger —
+// the same surface twitterd/geocoded boot, served over httptest.
+func testStack(service string, over daemon.OverloadConfig) *daemon.Stack {
+	return daemon.NewStackOpts(daemon.StackOptions{
+		Service:  service,
+		Overload: over,
+		Trace:    daemon.TraceConfig{Sample: 1, RingSize: 4096, Seed: 1},
+		Metrics:  obs.NewRegistry(),
+		Log:      logx.New(io.Discard, service),
+	})
+}
+
+// fastPolicy is a client retry policy that records real attempts but never
+// actually sleeps, with an optional hook on the first backoff.
+func fastPolicy(name string, seed int64, attempts int, onFirstSleep func()) *resilience.Policy {
+	var once sync.Once
+	return &resilience.Policy{
+		Name:        name,
+		MaxAttempts: attempts,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    2 * time.Millisecond,
+		Seed:        seed,
+		Metrics:     obs.NewRegistry(),
+		Sleep: func(ctx context.Context, _ time.Duration) error {
+			if onFirstSleep != nil {
+				once.Do(onFirstSleep)
+			}
+			return ctx.Err()
+		},
+	}
+}
+
+// fetchTraceRing pulls one daemon's /debug/trace JSONL export — the same
+// path `stir trace` scrapes.
+func fetchTraceRing(t *testing.T, baseURL string) []trace.Record {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/trace = %d", resp.StatusCode)
+	}
+	var recs []trace.Record
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var rec trace.Record
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("bad JSONL: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func annotMap(rec trace.Record) map[string]string {
+	m := make(map[string]string, len(rec.Annots))
+	for _, a := range rec.Annots {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// TestTraceChaosEndToEnd is the acceptance run for the tracing subsystem: a
+// seeded chaos stream run against real twitterd/geocoded stacks (fault
+// injection, admission control) whose /debug/trace rings, merged the way
+// `stir trace` merges them, reassemble into one trace spanning
+// stir-stream → twitterd → geocoded with retry, shed and stage annotations.
+func TestTraceChaosEndToEnd(t *testing.T) {
+	ds := testDataset(t, 300, 5)
+	seed := fault.SeedFromEnv(2026)
+
+	// One user whose profile holds literal GPS coordinates: their cold-user
+	// profile leg must fan out over BOTH daemons (user lookup on twitterd,
+	// reverse geocode on geocoded) inside a single distributed trace.
+	var pt geo.Point
+	for _, tw := range allTweets(ds) {
+		if tw.HasGeo() {
+			pt = geo.Point{Lat: tw.Geo.Lat, Lon: tw.Geo.Lon}
+			break
+		}
+	}
+	gpsUser, err := ds.Service.CreateUser("gps_profile_user",
+		fmt.Sprintf("%.4f, %.4f", pt.Lat, pt.Lon), "ko", time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpsTweet, err := ds.Service.PostTweet(gpsUser.ID, "hello from home",
+		time.Date(2011, 10, 2, 0, 0, 0, 0, time.UTC), &twitter.GeoTag{Lat: pt.Lat, Lon: pt.Lon})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// twitterd: generous admission, seeded 5xx fault injection (retries).
+	twStack := testStack("twitterd", daemon.OverloadConfig{MaxInflight: 64, QueueDepth: 32})
+	twInj := fault.New(seed, fault.Rates{Error5xx: 0.25}, obs.NewRegistry())
+	twStack.Mux.Handle("/", twInj.Handler(twitter.NewAPIServer(ds.Service, twitter.ServerOptions{})))
+	twSrv := httptest.NewServer(twStack.Handler)
+	defer twSrv.Close()
+
+	// geocoded: a single admission slot so a held slot sheds deterministically.
+	geoStack := testStack("geocoded", daemon.OverloadConfig{MaxInflight: 1, QueueDepth: -1})
+	geoInj := fault.New(seed+1, fault.Rates{Error5xx: 0.2}, obs.NewRegistry())
+	geoStack.Mux.Handle("/", geoInj.Handler(geocode.NewServer(ds.Gazetteer, geocode.ServerOptions{})))
+	hold := make(chan struct{})
+	held := make(chan struct{})
+	geoStack.Mux.HandleFunc("/hold", func(w http.ResponseWriter, r *http.Request) {
+		close(held)
+		<-hold
+	})
+	geoSrv := httptest.NewServer(geoStack.Handler)
+	defer geoSrv.Close()
+
+	// The stir side: the stream engine wired like `stir stream -geocode`,
+	// with the daemon stack's tracer feeding its /debug/trace ring.
+	stirStack := testStack("stir-stream", daemon.OverloadConfig{MaxInflight: 64, QueueDepth: 32})
+	stirSrv := httptest.NewServer(stirStack.Handler)
+	defer stirSrv.Close()
+	tc := twitter.NewClient(twSrv.URL)
+	tc.HTTP = twSrv.Client()
+	tc.Metrics = obs.NewRegistry()
+	tc.Retry = fastPolicy("twitter_client", seed, 8, nil)
+	gc := geocode.NewClient(geoSrv.URL, 4096)
+	gc.HTTP = geoSrv.Client()
+	gc.Metrics = obs.NewRegistry()
+	gc.Retry = fastPolicy("geocode_client", seed, 8, nil)
+	eng := testEngine(t, ds, func(c *Config) {
+		c.Shards = 1 // serial profile legs: geocoded's single slot never sheds them
+		c.Profiles = NewProfileResolver(ClientLookup(tc),
+			textnorm.NewRefiner(ds.Gazetteer), gc, ds.Gazetteer)
+		c.Trace = stirStack.Tracer
+	})
+	defer eng.Close()
+
+	for _, tw := range allTweets(ds) {
+		if !eng.Ingest(tw) {
+			t.Fatal("Ingest refused a tweet on an open engine")
+		}
+	}
+	eng.Drain()
+	if !eng.Ingest(gpsTweet) {
+		t.Fatal("Ingest refused the GPS-profile tweet")
+	}
+	eng.Drain()
+
+	// The shed leg: occupy geocoded's only slot, then reverse-geocode under a
+	// fresh root span. The first attempt is shed (503 + Retry-After traced on
+	// geocoded), the first backoff releases the slot, the retry succeeds —
+	// one logical request, shed + retry + success in one trace.
+	go func() { _, _ = http.Get(geoSrv.URL + "/hold") }()
+	<-held
+	probeGC := geocode.NewClient(geoSrv.URL, 16)
+	probeGC.HTTP = geoSrv.Client()
+	probeGC.Metrics = obs.NewRegistry()
+	probeGC.Retry = fastPolicy("geocode_probe", seed, 20, func() { close(hold) })
+	pctx, root := stirStack.Tracer.Root(context.Background(), "chaos.probe")
+	if root == nil {
+		t.Fatal("probe root span not sampled at Sample=1")
+	}
+	if _, err := tc.UserShow(pctx, gpsUser.ID); err != nil {
+		t.Fatalf("probe user lookup: %v", err)
+	}
+	if _, err := probeGC.Reverse(pctx, pt); err != nil {
+		t.Fatalf("probe reverse geocode: %v", err)
+	}
+	root.End()
+
+	// Scrape the three rings over HTTP and reassemble, as `stir trace` does.
+	var recs []trace.Record
+	for _, u := range []string{stirSrv.URL, twSrv.URL, geoSrv.URL} {
+		recs = append(recs, fetchTraceRing(t, u)...)
+	}
+	forest := trace.BuildForest(recs)
+	if len(forest) == 0 {
+		t.Fatal("no traces reassembled from the daemon rings")
+	}
+
+	services := func(tr *trace.Trace) map[string]bool {
+		m := map[string]bool{}
+		for _, s := range tr.Services() {
+			m[s] = true
+		}
+		return m
+	}
+	spansThree := func(tr *trace.Trace) bool {
+		m := services(tr)
+		return m["stir-stream"] && m["twitterd"] && m["geocoded"]
+	}
+
+	// The acceptance trace: a stream.profile root spanning all three daemons.
+	var profileTrace *trace.Trace
+	for _, tr := range forest {
+		if tr.Find("stream.profile") != nil && spansThree(tr) {
+			profileTrace = tr
+			break
+		}
+	}
+	if profileTrace == nil {
+		t.Fatal("no stream.profile trace spans stir-stream, twitterd and geocoded")
+	}
+	prof := profileTrace.Find("stream.profile")
+	pa := annotMap(prof.Rec)
+	if pa["user"] == "" || pa["shard"] == "" || pa["outcome"] == "" {
+		t.Fatalf("stream.profile stage annotations incomplete: %v", prof.Rec.Annots)
+	}
+
+	// The probe trace: shed + retry + admitted, one trace, three services.
+	var probeTrace *trace.Trace
+	for _, tr := range forest {
+		if tr.Find("chaos.probe") != nil {
+			probeTrace = tr
+			break
+		}
+	}
+	if probeTrace == nil || !spansThree(probeTrace) {
+		t.Fatalf("probe trace missing or incomplete: %+v", probeTrace)
+	}
+	var sawShed, sawRetry, sawQueueWait bool
+	var walk func(*trace.Node)
+	walk = func(nd *trace.Node) {
+		am := annotMap(nd.Rec)
+		if _, ok := am["shed"]; ok && nd.Rec.Status == http.StatusServiceUnavailable {
+			sawShed = true
+		}
+		for k := range am {
+			if strings.HasPrefix(k, "retry.") {
+				sawRetry = true
+			}
+		}
+		if _, ok := am["queue_wait"]; ok {
+			sawQueueWait = true
+		}
+		for _, c := range nd.Children {
+			walk(c)
+		}
+	}
+	for _, r := range probeTrace.Roots {
+		walk(r)
+	}
+	if !sawShed || !sawRetry || !sawQueueWait {
+		var b bytes.Buffer
+		trace.WriteForest(&b, []*trace.Trace{probeTrace})
+		t.Fatalf("probe trace annotations: shed=%v retry=%v queue_wait=%v\n%s",
+			sawShed, sawRetry, sawQueueWait, b.String())
+	}
+
+	// The rendered tree — what `stir trace` prints — shows all three hops.
+	var b bytes.Buffer
+	trace.WriteForest(&b, []*trace.Trace{profileTrace, probeTrace})
+	out := b.String()
+	for _, want := range []string{"stir-stream: stream.profile", "twitterd:", "geocoded:", "shed="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered trace missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"stir/internal/obs"
+	"stir/internal/obs/trace"
 	"stir/internal/overload"
 	"stir/internal/resilience"
 )
@@ -133,14 +134,21 @@ func (c *Client) policy() *resilience.Policy {
 // exponentially — and decodes the response into out.
 func (c *Client) getJSON(ctx context.Context, path string, params url.Values, out any) error {
 	reg := obs.Or(c.Metrics)
-	return c.policy().Do(ctx, func(ctx context.Context) error {
+	// One client span covers the whole logical request; the retry policy
+	// annotates it with per-attempt outcomes rather than opening a span per
+	// attempt.
+	ctx, sp := trace.Start(ctx, "twitter.get "+path)
+	defer sp.End()
+	err := c.policy().Do(ctx, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path+"?"+params.Encode(), nil)
 		if err != nil {
 			return resilience.MarkPermanent(err)
 		}
 		// Propagate the caller's remaining budget so the server can reject
-		// work this attempt has already given up on.
+		// work this attempt has already given up on, and the trace identity
+		// so the hop joins the caller's tree.
 		overload.SetDeadlineHeader(req)
+		trace.Inject(req)
 		resp, err := c.HTTP.Do(req)
 		if err != nil {
 			return fmt.Errorf("twitter client: %w", err)
@@ -172,6 +180,10 @@ func (c *Client) getJSON(ctx context.Context, path string, params url.Values, ou
 		}
 		return nil
 	})
+	if err != nil && sp != nil {
+		sp.Annotate("error", err.Error())
+	}
+	return err
 }
 
 func (c *Client) maxBackoff() time.Duration {

@@ -188,6 +188,7 @@ func (d *Dataset) AnalyzeWith(ctx context.Context, opts AnalyzeOptions) (*Result
 // applyResilience wires the shared resilience knobs into a pipeline.
 func applyResilience(p *pipeline.Pipeline, opts AnalyzeOptions) {
 	p.ContinueOnError = opts.ContinueOnError
+	p.Trace = opts.Trace
 	if opts.FaultRate > 0 {
 		inj := fault.New(opts.FaultSeed, fault.Uniform(opts.FaultRate), nil)
 		p.Resolver = inj.Resolver(p.Resolver)

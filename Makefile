@@ -8,7 +8,7 @@ GO ?= go
 # Fixed fault schedule for reproducible chaos runs (see internal/resilience/fault).
 CHAOS_SEED ?= 2026
 
-.PHONY: build test vet race verify chaos crash load bench bench-obs bench-stream profile
+.PHONY: build test vet race verify chaos cluster-chaos crash load bench bench-obs bench-stream bench-cluster profile
 
 build:
 	$(GO) build ./...
@@ -21,15 +21,23 @@ vet:
 
 # Race-check the packages that share metric registries across goroutines.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/resilience/... ./internal/twitter/... ./internal/geocode/... ./internal/pipeline/... ./internal/storage/... ./internal/ratelimit/... ./internal/stream/... ./internal/overload/... ./internal/daemon/... ./internal/logx
+	$(GO) test -race ./internal/obs/... ./internal/resilience/... ./internal/twitter/... ./internal/geocode/... ./internal/pipeline/... ./internal/storage/... ./internal/ratelimit/... ./internal/stream/... ./internal/overload/... ./internal/daemon/... ./internal/logx ./internal/cluster/... ./cmd/stir/...
 
-verify: build vet test race crash
+verify: build vet test race crash cluster-chaos
 
 # Run the deterministic fault-injection suite (retry/breaker under injected
 # faults, degraded pipeline runs, flaky-crawl convergence) with the race
 # detector and a fixed seed, so a failure replays bit-for-bit.
-chaos: crash
+chaos: crash cluster-chaos
 	STIR_FAULT_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'Chaos|Fault|Inject|Quarantine|ContinueOnError|CrashMidUser' ./internal/resilience/... ./internal/twitter/... ./internal/pipeline/... ./internal/stream/... ./internal/overload/...
+
+# Kill-a-worker cluster chaos: a seeded run destroys a worker mid-ingest
+# (listener gone, memory gone, checkpoint torn by a fault-VFS power cut),
+# keeps streaming through the outage, rejoins a replacement on the same
+# store, and verifies the merged cluster grouping converges byte-identically
+# to the batch pipeline with every deferral/replay accounted in metrics.
+cluster-chaos:
+	STIR_CLUSTER_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'TestClusterChaos|TestClusterCrashRecovery|TestClusterReplicatedIngest|TestClusterScatterPartialDegradation' ./internal/cluster/
 
 # Power-cut chaos for the durable store: a seeded workload is crashed at
 # every filesystem mutation boundary (writes, fsyncs, dir fsyncs, renames —
@@ -55,6 +63,13 @@ bench-obs:
 # the subsystem's floor is 100k tweets/sec on 4 shards with zero drops).
 bench-stream:
 	$(GO) test -run xxx -bench BenchmarkStreamIngest -benchtime 2s ./internal/stream/
+
+# Routed-cluster baselines (recorded in BENCH_cluster.json): ingest
+# throughput through the router's journal+forward path and scatter-gather
+# latency, each at 1, 2 and 4 workers.
+bench-cluster:
+	$(GO) test -run xxx -bench BenchmarkClusterIngest -benchtime 1s ./internal/cluster/
+	$(GO) test -run xxx -bench BenchmarkClusterScatterGroups -benchtime 300x ./internal/cluster/
 
 # Offline continuous-profiling capture: run the sustained ingestion benchmark
 # under the CPU and heap profilers and drop the profiles in profiles/ for

@@ -28,10 +28,19 @@
 //	    run the live ingestion engine: replay the dataset's collection
 //	    through the simulated Streaming API into internal/stream and serve
 //	    the incremental analysis on /v1/groups, /v1/users/{id}, /v1/stats
+//	stir worker  [-addr :8041] [-name w1] [-checkpoint DIR] [-shards N]
+//	    run one cluster shard: a stream engine with its own checkpoint
+//	    store behind the cluster worker API, fed only by router forwards
+//	stir router  [-addr :8040] -workers name=url,... [-replicas N]
+//	             [-partitions N] [-handoff-timeout D] [-journal N]
+//	    join the named workers into a rendezvous-hash ring, replay the
+//	    dataset through the routed ingest path, and serve the merged
+//	    scatter-gather analysis on /v1/groups, /v1/stats, /v1/users/{id}
 //	stir trace   [-addrs host:port,...] [-trace PREFIX] [-n N] [-json]
 //	    fetch the finished-span rings from the daemons' /debug/trace
 //	    endpoints, merge them by trace ID, and print each cross-process
-//	    request tree
+//	    request tree; unreachable daemons are warned about and skipped,
+//	    and the partial forest still prints (fails only if none answer)
 package main
 
 import (
@@ -87,6 +96,10 @@ func main() {
 		err = runStream(os.Args[2:])
 	case "fsck":
 		err = runFsck(os.Args[2:])
+	case "router":
+		err = runRouter(os.Args[2:])
+	case "worker":
+		err = runWorker(os.Args[2:])
 	case "trace":
 		err = runTrace(os.Args[2:])
 	case "-h", "--help", "help":
@@ -113,6 +126,8 @@ func usage() {
   serve    run the analysis and serve /metrics and /healthz
   stream   live-ingest the Streaming API and serve the incremental analysis
   fsck     verify, repair, back up or restore a checkpoint store directory
+  router   front a worker ring: route ingest by user, scatter-gather queries
+  worker   run one cluster shard: a stream engine behind the cluster API
   trace    fetch /debug/trace rings from daemons and print request trees`)
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strconv"
@@ -28,23 +29,7 @@ func runTrace(args []string) error {
 	fs.Parse(args)
 
 	client := &http.Client{Timeout: *timeout}
-	var recs []trace.Record
-	fetched := 0
-	for _, addr := range strings.Split(*addrs, ",") {
-		addr = strings.TrimSpace(addr)
-		if addr == "" {
-			continue
-		}
-		got, err := fetchRing(client, addr, *prefix, *n)
-		if err != nil {
-			// A daemon that is down (or predates tracing) should not hide the
-			// rings the others still hold.
-			fmt.Fprintf(os.Stderr, "stir trace: %s: %v\n", addr, err)
-			continue
-		}
-		fetched++
-		recs = append(recs, got...)
-	}
+	recs, fetched := scrapeRings(client, strings.Split(*addrs, ","), *prefix, *n, os.Stderr)
 	if fetched == 0 {
 		return fmt.Errorf("no daemon answered at %s", *addrs)
 	}
@@ -64,6 +49,30 @@ func runTrace(args []string) error {
 	}
 	trace.WriteForest(os.Stdout, forest)
 	return nil
+}
+
+// scrapeRings pulls the /debug/trace rings from every reachable daemon in
+// addrs, writing one warning line per unreachable one to warn. It returns
+// the merged records and how many daemons actually answered — a daemon that
+// is down (or predates tracing) must not hide the rings the others still
+// hold, so the caller only fails when the count is zero.
+func scrapeRings(client *http.Client, addrs []string, prefix string, n int, warn io.Writer) ([]trace.Record, int) {
+	var recs []trace.Record
+	fetched := 0
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		got, err := fetchRing(client, addr, prefix, n)
+		if err != nil {
+			fmt.Fprintf(warn, "stir trace: %s: %v\n", addr, err)
+			continue
+		}
+		fetched++
+		recs = append(recs, got...)
+	}
+	return recs, fetched
 }
 
 // fetchRing pulls one daemon's /debug/trace JSONL export.

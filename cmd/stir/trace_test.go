@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"stir/internal/obs/trace"
+)
+
+func traceRingServer(t *testing.T, recs []trace.Record) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/trace" {
+			http.NotFound(w, r)
+			return
+		}
+		enc := json.NewEncoder(w)
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				t.Error(err)
+			}
+		}
+	}))
+}
+
+// The trace scrape must degrade: an unreachable daemon gets a warning line
+// and the reachable rings still merge into a partial forest.
+func TestScrapeRingsPartialDegradation(t *testing.T) {
+	up := traceRingServer(t, []trace.Record{
+		{Trace: "aabb", Span: "01", Service: "stir", Name: "analyze", Start: 1, Dur: 5},
+		{Trace: "aabb", Span: "02", Parent: "01", Service: "geocoded", Name: "reverse", Start: 2, Dur: 1},
+	})
+	defer up.Close()
+	down := httptest.NewServer(http.NotFoundHandler())
+	down.Close() // connection refused from here on
+
+	var warn bytes.Buffer
+	client := &http.Client{Timeout: time.Second}
+	recs, fetched := scrapeRings(client,
+		[]string{up.URL, down.URL, " ", ""}, "", 0, &warn)
+	if fetched != 1 {
+		t.Fatalf("want 1 reachable daemon, got %d", fetched)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("want the reachable ring's 2 records, got %d", len(recs))
+	}
+	if w := warn.String(); !strings.Contains(w, down.URL) || strings.Count(w, "\n") != 1 {
+		t.Fatalf("want exactly one warning naming the dead daemon, got %q", w)
+	}
+	// The partial records still assemble into a forest.
+	if forest := trace.BuildForest(recs); len(forest) != 1 {
+		t.Fatalf("partial forest: want 1 tree, got %d", len(forest))
+	}
+}
+
+// When every daemon is down the caller must see fetched == 0 (runTrace turns
+// that into its only failure mode) and a warning per address.
+func TestScrapeRingsAllDown(t *testing.T) {
+	d1 := httptest.NewServer(http.NotFoundHandler())
+	d1.Close()
+	d2 := httptest.NewServer(http.NotFoundHandler())
+	d2.Close()
+	var warn bytes.Buffer
+	recs, fetched := scrapeRings(&http.Client{Timeout: time.Second},
+		[]string{d1.URL, d2.URL}, "", 0, &warn)
+	if fetched != 0 || len(recs) != 0 {
+		t.Fatalf("want nothing scraped, got fetched=%d recs=%d", fetched, len(recs))
+	}
+	if strings.Count(warn.String(), "\n") != 2 {
+		t.Fatalf("want one warning per dead daemon, got %q", warn.String())
+	}
+}
+
+// A daemon answering non-200 (no /debug/trace route) is skipped like a dead
+// one, and the query parameters pass through to the ones that answer.
+func TestScrapeRingsQueryPassthrough(t *testing.T) {
+	var gotQuery string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotQuery = r.URL.RawQuery
+	}))
+	defer srv.Close()
+	no404 := traceRingServer(t, nil) // serves only /debug/trace
+	defer no404.Close()
+
+	var warn bytes.Buffer
+	_, fetched := scrapeRings(&http.Client{Timeout: time.Second},
+		[]string{srv.URL, no404.URL + "/bogus"}, "aa", 7, &warn)
+	if fetched != 1 {
+		t.Fatalf("want only the answering daemon counted, got %d", fetched)
+	}
+	if gotQuery != "trace=aa&n=7" {
+		t.Fatalf("query parameters not passed through: %q", gotQuery)
+	}
+}

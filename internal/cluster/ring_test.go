@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"testing"
+
+	"stir/internal/twitter"
+)
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	r1 := NewRing(256, names)
+	r2 := NewRing(256, []string{"delta", "beta", "alpha", "gamma", "beta"}) // order + dups
+	counts := map[string]int{}
+	for p := 0; p < 256; p++ {
+		o1, o2 := r1.Owner(p), r2.Owner(p)
+		if o1 != o2 {
+			t.Fatalf("partition %d: owner depends on construction order (%s vs %s)", p, o1, o2)
+		}
+		counts[o1]++
+	}
+	for _, n := range names {
+		if counts[n] < 256/len(names)/3 {
+			t.Fatalf("lopsided spread: %v", counts)
+		}
+	}
+}
+
+func TestRingMembershipMovesOnlyAffectedPartitions(t *testing.T) {
+	base := NewRing(256, []string{"a", "b", "c", "d"})
+	grown := base.With("e")
+	moved := 0
+	for p := 0; p < 256; p++ {
+		if base.Owner(p) != grown.Owner(p) {
+			moved++
+			// Every moved partition must have moved TO the new worker;
+			// rendezvous hashing never reshuffles between survivors.
+			if grown.Owner(p) != "e" {
+				t.Fatalf("partition %d moved %s -> %s, not to the joiner",
+					p, base.Owner(p), grown.Owner(p))
+			}
+		}
+	}
+	if moved == 0 || moved > 256/2 {
+		t.Fatalf("join moved %d partitions, want roughly 1/5 of 256", moved)
+	}
+	// Removing the joiner restores the original assignment exactly.
+	shrunk := grown.Without("e")
+	for p := 0; p < 256; p++ {
+		if base.Owner(p) != shrunk.Owner(p) {
+			t.Fatalf("partition %d did not return to its pre-join owner", p)
+		}
+	}
+}
+
+func TestRingOwnersReplicasDistinct(t *testing.T) {
+	r := NewRing(64, []string{"a", "b", "c"})
+	for p := 0; p < 64; p++ {
+		owners := r.Owners(p, 2)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("partition %d: owners %v", p, owners)
+		}
+		// Asking for more replicas than members returns all members.
+		if got := len(r.Owners(p, 10)); got != 3 {
+			t.Fatalf("partition %d: want all 3 members, got %d", p, got)
+		}
+	}
+	if NewRing(8, nil).Owner(0) != "" {
+		t.Fatal("empty ring must have no owner")
+	}
+}
+
+func TestPartitionOfSpread(t *testing.T) {
+	counts := make([]int, 16)
+	for id := twitter.UserID(1); id <= 4096; id++ {
+		counts[PartitionOf(id, 16)]++
+	}
+	for p, c := range counts {
+		if c < 4096/16/2 || c > 4096/16*2 {
+			t.Fatalf("partition %d holds %d of 4096 sequential IDs", p, c)
+		}
+	}
+}
+
+func TestSeqCursorRoundTrip(t *testing.T) {
+	for _, n := range []int64{0, 1, 42, 1 << 40} {
+		if got := ParseSeq(FormatSeq(n)); got != n {
+			t.Fatalf("round-trip %d -> %d", n, got)
+		}
+	}
+	if ParseSeq("") != 0 || ParseSeq("garbage") != 0 || ParseSeq("-5") != 0 {
+		t.Fatal("malformed cursors must parse as 0 (replay everything)")
+	}
+}

@@ -1,0 +1,986 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stir/internal/logx"
+	"stir/internal/obs"
+	"stir/internal/obs/trace"
+	"stir/internal/overload"
+	"stir/internal/resilience"
+	"stir/internal/storage"
+	"stir/internal/stream"
+	"stir/internal/twitter"
+)
+
+// Router defaults.
+const (
+	DefaultReplicas       = 1
+	DefaultJournalDepth   = 1 << 16
+	DefaultForwardBatch   = 256
+	DefaultMaxFanout      = 8
+	DefaultHandoffTimeout = 30 * time.Second
+	DefaultScatterTimeout = 5 * time.Second
+)
+
+// Options configures a Router.
+type Options struct {
+	// Partitions is the hash-space granularity (default DefaultPartitions).
+	// It must match across the cluster's lifetime — it is baked into every
+	// handoff filter.
+	Partitions int
+	// Replicas is each partition's owner-set size: every tweet forwards to
+	// this many workers, and scatter-gather tolerates Replicas-1 of them
+	// being down without going partial (default 1).
+	Replicas int
+	// JournalDepth caps the per-worker replay journal; overflowing entries
+	// are evicted oldest-first and counted — an evicted entry can no longer
+	// be replayed, so exact convergence is at risk (default 65536).
+	JournalDepth int
+	// ForwardBatch caps tweets per forward POST (default 256).
+	ForwardBatch int
+	// ForwardAttempts bounds retries of one idempotent forward (default 3).
+	ForwardAttempts int
+	// HandoffTimeout bounds one handoff leg: export, import or drop
+	// (default 30s).
+	HandoffTimeout time.Duration
+	// ScatterTimeout bounds one worker's scatter-gather answer (default 5s).
+	ScatterTimeout time.Duration
+	// MaxFanout bounds concurrent outbound calls (default 8).
+	MaxFanout int
+	// Seed fixes the retry-jitter streams (default 1).
+	Seed int64
+	// HTTP overrides the outbound client (default: no global timeout;
+	// per-call contexts bound every request).
+	HTTP *http.Client
+	// Metrics receives the stir_cluster_* series (nil means obs.Default).
+	Metrics *obs.Registry
+	// Tracer opens root spans for handoffs and replays. Nil disables.
+	Tracer *trace.Tracer
+	// Log receives membership and handoff events (nil builds a discard-free
+	// stderr logger under "stir-router").
+	Log *logx.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Partitions <= 0 {
+		o.Partitions = DefaultPartitions
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = DefaultReplicas
+	}
+	if o.JournalDepth <= 0 {
+		o.JournalDepth = DefaultJournalDepth
+	}
+	if o.ForwardBatch <= 0 {
+		o.ForwardBatch = DefaultForwardBatch
+	}
+	if o.ForwardAttempts <= 0 {
+		o.ForwardAttempts = 3
+	}
+	if o.HandoffTimeout <= 0 {
+		o.HandoffTimeout = DefaultHandoffTimeout
+	}
+	if o.ScatterTimeout <= 0 {
+		o.ScatterTimeout = DefaultScatterTimeout
+	}
+	if o.MaxFanout <= 0 {
+		o.MaxFanout = DefaultMaxFanout
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.HTTP == nil {
+		o.HTTP = &http.Client{}
+	}
+	if o.Log == nil {
+		o.Log = logx.New(nil, "stir-router")
+	}
+	return o
+}
+
+// jentry is one journaled forward: a tweet and the per-worker sequence it
+// was (or will be) delivered under.
+type jentry struct {
+	seq   int64
+	tweet *twitter.Tweet
+}
+
+// workerRef is the router's view of one worker.
+type workerRef struct {
+	name string
+
+	// mu guards url/up; fwdMu serialises forwards so per-worker sequence
+	// order holds; jMu guards the journal. Lock order: fwdMu > jMu.
+	mu    sync.Mutex
+	url   string
+	up    bool
+	fwdMu sync.Mutex
+
+	policy  *resilience.Policy
+	breaker *resilience.Breaker
+
+	jMu        sync.Mutex
+	journal    []jentry
+	durableSeq int64 // highest seq covered by the worker's last checkpoint
+	ackedSeq   int64 // highest seq the worker acknowledged applying
+	evicted    int64 // journal entries lost to overflow
+}
+
+func (w *workerRef) baseURL() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.url
+}
+
+func (w *workerRef) isUp() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.up
+}
+
+func (w *workerRef) setUp(up bool) {
+	w.mu.Lock()
+	w.up = up
+	w.mu.Unlock()
+}
+
+// journalAppend journals one tweet under the next per-worker slot, evicting
+// the oldest entry when the depth cap is hit.
+func (w *workerRef) journalAppend(e jentry, depth int, evictCtr *obs.Counter) {
+	w.jMu.Lock()
+	if len(w.journal) >= depth {
+		w.journal = w.journal[1:]
+		w.evicted++
+		evictCtr.Inc()
+	}
+	w.journal = append(w.journal, e)
+	w.jMu.Unlock()
+}
+
+// journalTrim drops entries a durable checkpoint covers.
+func (w *workerRef) journalTrim(durableSeq int64) {
+	w.jMu.Lock()
+	if durableSeq > w.durableSeq {
+		w.durableSeq = durableSeq
+		i := 0
+		for i < len(w.journal) && w.journal[i].seq <= durableSeq {
+			i++
+		}
+		w.journal = w.journal[i:]
+	}
+	w.jMu.Unlock()
+}
+
+// journalTail copies the entries after seq, in order.
+func (w *workerRef) journalTail(seq int64) []jentry {
+	w.jMu.Lock()
+	defer w.jMu.Unlock()
+	var out []jentry
+	for _, e := range w.journal {
+		if e.seq > seq {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (w *workerRef) journalDepth() int {
+	w.jMu.Lock()
+	defer w.jMu.Unlock()
+	return len(w.journal)
+}
+
+// WorkerError is one worker's failure inside a partial result.
+type WorkerError struct {
+	Worker string `json:"worker"`
+	Error  string `json:"error"`
+}
+
+// Router consistent-hashes users across stream workers, forwards ingest with
+// retries and per-worker breakers, journals forwards for crash replay, and
+// scatter-gathers the /v1 query API with partial-result degradation. All
+// methods are safe for concurrent use.
+type Router struct {
+	opts   Options
+	reg    *obs.Registry
+	tracer *trace.Tracer
+	log    *logx.Logger
+	sem    chan struct{}
+	seq    atomic.Int64
+
+	// mu guards membership and the ring. Handoffs (join/leave/crash
+	// recovery) hold it for the whole migration, pausing ingest and scatter
+	// so per-user delivery order survives the ownership change.
+	mu      sync.RWMutex
+	workers map[string]*workerRef
+	ring    *Ring
+
+	mHandoff  func(reason string) *obs.Counter
+	mEvicted  func(worker string) *obs.Counter
+	mDeferred func(worker string) *obs.Counter
+}
+
+// NewRouter builds an empty router; workers join via AddWorker.
+func New(opts Options) *Router {
+	opts = opts.withDefaults()
+	reg := obs.Or(opts.Metrics)
+	r := &Router{
+		opts:    opts,
+		reg:     reg,
+		tracer:  opts.Tracer,
+		log:     opts.Log,
+		sem:     make(chan struct{}, opts.MaxFanout),
+		workers: make(map[string]*workerRef),
+		ring:    NewRing(opts.Partitions, nil),
+	}
+	r.mHandoff = func(reason string) *obs.Counter {
+		return reg.Counter("stir_cluster_handoffs_total", "reason", reason)
+	}
+	r.mEvicted = func(worker string) *obs.Counter {
+		return reg.Counter("stir_cluster_journal_evicted_total", "worker", worker)
+	}
+	r.mDeferred = func(worker string) *obs.Counter {
+		return reg.Counter("stir_cluster_deferred_total", "worker", worker)
+	}
+	reg.GaugeFunc("stir_cluster_partitions", func() float64 { return float64(opts.Partitions) })
+	reg.GaugeFunc("stir_cluster_workers", func() float64 {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		return float64(len(r.workers))
+	})
+	reg.GaugeFunc("stir_cluster_workers_up", func() float64 {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		n := 0
+		for _, w := range r.workers {
+			if w.isUp() {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	return r
+}
+
+// Ring returns the current ring (immutable snapshot).
+func (r *Router) Ring() *Ring {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring
+}
+
+// newWorkerRef builds the per-worker forwarding machinery.
+func (r *Router) newWorkerRef(name, url string) *workerRef {
+	w := &workerRef{name: name, url: url, up: true}
+	w.breaker = resilience.NewBreaker("cluster_"+name, resilience.BreakerOptions{Metrics: r.reg})
+	w.policy = &resilience.Policy{
+		Name:        "cluster_forward",
+		MaxAttempts: r.opts.ForwardAttempts,
+		BaseDelay:   25 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Seed:        r.opts.Seed,
+		Breaker:     w.breaker,
+		Metrics:     r.reg,
+	}
+	return w
+}
+
+// registerWorkerGauges publishes pull-mode views for one worker name. The
+// closures resolve the ref through the map on every read, so a replacement
+// worker under the same name keeps the series accurate.
+func (r *Router) registerWorkerGauges(name string) {
+	lookup := func() *workerRef {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		return r.workers[name]
+	}
+	r.reg.GaugeFunc("stir_cluster_shard_queue_depth", func() float64 {
+		if w := lookup(); w != nil {
+			return float64(w.journalDepth())
+		}
+		return 0
+	}, "worker", name)
+	r.reg.GaugeFunc("stir_cluster_worker_up", func() float64 {
+		if w := lookup(); w != nil && w.isUp() {
+			return 1
+		}
+		return 0
+	}, "worker", name)
+}
+
+// doJSON performs one traced, deadline-stamped request and decodes the JSON
+// reply into out (when non-nil). Non-2xx maps onto resilience.StatusError so
+// the retry policy classifies 5xx/sheds transient and honours Retry-After.
+func (r *Router) doJSON(ctx context.Context, method, url string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return resilience.MarkPermanent(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	overload.SetDeadlineHeader(req)
+	trace.Inject(req)
+	resp, err := r.opts.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		se := &resilience.StatusError{Status: resp.StatusCode}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+				se.Wait = time.Duration(secs) * time.Second
+			}
+		}
+		return se
+	}
+	if out == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("cluster: decode %s: %w", url, err)
+	}
+	return nil
+}
+
+// IngestReport accounts one IngestBatch call.
+type IngestReport struct {
+	// Forwarded tweets were acknowledged by a live owner.
+	Forwarded int `json:"forwarded"`
+	// Deferred tweets are journaled for a down worker and will be replayed
+	// when it (or its replacement) rejoins.
+	Deferred int `json:"deferred"`
+	// Unrouted tweets had no owner at all (empty ring).
+	Unrouted int           `json:"unrouted"`
+	Errors   []WorkerError `json:"errors,omitempty"`
+}
+
+// IngestBatch routes tweets to their owners and forwards them. Forwards are
+// idempotent (workers dedup by tweet ID), so transient failures retry
+// against the same replica; a worker that stays unreachable is marked down,
+// its tweets stay journaled, and they replay at rejoin.
+func (r *Router) IngestBatch(ctx context.Context, tweets []*twitter.Tweet) IngestReport {
+	r.mu.RLock()
+	ring := r.ring
+	workers := make(map[string]*workerRef, len(r.workers))
+	for n, w := range r.workers {
+		workers[n] = w
+	}
+	r.mu.RUnlock()
+	return r.ingestRouted(ctx, ring, workers, tweets)
+}
+
+// ingestRouted is IngestBatch against an explicit membership snapshot, so
+// handoffs can replay while holding the membership lock.
+func (r *Router) ingestRouted(ctx context.Context, ring *Ring, workers map[string]*workerRef, tweets []*twitter.Tweet) IngestReport {
+	var rep IngestReport
+	if ring.Len() == 0 {
+		rep.Unrouted = len(tweets)
+		return rep
+	}
+	byOwner := make(map[string][]*twitter.Tweet)
+	for _, t := range tweets {
+		if t == nil {
+			continue
+		}
+		part := PartitionOf(t.UserID, r.opts.Partitions)
+		owners := ring.Owners(part, r.opts.Replicas)
+		if len(owners) == 0 {
+			rep.Unrouted++
+			continue
+		}
+		for _, o := range owners {
+			byOwner[o] = append(byOwner[o], t)
+		}
+	}
+	names := make([]string, 0, len(byOwner))
+	for n := range byOwner {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var (
+		wg   sync.WaitGroup
+		rmu  sync.Mutex
+		reps = make([]IngestReport, len(names))
+	)
+	for i, name := range names {
+		w := workers[name]
+		if w == nil {
+			rmu.Lock()
+			rep.Unrouted += len(byOwner[name])
+			rmu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(i int, w *workerRef, batch []*twitter.Tweet) {
+			defer wg.Done()
+			r.sem <- struct{}{}
+			defer func() { <-r.sem }()
+			reps[i] = r.forwardAll(ctx, w, batch)
+		}(i, w, byOwner[name])
+	}
+	wg.Wait()
+	for _, sub := range reps {
+		rep.Forwarded += sub.Forwarded
+		rep.Deferred += sub.Deferred
+		rep.Errors = append(rep.Errors, sub.Errors...)
+	}
+	return rep
+}
+
+// forwardAll journals and delivers one worker's share of a batch, in
+// ForwardBatch-sized chunks. The per-worker forward lock serialises delivery
+// so sequence order (and per-user tweet order) holds.
+func (r *Router) forwardAll(ctx context.Context, w *workerRef, tweets []*twitter.Tweet) IngestReport {
+	var rep IngestReport
+	w.fwdMu.Lock()
+	defer w.fwdMu.Unlock()
+	evict := r.mEvicted(w.name)
+	for len(tweets) > 0 {
+		n := r.opts.ForwardBatch
+		if n > len(tweets) {
+			n = len(tweets)
+		}
+		chunk := tweets[:n]
+		tweets = tweets[n:]
+		var lastSeq int64
+		for _, t := range chunk {
+			seq := r.seq.Add(1)
+			w.journalAppend(jentry{seq: seq, tweet: t}, r.opts.JournalDepth, evict)
+			lastSeq = seq
+		}
+		if !w.isUp() {
+			rep.Deferred += len(chunk)
+			r.mDeferred(w.name).Add(int64(len(chunk)))
+			continue
+		}
+		if err := r.forwardChunk(ctx, w, lastSeq, chunk); err != nil {
+			// The chunk (and the rest of the batch) stays journaled; the
+			// worker is down until it rejoins and replays.
+			w.setUp(false)
+			rep.Deferred += len(chunk)
+			r.mDeferred(w.name).Add(int64(len(chunk)))
+			rep.Errors = append(rep.Errors, WorkerError{Worker: w.name, Error: err.Error()})
+			r.reg.Counter("stir_cluster_forward_errors_total", "worker", w.name).Inc()
+			r.log.Warn(ctx, "worker marked down", "worker", w.name, "err", err)
+			continue
+		}
+		rep.Forwarded += len(chunk)
+		r.reg.Counter("stir_cluster_forwarded_total", "worker", w.name).Add(int64(len(chunk)))
+	}
+	return rep
+}
+
+// forwardChunk delivers one seq-stamped chunk with retries and trims the
+// journal to the worker's durable cursor from the ack.
+func (r *Router) forwardChunk(ctx context.Context, w *workerRef, seq int64, tweets []*twitter.Tweet) error {
+	body, err := json.Marshal(ingestRequest{Seq: seq, Tweets: tweets})
+	if err != nil {
+		return err
+	}
+	url := w.baseURL() + "/cluster/v1/ingest"
+	var ack ingestResponse
+	err = w.policy.Do(ctx, func(ctx context.Context) error {
+		cctx, cancel := context.WithTimeout(ctx, r.opts.ScatterTimeout)
+		defer cancel()
+		return r.doJSON(cctx, http.MethodPost, url, body, &ack)
+	})
+	if err != nil {
+		return err
+	}
+	w.jMu.Lock()
+	if seq > w.ackedSeq {
+		w.ackedSeq = seq
+	}
+	w.jMu.Unlock()
+	w.journalTrim(ack.DurableSeq)
+	return nil
+}
+
+// hello performs the join handshake.
+func (r *Router) hello(ctx context.Context, url string) (helloResponse, error) {
+	var h helloResponse
+	cctx, cancel := context.WithTimeout(ctx, r.opts.ScatterTimeout)
+	defer cancel()
+	err := r.doJSON(cctx, http.MethodGet, url+"/cluster/v1/hello", nil, &h)
+	return h, err
+}
+
+// AddWorker joins a worker (or a replacement for a crashed one — same name,
+// possibly a new address). A fresh name triggers shard handoff from the
+// current owners; a known name is a rejoin: the journal tail past the
+// worker's durable checkpoint cursor is replayed, and DedupByTweetID on the
+// worker makes the overlap with its checkpoint idempotent.
+func (r *Router) AddWorker(ctx context.Context, name, url string) error {
+	if name == "" || url == "" {
+		return fmt.Errorf("cluster: join needs a name and a url")
+	}
+	h, err := r.hello(ctx, url)
+	if err != nil {
+		return fmt.Errorf("cluster: join %s: hello: %w", name, err)
+	}
+	if h.Name != "" && h.Name != name {
+		return fmt.Errorf("cluster: join %s: worker at %s says it is %q", name, url, h.Name)
+	}
+	ctx, span := r.rootSpan(ctx, "cluster.join")
+	defer span.End()
+	if span != nil {
+		span.Annotate("worker", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.workers[name]; ok {
+		return r.rejoinLocked(ctx, w, url, h)
+	}
+	return r.joinLocked(ctx, name, url)
+}
+
+// rejoinLocked brings a known worker back: reset its breaker, replay the
+// journal tail past its durable cursor, and mark it up.
+func (r *Router) rejoinLocked(ctx context.Context, w *workerRef, url string, h helloResponse) error {
+	w.mu.Lock()
+	w.url = url
+	w.mu.Unlock()
+	// A replacement process restarts from its last durable checkpoint: its
+	// acked-but-not-checkpointed suffix died with it. Reset the router's ack
+	// watermark so accounting reflects the replay.
+	fresh := r.newWorkerRef(w.name, url)
+	w.policy, w.breaker = fresh.policy, fresh.breaker
+	w.jMu.Lock()
+	w.ackedSeq = h.DurableSeq
+	w.jMu.Unlock()
+	tail := w.journalTail(h.DurableSeq)
+	replayed, err := r.replayLocked(ctx, w, tail)
+	if err != nil {
+		return fmt.Errorf("cluster: rejoin %s: replay: %w", w.name, err)
+	}
+	w.setUp(true)
+	r.mHandoff("rejoin").Inc()
+	r.reg.Counter("stir_cluster_replayed_total", "worker", w.name).Add(int64(replayed))
+	r.log.Printf("worker %s rejoined at %s: replayed %d journaled tweets past durable seq %d",
+		w.name, url, replayed, h.DurableSeq)
+	return nil
+}
+
+// replayLocked re-delivers journaled entries to one worker in sequence
+// order. Holds the worker's forward lock so live traffic queues behind the
+// replay, preserving per-user order.
+func (r *Router) replayLocked(ctx context.Context, w *workerRef, tail []jentry) (int, error) {
+	w.fwdMu.Lock()
+	defer w.fwdMu.Unlock()
+	replayed := 0
+	for len(tail) > 0 {
+		n := r.opts.ForwardBatch
+		if n > len(tail) {
+			n = len(tail)
+		}
+		chunk := tail[:n]
+		tail = tail[n:]
+		tweets := make([]*twitter.Tweet, len(chunk))
+		for i, e := range chunk {
+			tweets[i] = e.tweet
+		}
+		if err := r.forwardChunk(ctx, w, chunk[len(chunk)-1].seq, tweets); err != nil {
+			return replayed, err
+		}
+		replayed += len(chunk)
+	}
+	return replayed, nil
+}
+
+// joinLocked admits a brand-new worker: add it to the ring and migrate the
+// partitions it now owns from their previous owners (export → import →
+// checkpoint → drop), pausing ingest for the duration so per-user order
+// survives the ownership flip.
+func (r *Router) joinLocked(ctx context.Context, name, url string) error {
+	oldRing := r.ring
+	newRing := oldRing.With(name)
+	w := r.newWorkerRef(name, url)
+
+	// Partitions whose owner set gains the new worker, grouped by the old
+	// primary (the exporter). An empty old ring has nothing to migrate.
+	type move struct {
+		source string
+		parts  []int
+	}
+	bySource := make(map[string][]int)
+	losers := make(map[string][]int) // old owners no longer in the set
+	if oldRing.Len() > 0 {
+		for p := 0; p < r.opts.Partitions; p++ {
+			oldOwners := oldRing.Owners(p, r.opts.Replicas)
+			newOwners := newRing.Owners(p, r.opts.Replicas)
+			gained := false
+			for _, o := range newOwners {
+				if o == name {
+					gained = true
+				}
+			}
+			if !gained {
+				continue
+			}
+			bySource[oldOwners[0]] = append(bySource[oldOwners[0]], p)
+			for _, o := range oldOwners {
+				still := false
+				for _, n := range newOwners {
+					if n == o {
+						still = true
+					}
+				}
+				if !still {
+					losers[o] = append(losers[o], p)
+				}
+			}
+		}
+	}
+	moved := 0
+	for source, parts := range bySource {
+		src := r.workers[source]
+		if src == nil || !src.isUp() {
+			return fmt.Errorf("cluster: join %s: source %s is down, cannot hand off %d partitions", name, source, len(parts))
+		}
+		if err := r.migrate(ctx, src, w, parts, false); err != nil {
+			return fmt.Errorf("cluster: join %s: %w", name, err)
+		}
+		moved += len(parts)
+	}
+	// Old owners that fell out of the replicaset release their copies.
+	for loser, parts := range losers {
+		lw := r.workers[loser]
+		if lw == nil || !lw.isUp() {
+			continue
+		}
+		if err := r.dropParts(ctx, lw, parts); err != nil {
+			r.log.Warn(ctx, "drop after join failed", "worker", loser, "err", err)
+		}
+	}
+	r.workers[name] = w
+	r.ring = newRing
+	r.registerWorkerGauges(name)
+	for i := 0; i < moved; i++ {
+		r.mHandoff("join").Inc()
+	}
+	r.log.Printf("worker %s joined at %s: %d partitions migrated", name, url, moved)
+	return nil
+}
+
+// Leave gracefully removes a worker: its partitions migrate to the new
+// owners under the shrunk ring, then any undelivered journal tail replays
+// through normal routing. Ingest pauses for the duration.
+func (r *Router) Leave(ctx context.Context, name string) error {
+	ctx, span := r.rootSpan(ctx, "cluster.leave")
+	defer span.End()
+	if span != nil {
+		span.Annotate("worker", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[name]
+	if !ok {
+		return fmt.Errorf("cluster: leave: unknown worker %q", name)
+	}
+	newRing := r.ring.Without(name)
+	if newRing.Len() == 0 {
+		return fmt.Errorf("cluster: leave: %s is the last worker", name)
+	}
+	moved := 0
+	if w.isUp() {
+		// Per new-owner import sets: partitions the leaver owned, grouped by
+		// their next primary.
+		gainers := make(map[string][]int)
+		for _, p := range r.ring.PartsOwnedBy(name, r.opts.Replicas) {
+			for _, o := range newRing.Owners(p, r.opts.Replicas) {
+				already := false
+				for _, old := range r.ring.Owners(p, r.opts.Replicas) {
+					if old == o {
+						already = true
+					}
+				}
+				if !already {
+					gainers[o] = append(gainers[o], p)
+				}
+			}
+			moved++
+		}
+		for gainer, parts := range gainers {
+			gw := r.workers[gainer]
+			if gw == nil || !gw.isUp() {
+				return fmt.Errorf("cluster: leave %s: new owner %s is down", name, gainer)
+			}
+			if err := r.migrate(ctx, w, gw, parts, true); err != nil {
+				return fmt.Errorf("cluster: leave %s: %w", name, err)
+			}
+		}
+	}
+	// Whatever the leaver never acknowledged replays through the shrunk
+	// ring; worker-side tweet-ID dedup absorbs the overlap with the export.
+	tail := w.journalTail(w.durableSeq)
+	delete(r.workers, name)
+	r.ring = newRing
+	if len(tail) > 0 {
+		tweets := make([]*twitter.Tweet, len(tail))
+		for i, e := range tail {
+			tweets[i] = e.tweet
+		}
+		workers := make(map[string]*workerRef, len(r.workers))
+		for n, ref := range r.workers {
+			workers[n] = ref
+		}
+		rep := r.ingestRouted(ctx, newRing, workers, tweets)
+		r.reg.Counter("stir_cluster_replayed_total", "worker", name).Add(int64(rep.Forwarded))
+	}
+	for i := 0; i < moved; i++ {
+		r.mHandoff("leave").Inc()
+	}
+	r.log.Printf("worker %s left: %d partitions migrated", name, moved)
+	return nil
+}
+
+// RemoveCrashed removes a dead worker whose process is gone for good,
+// restoring its users from its last checkpoint store (opened by the caller —
+// the shared-storage recovery path) into the surviving owners and replaying
+// the journal tail past the checkpoint's cursor. Pass a nil store when the
+// checkpoint is unrecoverable: only the journal replays, and everything the
+// dead worker had checkpointed is lost (counted, not hidden).
+func (r *Router) RemoveCrashed(ctx context.Context, name string, ckpt *storage.Store) error {
+	ctx, span := r.rootSpan(ctx, "cluster.recover")
+	defer span.End()
+	if span != nil {
+		span.Annotate("worker", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[name]
+	if !ok {
+		return fmt.Errorf("cluster: remove: unknown worker %q", name)
+	}
+	newRing := r.ring.Without(name)
+	if newRing.Len() == 0 {
+		return fmt.Errorf("cluster: remove: %s is the last worker", name)
+	}
+	var (
+		h      stream.Handoff
+		cursor string
+	)
+	if ckpt != nil {
+		var err error
+		h, cursor, err = stream.ReadCheckpointHandoff(ckpt)
+		if err != nil {
+			return fmt.Errorf("cluster: remove %s: read checkpoint: %w", name, err)
+		}
+	}
+	moved := len(r.ring.PartsOwnedBy(name, r.opts.Replicas))
+	// Split the restored users across the new owners and import.
+	byOwner, err := r.splitHandoff(h, newRing)
+	if err != nil {
+		return fmt.Errorf("cluster: remove %s: %w", name, err)
+	}
+	for owner, oh := range byOwner {
+		ow := r.workers[owner]
+		if ow == nil || !ow.isUp() {
+			return fmt.Errorf("cluster: remove %s: new owner %s is down", name, owner)
+		}
+		if err := r.importInto(ctx, ow, oh); err != nil {
+			return fmt.Errorf("cluster: remove %s: import into %s: %w", name, owner, err)
+		}
+	}
+	tail := w.journalTail(ParseSeq(cursor))
+	delete(r.workers, name)
+	r.ring = newRing
+	if len(tail) > 0 {
+		tweets := make([]*twitter.Tweet, len(tail))
+		for i, e := range tail {
+			tweets[i] = e.tweet
+		}
+		workers := make(map[string]*workerRef, len(r.workers))
+		for n, ref := range r.workers {
+			workers[n] = ref
+		}
+		rep := r.ingestRouted(ctx, newRing, workers, tweets)
+		r.reg.Counter("stir_cluster_replayed_total", "worker", name).Add(int64(rep.Forwarded))
+	}
+	for i := 0; i < moved; i++ {
+		r.mHandoff("crash").Inc()
+	}
+	r.log.Printf("crashed worker %s removed: %d partitions reassigned, %d users restored from checkpoint",
+		name, moved, h.Len())
+	return nil
+}
+
+// MarkDown flags a worker as unreachable without removing it; its tweets
+// journal until it rejoins. Forward failures call this implicitly.
+func (r *Router) MarkDown(name string) {
+	r.mu.RLock()
+	w := r.workers[name]
+	r.mu.RUnlock()
+	if w != nil {
+		w.setUp(false)
+	}
+}
+
+// splitHandoff partitions a handoff payload by new owner under ring. With
+// replicas > 1 each user lands on every owner in its partition's set.
+func (r *Router) splitHandoff(h stream.Handoff, ring *Ring) (map[string]stream.Handoff, error) {
+	out := make(map[string]stream.Handoff)
+	for _, raw := range h.Users {
+		var peek struct {
+			ID int64 `json:"id"`
+		}
+		if err := json.Unmarshal(raw, &peek); err != nil {
+			return nil, fmt.Errorf("split handoff: %w", err)
+		}
+		part := PartitionOf(twitter.UserID(peek.ID), r.opts.Partitions)
+		for _, o := range ring.Owners(part, r.opts.Replicas) {
+			oh := out[o]
+			oh.Users = append(oh.Users, raw)
+			out[o] = oh
+		}
+	}
+	for _, id := range h.Rejected {
+		part := PartitionOf(twitter.UserID(id), r.opts.Partitions)
+		for _, o := range ring.Owners(part, r.opts.Replicas) {
+			oh := out[o]
+			oh.Rejected = append(oh.Rejected, id)
+			out[o] = oh
+		}
+	}
+	return out, nil
+}
+
+// migrate moves one partition set from src to dst: export, import, durable
+// checkpoint on the importer, then (unless the source is leaving entirely)
+// drop on the source.
+func (r *Router) migrate(ctx context.Context, src, dst *workerRef, parts []int, srcLeaving bool) error {
+	hctx, cancel := context.WithTimeout(ctx, r.opts.HandoffTimeout)
+	defer cancel()
+	var h stream.Handoff
+	if err := r.doJSON(hctx, http.MethodGet, src.baseURL()+exportQuery(r.opts.Partitions, parts), nil, &h); err != nil {
+		return fmt.Errorf("export from %s: %w", src.name, err)
+	}
+	if err := r.importInto(ctx, dst, h); err != nil {
+		return fmt.Errorf("import into %s: %w", dst.name, err)
+	}
+	if !srcLeaving {
+		if err := r.dropParts(ctx, src, parts); err != nil {
+			return fmt.Errorf("drop on %s: %w", src.name, err)
+		}
+	}
+	return nil
+}
+
+// importInto installs a handoff payload on dst and checkpoints it so the
+// migrated users survive a crash of their new owner.
+func (r *Router) importInto(ctx context.Context, dst *workerRef, h stream.Handoff) error {
+	if h.Len() == 0 {
+		return nil
+	}
+	body, err := json.Marshal(h)
+	if err != nil {
+		return err
+	}
+	hctx, cancel := context.WithTimeout(ctx, r.opts.HandoffTimeout)
+	defer cancel()
+	if err := r.doJSON(hctx, http.MethodPost, dst.baseURL()+"/cluster/v1/import", body, nil); err != nil {
+		return err
+	}
+	// Best-effort durability: a store-less worker (tests, ephemeral demos)
+	// still accepts the handoff.
+	cctx, cancel2 := context.WithTimeout(ctx, r.opts.HandoffTimeout)
+	defer cancel2()
+	if err := r.doJSON(cctx, http.MethodPost, dst.baseURL()+"/cluster/v1/checkpoint", nil, nil); err != nil {
+		r.log.Warn(ctx, "post-import checkpoint failed", "worker", dst.name, "err", err)
+	}
+	return nil
+}
+
+func (r *Router) dropParts(ctx context.Context, w *workerRef, parts []int) error {
+	hctx, cancel := context.WithTimeout(ctx, r.opts.HandoffTimeout)
+	defer cancel()
+	return r.doJSON(hctx, http.MethodPost, w.baseURL()+dropQuery(r.opts.Partitions, parts), nil, nil)
+}
+
+func exportQuery(partitions int, parts []int) string {
+	return "/cluster/v1/export?partitions=" + strconv.Itoa(partitions) + "&parts=" + joinParts(parts)
+}
+
+func dropQuery(partitions int, parts []int) string {
+	return "/cluster/v1/drop?partitions=" + strconv.Itoa(partitions) + "&parts=" + joinParts(parts)
+}
+
+func joinParts(parts []int) string {
+	var b bytes.Buffer
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(p))
+	}
+	return b.String()
+}
+
+// CheckpointAll asks every live worker for a durable checkpoint and trims
+// the journals to the returned cursors.
+func (r *Router) CheckpointAll(ctx context.Context) []WorkerError {
+	r.mu.RLock()
+	workers := make([]*workerRef, 0, len(r.workers))
+	for _, w := range r.workers {
+		workers = append(workers, w)
+	}
+	r.mu.RUnlock()
+	var (
+		wg   sync.WaitGroup
+		emu  sync.Mutex
+		errs []WorkerError
+	)
+	for _, w := range workers {
+		if !w.isUp() {
+			continue
+		}
+		wg.Add(1)
+		go func(w *workerRef) {
+			defer wg.Done()
+			r.sem <- struct{}{}
+			defer func() { <-r.sem }()
+			var ack struct {
+				DurableSeq int64 `json:"durable_seq"`
+			}
+			cctx, cancel := context.WithTimeout(ctx, r.opts.HandoffTimeout)
+			defer cancel()
+			if err := r.doJSON(cctx, http.MethodPost, w.baseURL()+"/cluster/v1/checkpoint", nil, &ack); err != nil {
+				emu.Lock()
+				errs = append(errs, WorkerError{Worker: w.name, Error: err.Error()})
+				emu.Unlock()
+				return
+			}
+			w.journalTrim(ack.DurableSeq)
+		}(w)
+	}
+	wg.Wait()
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Worker < errs[j].Worker })
+	return errs
+}
+
+// rootSpan opens a traced root when a tracer is configured.
+func (r *Router) rootSpan(ctx context.Context, name string) (context.Context, *trace.Span) {
+	if r.tracer == nil {
+		return ctx, nil
+	}
+	return r.tracer.Root(ctx, name)
+}

@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"stir/internal/obs"
+	"stir/internal/stream"
+	"stir/internal/twitter"
+)
+
+// Worker is the cluster-facing surface of one stream worker: the existing
+// engine plus the handoff and forward-ingest endpoints the router drives.
+//
+//	POST /cluster/v1/ingest      apply a forwarded batch (seq-stamped)
+//	POST /cluster/v1/checkpoint  force a durable checkpoint, return its cursor
+//	GET  /cluster/v1/hello       identity + durable cursor (join handshake)
+//	GET  /cluster/v1/groupings   full per-user groupings (scatter-gather merge)
+//	GET  /cluster/v1/export      serialise the users of a partition set
+//	POST /cluster/v1/import      install a handoff payload
+//	POST /cluster/v1/drop        release the users of a partition set
+//
+// The /v1 query API (groups, users, stats) stays mounted alongside, so one
+// worker address serves both per-worker queries and cluster plumbing.
+type Worker struct {
+	name string
+	eng  *stream.Engine
+	reg  *obs.Registry
+
+	mu      sync.Mutex
+	lastSeq int64 // highest applied forward sequence
+}
+
+// NewWorker wraps an engine for cluster duty. The engine should run with
+// DedupByTweetID on — journal replay after a crash depends on it.
+func NewWorker(name string, eng *stream.Engine, reg *obs.Registry) *Worker {
+	return &Worker{name: name, eng: eng, reg: obs.Or(reg), lastSeq: ParseSeq(eng.Cursor())}
+}
+
+// Engine returns the wrapped engine.
+func (w *Worker) Engine() *stream.Engine { return w.eng }
+
+// Name returns the worker's cluster name.
+func (w *Worker) Name() string { return w.name }
+
+// ParseSeq decodes a forward-sequence cursor; empty or malformed means 0
+// ("replay everything").
+func ParseSeq(s string) int64 {
+	if s == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// FormatSeq encodes a forward sequence as an engine cursor.
+func FormatSeq(n int64) string { return strconv.FormatInt(n, 10) }
+
+// ingestRequest is one forwarded batch: tweets in delivery order plus the
+// router's sequence number of the last tweet.
+type ingestRequest struct {
+	Seq    int64            `json:"seq"`
+	Tweets []*twitter.Tweet `json:"tweets"`
+}
+
+// ingestResponse acknowledges a batch. DurableSeq is the highest sequence
+// covered by a committed checkpoint — the router trims its journal to it.
+type ingestResponse struct {
+	Accepted   int   `json:"accepted"`
+	Refused    int   `json:"refused"`
+	Seq        int64 `json:"seq"`
+	DurableSeq int64 `json:"durable_seq"`
+}
+
+// helloResponse is the join handshake: who the worker is and where its
+// durable state ends.
+type helloResponse struct {
+	Name       string `json:"name"`
+	DurableSeq int64  `json:"durable_seq"`
+	Users      int    `json:"users"`
+}
+
+// Handler returns the worker's full HTTP surface: cluster endpoints plus the
+// engine's /v1 query API.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/v1/ingest", w.handleIngest)
+	mux.HandleFunc("/cluster/v1/checkpoint", w.handleCheckpoint)
+	mux.HandleFunc("/cluster/v1/hello", w.handleHello)
+	mux.HandleFunc("/cluster/v1/groupings", w.handleGroupings)
+	mux.HandleFunc("/cluster/v1/export", w.handleExport)
+	mux.HandleFunc("/cluster/v1/import", w.handleImport)
+	mux.HandleFunc("/cluster/v1/drop", w.handleDrop)
+	mux.Handle("/v1/", w.eng.Handler())
+	return mux
+}
+
+func (w *Worker) handleIngest(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		jsonReply(rw, http.StatusMethodNotAllowed, httpError{Error: "POST only"})
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonReply(rw, http.StatusBadRequest, httpError{Error: "bad batch: " + err.Error()})
+		return
+	}
+	accepted, refused := 0, 0
+	for _, t := range req.Tweets {
+		if t == nil {
+			continue
+		}
+		if w.eng.Ingest(t) {
+			accepted++
+		} else {
+			refused++
+		}
+	}
+	if refused > 0 {
+		// The engine is closing; the router must not treat this batch as
+		// applied or its journal trim would lose the refused tweets.
+		jsonReply(rw, http.StatusServiceUnavailable, httpError{Error: "engine closed mid-batch"})
+		return
+	}
+	w.mu.Lock()
+	if req.Seq > w.lastSeq {
+		w.lastSeq = req.Seq
+		w.eng.SetCursor(FormatSeq(req.Seq))
+	}
+	seq := w.lastSeq
+	w.mu.Unlock()
+	jsonReply(rw, http.StatusOK, ingestResponse{
+		Accepted:   accepted,
+		Seq:        seq,
+		DurableSeq: ParseSeq(w.eng.DurableCursor()),
+	})
+}
+
+func (w *Worker) handleCheckpoint(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		jsonReply(rw, http.StatusMethodNotAllowed, httpError{Error: "POST only"})
+		return
+	}
+	if err := w.eng.Checkpoint(); err != nil {
+		jsonReply(rw, http.StatusInternalServerError, httpError{Error: err.Error()})
+		return
+	}
+	jsonReply(rw, http.StatusOK, map[string]int64{"durable_seq": ParseSeq(w.eng.DurableCursor())})
+}
+
+func (w *Worker) handleHello(rw http.ResponseWriter, r *http.Request) {
+	jsonReply(rw, http.StatusOK, helloResponse{
+		Name:       w.name,
+		DurableSeq: ParseSeq(w.eng.DurableCursor()),
+		Users:      w.eng.Stats().Users,
+	})
+}
+
+func (w *Worker) handleGroupings(rw http.ResponseWriter, r *http.Request) {
+	w.eng.Drain()
+	jsonReply(rw, http.StatusOK, w.eng.Groupings())
+}
+
+// partSet parses the partitions/parts query params shared by export and drop.
+func partSet(r *http.Request) (partitions int, parts map[int]bool, err error) {
+	partitions, err = strconv.Atoi(r.URL.Query().Get("partitions"))
+	if err != nil || partitions <= 0 {
+		return 0, nil, errBadParts
+	}
+	parts = make(map[int]bool)
+	for _, s := range strings.Split(r.URL.Query().Get("parts"), ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		p, perr := strconv.Atoi(s)
+		if perr != nil || p < 0 || p >= partitions {
+			return 0, nil, errBadParts
+		}
+		parts[p] = true
+	}
+	if len(parts) == 0 {
+		return 0, nil, errBadParts
+	}
+	return partitions, parts, nil
+}
+
+var errBadParts = &badPartsError{}
+
+type badPartsError struct{}
+
+func (*badPartsError) Error() string {
+	return "want ?partitions=N&parts=i,j,... with 0 <= part < N"
+}
+
+func (w *Worker) handleExport(rw http.ResponseWriter, r *http.Request) {
+	partitions, parts, err := partSet(r)
+	if err != nil {
+		jsonReply(rw, http.StatusBadRequest, httpError{Error: err.Error()})
+		return
+	}
+	h, err := w.eng.ExportUsers(func(id twitter.UserID) bool {
+		return parts[PartitionOf(id, partitions)]
+	})
+	if err != nil {
+		jsonReply(rw, http.StatusInternalServerError, httpError{Error: err.Error()})
+		return
+	}
+	jsonReply(rw, http.StatusOK, h)
+}
+
+func (w *Worker) handleImport(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		jsonReply(rw, http.StatusMethodNotAllowed, httpError{Error: "POST only"})
+		return
+	}
+	var h stream.Handoff
+	if err := json.NewDecoder(r.Body).Decode(&h); err != nil {
+		jsonReply(rw, http.StatusBadRequest, httpError{Error: "bad handoff: " + err.Error()})
+		return
+	}
+	if err := w.eng.ImportUsers(h); err != nil {
+		jsonReply(rw, http.StatusInternalServerError, httpError{Error: err.Error()})
+		return
+	}
+	jsonReply(rw, http.StatusOK, map[string]int{"imported": h.Len()})
+}
+
+func (w *Worker) handleDrop(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		jsonReply(rw, http.StatusMethodNotAllowed, httpError{Error: "POST only"})
+		return
+	}
+	partitions, parts, err := partSet(r)
+	if err != nil {
+		jsonReply(rw, http.StatusBadRequest, httpError{Error: err.Error()})
+		return
+	}
+	users, rejected := w.eng.DropUsers(func(id twitter.UserID) bool {
+		return parts[PartitionOf(id, partitions)]
+	})
+	jsonReply(rw, http.StatusOK, map[string]int{"users": users, "rejected": rejected})
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func jsonReply(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -103,10 +103,14 @@ func (l *Logger) Log(ctx context.Context, level, msg string, kv ...any) {
 }
 
 // Debug, Info, Warn and Error emit at their respective levels.
-func (l *Logger) Debug(ctx context.Context, msg string, kv ...any) { l.Log(ctx, LevelDebug, msg, kv...) }
-func (l *Logger) Info(ctx context.Context, msg string, kv ...any)  { l.Log(ctx, LevelInfo, msg, kv...) }
-func (l *Logger) Warn(ctx context.Context, msg string, kv ...any)  { l.Log(ctx, LevelWarn, msg, kv...) }
-func (l *Logger) Error(ctx context.Context, msg string, kv ...any) { l.Log(ctx, LevelError, msg, kv...) }
+func (l *Logger) Debug(ctx context.Context, msg string, kv ...any) {
+	l.Log(ctx, LevelDebug, msg, kv...)
+}
+func (l *Logger) Info(ctx context.Context, msg string, kv ...any) { l.Log(ctx, LevelInfo, msg, kv...) }
+func (l *Logger) Warn(ctx context.Context, msg string, kv ...any) { l.Log(ctx, LevelWarn, msg, kv...) }
+func (l *Logger) Error(ctx context.Context, msg string, kv ...any) {
+	l.Log(ctx, LevelError, msg, kv...)
+}
 
 // Printf adapts the logger to the classic log.Printf shape components like
 // overload.ServerOptions.Logf expect: the formatted string becomes the msg

@@ -36,6 +36,10 @@ const (
 type ckptMeta struct {
 	Version  int              `json:"version"`
 	Counters restoredCounters `json:"counters"`
+	// Cursor is the feeder's opaque source position covered by this
+	// checkpoint (see Engine.SetCursor). Absent on pre-cluster checkpoints,
+	// which simply means "replay from the beginning".
+	Cursor string `json:"cursor,omitempty"`
 }
 
 // placeCount is one merged string on disk.
@@ -117,6 +121,11 @@ func (e *Engine) Checkpoint() error {
 	var meta ckptMeta
 	meta.Version = ckptFormatVersion
 	meta.Counters = e.restored
+	// The cursor is read after the drain: every tweet it covers has been
+	// applied, so the checkpoint's state is at or past the position. A batch
+	// stamped between the drain and here only widens the overlap, which the
+	// feeder's replay dedup absorbs.
+	meta.Cursor = e.Cursor()
 	// Serialise dirty users under each shard's lock, clearing dirtiness
 	// optimistically; a failed commit restores the marks so nothing is lost.
 	type taken struct {
@@ -148,6 +157,12 @@ func (e *Engine) Checkpoint() error {
 				batch.Put(ckptUserPrefix+strconv.FormatInt(int64(id), 10), b)
 			} else if sh.rejected[id] {
 				batch.Put(ckptRejectPrefix+strconv.FormatInt(int64(id), 10), []byte("1"))
+			} else {
+				// Dirty but gone: the user was handed off to another worker
+				// (DropUsers). Remove both possible keys so a resume does not
+				// resurrect state this engine no longer owns.
+				batch.Delete(ckptUserPrefix + strconv.FormatInt(int64(id), 10))
+				batch.Delete(ckptRejectPrefix + strconv.FormatInt(int64(id), 10))
 			}
 			delete(sh.dirty, id)
 		}
@@ -176,6 +191,9 @@ func (e *Engine) Checkpoint() error {
 		dspan.Annotate("error", err.Error())
 		return fmt.Errorf("stream: checkpoint sync: %w", err)
 	}
+	e.curMu.Lock()
+	e.durableCursor = meta.Cursor
+	e.curMu.Unlock()
 	e.checkpoints.Add(1)
 	e.reg.Counter("stream_checkpoints_total").Inc()
 	e.reg.Histogram("stream_checkpoint_seconds", obs.DefBuckets).ObserveDuration(span.End())
@@ -216,6 +234,8 @@ func (e *Engine) loadCheckpoint() error {
 				return fmt.Errorf("stream: unsupported checkpoint version %d", meta.Version)
 			}
 			e.restored = meta.Counters
+			e.cursor = meta.Cursor
+			e.durableCursor = meta.Cursor
 		}
 	}
 	for _, key := range store.KeysWithPrefix(ckptUserPrefix) {

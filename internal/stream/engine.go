@@ -143,6 +143,13 @@ type Engine struct {
 
 	ckptMu sync.Mutex
 
+	// cursor is an opaque source position a feeder (the cluster router)
+	// stamps after handing the engine a batch; it rides the checkpoint so a
+	// resumed engine can tell its feeder where to replay from.
+	curMu         sync.Mutex
+	cursor        string
+	durableCursor string
+
 	// Connection-level counters (Run).
 	reconnects  atomic.Int64
 	disconnects atomic.Int64
@@ -292,6 +299,33 @@ func (e *Engine) Ingest(t *twitter.Tweet) bool {
 	case <-e.done:
 		return false
 	}
+}
+
+// SetCursor records an opaque source position (e.g. the cluster router's
+// forward sequence) covering every tweet ingested before the call. It is
+// persisted with the next checkpoint, so after a crash the feeder replays
+// from DurableCursor and DedupByTweetID makes the overlap idempotent.
+func (e *Engine) SetCursor(c string) {
+	e.curMu.Lock()
+	e.cursor = c
+	e.curMu.Unlock()
+}
+
+// Cursor returns the latest position stamped with SetCursor (volatile: it
+// may be ahead of what any checkpoint holds).
+func (e *Engine) Cursor() string {
+	e.curMu.Lock()
+	defer e.curMu.Unlock()
+	return e.cursor
+}
+
+// DurableCursor returns the source position covered by the last committed
+// checkpoint — the safe replay point after a crash. Empty means "replay
+// everything".
+func (e *Engine) DurableCursor() string {
+	e.curMu.Lock()
+	defer e.curMu.Unlock()
+	return e.durableCursor
 }
 
 // Ingested reports how many tweets this session accepted into shard queues

@@ -8,7 +8,7 @@ GO ?= go
 # Fixed fault schedule for reproducible chaos runs (see internal/resilience/fault).
 CHAOS_SEED ?= 2026
 
-.PHONY: build test vet race verify chaos cluster-chaos crash load bench bench-obs bench-stream bench-cluster profile
+.PHONY: build test vet race verify chaos cluster-chaos crash load bench bench-obs bench-stream bench-cluster bench-geocode profile
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ vet:
 
 # Race-check the packages that share metric registries across goroutines.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/resilience/... ./internal/twitter/... ./internal/geocode/... ./internal/pipeline/... ./internal/storage/... ./internal/ratelimit/... ./internal/stream/... ./internal/overload/... ./internal/daemon/... ./internal/logx ./internal/cluster/... ./cmd/stir/...
+	$(GO) test -race ./internal/obs/... ./internal/resilience/... ./internal/twitter/... ./internal/geocode/... ./internal/geofast/... ./internal/pipeline/... ./internal/storage/... ./internal/ratelimit/... ./internal/stream/... ./internal/overload/... ./internal/daemon/... ./internal/logx ./internal/cluster/... ./cmd/stir/...
 
 verify: build vet test race crash cluster-chaos
 
@@ -70,6 +70,12 @@ bench-stream:
 bench-cluster:
 	$(GO) test -run xxx -bench BenchmarkClusterIngest -benchtime 1s ./internal/cluster/
 	$(GO) test -run xxx -bench BenchmarkClusterScatterGroups -benchtime 300x ./internal/cluster/
+
+# Embedded reverse-geocoding baselines (recorded in BENCH_geocode.json): the
+# compiled cell grid's bulk and single-point hot paths against the R-tree
+# walk it replaces. Floor: >=10M points/sec, 0 allocs/op on ResolveBulk.
+bench-geocode:
+	$(GO) test -run xxx -bench 'BenchmarkGeofast|BenchmarkRTree' -benchtime 2s ./internal/geofast/
 
 # Offline continuous-profiling capture: run the sustained ingestion benchmark
 # under the CPU and heap profilers and drop the profiles in profiles/ for

@@ -10,7 +10,6 @@ import (
 	"stir/internal/geo"
 	"stir/internal/geocode"
 	"stir/internal/obs/trace"
-	"stir/internal/pipeline"
 	"stir/internal/storage"
 	"stir/internal/twitter"
 )
@@ -113,6 +112,11 @@ type AnalyzeOptions struct {
 	GeocodeURL string
 	// World selects the worldwide gazetteer (default Korean).
 	World bool
+	// EmbeddedGeocode compiles the gazetteer into the geofast cell grid and
+	// resolves points in-process at memory speed instead of through the
+	// DirectResolver's R-tree walk. Grouping output is identical. Ignored
+	// when GeocodeURL is set (the HTTP hop wins).
+	EmbeddedGeocode bool
 	// ContinueOnError runs the pipeline in degraded mode: users whose
 	// processing fails are skipped and reported in Result.SkippedUsers
 	// instead of aborting the run.
@@ -150,7 +154,10 @@ func AnalyzeStore(ctx context.Context, opts AnalyzeOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := pipeline.New(gaz, 10)
+	p, err := buildPipeline(gaz, opts)
+	if err != nil {
+		return nil, err
+	}
 	if opts.GeocodeURL != "" {
 		p.Resolver = geocode.NewClient(opts.GeocodeURL, 65536)
 	}

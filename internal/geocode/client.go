@@ -348,51 +348,62 @@ func quantizePoint(p geo.Point, decimals int) geo.Point {
 func (d *DirectResolver) SetQuantizeDecimals(n int) { d.quant = n }
 
 // BatchReverse resolves many points through the batch endpoint, splitting
-// into server-sized chunks and consulting/filling the cache per point. The
+// into server-sized chunks and consulting/filling the cache per point.
+// Quantised-identical points are deduplicated before hitting the wire: a
+// batch of N copies of one coordinate costs one line in one request. The
 // returned slice is parallel to pts; unresolvable points hold a zero
 // Location with ok=false in the parallel bool slice.
 func (c *Client) BatchReverse(ctx context.Context, pts []geo.Point) ([]Location, []bool, error) {
 	locs := make([]Location, len(pts))
 	oks := make([]bool, len(pts))
-	// Resolve cache hits first; collect the misses.
-	var missIdx []int
+	// Resolve cache hits first; collect the misses, deduplicated on the
+	// quantised cache key. fanout maps each unique missing key to every
+	// original index that needs its answer, in first-seen order.
+	var missKeys []string
+	var missPts []geo.Point
+	fanout := make(map[string][]int)
 	for i, p := range pts {
 		q := c.quantize(p)
-		if loc, ok := c.cache.Get(cacheKey(q)); ok {
+		key := cacheKey(q)
+		if loc, ok := c.cache.Get(key); ok {
 			locs[i], oks[i] = loc, true
 			continue
 		}
-		missIdx = append(missIdx, i)
+		if _, seen := fanout[key]; !seen {
+			missKeys = append(missKeys, key)
+			missPts = append(missPts, q)
+		}
+		fanout[key] = append(fanout[key], i)
 	}
 	const chunk = 100
-	for start := 0; start < len(missIdx); start += chunk {
+	for start := 0; start < len(missKeys); start += chunk {
 		end := start + chunk
-		if end > len(missIdx) {
-			end = len(missIdx)
+		if end > len(missKeys) {
+			end = len(missKeys)
 		}
-		idxs := missIdx[start:end]
 		var body strings.Builder
-		for j, i := range idxs {
-			if j > 0 {
+		for j := start; j < end; j++ {
+			if j > start {
 				body.WriteByte('\n')
 			}
-			q := c.quantize(pts[i])
-			fmt.Fprintf(&body, "%.6f,%.6f", q.Lat, q.Lon)
+			fmt.Fprintf(&body, "%.6f,%.6f", missPts[j].Lat, missPts[j].Lon)
 		}
 		rs, err := c.postBatch(ctx, body.String())
 		if err != nil {
 			return nil, nil, err
 		}
-		if len(rs.Results) != len(idxs) {
-			return nil, nil, fmt.Errorf("geocode client: batch returned %d results for %d points", len(rs.Results), len(idxs))
+		if len(rs.Results) != end-start {
+			return nil, nil, fmt.Errorf("geocode client: batch returned %d results for %d points", len(rs.Results), end-start)
 		}
-		for j, i := range idxs {
-			r := rs.Results[j]
+		for j := start; j < end; j++ {
+			r := rs.Results[j-start]
 			if r.Quality == "none" || r.Location == (Location{}) {
 				continue
 			}
-			locs[i], oks[i] = r.Location, true
-			c.cache.Put(cacheKey(c.quantize(pts[i])), r.Location)
+			for _, i := range fanout[missKeys[j]] {
+				locs[i], oks[i] = r.Location, true
+			}
+			c.cache.Put(missKeys[j], r.Location)
 		}
 	}
 	return locs, oks, nil

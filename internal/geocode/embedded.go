@@ -1,0 +1,76 @@
+package geocode
+
+import (
+	"context"
+	"fmt"
+
+	"stir/internal/admin"
+	"stir/internal/geo"
+	"stir/internal/geofast"
+)
+
+// EmbeddedResolver answers Reverse straight out of a compiled geofast grid:
+// no HTTP hop, no XML, no LRU churn — constant and no-match cells resolve in
+// a handful of instructions, and only boundary cells walk the gazetteer's
+// R-tree. It quantises coordinates exactly like the HTTP client and
+// DirectResolver, so swapping it in changes no grouping output.
+type EmbeddedResolver struct {
+	grid  *Grid
+	quant int
+}
+
+// Grid aliases the compiled geofast lookup structure so embedders that
+// already hold one (the server's fast path, the CLI) can share it.
+type Grid = geofast.Grid
+
+// NewEmbeddedResolver wraps a compiled grid as a Resolver.
+func NewEmbeddedResolver(grid *geofast.Grid) *EmbeddedResolver {
+	return &EmbeddedResolver{grid: grid, quant: 3}
+}
+
+// CompileEmbedded compiles gaz into a grid and wraps it in one call. slackKm
+// follows the resolver convention: 0 means the 10 km default, negative
+// disables the nearest-district fallback.
+func CompileEmbedded(gaz *admin.Gazetteer, slackKm float64) (*EmbeddedResolver, error) {
+	grid, err := geofast.Compile(gaz, geofast.Options{SlackKm: slackKm})
+	if err != nil {
+		return nil, err
+	}
+	return NewEmbeddedResolver(grid), nil
+}
+
+// Grid exposes the backing grid (for metrics registration and stats).
+func (e *EmbeddedResolver) Grid() *geofast.Grid { return e.grid }
+
+// Reverse implements Resolver. Points are quantised to the client lattice
+// first, so results are byte-identical to DirectResolver/Client over the
+// same gazetteer and slack.
+func (e *EmbeddedResolver) Reverse(_ context.Context, p geo.Point) (Location, error) {
+	q := quantizePoint(p, e.quant)
+	d, ok := e.grid.Resolve(q.Lat, q.Lon)
+	if !ok {
+		return Location{}, fmt.Errorf("%w: %s", ErrNoMatch, p)
+	}
+	return Location{Country: d.Country, State: d.State, County: d.County}, nil
+}
+
+// SetQuantizeDecimals adjusts the coordinate quantisation, mirroring
+// DirectResolver.
+func (e *EmbeddedResolver) SetQuantizeDecimals(n int) { e.quant = n }
+
+// Stats implements StatsProvider over the grid's lookup counters: Hits are
+// grid-speed answers (constant + definite no-match cells), Misses are
+// boundary-cell fallbacks into the R-tree, Entries is the cell count.
+func (e *EmbeddedResolver) Stats() CacheStats {
+	st := e.grid.Stats()
+	return CacheStats{
+		Hits:    st.Fast + st.NoMatch,
+		Misses:  st.Boundary,
+		Entries: st.Cells,
+	}
+}
+
+var (
+	_ Resolver      = (*EmbeddedResolver)(nil)
+	_ StatsProvider = (*EmbeddedResolver)(nil)
+)

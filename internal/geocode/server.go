@@ -10,6 +10,7 @@ import (
 
 	"stir/internal/admin"
 	"stir/internal/geo"
+	"stir/internal/geofast"
 	"stir/internal/obs"
 	"stir/internal/ratelimit"
 )
@@ -29,6 +30,7 @@ type Server struct {
 	mux     *http.ServeMux
 	handler http.Handler
 	memo    *lruCache[resolution]
+	grid    *geofast.Grid
 }
 
 // resolution is one memoised gazetteer answer.
@@ -54,6 +56,10 @@ type ServerOptions struct {
 	// Metrics receives the server's request/cache series (nil means
 	// obs.Default; obs.Discard disables).
 	Metrics *obs.Registry
+	// Fast compiles the gazetteer into a geofast cell grid at startup so
+	// most points resolve without a gazetteer walk or memo probe. Results
+	// are identical either way; boundary cells still take the exact path.
+	Fast bool
 }
 
 // NewServer builds a reverse-geocoding server over the gazetteer.
@@ -81,6 +87,15 @@ func NewServer(gaz *admin.Gazetteer, opts ServerOptions) *Server {
 	reg := obs.Or(opts.Metrics)
 	s.handler = obs.InstrumentHandler(reg, "geocoded", s.route, s.mux)
 	RegisterCacheMetrics(reg, "geocoded", s)
+	if opts.Fast {
+		// Grid compilation is best-effort: on a gazetteer the grid cannot
+		// encode (e.g. >65534 districts) the server just keeps the exact
+		// memoised path.
+		if grid, err := geofast.Compile(gaz, geofast.Options{SlackKm: s.slackKm}); err == nil {
+			s.grid = grid
+			geofast.RegisterMetrics(reg, "geocoded", grid)
+		}
+	}
 	return s
 }
 
@@ -128,8 +143,32 @@ func (s *Server) allow(w http.ResponseWriter) bool {
 	return ok
 }
 
-// resolve answers one point, consulting the memo first.
+// resolve answers one point: the compiled grid first when present (constant
+// and no-match cells skip both the memo and the gazetteer), then the memo,
+// then the exact gazetteer walk.
 func (s *Server) resolve(p geo.Point) resolution {
+	if s.grid != nil {
+		switch d, v := s.grid.Lookup(p.Lat, p.Lon); v {
+		case geofast.Constant:
+			// The point is proven to resolve by containment, so the
+			// slack-free phase-1 walk would return d: quality "exact".
+			return resolution{
+				loc:     Location{Country: d.Country, State: d.State, County: d.County},
+				quality: "exact",
+				found:   true,
+			}
+		case geofast.Nearest:
+			// Proven to miss phase 1 and win the slack fallback on d.
+			return resolution{
+				loc:     Location{Country: d.Country, State: d.State, County: d.County},
+				quality: "nearest",
+				found:   true,
+			}
+		case geofast.NoMatch:
+			return resolution{quality: "none"}
+		}
+		// Boundary: fall through to the exact memoised path.
+	}
 	key := p.String()
 	if s.memo != nil {
 		if res, ok := s.memo.Get(key); ok {

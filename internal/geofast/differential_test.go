@@ -1,0 +1,185 @@
+package geofast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stir/internal/admin"
+	"stir/internal/geo"
+	"stir/internal/gis"
+)
+
+// linearResolver reimplements admin.Gazetteer.ResolvePoint verbatim over the
+// brute-force gis.Linear index — the third, independent oracle of the
+// differential test. Any divergence between grid, R-tree gazetteer and this
+// implementation is a bug in one of them.
+type linearResolver struct {
+	index *gis.Linear
+	slack float64
+}
+
+func newLinearResolver(gaz *admin.Gazetteer, slack float64) *linearResolver {
+	l := &linearResolver{index: gis.NewLinear(), slack: slack}
+	for _, d := range gaz.Districts() {
+		l.index.Insert(gis.Item{Bounds: d.Bounds(), Value: d})
+	}
+	return l
+}
+
+func (l *linearResolver) resolve(p geo.Point) *admin.District {
+	if !p.Valid() {
+		return nil
+	}
+	var best *admin.District
+	bestD := 0.0
+	for _, it := range l.index.SearchPoint(p) {
+		d := it.Value.(*admin.District)
+		dist := d.Center.DistanceKm(p)
+		if dist > d.RadiusKm {
+			continue
+		}
+		if best == nil || dist < bestD {
+			best, bestD = d, dist
+		}
+	}
+	if best != nil {
+		return best
+	}
+	if l.slack < 0 {
+		return nil
+	}
+	for _, it := range l.index.Nearest(p, 8) {
+		d := it.Value.(*admin.District)
+		over := d.Center.DistanceKm(p) - d.RadiusKm
+		if over <= l.slack && (best == nil || over < bestD) {
+			best, bestD = d, over
+		}
+	}
+	return best
+}
+
+// differentialPoints builds the adversarial point set: seeded uniform points
+// over (and past) the extent, exact cell-corner lattice points, extent-edge
+// points, far out-of-extent points, and invalid coordinates.
+func differentialPoints(g *Grid, rng *rand.Rand, n int) []geo.Point {
+	ext := g.Extent()
+	dLat := ext.MaxLat - ext.MinLat
+	dLon := ext.MaxLon - ext.MinLon
+	var pts []geo.Point
+	// Uniform over the extent padded by 10% so some fall just outside.
+	for i := 0; i < n; i++ {
+		pts = append(pts, geo.Point{
+			Lat: ext.MinLat - 0.1*dLat + rng.Float64()*1.2*dLat,
+			Lon: ext.MinLon - 0.1*dLon + rng.Float64()*1.2*dLon,
+		})
+	}
+	// Exact cell corners (the truncation boundaries of the hot-path index
+	// arithmetic), including shared corners of four cells.
+	cellLat, cellLon := g.CellSize()
+	rows, cols := g.Cells()
+	for i := 0; i < n/4; i++ {
+		r, c := rng.Intn(rows+1), rng.Intn(cols+1)
+		pts = append(pts, geo.Point{
+			Lat: ext.MinLat + float64(r)*cellLat,
+			Lon: ext.MinLon + float64(c)*cellLon,
+		})
+	}
+	// The extent edges and corners themselves.
+	pts = append(pts,
+		geo.Point{Lat: ext.MinLat, Lon: ext.MinLon},
+		geo.Point{Lat: ext.MinLat, Lon: ext.MaxLon},
+		geo.Point{Lat: ext.MaxLat, Lon: ext.MinLon},
+		geo.Point{Lat: ext.MaxLat, Lon: ext.MaxLon},
+		geo.Point{Lat: ext.MinLat + dLat/2, Lon: ext.MinLon},
+		geo.Point{Lat: ext.MaxLat, Lon: ext.MinLon + dLon/2},
+		// Nudges just past the edge.
+		geo.Point{Lat: math.Nextafter(ext.MinLat, -90), Lon: ext.MinLon + dLon/2},
+		geo.Point{Lat: math.Nextafter(ext.MaxLat, 90), Lon: ext.MinLon + dLon/2},
+	)
+	// Far away and invalid.
+	pts = append(pts,
+		geo.Point{Lat: 0, Lon: -150},
+		geo.Point{Lat: -89, Lon: 10},
+		geo.Point{Lat: math.NaN(), Lon: 127},
+		geo.Point{Lat: 37, Lon: math.NaN()},
+		geo.Point{Lat: 91, Lon: 127},
+		geo.Point{Lat: 37, Lon: 181},
+	)
+	return pts
+}
+
+// TestDifferentialGridRTreeLinear is the subsystem's acceptance property:
+// on every probed point the compiled grid, the R-tree gazetteer and the
+// brute-force linear index resolve to the same district (or all miss).
+func TestDifferentialGridRTreeLinear(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		world bool
+		slack float64
+	}{
+		{"korea/slack10", false, 10},
+		{"korea/noslack", false, -1},
+		{"korea/slack2", false, 2},
+		{"world/slack10", true, 10},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var gaz *admin.Gazetteer
+			var err error
+			if tc.world {
+				gaz, err = admin.NewWorldGazetteer()
+			} else {
+				gaz, err = admin.NewKoreaGazetteer()
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := Compile(gaz, Options{SlackKm: tc.slack})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lin := newLinearResolver(gaz, tc.slack)
+			rng := rand.New(rand.NewSource(42))
+			for _, p := range differentialPoints(g, rng, 4000) {
+				gridD, gridOK := g.Resolve(p.Lat, p.Lon)
+				rtD, rtErr := gaz.ResolvePoint(p, tc.slack)
+				linD := lin.resolve(p)
+				if rtErr != nil {
+					rtD = nil
+				}
+				if gridD != rtD {
+					_, v := g.Lookup(p.Lat, p.Lon)
+					t.Fatalf("point %v (cell verdict %v): grid=%v rtree=%v", p, v, gridD, rtD)
+				}
+				if gridOK != (gridD != nil) {
+					t.Fatalf("point %v: ok=%v but district=%v", p, gridOK, gridD)
+				}
+				if linD != rtD {
+					t.Fatalf("point %v: linear=%v rtree=%v — oracle disagreement", p, linD, rtD)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialQuantizedLattice sweeps the geocode client's 1e-3
+// quantisation lattice over a district-dense patch — every point the
+// embedded resolver can ever feed the grid in that patch agrees with the
+// exact resolver.
+func TestDifferentialQuantizedLattice(t *testing.T) {
+	g, gaz := koreaGrid(t, 10)
+	// A 0.2°x0.2° patch over Seoul, where districts are densest and
+	// boundary cells most likely.
+	for lat := 37.45; lat <= 37.65; lat += 0.001 {
+		for lon := 126.85; lon <= 127.05; lon += 0.001 {
+			gridD, _ := g.Resolve(lat, lon)
+			rtD, err := gaz.ResolvePoint(geo.Point{Lat: lat, Lon: lon}, 10)
+			if err != nil {
+				rtD = nil
+			}
+			if gridD != rtD {
+				t.Fatalf("lattice point (%.3f, %.3f): grid=%v rtree=%v", lat, lon, gridD, rtD)
+			}
+		}
+	}
+}

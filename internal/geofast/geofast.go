@@ -1,0 +1,805 @@
+// Package geofast compiles the admin gazetteer into an immutable, flat
+// cell→district lookup grid for memory-speed reverse geocoding.
+//
+// The paper's §III funnel reverse-geocodes every GPS tweet and every
+// GPS-shaped profile into an administrative district. The exact resolver
+// (admin.Gazetteer.ResolvePoint) walks an R-tree and computes haversine
+// distances per candidate; behind the HTTP service it also pays XML and a
+// network hop. geofast removes all of that from the hot path: the gazetteer's
+// extent is quantised into a uniform grid backed by a single []uint16 slice,
+// and every cell is classified once at build time:
+//
+//   - constant: one district provably wins ResolvePoint for every point of
+//     the cell — by containment ("exact") or by the nearest-district slack
+//     fallback ("nearest") — so the lookup is two multiplies, an add and a
+//     slice load;
+//   - single-check: only one district can possibly match anywhere in the
+//     cell, but whether a given point is inside it, within slack of it, or
+//     beyond it varies — one haversine against that district decides;
+//   - no-match: every point of the cell is provably beyond every district's
+//     reach (radius + slack) — resolved without touching the gazetteer;
+//   - boundary: several districts compete and the winner varies (district
+//     seams, overlapping metros) — Resolve delegates to the exact R-tree
+//     resolver so results stay bit-for-bit identical.
+//
+// Classification is sound, never heuristic: a cell is marked constant or
+// single-check only when conservative distance bounds (corner haversines
+// widened by the cell half-diagonal, plus a Nearest-8 membership proof for
+// the fallback phase) guarantee the verdict for the whole cell, so Resolve
+// agrees with ResolvePoint on every input, including cell-boundary and
+// out-of-extent points. The differential property test in this package pins
+// that against both the R-tree and a brute-force linear index.
+package geofast
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"stir/internal/admin"
+	"stir/internal/geo"
+	"stir/internal/obs"
+)
+
+// Cell codes. With D districts, [0, D) is a constant containment winner
+// ("exact"), [D, 2D) a constant fallback winner ("nearest"), [2D, 3D) a
+// single-check cell; the two top values are sentinels.
+const (
+	cellNoMatch  = 0xFFFF // provably no district within reach anywhere in the cell
+	cellBoundary = 0xFFFE // mixed cell: delegate to the exact resolver
+)
+
+// MaxDistricts is the largest gazetteer a grid can compile: the three code
+// classes must fit under the sentinels.
+const MaxDistricts = (cellBoundary - 1) / 3
+
+// Verdict is the classification a Lookup returns.
+type Verdict uint8
+
+const (
+	// Constant means the point resolves by containment (quality "exact").
+	Constant Verdict = iota
+	// Nearest means the point resolves through the slack fallback
+	// (quality "nearest").
+	Nearest
+	// Boundary means the cell needs the exact resolver.
+	Boundary
+	// NoMatch means no district matches the point.
+	NoMatch
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Constant:
+		return "constant"
+	case Nearest:
+		return "nearest"
+	case Boundary:
+		return "boundary"
+	case NoMatch:
+		return "nomatch"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Options configures Compile.
+type Options struct {
+	// SlackKm mirrors the resolver's nearest-district fallback: how far
+	// outside a district extent a point may fall and still resolve to it.
+	// Zero means the pipeline default (10 km); negative disables the
+	// fallback, like ResolvePoint with negative slack.
+	SlackKm float64
+	// MaxCells bounds rows*cols (default 4Mi ≈ 8 MiB of cells). The cell
+	// edge grows until the extent fits.
+	MaxCells int
+	// MinCellDeg floors the cell edge in degrees (default 0.001, the
+	// geocode client's quantisation lattice — finer buys nothing).
+	MinCellDeg float64
+}
+
+// Grid is the compiled lookup structure. It is immutable after Compile and
+// safe for concurrent use; the stats counters are atomic.
+type Grid struct {
+	gaz       *admin.Gazetteer
+	districts []*admin.District
+	slack     float64
+
+	extent           geo.Rect
+	rows, cols       int
+	cellLat, cellLon float64
+	invCellLat       float64
+	invCellLon       float64
+	cells            []uint16 // the single backing slice, rows*cols cells
+
+	// Struct-of-arrays district mirror for the alloc-free boundary scan:
+	// a few KiB that stay L1-resident while the R-tree walk would chase
+	// pointers and allocate.
+	dBounds []geo.Rect
+	dRad    []float64
+
+	singleCells  int
+	boundaryCell int
+	noMatchCells int
+	buildTime    time.Duration
+
+	fast     atomic.Int64 // grid-speed answers (constant + single-check hits)
+	boundary atomic.Int64 // lookups that landed in a boundary cell
+	noMatch  atomic.Int64 // definite no-match answers
+	bulkHist atomic.Pointer[obs.Histogram]
+}
+
+// Stats is a snapshot of the grid's shape and lookup counters.
+type Stats struct {
+	// Lookups is the total number of point lookups served.
+	Lookups int64
+	// Fast counts grid-speed district answers (the zero-alloc path).
+	Fast int64
+	// NoMatch counts definite no-match answers (also zero-alloc).
+	NoMatch int64
+	// Boundary counts lookups that landed in a boundary cell and fell back
+	// to the exact R-tree resolver.
+	Boundary int64
+	// Cells is rows*cols; SingleCheckCells, BoundaryCells and NoMatchCells
+	// classify the non-constant ones.
+	Cells            int
+	SingleCheckCells int
+	BoundaryCells    int
+	NoMatchCells     int
+	// Districts is the compiled gazetteer size.
+	Districts int
+	// Bytes is the size of the backing cell slice.
+	Bytes int64
+	// BuildTime is how long Compile took.
+	BuildTime time.Duration
+}
+
+// Stats returns a snapshot of the grid's counters.
+func (g *Grid) Stats() Stats {
+	fast, nm, bd := g.fast.Load(), g.noMatch.Load(), g.boundary.Load()
+	return Stats{
+		Lookups:          fast + nm + bd,
+		Fast:             fast,
+		NoMatch:          nm,
+		Boundary:         bd,
+		Cells:            len(g.cells),
+		SingleCheckCells: g.singleCells,
+		BoundaryCells:    g.boundaryCell,
+		NoMatchCells:     g.noMatchCells,
+		Districts:        len(g.districts),
+		Bytes:            int64(len(g.cells)) * 2,
+		BuildTime:        g.buildTime,
+	}
+}
+
+// Extent returns the compiled coverage rectangle (gazetteer bounds grown by
+// every district's reach).
+func (g *Grid) Extent() geo.Rect { return g.extent }
+
+// Cells returns the grid resolution.
+func (g *Grid) Cells() (rows, cols int) { return g.rows, g.cols }
+
+// CellSize returns the cell edge lengths in degrees.
+func (g *Grid) CellSize() (dLat, dLon float64) { return g.cellLat, g.cellLon }
+
+// SlackKm returns the compiled nearest-fallback slack.
+func (g *Grid) SlackKm() float64 { return g.slack }
+
+// kmPerDeg upper-bounds the haversine length of one degree of latitude (and
+// of longitude at the equator): the true value is π·R/180 ≈ 111.195 km.
+const kmPerDeg = 111.4
+
+// Compile classifies every cell of the quantised extent against the
+// gazetteer. The build walks each district's reach rectangle once
+// (CSR-style candidate lists), then proves each candidate cell's verdict
+// with conservative corner-distance bounds.
+func Compile(gaz *admin.Gazetteer, opts Options) (*Grid, error) {
+	start := time.Now()
+	districts := gaz.Districts()
+	if len(districts) == 0 {
+		return nil, fmt.Errorf("geofast: empty gazetteer")
+	}
+	if len(districts) > MaxDistricts {
+		return nil, fmt.Errorf("geofast: %d districts exceed the %d cell-code limit", len(districts), MaxDistricts)
+	}
+	slack := opts.SlackKm
+	if slack == 0 {
+		slack = 10
+	}
+	reach := slack
+	if reach < 0 {
+		reach = 0
+	}
+	maxCells := opts.MaxCells
+	if maxCells <= 0 {
+		maxCells = 4 << 20
+	}
+	minCell := opts.MinCellDeg
+	if minCell <= 0 {
+		minCell = 0.001
+	}
+
+	// Extent: the union of every district's reach box. Any point outside is
+	// provably beyond radius+slack of every district (RectAround is a
+	// conservative bounding box of that circle), so it is a definite miss.
+	var extent geo.Rect
+	for i, d := range districts {
+		r := geo.RectAround(d.Center, d.RadiusKm+reach)
+		if i == 0 {
+			extent = r
+		} else {
+			extent = extent.Union(r)
+		}
+	}
+	dLat := extent.MaxLat - extent.MinLat
+	dLon := extent.MaxLon - extent.MinLon
+	edge := math.Sqrt(dLat * dLon / float64(maxCells))
+	if edge < minCell {
+		edge = minCell
+	}
+	rows := int(math.Ceil(dLat / edge))
+	cols := int(math.Ceil(dLon / edge))
+	// Ceil rounding can push rows*cols past the budget; widen the edge
+	// until the count actually fits.
+	for rows*cols > maxCells {
+		edge *= 1.01
+		rows = int(math.Ceil(dLat / edge))
+		cols = int(math.Ceil(dLon / edge))
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	g := &Grid{
+		gaz:       gaz,
+		districts: districts,
+		slack:     slack,
+		extent:    extent,
+		rows:      rows,
+		cols:      cols,
+		cellLat:   dLat / float64(rows),
+		cellLon:   dLon / float64(cols),
+	}
+	if g.cellLat <= 0 {
+		g.cellLat = 1e-9
+	}
+	if g.cellLon <= 0 {
+		g.cellLon = 1e-9
+	}
+	g.invCellLat = 1 / g.cellLat
+	g.invCellLon = 1 / g.cellLon
+	g.dBounds = make([]geo.Rect, len(districts))
+	g.dRad = make([]float64, len(districts))
+	for i, d := range districts {
+		g.dBounds[i] = d.Bounds()
+		g.dRad[i] = d.RadiusKm
+	}
+
+	g.classify(reach)
+	g.buildTime = time.Since(start)
+	return g, nil
+}
+
+// cellSpan is the inclusive cell index range a rectangle covers.
+type cellSpan struct{ r0, r1, c0, c1 int }
+
+// fallbackWin is a tentative cell verdict whose fallback phase still awaits
+// the Nearest-8 membership proof (see confirmFallbackWins). code is the
+// final cell value to install once confirmed.
+type fallbackWin struct {
+	cell   int32
+	code   uint16
+	ubbox2 float64 // max over cell corners of degree-space dist² to the district bounds
+}
+
+func (g *Grid) spanOf(r geo.Rect) cellSpan {
+	return cellSpan{
+		r0: g.rowOf(r.MinLat), r1: g.rowOf(r.MaxLat),
+		c0: g.colOf(r.MinLon), c1: g.colOf(r.MaxLon),
+	}
+}
+
+func (g *Grid) rowOf(lat float64) int {
+	r := int((lat - g.extent.MinLat) * g.invCellLat)
+	if r < 0 {
+		r = 0
+	}
+	if r >= g.rows {
+		r = g.rows - 1
+	}
+	return r
+}
+
+func (g *Grid) colOf(lon float64) int {
+	c := int((lon - g.extent.MinLon) * g.invCellLon)
+	if c < 0 {
+		c = 0
+	}
+	if c >= g.cols {
+		c = g.cols - 1
+	}
+	return c
+}
+
+// classify rasterises each district's reach rectangle into per-cell
+// candidate lists (CSR layout over one shared slice), then proves a verdict
+// for every cell. Cells no reach rectangle touches are definite misses: a
+// point there is outside every district's conservative reach box.
+func (g *Grid) classify(reach float64) {
+	n := g.rows * g.cols
+	spans := make([]cellSpan, len(g.districts))
+	counts := make([]int32, n+1) // counts[i+1] accumulates cell i, then prefix-sums into offsets
+	for i, d := range g.districts {
+		sp := g.spanOf(geo.RectAround(d.Center, d.RadiusKm+reach))
+		spans[i] = sp
+		for r := sp.r0; r <= sp.r1; r++ {
+			base := r*g.cols + 1
+			for c := sp.c0; c <= sp.c1; c++ {
+				counts[base+c]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	offs := counts // now offsets: cell i's candidates live in cands[offs[i]:offs[i+1]]
+	cands := make([]uint16, offs[n])
+	cursor := make([]int32, n)
+	for i := range g.districts {
+		sp := spans[i]
+		for r := sp.r0; r <= sp.r1; r++ {
+			base := r * g.cols
+			for c := sp.c0; c <= sp.c1; c++ {
+				cell := base + c
+				cands[offs[cell]+cursor[cell]] = uint16(i)
+				cursor[cell]++
+			}
+		}
+	}
+
+	g.cells = make([]uint16, n)
+	// Tentative verdicts whose fallback phase still needs the Nearest-8
+	// membership proof, confirmed after the scan once the proximity radius
+	// is known.
+	var pendings []fallbackWin
+	var lo, hi [64]float64 // per-candidate bounds; spills are reallocated below
+	for r := 0; r < g.rows; r++ {
+		lat0 := g.extent.MinLat + float64(r)*g.cellLat
+		lat1 := lat0 + g.cellLat
+		// Upper bound on the distance from any interior point to the nearest
+		// cell corner: the L1 half-perimeter in km, evaluated at the row's
+		// widest latitude. Sound by the triangle inequality along a meridian
+		// then a parallel; the 2% pad absorbs haversine-vs-planar slop.
+		minAbsLat := 0.0
+		if lat0 > 0 {
+			minAbsLat = lat0
+		} else if lat1 < 0 {
+			minAbsLat = -lat1
+		}
+		halfDiag := 0.5 * kmPerDeg * (g.cellLat + g.cellLon*math.Cos(minAbsLat*math.Pi/180)) * 1.02
+		for c := 0; c < g.cols; c++ {
+			cell := r*g.cols + c
+			cs := cands[offs[cell]:offs[cell+1]]
+			if len(cs) == 0 {
+				g.cells[cell] = cellNoMatch
+				g.noMatchCells++
+				continue
+			}
+			lon0 := g.extent.MinLon + float64(c)*g.cellLon
+			lon1 := lon0 + g.cellLon
+			los, his := lo[:], hi[:]
+			if len(cs) > len(los) {
+				los = make([]float64, len(cs))
+				his = make([]float64, len(cs))
+			}
+			corners := [4]geo.Point{
+				{Lat: lat0, Lon: lon0}, {Lat: lat0, Lon: lon1},
+				{Lat: lat1, Lon: lon0}, {Lat: lat1, Lon: lon1},
+			}
+			for j, di := range cs {
+				center := g.districts[di].Center
+				minD, maxD := math.Inf(1), 0.0
+				for _, p := range corners {
+					d := center.DistanceKm(p)
+					if d < minD {
+						minD = d
+					}
+					if d > maxD {
+						maxD = d
+					}
+				}
+				l := minD - halfDiag
+				if l < 0 {
+					l = 0
+				}
+				los[j] = l
+				his[j] = maxD + halfDiag
+			}
+			code, pendCode, pendDi := g.verdictOf(cs, los, his)
+			g.cells[cell] = code
+			switch code {
+			case cellBoundary:
+				g.boundaryCell++
+				if pendCode != cellBoundary {
+					// The verdict is proven except for Nearest-8 membership
+					// of pendDi: record the cell-corner bbox distance and
+					// decide after the scan.
+					ub := 0.0
+					bounds := g.districts[pendDi].Bounds()
+					for _, p := range corners {
+						if d2 := bounds.DistanceSqDeg(p); d2 > ub {
+							ub = d2
+						}
+					}
+					pendings = append(pendings, fallbackWin{cell: int32(cell), code: pendCode, ubbox2: ub})
+				}
+			case cellNoMatch:
+				g.noMatchCells++
+			}
+		}
+	}
+	g.confirmFallbackWins(pendings)
+}
+
+// verdictOf decides one cell from its candidates' conservative distance
+// bounds, returning the cell code plus — when the verdict still needs the
+// Nearest-8 membership proof — the pending code and its district index
+// (pendCode == cellBoundary means nothing pending).
+//
+// ResolvePoint's phase 1 picks the containing district with the closest
+// centre, so candidate d is a provable constant-exact winner when its circle
+// certainly contains the whole cell (hi ≤ radius) and its centre is
+// certainly closer than any rival that could contain any point (hi < rival
+// lo). When no candidate can contain any point, the cell is a definite miss
+// only if every candidate is certainly beyond radius+slack; a candidate
+// certainly within slack that strictly dominates every other possible
+// fallback candidate is a constant-nearest winner (pending membership).
+// Finally, when exactly one candidate could match at all — by containment
+// or slack — the cell is single-check on it: one runtime haversine decides.
+// Everything else stays boundary.
+func (g *Grid) verdictOf(cs []uint16, los, his []float64) (code, pendCode uint16, pendDi uint16) {
+	nd := uint16(len(g.districts))
+	anyPossible := false
+	for j, di := range cs {
+		if los[j] <= g.districts[di].RadiusKm {
+			anyPossible = true
+			break
+		}
+	}
+	if anyPossible {
+		// Try a constant containment winner.
+		for j, di := range cs {
+			if his[j] > g.districts[di].RadiusKm {
+				continue // not certainly containing the whole cell
+			}
+			wins := true
+			for k, dk := range cs {
+				if k == j || los[k] > g.districts[dk].RadiusKm {
+					continue // cannot contain any point, never competes in phase 1
+				}
+				if his[j] >= los[k] {
+					wins = false
+					break
+				}
+			}
+			if wins {
+				return di, cellBoundary, 0
+			}
+		}
+	} else if g.slack >= 0 {
+		// The fallback annulus: find the candidate with the smallest
+		// worst-case overshoot and check it strictly dominates every other
+		// candidate that could come within slack.
+		best := -1
+		bestHi := 0.0
+		possible := false
+		for j, di := range cs {
+			over := his[j] - g.districts[di].RadiusKm
+			if los[j]-g.districts[di].RadiusKm <= g.slack {
+				possible = true
+			}
+			if best < 0 || over < bestHi {
+				best, bestHi = j, over
+			}
+		}
+		if !possible {
+			return cellNoMatch, cellBoundary, 0
+		}
+		if bestHi <= g.slack {
+			dominates := true
+			for j, di := range cs {
+				if j == best || los[j]-g.districts[di].RadiusKm > g.slack {
+					continue // never a fallback candidate anywhere in the cell
+				}
+				if bestHi >= los[j]-g.districts[di].RadiusKm {
+					dominates = false // could tie or lose somewhere
+					break
+				}
+			}
+			if dominates {
+				return cellBoundary, nd + cs[best], cs[best]
+			}
+		}
+	} else {
+		// Slack disabled and nothing can contain: a definite miss.
+		return cellNoMatch, cellBoundary, 0
+	}
+
+	// Single-check: exactly one candidate could ever match (containment or
+	// slack); a runtime haversine against it reproduces both phases.
+	active := -1
+	for j, di := range cs {
+		r := g.districts[di].RadiusKm
+		if los[j] <= r || (g.slack >= 0 && los[j]-r <= g.slack) {
+			if active >= 0 {
+				return cellBoundary, cellBoundary, 0 // competing candidates
+			}
+			active = j
+		}
+	}
+	if active < 0 {
+		// Unreachable: anyPossible or the fallback-possible check above
+		// already found at least one active candidate. Stay safe anyway.
+		return cellBoundary, cellBoundary, 0
+	}
+	di := cs[active]
+	if g.slack < 0 {
+		// No fallback phase exists, so no membership proof is needed.
+		return 2*nd + di, cellBoundary, 0
+	}
+	return cellBoundary, 2*nd + di, di
+}
+
+// confirmFallbackWins upgrades tentative verdicts whose fallback phase is
+// proven except for candidate-set membership. ResolvePoint's fallback phase
+// only examines the 8 bbox-nearest districts, so the proven winner d must
+// certainly be among them for every point in its cell. Point-to-rect
+// distance is convex, so d's bbox distance over the cell is maximised at a
+// cell corner (ubbox); any district that could outrank d in the candidate
+// ordering must come within ubbox of the cell in degree space. The pass
+// rasterises every district's bounds grown by the largest pending ubbox and
+// counts coverage per cell: at most 8 nearby districts (d included) means
+// at most 7 can ever precede d, so d is always in the Nearest(p, 8) set and
+// its dominance proof applies.
+func (g *Grid) confirmFallbackWins(pendings []fallbackWin) {
+	defer func() {
+		// Settle the single-check cell count once upgrades are final
+		// (slack-disabled grids install single-check codes with no pendings).
+		nd := uint16(len(g.districts))
+		g.singleCells = 0
+		for _, c := range g.cells {
+			if c != cellNoMatch && c != cellBoundary && c >= 2*nd {
+				g.singleCells++
+			}
+		}
+	}()
+	if len(pendings) == 0 {
+		return
+	}
+	maxUB2 := 0.0
+	for _, p := range pendings {
+		if p.ubbox2 > maxUB2 {
+			maxUB2 = p.ubbox2
+		}
+	}
+	reachDeg := math.Sqrt(maxUB2)
+	near := make([]uint8, len(g.cells))
+	for _, d := range g.districts {
+		b := d.Bounds()
+		sp := g.spanOf(geo.Rect{
+			MinLat: b.MinLat - reachDeg, MinLon: b.MinLon - reachDeg,
+			MaxLat: b.MaxLat + reachDeg, MaxLon: b.MaxLon + reachDeg,
+		})
+		for r := sp.r0; r <= sp.r1; r++ {
+			base := r * g.cols
+			for c := sp.c0; c <= sp.c1; c++ {
+				if near[base+c] < 0xFF {
+					near[base+c]++
+				}
+			}
+		}
+	}
+	for _, p := range pendings {
+		if near[p.cell] <= 8 {
+			g.cells[p.cell] = p.code
+			g.boundaryCell--
+		}
+	}
+}
+
+// Lookup classifies a point without consulting the gazetteer: the resolved
+// district with Constant ("exact") or Nearest (slack fallback) quality, a
+// definite NoMatch, or Boundary when the exact resolver is needed. It
+// allocates nothing. Invalid coordinates (NaN or out of WGS-84 range) are
+// definite misses, matching ResolvePoint.
+func (g *Grid) Lookup(lat, lon float64) (*admin.District, Verdict) {
+	// The comparison form also rejects NaN (every comparison is false); the
+	// explicit ±180 bound keeps invalid longitudes out even when an extent
+	// spills past the antimeridian (ResolvePoint rejects them too).
+	if !(lat >= g.extent.MinLat && lat <= g.extent.MaxLat &&
+		lon >= g.extent.MinLon && lon <= g.extent.MaxLon &&
+		lon >= -180 && lon <= 180) {
+		g.noMatch.Add(1)
+		return nil, NoMatch
+	}
+	r := int((lat - g.extent.MinLat) * g.invCellLat)
+	if r >= g.rows {
+		r = g.rows - 1
+	}
+	c := int((lon - g.extent.MinLon) * g.invCellLon)
+	if c >= g.cols {
+		c = g.cols - 1
+	}
+	code := g.cells[r*g.cols+c]
+	switch code {
+	case cellNoMatch:
+		g.noMatch.Add(1)
+		return nil, NoMatch
+	case cellBoundary:
+		g.boundary.Add(1)
+		return nil, Boundary
+	}
+	nd := uint16(len(g.districts))
+	switch {
+	case code < nd:
+		g.fast.Add(1)
+		return g.districts[code], Constant
+	case code < 2*nd:
+		g.fast.Add(1)
+		return g.districts[code-nd], Nearest
+	}
+	// Single-check: the only district that can match anywhere in this cell;
+	// one haversine reproduces both ResolvePoint phases.
+	d := g.districts[code-2*nd]
+	dist := d.Center.DistanceKm(geo.Point{Lat: lat, Lon: lon})
+	switch {
+	case dist <= d.RadiusKm:
+		g.fast.Add(1)
+		return d, Constant
+	case g.slack >= 0 && dist-d.RadiusKm <= g.slack:
+		g.fast.Add(1)
+		return d, Nearest
+	default:
+		g.noMatch.Add(1)
+		return nil, NoMatch
+	}
+}
+
+// Resolve maps a point to its district: the zero-alloc grid answer on
+// constant, single-check and no-match cells, the alloc-free flat scan on
+// boundary cells (the R-tree itself only on exact distance ties). The
+// result is identical to gaz.ResolvePoint(p, slack) on every input;
+// ok=false reports no district (ResolvePoint's error cases).
+func (g *Grid) Resolve(lat, lon float64) (*admin.District, bool) {
+	d, v := g.Lookup(lat, lon)
+	switch v {
+	case Constant, Nearest:
+		return d, true
+	case NoMatch:
+		return nil, false
+	}
+	p := geo.Point{Lat: lat, Lon: lon}
+	if d, ok, decided := g.resolveBoundary(p); decided {
+		return d, ok
+	}
+	dd, err := g.gaz.ResolvePoint(p, g.slack)
+	if err != nil {
+		return nil, false
+	}
+	return dd, true
+}
+
+// resolveBoundary replicates both ResolvePoint phases over the SoA district
+// mirror without touching the R-tree or allocating. The winner of each phase
+// is order-independent except on exact distance ties, where ResolvePoint's
+// strict-< scan keeps whichever candidate its index happens to yield first —
+// those (measure-zero) points report decided=false and go to the real
+// resolver so results stay bit-for-bit identical.
+func (g *Grid) resolveBoundary(p geo.Point) (d *admin.District, ok, decided bool) {
+	// Phase 1: closest containing district, mirroring
+	// index.SearchPoint(p) + the radius filter.
+	best := -1
+	bestD := 0.0
+	tie := false
+	for i := range g.dBounds {
+		b := &g.dBounds[i]
+		if p.Lat < b.MinLat || p.Lat > b.MaxLat || p.Lon < b.MinLon || p.Lon > b.MaxLon {
+			continue
+		}
+		dist := g.districts[i].Center.DistanceKm(p)
+		if dist > g.dRad[i] {
+			continue
+		}
+		if best < 0 || dist < bestD {
+			best, bestD, tie = i, dist, false
+		} else if dist == bestD {
+			tie = true
+		}
+	}
+	if best >= 0 {
+		if tie {
+			return nil, false, false
+		}
+		return g.districts[best], true, true
+	}
+	if g.slack < 0 {
+		return nil, false, true
+	}
+	// Phase 2: the slack fallback examines the 8 bbox-nearest districts.
+	// Select them by the same squared-degree metric the indexes use; if the
+	// cutoff is ambiguous (the 8th and 9th distances tie exactly), the
+	// candidate set depends on index order — delegate.
+	var nearD [8]float64
+	var nearI [8]int
+	kept := 0
+	minExcluded := math.Inf(1)
+	for i := range g.dBounds {
+		d2 := g.dBounds[i].DistanceSqDeg(p)
+		if kept < 8 {
+			j := kept
+			for j > 0 && nearD[j-1] > d2 {
+				nearD[j], nearI[j] = nearD[j-1], nearI[j-1]
+				j--
+			}
+			nearD[j], nearI[j] = d2, i
+			kept++
+			continue
+		}
+		if d2 < nearD[7] {
+			evicted := nearD[7]
+			j := 7
+			for j > 0 && nearD[j-1] > d2 {
+				nearD[j], nearI[j] = nearD[j-1], nearI[j-1]
+				j--
+			}
+			nearD[j], nearI[j] = d2, i
+			if evicted < minExcluded {
+				minExcluded = evicted
+			}
+		} else if d2 < minExcluded {
+			minExcluded = d2
+		}
+	}
+	if kept == 8 && minExcluded == nearD[7] {
+		return nil, false, false
+	}
+	bestOver := 0.0
+	for k := 0; k < kept; k++ {
+		i := nearI[k]
+		over := g.districts[i].Center.DistanceKm(p) - g.dRad[i]
+		if over > g.slack {
+			continue
+		}
+		if best < 0 || over < bestOver {
+			best, bestOver, tie = i, over, false
+		} else if over == bestOver {
+			tie = true
+		}
+	}
+	if tie {
+		return nil, false, false
+	}
+	if best < 0 {
+		return nil, false, true
+	}
+	return g.districts[best], true, true
+}
+
+// ResolveBulk resolves pts into out, reusing its backing array when large
+// enough (zero allocations on the steady-state path), and returns it. The
+// result is parallel to pts; unresolvable points hold nil.
+func (g *Grid) ResolveBulk(pts []geo.Point, out []*admin.District) []*admin.District {
+	if cap(out) < len(pts) {
+		out = make([]*admin.District, len(pts))
+	}
+	out = out[:len(pts)]
+	g.bulkHist.Load().Observe(float64(len(pts)))
+	for i, p := range pts {
+		out[i], _ = g.Resolve(p.Lat, p.Lon)
+	}
+	return out
+}

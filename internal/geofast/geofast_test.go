@@ -1,0 +1,146 @@
+package geofast
+
+import (
+	"math"
+	"testing"
+
+	"stir/internal/admin"
+	"stir/internal/geo"
+	"stir/internal/obs"
+)
+
+func koreaGrid(t *testing.T, slack float64) (*Grid, *admin.Gazetteer) {
+	t.Helper()
+	gaz, err := admin.NewKoreaGazetteer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Compile(gaz, Options{SlackKm: slack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, gaz
+}
+
+func TestCompileShape(t *testing.T) {
+	g, gaz := koreaGrid(t, 10)
+	rows, cols := g.Cells()
+	if rows < 1 || cols < 1 {
+		t.Fatalf("degenerate grid %dx%d", rows, cols)
+	}
+	if rows*cols > 4<<20 {
+		t.Fatalf("grid %dx%d exceeds the default cell budget", rows, cols)
+	}
+	st := g.Stats()
+	if st.Districts != gaz.Len() {
+		t.Fatalf("districts = %d, want %d", st.Districts, gaz.Len())
+	}
+	if st.Cells != rows*cols {
+		t.Fatalf("cells = %d, want %d", st.Cells, rows*cols)
+	}
+	if st.BuildTime <= 0 {
+		t.Fatal("build time not recorded")
+	}
+	if st.Bytes != int64(st.Cells)*2 {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, st.Cells*2)
+	}
+	// The whole point of the subsystem: most of the extent must resolve
+	// without the R-tree. Korea's districts are sparse circles, so constant
+	// + no-match cells should dominate by a wide margin.
+	if frac := float64(st.BoundaryCells) / float64(st.Cells); frac > 0.5 {
+		t.Fatalf("%.1f%% boundary cells — grid is not earning its memory", frac*100)
+	}
+}
+
+func TestCompileRejectsEmptyGazetteer(t *testing.T) {
+	gaz, err := admin.NewGazetteer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(gaz, Options{}); err == nil {
+		t.Fatal("Compile accepted an empty gazetteer")
+	}
+}
+
+func TestLookupCounters(t *testing.T) {
+	g, _ := koreaGrid(t, 10)
+	// Seoul city hall: deep inside a district, must be a constant cell.
+	if d, v := g.Lookup(37.5665, 126.9780); v != Constant || d == nil {
+		t.Fatalf("Seoul lookup = %v, %v; want a constant district", d, v)
+	}
+	// Middle of the Pacific: out of extent.
+	if d, v := g.Lookup(0, -150); v != NoMatch || d != nil {
+		t.Fatalf("Pacific lookup = %v, %v; want NoMatch", d, v)
+	}
+	// NaN and invalid coordinates are definite misses, never a panic.
+	for _, p := range [][2]float64{{math.NaN(), 127}, {37, math.NaN()}, {91, 127}, {37, 181}} {
+		if _, v := g.Lookup(p[0], p[1]); v != NoMatch {
+			t.Fatalf("Lookup(%v, %v) = %v, want NoMatch", p[0], p[1], v)
+		}
+	}
+	st := g.Stats()
+	if st.Fast < 1 || st.NoMatch < 5 || st.Lookups != st.Fast+st.NoMatch+st.Boundary {
+		t.Fatalf("counters inconsistent: %+v", st)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{Constant: "constant", Nearest: "nearest", Boundary: "boundary", NoMatch: "nomatch", Verdict(9): "Verdict(9)"} {
+		if got := v.String(); got != want {
+			t.Fatalf("Verdict(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestResolveBulkMatchesResolve(t *testing.T) {
+	g, _ := koreaGrid(t, 10)
+	pts := []geo.Point{
+		{Lat: 37.5665, Lon: 126.9780},
+		{Lat: 35.1796, Lon: 129.0756},
+		{Lat: 0, Lon: -150},
+		{Lat: 33.4996, Lon: 126.5312},
+	}
+	out := g.ResolveBulk(pts, nil)
+	if len(out) != len(pts) {
+		t.Fatalf("bulk returned %d results for %d points", len(out), len(pts))
+	}
+	for i, p := range pts {
+		d, ok := g.Resolve(p.Lat, p.Lon)
+		if (out[i] == nil) == ok || out[i] != d {
+			t.Fatalf("bulk[%d] = %v, Resolve = %v/%v", i, out[i], d, ok)
+		}
+	}
+	// The output slice must be reused when it is big enough.
+	prev := out
+	out = g.ResolveBulk(pts[:2], out)
+	if &out[0] != &prev[0] {
+		t.Fatal("ResolveBulk reallocated a sufficient out slice")
+	}
+	if len(out) != 2 {
+		t.Fatalf("bulk reuse returned %d results, want 2", len(out))
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	g, _ := koreaGrid(t, 10)
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg, "test", g)
+	g.Lookup(37.5665, 126.9780)
+	g.ResolveBulk([]geo.Point{{Lat: 37.5665, Lon: 126.9780}}, nil)
+	snap := reg.Snapshot()
+	found := map[string]bool{}
+	for _, m := range snap.Metrics {
+		found[m.Name] = true
+	}
+	for _, name := range []string{
+		"stir_geofast_lookups_total", "stir_geofast_fast_total",
+		"stir_geofast_boundary_fallbacks_total", "stir_geofast_cells",
+		"stir_geofast_build_seconds", "stir_geofast_bulk_batch_size",
+	} {
+		if !found[name] {
+			t.Fatalf("metric %s not registered (have %v)", name, found)
+		}
+	}
+	// Re-registering (a rebuilt grid under the same name) must not panic.
+	RegisterMetrics(reg, "test", g)
+}

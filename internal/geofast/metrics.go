@@ -1,0 +1,26 @@
+package geofast
+
+import "stir/internal/obs"
+
+// RegisterMetrics publishes the grid's counters and build-time shape on reg
+// as the stir_geofast_* series, labelled by grid (the embedding site:
+// "pipeline", "stream", "geocoded", ...). Gauge registration is
+// replace-on-reregister, so rebuilding a grid under the same name is safe.
+func RegisterMetrics(reg *obs.Registry, name string, g *Grid) {
+	if g == nil {
+		return
+	}
+	reg = obs.Or(reg)
+	reg.GaugeFunc("stir_geofast_lookups_total", func() float64 { return float64(g.Stats().Lookups) }, "grid", name)
+	reg.GaugeFunc("stir_geofast_fast_total", func() float64 { return float64(g.fast.Load()) }, "grid", name)
+	reg.GaugeFunc("stir_geofast_nomatch_total", func() float64 { return float64(g.noMatch.Load()) }, "grid", name)
+	reg.GaugeFunc("stir_geofast_boundary_fallbacks_total", func() float64 { return float64(g.boundary.Load()) }, "grid", name)
+	reg.GaugeFunc("stir_geofast_cells", func() float64 { return float64(len(g.cells)) }, "grid", name)
+	reg.GaugeFunc("stir_geofast_boundary_cells", func() float64 { return float64(g.boundaryCell) }, "grid", name)
+	reg.GaugeFunc("stir_geofast_singlecheck_cells", func() float64 { return float64(g.singleCells) }, "grid", name)
+	reg.GaugeFunc("stir_geofast_nomatch_cells", func() float64 { return float64(g.noMatchCells) }, "grid", name)
+	reg.GaugeFunc("stir_geofast_districts", func() float64 { return float64(len(g.districts)) }, "grid", name)
+	reg.GaugeFunc("stir_geofast_bytes", func() float64 { return float64(len(g.cells) * 2) }, "grid", name)
+	reg.GaugeFunc("stir_geofast_build_seconds", func() float64 { return g.buildTime.Seconds() }, "grid", name)
+	g.bulkHist.Store(reg.Histogram("stir_geofast_bulk_batch_size", obs.SizeBuckets, "grid", name))
+}

@@ -113,6 +113,22 @@ func New(gaz *admin.Gazetteer, slackKm float64) *Pipeline {
 	}
 }
 
+// NewEmbedded builds a pipeline on the geofast embedded resolver: gaz is
+// compiled into a cell→district grid once, and the per-point hot path skips
+// the R-tree and the LRU entirely except on boundary cells. Grouping output
+// is identical to New (same quantisation, same gazetteer semantics).
+func NewEmbedded(gaz *admin.Gazetteer, slackKm float64) (*Pipeline, error) {
+	resolver, err := geocode.CompileEmbedded(gaz, slackKm)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		Refiner:   textnorm.NewRefiner(gaz),
+		Resolver:  resolver,
+		Gazetteer: gaz,
+	}, nil
+}
+
 // Run processes a collected dataset. users maps ID to account; tweets maps
 // ID to that user's tweets (any order).
 func (p *Pipeline) Run(ctx context.Context, users map[twitter.UserID]*twitter.User, tweets map[twitter.UserID][]*twitter.Tweet) (*Result, error) {

@@ -5,11 +5,13 @@ import (
 	"context"
 	"encoding/json"
 	"math/rand"
+	"net/http/httptest"
 	"path/filepath"
 	"reflect"
 	"testing"
 
 	"stir"
+	"stir/internal/geocode"
 	"stir/internal/obs"
 	"stir/internal/storage"
 	"stir/internal/textnorm"
@@ -163,4 +165,62 @@ func TestStreamCheckpointResumeMatchesBatch(t *testing.T) {
 	again := testEngine(t, ds, func(c *Config) { c.Store = store })
 	defer again.Close()
 	assertMatchesBatch(t, again, res)
+}
+
+// TestStreamEmbeddedMatchesBatchAndHTTP is the geofast acceptance
+// differential: the same shuffled firehose drained through (a) an engine on
+// the embedded grid resolver and (b) an engine on the HTTP client against a
+// Fast geocoded server must both produce groupings and analysis
+// byte-for-byte equal to the batch pipeline's R-tree path.
+func TestStreamEmbeddedMatchesBatchAndHTTP(t *testing.T) {
+	ds := testDataset(t, 500, 13)
+	res, err := ds.Analyze(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets := allTweets(ds)
+	rand.New(rand.NewSource(99)).Shuffle(len(tweets), func(i, j int) {
+		tweets[i], tweets[j] = tweets[j], tweets[i]
+	})
+
+	drain := func(resolver geocode.Resolver) *Engine {
+		t.Helper()
+		cfg := Config{
+			Profiles: NewProfileResolver(ServiceLookup(ds.Service),
+				textnorm.NewRefiner(ds.Gazetteer), resolver, ds.Gazetteer),
+			Resolver: resolver,
+			Metrics:  obs.NewRegistry(),
+		}
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tw := range tweets {
+			if !eng.Ingest(tw) {
+				t.Fatal("Ingest refused a tweet on an open engine")
+			}
+		}
+		eng.Drain()
+		return eng
+	}
+
+	// Embedded grid resolver: the in-process memory-speed path.
+	embedded, err := NewEmbeddedResolver(ds.Gazetteer, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := drain(embedded)
+	defer eng.Close()
+	assertMatchesBatch(t, eng, res)
+	if st := embedded.Grid().Stats(); st.Lookups == 0 {
+		t.Fatal("embedded engine never consulted the grid")
+	}
+
+	// HTTP client against a grid-accelerated geocoded server: the metered
+	// path with the same grid behind it.
+	srv := httptest.NewServer(geocode.NewServer(ds.Gazetteer, geocode.ServerOptions{Fast: true}))
+	defer srv.Close()
+	httpEng := drain(geocode.NewClient(srv.URL, 65536))
+	defer httpEng.Close()
+	assertMatchesBatch(t, httpEng, res)
 }

@@ -87,3 +87,14 @@ func NewGazetteerResolver(gaz *admin.Gazetteer, slackKm float64) geocode.Resolve
 		return geocode.Location{Country: d.Country, State: d.State, County: d.County}, nil
 	}, slackKm, 65536)
 }
+
+// NewEmbeddedResolver builds the geofast-backed equivalent of
+// NewGazetteerResolver: the gazetteer is compiled into a cell grid once and
+// per-tweet resolution runs at memory speed, falling back to the exact
+// R-tree walk only on boundary cells. Results are identical.
+func NewEmbeddedResolver(gaz *admin.Gazetteer, slackKm float64) (*geocode.EmbeddedResolver, error) {
+	if slackKm <= 0 {
+		slackKm = 10
+	}
+	return geocode.CompileEmbedded(gaz, slackKm)
+}

@@ -8,7 +8,7 @@ GO ?= go
 # Fixed fault schedule for reproducible chaos runs (see internal/resilience/fault).
 CHAOS_SEED ?= 2026
 
-.PHONY: build test vet race verify chaos cluster-chaos crash load bench bench-obs bench-stream bench-cluster bench-geocode profile
+.PHONY: build test vet race verify chaos cluster-chaos partition-chaos crash load bench bench-obs bench-stream bench-cluster bench-geocode profile
 
 build:
 	$(GO) build ./...
@@ -21,14 +21,14 @@ vet:
 
 # Race-check the packages that share metric registries across goroutines.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/resilience/... ./internal/twitter/... ./internal/geocode/... ./internal/geofast/... ./internal/pipeline/... ./internal/storage/... ./internal/ratelimit/... ./internal/stream/... ./internal/overload/... ./internal/daemon/... ./internal/logx ./internal/cluster/... ./cmd/stir/...
+	$(GO) test -race ./internal/obs/... ./internal/resilience/... ./internal/twitter/... ./internal/geocode/... ./internal/geofast/... ./internal/pipeline/... ./internal/storage/... ./internal/ratelimit/... ./internal/stream/... ./internal/overload/... ./internal/daemon/... ./internal/logx ./internal/leaktest ./internal/cluster/... ./cmd/stir/...
 
-verify: build vet test race crash cluster-chaos
+verify: build vet test race crash cluster-chaos partition-chaos
 
 # Run the deterministic fault-injection suite (retry/breaker under injected
 # faults, degraded pipeline runs, flaky-crawl convergence) with the race
 # detector and a fixed seed, so a failure replays bit-for-bit.
-chaos: crash cluster-chaos
+chaos: crash cluster-chaos partition-chaos
 	STIR_FAULT_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'Chaos|Fault|Inject|Quarantine|ContinueOnError|CrashMidUser' ./internal/resilience/... ./internal/twitter/... ./internal/pipeline/... ./internal/stream/... ./internal/overload/...
 
 # Kill-a-worker cluster chaos: a seeded run destroys a worker mid-ingest
@@ -38,6 +38,15 @@ chaos: crash cluster-chaos
 # to the batch pipeline with every deferral/replay accounted in metrics.
 cluster-chaos:
 	STIR_CLUSTER_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'TestClusterChaos|TestClusterCrashRecovery|TestClusterReplicatedIngest|TestClusterScatterPartialDegradation' ./internal/cluster/
+
+# Network-partition chaos: a seeded asymmetric partition isolates a worker
+# (its requests arrive, its responses die), the failure detector walks it
+# alive -> suspect -> down on a manual clock, auto-failover recovers it from
+# checkpoint + journal, a zombie hop with the pre-failover epoch is fenced,
+# and after heal/rejoin the merged groupings converge byte-identically to
+# batch — no acked write lost, no stale-epoch write applied.
+partition-chaos:
+	STIR_CLUSTER_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'TestClusterPartitionChaos|TestHealthDetector|TestHealthAutoFailover|TestStaleRouterFenced' ./internal/cluster/
 
 # Power-cut chaos for the durable store: a seeded workload is crashed at
 # every filesystem mutation boundary (writes, fsyncs, dir fsyncs, renames —

@@ -148,6 +148,10 @@ func runRouter(args []string) error {
 	noReplay := fs.Bool("no-replay", false, "serve queries only; do not replay the dataset through the ring")
 	ckptEvery := fs.Duration("checkpoint-every", 15*time.Second, "cluster-wide checkpoint interval (0 disables)")
 	joinWait := fs.Duration("join-wait", 30*time.Second, "how long to keep retrying unreachable workers at startup")
+	heartbeat := fs.Duration("heartbeat", cluster.DefaultHeartbeat, "failure-detector probe interval (0 disables the detector)")
+	suspectAfter := fs.Duration("suspect-after", cluster.DefaultSuspectAfter, "probe silence before a worker turns suspect (forwards defer to journal)")
+	downAfter := fs.Duration("down-after", cluster.DefaultDownAfter, "probe silence before a worker turns down (auto-failover threshold)")
+	autoFailover := fs.Bool("auto-failover", false, "remove down workers automatically, re-sharding via journal replay")
 	over := daemon.OverloadFlags(fs)
 	traces := daemon.TraceFlags(fs)
 	fs.Parse(args)
@@ -175,9 +179,16 @@ func runRouter(args []string) error {
 		Metrics:        obs.Default,
 		Tracer:         stack.Tracer,
 		Log:            stack.Log,
+		Heartbeat:      *heartbeat,
+		SuspectAfter:   *suspectAfter,
+		DownAfter:      *downAfter,
+		AutoFailover:   *autoFailover,
 	})
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+	if *heartbeat > 0 {
+		go r.RunHealth(ctx)
+	}
 
 	// Workers may still be booting; keep retrying each join until -join-wait
 	// runs out. A worker that joins late is a normal membership change, not a

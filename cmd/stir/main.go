@@ -33,9 +33,14 @@
 //	    store behind the cluster worker API, fed only by router forwards
 //	stir router  [-addr :8040] -workers name=url,... [-replicas N]
 //	             [-partitions N] [-handoff-timeout D] [-journal N]
+//	             [-heartbeat D] [-suspect-after D] [-down-after D]
+//	             [-auto-failover]
 //	    join the named workers into a rendezvous-hash ring, replay the
 //	    dataset through the routed ingest path, and serve the merged
-//	    scatter-gather analysis on /v1/groups, /v1/stats, /v1/users/{id}
+//	    scatter-gather analysis on /v1/groups, /v1/stats, /v1/users/{id};
+//	    a heartbeat failure detector suspects silent workers (forwards
+//	    defer to the journal), downs them, optionally fails them over, and
+//	    heals them back in when they answer again (see /cluster/v1/members)
 //	stir trace   [-addrs host:port,...] [-trace PREFIX] [-n N] [-json]
 //	    fetch the finished-span rings from the daemons' /debug/trace
 //	    endpoints, merge them by trace ID, and print each cross-process

@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"stir/internal/storage"
+)
+
+// Self-healing membership: the router probes every member's
+// /cluster/v1/hello on a fixed heartbeat and drives a per-worker
+// Alive → Suspect → Down state machine off the silence since the last
+// successful contact. Suspect invokes the existing journal-defer path (the
+// worker's share of the stream journals instead of burning forward retries);
+// Down optionally invokes the crash-recovery path automatically
+// (RemoveCrashed — re-shard from the corpse's checkpoint store plus journal
+// replay). A probe that succeeds against a Suspect/Down member triggers the
+// rejoin path on its own: breaker reset, journal replay past the worker's
+// durable cursor, epoch bump.
+//
+// Every timing decision flows through the Clock seam, so the unit tests
+// drive transitions by advancing a ManualClock and calling HealthTick —
+// no wall-time sleeps, everything seeded and deterministic.
+
+// Failure-detector defaults.
+const (
+	DefaultHeartbeat    = 2 * time.Second
+	DefaultSuspectAfter = 6 * time.Second
+	DefaultDownAfter    = 30 * time.Second
+)
+
+// Clock is the failure detector's time source. Production uses the wall
+// clock; tests inject a ManualClock and advance it explicitly.
+type Clock interface {
+	Now() time.Time
+}
+
+// wallClock is the production Clock.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// ManualClock is a Clock tests advance by hand, making every detector
+// transition a pure function of (probe results, advances) — no sleeps.
+type ManualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewManualClock starts a manual clock at t0.
+func NewManualClock(t0 time.Time) *ManualClock { return &ManualClock{t: t0} }
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// HealthState is one worker's detector state.
+type HealthState int32
+
+// The detector states, in escalation order.
+const (
+	HealthAlive HealthState = iota
+	HealthSuspect
+	HealthDown
+)
+
+// String names the state for logs, metrics labels and the members view.
+func (s HealthState) String() string {
+	switch s {
+	case HealthAlive:
+		return "alive"
+	case HealthSuspect:
+		return "suspect"
+	case HealthDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// health is one worker's detector record, embedded in workerRef and guarded
+// by the ref's mu.
+type health struct {
+	state   HealthState
+	lastOK  time.Time // last successful hello (or join time)
+	lastErr string    // most recent probe failure, "" after success
+}
+
+// healthSnapshot reads the record consistently.
+func (w *workerRef) healthSnapshot() health {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.health
+}
+
+// RunHealth drives HealthTick on the configured heartbeat until ctx ends.
+// Run it in a goroutine next to the router's server; it owns its ticker and
+// leaks nothing after ctx cancels (pinned by the goroutine-leak guard).
+func (r *Router) RunHealth(ctx context.Context) {
+	t := time.NewTicker(r.opts.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.HealthTick(ctx)
+		}
+	}
+}
+
+// HealthTick runs one synchronous failure-detector pass: probe every member
+// in name order, refresh contact times, and apply state transitions. It is
+// the unit RunHealth loops on and the seam deterministic tests call
+// directly. Safe to call concurrently with ingest and scatter.
+func (r *Router) HealthTick(ctx context.Context) {
+	now := r.opts.Clock.Now()
+	r.mu.RLock()
+	names := make([]string, 0, len(r.workers))
+	for n := range r.workers {
+		names = append(names, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		r.mu.RLock()
+		w := r.workers[name]
+		r.mu.RUnlock()
+		if w == nil {
+			continue // removed since the snapshot (failover, leave)
+		}
+		h, err := r.hello(ctx, w.baseURL())
+		if err == nil {
+			r.reg.Counter("stir_cluster_health_probes_total", "worker", name, "result", "ok").Inc()
+			r.probeOK(ctx, w, h, now)
+		} else {
+			r.reg.Counter("stir_cluster_health_probes_total", "worker", name, "result", "fail").Inc()
+			r.probeFailed(ctx, w, err, now)
+		}
+	}
+}
+
+// probeOK refreshes the contact time and, when the worker was anything but
+// a healthy member (Suspect, Down, or merely marked down by a forward
+// failure), heals it through the rejoin path.
+func (r *Router) probeOK(ctx context.Context, w *workerRef, h helloResponse, now time.Time) {
+	w.mu.Lock()
+	w.health.lastOK = now
+	w.health.lastErr = ""
+	state := w.health.state
+	up := w.up
+	w.mu.Unlock()
+	if state == HealthAlive && up {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.workers[w.name] != w {
+		return // replaced or removed while we probed
+	}
+	if err := r.rejoinLocked(ctx, w, w.baseURL(), h); err != nil {
+		r.log.Warn(ctx, "auto-rejoin failed", "worker", w.name, "state", state.String(), "err", err)
+		return
+	}
+	r.setHealthLocked(ctx, w, HealthAlive)
+}
+
+// probeFailed records the failure and escalates Alive → Suspect → Down as
+// the silence since the last successful contact crosses the thresholds. A
+// Down member with auto-failover enabled is removed through the
+// crash-recovery path (retried on every tick until it succeeds or the
+// worker answers again).
+func (r *Router) probeFailed(ctx context.Context, w *workerRef, err error, now time.Time) {
+	w.mu.Lock()
+	w.health.lastErr = err.Error()
+	silence := now.Sub(w.health.lastOK)
+	state := w.health.state
+	w.mu.Unlock()
+	switch {
+	case silence >= r.opts.DownAfter:
+		if state != HealthDown {
+			w.setUp(false)
+			r.mu.Lock()
+			r.setHealthLocked(ctx, w, HealthDown)
+			r.mu.Unlock()
+		}
+		if r.opts.AutoFailover {
+			r.autoFailover(ctx, w.name)
+		}
+	case silence >= r.opts.SuspectAfter:
+		if state == HealthAlive {
+			// The journal-defer path: forwards stop burning retries and
+			// queue for replay the moment the worker answers again.
+			w.setUp(false)
+			r.mu.Lock()
+			r.setHealthLocked(ctx, w, HealthSuspect)
+			r.mu.Unlock()
+		}
+	}
+}
+
+// setHealthLocked applies one state transition, counts it, and surfaces the
+// full membership picture in the router log. Callers hold r.mu (any mode)
+// so the summary is consistent with the transition.
+func (r *Router) setHealthLocked(ctx context.Context, w *workerRef, to HealthState) {
+	w.mu.Lock()
+	from := w.health.state
+	w.health.state = to
+	lastErr := w.health.lastErr
+	w.mu.Unlock()
+	if from == to {
+		return
+	}
+	r.reg.Counter("stir_cluster_health_transitions_total", "worker", w.name, "to", to.String()).Inc()
+	r.log.Info(ctx, "worker health transition",
+		"worker", w.name, "from", from.String(), "to", to.String(),
+		"epoch", r.epoch.Load(), "members", r.membersSummaryLocked(), "last_err", lastErr)
+}
+
+// autoFailover runs the Down → RemoveCrashed path: recover the corpse's
+// users from its checkpoint store when the Checkpoint seam can open one
+// (shared-storage deployments), or from journal replay alone when it
+// cannot. Failure leaves the worker Down and journaling; the next tick
+// retries.
+func (r *Router) autoFailover(ctx context.Context, name string) {
+	var ckpt *storage.Store
+	if r.opts.Checkpoint != nil {
+		st, err := r.opts.Checkpoint(name)
+		if err != nil {
+			r.log.Warn(ctx, "auto-failover: checkpoint store unrecoverable, journal-only recovery",
+				"worker", name, "err", err)
+		} else {
+			ckpt = st
+		}
+	}
+	if ckpt != nil {
+		defer ckpt.Close()
+	}
+	if err := r.RemoveCrashed(ctx, name, ckpt); err != nil {
+		r.reg.Counter("stir_cluster_health_failovers_total", "worker", name, "result", "error").Inc()
+		r.log.Warn(ctx, "auto-failover failed (will retry next tick)", "worker", name, "err", err)
+		return
+	}
+	r.reg.Counter("stir_cluster_health_failovers_total", "worker", name, "result", "ok").Inc()
+}
+
+// membersSummaryLocked renders membership as "w1=alive w2=suspect …" for
+// transition log lines. Callers hold r.mu.
+func (r *Router) membersSummaryLocked() string {
+	names := r.ring.Workers()
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " "
+		}
+		w := r.workers[n]
+		if w == nil {
+			out += n + "=?"
+			continue
+		}
+		out += n + "=" + w.healthSnapshot().state.String()
+	}
+	return out
+}

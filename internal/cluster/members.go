@@ -1,0 +1,57 @@
+package cluster
+
+// MembersView is the admin membership answer: the failure detector's state
+// per worker next to the forwarding/journal cursors the operator needs to
+// judge it ("suspect with a deep journal and a stale cursor" reads very
+// differently from "suspect, journal empty, cursor current").
+type MembersView struct {
+	Epoch   int64        `json:"epoch"`
+	Members []MemberView `json:"members"`
+}
+
+// MemberView is one worker's membership row.
+type MemberView struct {
+	Name         string `json:"name"`
+	URL          string `json:"url"`
+	Health       string `json:"health"`
+	Up           bool   `json:"up"`
+	LastOK       string `json:"last_ok"`
+	LastErr      string `json:"last_err,omitempty"`
+	DurableSeq   int64  `json:"durable_seq"`
+	AckedSeq     int64  `json:"acked_seq"`
+	JournalDepth int    `json:"journal_depth"`
+	Partitions   []int  `json:"partitions"`
+}
+
+// Members reports the failure detector's view of every worker, in ring
+// order.
+func (r *Router) Members() MembersView {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v := MembersView{Epoch: r.epoch.Load()}
+	for _, name := range r.ring.Workers() {
+		w := r.workers[name]
+		if w == nil {
+			continue
+		}
+		w.mu.Lock()
+		url, up, h := w.url, w.up, w.health
+		w.mu.Unlock()
+		w.jMu.Lock()
+		depth, durable, acked := len(w.journal), w.durableSeq, w.ackedSeq
+		w.jMu.Unlock()
+		v.Members = append(v.Members, MemberView{
+			Name:         name,
+			URL:          url,
+			Health:       h.state.String(),
+			Up:           up,
+			LastOK:       h.lastOK.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+			LastErr:      h.lastErr,
+			DurableSeq:   durable,
+			AckedSeq:     acked,
+			JournalDepth: depth,
+			Partitions:   r.ring.PartsOwnedBy(name, r.opts.Replicas),
+		})
+	}
+	return v
+}

@@ -69,6 +69,43 @@ func TestRingOwnersReplicasDistinct(t *testing.T) {
 	}
 }
 
+// TestRingReplicasExceedWorkers pins the over-replication semantics: asking
+// for more owners than members yields every member exactly once (never
+// duplicates, never an error), so a replicas=3 cluster degraded to one
+// worker routes everything to it and PartsOwnedBy covers the whole space
+// for each member.
+func TestRingReplicasExceedWorkers(t *testing.T) {
+	solo := NewRing(32, []string{"only"})
+	for p := 0; p < 32; p++ {
+		owners := solo.Owners(p, 3)
+		if len(owners) != 1 || owners[0] != "only" {
+			t.Fatalf("partition %d: owners %v, want [only]", p, owners)
+		}
+	}
+	if got := len(solo.PartsOwnedBy("only", 3)); got != 32 {
+		t.Fatalf("sole member owns %d of 32 partitions under replicas=3", got)
+	}
+	duo := NewRing(32, []string{"a", "b"})
+	for p := 0; p < 32; p++ {
+		owners := duo.Owners(p, 5)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("partition %d: owners %v, want both members once", p, owners)
+		}
+	}
+	for _, n := range []string{"a", "b"} {
+		if got := len(duo.PartsOwnedBy(n, 5)); got != 32 {
+			t.Fatalf("%s owns %d of 32 partitions under replicas=5", n, got)
+		}
+	}
+	// Degenerate requests stay safe.
+	if got := solo.Owners(0, 0); got != nil {
+		t.Fatalf("zero replicas produced owners %v", got)
+	}
+	if got := NewRing(8, nil).Owners(0, 3); got != nil {
+		t.Fatalf("empty ring produced owners %v", got)
+	}
+}
+
 func TestPartitionOfSpread(t *testing.T) {
 	counts := make([]int, 16)
 	for id := twitter.UserID(1); id <= 4096; id++ {

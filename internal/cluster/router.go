@@ -70,6 +70,28 @@ type Options struct {
 	// Log receives membership and handoff events (nil builds a discard-free
 	// stderr logger under "stir-router").
 	Log *logx.Logger
+
+	// Heartbeat is the failure detector's probe interval for RunHealth
+	// (default 2s).
+	Heartbeat time.Duration
+	// SuspectAfter is the probe silence after which a worker turns Suspect
+	// and its forwards defer to the journal (default 6s).
+	SuspectAfter time.Duration
+	// DownAfter is the probe silence after which a worker turns Down —
+	// the auto-failover threshold (default 30s).
+	DownAfter time.Duration
+	// AutoFailover removes a Down worker through the crash-recovery path
+	// (checkpoint-store restore via Checkpoint when available, journal
+	// replay always) without operator intervention. Off by default: enable
+	// it with replicas > 1 or shared checkpoint storage, where failover
+	// cannot lose durable state.
+	AutoFailover bool
+	// Checkpoint opens a dead worker's checkpoint store for auto-failover
+	// recovery (the shared-storage seam). Nil means journal-only recovery.
+	Checkpoint func(name string) (*storage.Store, error)
+	// Clock is the failure detector's time source (nil means wall clock).
+	// Tests inject a ManualClock so transitions are deterministic.
+	Clock Clock
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +128,18 @@ func (o Options) withDefaults() Options {
 	if o.Log == nil {
 		o.Log = logx.New(nil, "stir-router")
 	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = DefaultHeartbeat
+	}
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = DefaultSuspectAfter
+	}
+	if o.DownAfter <= 0 {
+		o.DownAfter = DefaultDownAfter
+	}
+	if o.Clock == nil {
+		o.Clock = wallClock{}
+	}
 	return o
 }
 
@@ -135,6 +169,10 @@ type workerRef struct {
 	durableSeq int64 // highest seq covered by the worker's last checkpoint
 	ackedSeq   int64 // highest seq the worker acknowledged applying
 	evicted    int64 // journal entries lost to overflow
+
+	// health is the failure detector's record for this worker (guarded by
+	// mu, like url/up).
+	health health
 }
 
 func (w *workerRef) baseURL() string {
@@ -219,6 +257,11 @@ type Router struct {
 	sem    chan struct{}
 	seq    atomic.Int64
 
+	// epoch is the membership generation: bumped on every ring change
+	// (join, rejoin, leave, crash removal) and stamped on every outbound
+	// hop so workers can fence writes from a router holding a stale view.
+	epoch atomic.Int64
+
 	// mu guards membership and the ring. Handoffs (join/leave/crash
 	// recovery) hold it for the whole migration, pausing ingest and scatter
 	// so per-user delivery order survives the ownership change.
@@ -270,7 +313,35 @@ func New(opts Options) *Router {
 		}
 		return float64(n)
 	})
+	reg.GaugeFunc("stir_cluster_epoch", func() float64 {
+		return float64(r.epoch.Load())
+	})
 	return r
+}
+
+// Epoch returns the current membership generation.
+func (r *Router) Epoch() int64 { return r.epoch.Load() }
+
+// bumpEpochLocked advances the membership generation after a ring change.
+// Callers hold r.mu, so the new epoch is visible before any forward routed
+// by the new ring leaves the router.
+func (r *Router) bumpEpochLocked(ctx context.Context, reason string) int64 {
+	e := r.epoch.Add(1)
+	r.log.Info(ctx, "cluster epoch bumped", "epoch", e, "reason", reason,
+		"members", r.membersSummaryLocked())
+	return e
+}
+
+// adoptEpoch raises the router's epoch to at least e — a restarted router
+// learns the pre-crash generation from the first worker hello instead of
+// restarting at zero (which every worker would fence).
+func (r *Router) adoptEpoch(e int64) {
+	for {
+		cur := r.epoch.Load()
+		if e <= cur || r.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
 }
 
 // Ring returns the current ring (immutable snapshot).
@@ -283,6 +354,7 @@ func (r *Router) Ring() *Ring {
 // newWorkerRef builds the per-worker forwarding machinery.
 func (r *Router) newWorkerRef(name, url string) *workerRef {
 	w := &workerRef{name: name, url: url, up: true}
+	w.health.lastOK = r.opts.Clock.Now()
 	w.breaker = resilience.NewBreaker("cluster_"+name, resilience.BreakerOptions{Metrics: r.reg})
 	w.policy = &resilience.Policy{
 		Name:        "cluster_forward",
@@ -317,6 +389,12 @@ func (r *Router) registerWorkerGauges(name string) {
 		}
 		return 0
 	}, "worker", name)
+	r.reg.GaugeFunc("stir_cluster_health_state", func() float64 {
+		if w := lookup(); w != nil {
+			return float64(w.healthSnapshot().state)
+		}
+		return -1
+	}, "worker", name)
 }
 
 // doJSON performs one traced, deadline-stamped request and decodes the JSON
@@ -336,6 +414,7 @@ func (r *Router) doJSON(ctx context.Context, method, url string, body []byte, ou
 	}
 	overload.SetDeadlineHeader(req)
 	trace.Inject(req)
+	req.Header.Set(EpochHeader, strconv.FormatInt(r.epoch.Load(), 10))
 	resp, err := r.opts.HTTP.Do(req)
 	if err != nil {
 		return fmt.Errorf("cluster: %w", err)
@@ -545,12 +624,16 @@ func (r *Router) AddWorker(ctx context.Context, name, url string) error {
 	if span != nil {
 		span.Annotate("worker", name)
 	}
+	// A restarted router begins at epoch 0 while the surviving workers
+	// remember the pre-crash generation: adopt the higher one so the fleet
+	// does not fence the new router's first forwards.
+	r.adoptEpoch(h.Epoch)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if w, ok := r.workers[name]; ok {
 		return r.rejoinLocked(ctx, w, url, h)
 	}
-	return r.joinLocked(ctx, name, url)
+	return r.joinLocked(ctx, name, url, h)
 }
 
 // rejoinLocked brings a known worker back: reset its breaker, replay the
@@ -567,12 +650,21 @@ func (r *Router) rejoinLocked(ctx context.Context, w *workerRef, url string, h h
 	w.jMu.Lock()
 	w.ackedSeq = h.DurableSeq
 	w.jMu.Unlock()
+	// New generation before the replay, so the replayed chunks carry the
+	// post-rejoin epoch and immediately advance the worker's fence watermark
+	// past anything a partitioned zombie hop could still be holding.
+	r.bumpEpochLocked(ctx, "rejoin")
 	tail := w.journalTail(h.DurableSeq)
 	replayed, err := r.replayLocked(ctx, w, tail)
 	if err != nil {
 		return fmt.Errorf("cluster: rejoin %s: replay: %w", w.name, err)
 	}
 	w.setUp(true)
+	w.mu.Lock()
+	w.health.lastOK = r.opts.Clock.Now()
+	w.health.lastErr = ""
+	w.mu.Unlock()
+	r.setHealthLocked(ctx, w, HealthAlive)
 	r.mHandoff("rejoin").Inc()
 	r.reg.Counter("stir_cluster_replayed_total", "worker", w.name).Add(int64(replayed))
 	r.log.Printf("worker %s rejoined at %s: replayed %d journaled tweets past durable seq %d",
@@ -610,7 +702,7 @@ func (r *Router) replayLocked(ctx context.Context, w *workerRef, tail []jentry) 
 // partitions it now owns from their previous owners (export → import →
 // checkpoint → drop), pausing ingest for the duration so per-user order
 // survives the ownership flip.
-func (r *Router) joinLocked(ctx context.Context, name, url string) error {
+func (r *Router) joinLocked(ctx context.Context, name, url string, h helloResponse) error {
 	oldRing := r.ring
 	newRing := oldRing.With(name)
 	w := r.newWorkerRef(name, url)
@@ -673,6 +765,31 @@ func (r *Router) joinLocked(ctx context.Context, name, url string) error {
 	}
 	r.workers[name] = w
 	r.ring = newRing
+	// A joiner arriving with users is a survivor of a router restart (the
+	// import-overwrites above already refreshed everything it still owns) —
+	// clear whatever it holds outside its ownership under the new ring, so
+	// partitions that moved away during its previous life don't linger as
+	// stale scatter shards.
+	if h.Users > 0 {
+		owned := make(map[int]bool)
+		for _, p := range newRing.PartsOwnedBy(name, r.opts.Replicas) {
+			owned[p] = true
+		}
+		var residue []int
+		for p := 0; p < r.opts.Partitions; p++ {
+			if !owned[p] {
+				residue = append(residue, p)
+			}
+		}
+		if len(residue) > 0 {
+			if err := r.dropParts(ctx, w, residue); err != nil {
+				r.log.Warn(ctx, "residue drop after join failed", "worker", name, "err", err)
+			} else {
+				r.mHandoff("wipe").Inc()
+			}
+		}
+	}
+	r.bumpEpochLocked(ctx, "join")
 	r.registerWorkerGauges(name)
 	for i := 0; i < moved; i++ {
 		r.mHandoff("join").Inc()
@@ -734,6 +851,7 @@ func (r *Router) Leave(ctx context.Context, name string) error {
 	tail := w.journalTail(w.durableSeq)
 	delete(r.workers, name)
 	r.ring = newRing
+	r.bumpEpochLocked(ctx, "leave")
 	if len(tail) > 0 {
 		tweets := make([]*twitter.Tweet, len(tail))
 		for i, e := range tail {
@@ -804,6 +922,10 @@ func (r *Router) RemoveCrashed(ctx context.Context, name string, ckpt *storage.S
 	tail := w.journalTail(ParseSeq(cursor))
 	delete(r.workers, name)
 	r.ring = newRing
+	// Bump before the tail replays: the re-routed tweets carry the new
+	// generation, and the dead worker's address — should a zombie process
+	// still answer there — can never pass the fence again.
+	r.bumpEpochLocked(ctx, "crash")
 	if len(tail) > 0 {
 		tweets := make([]*twitter.Tweet, len(tail))
 		for i, e := range tail {
@@ -825,13 +947,17 @@ func (r *Router) RemoveCrashed(ctx context.Context, name string, ckpt *storage.S
 }
 
 // MarkDown flags a worker as unreachable without removing it; its tweets
-// journal until it rejoins. Forward failures call this implicitly.
+// journal until it rejoins (the failure detector's next successful probe, or
+// an explicit AddWorker). Forward failures call this implicitly.
 func (r *Router) MarkDown(name string) {
 	r.mu.RLock()
 	w := r.workers[name]
+	summary := r.membersSummaryLocked()
 	r.mu.RUnlock()
 	if w != nil {
 		w.setUp(false)
+		r.log.Info(context.Background(), "worker marked down, forwards defer to journal",
+			"worker", name, "epoch", r.epoch.Load(), "members", summary)
 	}
 }
 

@@ -320,6 +320,7 @@ func (r *Router) RingState() RingView {
 //	GET  /v1/stats               summed worker counters (partial-tolerant)
 //	GET  /v1/users/{id}          single-user lookup via the owning replicas
 //	GET  /cluster/v1/ring        membership + journal state
+//	GET  /cluster/v1/members     failure-detector state, epoch, cursors
 //	POST /cluster/v1/join        ?name=&url= — join or rejoin a worker
 //	POST /cluster/v1/leave       ?name= — graceful departure with handoff
 //	POST /cluster/v1/checkpoint  checkpoint every worker, trim journals
@@ -337,6 +338,9 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/users/", r.handleUser)
 	mux.HandleFunc("/cluster/v1/ring", func(w http.ResponseWriter, req *http.Request) {
 		jsonReply(w, http.StatusOK, r.RingState())
+	})
+	mux.HandleFunc("/cluster/v1/members", func(w http.ResponseWriter, req *http.Request) {
+		jsonReply(w, http.StatusOK, r.Members())
 	})
 	mux.HandleFunc("/cluster/v1/join", r.handleJoin)
 	mux.HandleFunc("/cluster/v1/leave", r.handleLeave)

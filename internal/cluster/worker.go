@@ -6,11 +6,21 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"stir/internal/obs"
+	"stir/internal/obs/trace"
 	"stir/internal/stream"
 	"stir/internal/twitter"
 )
+
+// EpochHeader carries the router's membership generation on every cluster
+// hop. Workers keep a high-water mark of the epochs they have seen and
+// reject anything older with 412: a router (or a replayed in-flight hop)
+// holding a pre-failover view of the ring cannot apply stale writes or serve
+// stale scatter shards. A missing header passes — rolling upgrades and bare
+// curl keep working.
+const EpochHeader = "X-Stir-Epoch"
 
 // Worker is the cluster-facing surface of one stream worker: the existing
 // engine plus the handoff and forward-ingest endpoints the router drives.
@@ -32,6 +42,10 @@ type Worker struct {
 
 	mu      sync.Mutex
 	lastSeq int64 // highest applied forward sequence
+
+	// epoch is the fence watermark: the highest membership generation any
+	// router has presented. Monotonic (CAS-advanced), never reset.
+	epoch atomic.Int64
 }
 
 // NewWorker wraps an engine for cluster duty. The engine should run with
@@ -45,6 +59,49 @@ func (w *Worker) Engine() *stream.Engine { return w.eng }
 
 // Name returns the worker's cluster name.
 func (w *Worker) Name() string { return w.name }
+
+// Epoch returns the fence watermark — the highest membership generation this
+// worker has seen.
+func (w *Worker) Epoch() int64 { return w.epoch.Load() }
+
+// advanceEpoch raises the watermark to at least e.
+func (w *Worker) advanceEpoch(e int64) {
+	for {
+		cur := w.epoch.Load()
+		if e <= cur || w.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// fence enforces the epoch watermark on one request. It returns false after
+// writing a 412 when the request carries a generation older than the
+// watermark; otherwise it advances the watermark and lets the request
+// through. 412 maps onto resilience.ClassPermanent on the router, so a
+// zombie's forwards die immediately instead of burning retries.
+func (w *Worker) fence(rw http.ResponseWriter, r *http.Request, route string) bool {
+	raw := r.Header.Get(EpochHeader)
+	if raw == "" {
+		return true
+	}
+	e, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		jsonReply(rw, http.StatusBadRequest, httpError{Error: "bad " + EpochHeader + ": " + raw})
+		return false
+	}
+	if cur := w.epoch.Load(); e < cur {
+		w.reg.Counter("stir_cluster_fenced_total", "worker", w.name, "route", route).Inc()
+		if sp := trace.FromContext(r.Context()); sp != nil {
+			sp.Annotate("fenced", "stale epoch "+raw)
+		}
+		jsonReply(rw, http.StatusPreconditionFailed, httpError{
+			Error: "stale epoch " + raw + " (watermark " + strconv.FormatInt(cur, 10) + ")",
+		})
+		return false
+	}
+	w.advanceEpoch(e)
+	return true
+}
 
 // ParseSeq decodes a forward-sequence cursor; empty or malformed means 0
 // ("replay everything").
@@ -84,21 +141,36 @@ type helloResponse struct {
 	Name       string `json:"name"`
 	DurableSeq int64  `json:"durable_seq"`
 	Users      int    `json:"users"`
+	// Epoch is the worker's fence watermark; a freshly restarted router
+	// adopts the highest one it hears so its own forwards pass the fences.
+	Epoch int64 `json:"epoch"`
 }
 
 // Handler returns the worker's full HTTP surface: cluster endpoints plus the
 // engine's /v1 query API.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/cluster/v1/ingest", w.handleIngest)
-	mux.HandleFunc("/cluster/v1/checkpoint", w.handleCheckpoint)
+	mux.HandleFunc("/cluster/v1/ingest", w.fenced("ingest", w.handleIngest))
+	mux.HandleFunc("/cluster/v1/checkpoint", w.fenced("checkpoint", w.handleCheckpoint))
 	mux.HandleFunc("/cluster/v1/hello", w.handleHello)
-	mux.HandleFunc("/cluster/v1/groupings", w.handleGroupings)
-	mux.HandleFunc("/cluster/v1/export", w.handleExport)
-	mux.HandleFunc("/cluster/v1/import", w.handleImport)
-	mux.HandleFunc("/cluster/v1/drop", w.handleDrop)
-	mux.Handle("/v1/", w.eng.Handler())
+	mux.HandleFunc("/cluster/v1/groupings", w.fenced("groupings", w.handleGroupings))
+	mux.HandleFunc("/cluster/v1/export", w.fenced("export", w.handleExport))
+	mux.HandleFunc("/cluster/v1/import", w.fenced("import", w.handleImport))
+	mux.HandleFunc("/cluster/v1/drop", w.fenced("drop", w.handleDrop))
+	mux.Handle("/v1/", w.fenced("query", w.eng.Handler().ServeHTTP))
 	return mux
+}
+
+// fenced wraps a handler with the epoch check. Hello stays unfenced: it is
+// the probe and handshake route, and a partitioned worker must keep
+// answering it so the detector can heal the membership.
+func (w *Worker) fenced(route string, next http.HandlerFunc) http.HandlerFunc {
+	return func(rw http.ResponseWriter, r *http.Request) {
+		if !w.fence(rw, r, route) {
+			return
+		}
+		next(rw, r)
+	}
 }
 
 func (w *Worker) handleIngest(rw http.ResponseWriter, r *http.Request) {
@@ -155,10 +227,18 @@ func (w *Worker) handleCheckpoint(rw http.ResponseWriter, r *http.Request) {
 }
 
 func (w *Worker) handleHello(rw http.ResponseWriter, r *http.Request) {
+	// Hello advances the watermark (the router teaches new generations on
+	// the probe path) but never fences — see fenced.
+	if raw := r.Header.Get(EpochHeader); raw != "" {
+		if e, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			w.advanceEpoch(e)
+		}
+	}
 	jsonReply(rw, http.StatusOK, helloResponse{
 		Name:       w.name,
 		DurableSeq: ParseSeq(w.eng.DurableCursor()),
 		Users:      w.eng.Stats().Users,
+		Epoch:      w.epoch.Load(),
 	})
 }
 

@@ -1,0 +1,49 @@
+// Package leaktest is a tiny, dependency-free goroutine-leak guard for
+// tests. Check snapshots the goroutine count when called and registers a
+// cleanup that waits for the count to settle back to that baseline after
+// the test body (and every later-registered cleanup — httptest servers,
+// engine Close, context cancels) has run. A count that never settles fails
+// the test with a full stack dump, so the leaked goroutine is named, not
+// guessed at.
+//
+// Call it first in the test, before servers start or loops spawn: cleanups
+// run last-in-first-out, so the guard registered first checks last, after
+// everything the test started has been torn down.
+package leaktest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// DefaultSettle bounds how long Check waits for goroutines to drain before
+// declaring a leak. Shutdown is asynchronous (server conns unwind, tickers
+// fire one last time), so the guard polls instead of asserting instantly —
+// but it returns the moment the count settles, costing a quiet test nothing.
+const DefaultSettle = 5 * time.Second
+
+// Check snapshots the current goroutine count and, at cleanup, fails t if
+// the count has not returned to that baseline within DefaultSettle.
+func Check(t testing.TB) { CheckWithin(t, DefaultSettle) }
+
+// CheckWithin is Check with an explicit settle bound.
+func CheckWithin(t testing.TB, settle time.Duration) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(settle)
+		n := runtime.NumGoroutine()
+		for n > base && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+			n = runtime.NumGoroutine()
+		}
+		if n <= base {
+			return
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("leaktest: %d goroutines still running at cleanup (baseline %d):\n%s",
+			n, base, buf)
+	})
+}

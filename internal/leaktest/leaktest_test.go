@@ -1,0 +1,74 @@
+package leaktest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestCheckPassesWhenGoroutinesDrain spawns goroutines that exit during the
+// test body and verifies the guard's cleanup does not fire.
+func TestCheckPassesWhenGoroutinesDrain(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() { <-done }()
+	}
+	close(done)
+}
+
+// TestCheckDetectsLeak runs the guard against a deliberately leaked
+// goroutine on a private testing.TB shim and verifies it reports.
+func TestCheckDetectsLeak(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+
+	shim := &recordingTB{TB: t}
+	base := runtime.NumGoroutine()
+	go func() { <-stop }() // the leak
+	for runtime.NumGoroutine() <= base {
+		time.Sleep(time.Millisecond)
+	}
+
+	CheckWithin(shim, 50*time.Millisecond)
+	// Baseline was taken *after* the leak started, so the guard must pass…
+	shim.runCleanups()
+	if shim.failed {
+		t.Fatalf("guard failed on a pre-existing goroutine: %s", shim.msg)
+	}
+
+	// …and a guard whose baseline predates the leak must fail.
+	shim2 := &recordingTB{TB: t}
+	leakDone := make(chan struct{})
+	CheckWithin(shim2, 50*time.Millisecond)
+	go func() { <-leakDone }()
+	for runtime.NumGoroutine() <= base+1 {
+		time.Sleep(time.Millisecond)
+	}
+	shim2.runCleanups()
+	if !shim2.failed {
+		t.Fatal("guard missed a leaked goroutine")
+	}
+	close(leakDone)
+}
+
+// recordingTB captures Errorf and cleanups instead of failing the real test.
+type recordingTB struct {
+	testing.TB
+	cleanups []func()
+	failed   bool
+	msg      string
+}
+
+func (r *recordingTB) Helper()          {}
+func (r *recordingTB) Cleanup(f func()) { r.cleanups = append(r.cleanups, f) }
+func (r *recordingTB) Errorf(f string, a ...any) {
+	r.failed = true
+	r.msg = f
+}
+
+func (r *recordingTB) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}

@@ -1,0 +1,227 @@
+package fault
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"stir/internal/obs"
+)
+
+// Network-partition injection: where the Injector rolls one die per
+// operation regardless of destination, a Partition models the *links*
+// between this process and named hosts, each direction independently. That
+// is the shape real partitions take — and the shape that breaks naive
+// failure handling: an asymmetric link (requests die, or requests land but
+// responses die) means the far side may have applied work the near side
+// believes failed. The cluster's epoch fencing and tweet-ID dedup exist for
+// exactly that hazard, and this injector is how the chaos suite proves it.
+//
+// Like the Injector, the schedule is seeded: probabilistic drops and
+// duplicate deliveries draw from one seeded stream, so a failing chaos run
+// replays bit-for-bit from nothing but its seed.
+
+// Link describes the injected condition of the directed links between this
+// process and one target host. The zero Link is a healthy link.
+type Link struct {
+	// DropRequests kills the outbound direction: the request never reaches
+	// the target, and the caller sees a connection reset. The target stays
+	// unaware anything was sent.
+	DropRequests bool
+	// DropResponses kills the return direction: the target receives and
+	// fully processes the request, but the response is lost and the caller
+	// sees an i/o timeout. The dangerous half of an asymmetric partition —
+	// the work happened, the ack did not.
+	DropResponses bool
+	// DropRate drops outbound requests probabilistically (seeded), modelling
+	// a flaky link rather than a dead one. Applied after DropRequests.
+	DropRate float64
+	// DupRate delivers the request twice (seeded): the first response is
+	// discarded, the second returned — the retransmission double-delivery
+	// idempotency probe. Requests whose body cannot be replayed are never
+	// duplicated.
+	DupRate float64
+	// Delay adds a fixed one-way delay before the request is sent,
+	// modelling a congested (but alive) link.
+	Delay time.Duration
+}
+
+// dead reports whether the link injects anything at all.
+func (l Link) dead() bool {
+	return l.DropRequests || l.DropResponses || l.DropRate > 0 || l.DupRate > 0 || l.Delay > 0
+}
+
+// Partition is a seeded, host-keyed partition injector. Set/Heal flip links
+// mid-run — the chaos tests partition a worker mid-ingest and heal it later
+// — and RoundTripper enforces the current schedule on every outbound
+// request. Safe for concurrent use.
+type Partition struct {
+	mu    sync.Mutex
+	rng   *splitRand
+	links map[string]Link
+	sent  map[string]int64 // round trips that reached the wrapped transport
+	reg   *obs.Registry
+}
+
+// NewPartition builds a partition controller drawing from seed. reg counts
+// injections under fault_partition_total{host,mode} (nil means obs.Default;
+// obs.Discard disables).
+func NewPartition(seed int64, reg *obs.Registry) *Partition {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Partition{
+		rng:   newSplitRand(uint64(seed)),
+		links: make(map[string]Link),
+		sent:  make(map[string]int64),
+		reg:   obs.Or(reg),
+	}
+}
+
+// Set installs the link condition for one host:port (as it appears in the
+// request URL). An existing rule for the host is replaced.
+func (p *Partition) Set(host string, l Link) {
+	p.mu.Lock()
+	if l.dead() {
+		p.links[host] = l
+	} else {
+		delete(p.links, host)
+	}
+	p.mu.Unlock()
+}
+
+// Heal restores the link to one host.
+func (p *Partition) Heal(host string) { p.Set(host, Link{}) }
+
+// HealAll restores every link.
+func (p *Partition) HealAll() {
+	p.mu.Lock()
+	p.links = make(map[string]Link)
+	p.mu.Unlock()
+}
+
+// Sent reports how many round trips to host actually reached the wrapped
+// transport — dropped-request injections do not count, which is what lets
+// tests assert "no bytes reached the wire while the worker was down".
+func (p *Partition) Sent(host string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent[host]
+}
+
+// RoundTripper wraps next (nil means http.DefaultTransport) with the
+// partition schedule.
+func (p *Partition) RoundTripper(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &partitionTripper{p: p, next: next}
+}
+
+type partitionTripper struct {
+	p    *Partition
+	next http.RoundTripper
+}
+
+// decide snapshots the link for host and rolls its probabilistic knobs under
+// one lock, so the seeded stream is consumed in a deterministic per-request
+// order.
+func (p *Partition) decide(host string) (l Link, drop, dup bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l = p.links[host]
+	if l.DropRate > 0 && p.rng.float64() < l.DropRate {
+		drop = true
+	}
+	if l.DupRate > 0 && p.rng.float64() < l.DupRate {
+		dup = true
+	}
+	return l, drop, dup
+}
+
+func (p *Partition) count(host, mode string) {
+	p.reg.Counter("fault_partition_total", "host", host, "mode", mode).Inc()
+}
+
+func (p *Partition) markSent(host string) {
+	p.mu.Lock()
+	p.sent[host]++
+	p.mu.Unlock()
+}
+
+func (t *partitionTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	l, drop, dup := t.p.decide(host)
+	if l.Delay > 0 {
+		t.p.count(host, "delay")
+		timer := time.NewTimer(l.Delay)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+	if l.DropRequests || drop {
+		// The request dies on the wire: the target never sees it.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		t.p.count(host, "drop_request")
+		return nil, &Err{Kind: KindReset}
+	}
+	if dup && (req.Body == nil || req.GetBody != nil) {
+		// Deliver twice; the target must treat the replay as idempotent.
+		first := req.Clone(req.Context())
+		if req.GetBody != nil {
+			body, err := req.GetBody()
+			if err == nil {
+				first.Body = body
+				if resp, err := t.next.RoundTrip(first); err == nil {
+					io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+					resp.Body.Close()
+				}
+				t.p.markSent(host)
+				t.p.count(host, "dup")
+			}
+		} else {
+			if resp, err := t.next.RoundTrip(first); err == nil {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+				resp.Body.Close()
+			}
+			t.p.markSent(host)
+			t.p.count(host, "dup")
+		}
+	}
+	resp, err := t.next.RoundTrip(req)
+	t.p.markSent(host)
+	if err != nil {
+		return resp, err
+	}
+	if l.DropResponses {
+		// The target did the work; the ack dies on the way back.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		t.p.count(host, "drop_response")
+		return nil, &Err{Kind: KindTimeout}
+	}
+	return resp, nil
+}
+
+// splitRand is a tiny seeded splitmix64 float source, so the partition
+// schedule does not share (and perturb) the Injector's stream.
+type splitRand struct{ s uint64 }
+
+func newSplitRand(seed uint64) *splitRand { return &splitRand{s: seed} }
+
+func (r *splitRand) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e9b5
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *splitRand) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}

@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"testing"
+
+	"stir/internal/obs"
+)
+
+// startEcho boots a server that counts the requests it actually receives
+// and echoes the body back.
+func startEcho(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var seen atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen.Add(1)
+		b, _ := io.ReadAll(r.Body)
+		w.Write(b)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &seen
+}
+
+func hostOf(t *testing.T, raw string) string {
+	t.Helper()
+	u, err := url.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+func TestPartitionDropRequestsNeverReachesServer(t *testing.T) {
+	srv, seen := startEcho(t)
+	reg := obs.NewRegistry()
+	p := NewPartition(1, reg)
+	client := &http.Client{Transport: p.RoundTripper(nil)}
+	host := hostOf(t, srv.URL)
+	p.Set(host, Link{DropRequests: true})
+
+	_, err := client.Post(srv.URL, "text/plain", bytes.NewReader([]byte("hi")))
+	if err == nil {
+		t.Fatal("dropped request must fail the round trip")
+	}
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("drop_request should look like a reset, got %v", err)
+	}
+	if seen.Load() != 0 {
+		t.Fatalf("server saw %d requests across a dead A→B link", seen.Load())
+	}
+	if p.Sent(host) != 0 {
+		t.Fatalf("Sent(%s) = %d, want 0", host, p.Sent(host))
+	}
+	if reg.Counter("fault_partition_total", "host", host, "mode", "drop_request").Value() != 1 {
+		t.Fatal("drop_request not counted")
+	}
+
+	// Heal: the same client reaches the server again.
+	p.Heal(host)
+	resp, err := client.Post(srv.URL, "text/plain", bytes.NewReader([]byte("hi")))
+	if err != nil {
+		t.Fatalf("healed link still failing: %v", err)
+	}
+	resp.Body.Close()
+	if seen.Load() != 1 || p.Sent(host) != 1 {
+		t.Fatalf("healed link: server saw %d, sent %d", seen.Load(), p.Sent(host))
+	}
+}
+
+// TestPartitionDropResponsesAppliesButLosesAck is the asymmetric hazard: the
+// server processes the request (B received it), but the caller sees a
+// timeout (B→A dead). Whatever the request did has happened without an ack.
+func TestPartitionDropResponsesAppliesButLosesAck(t *testing.T) {
+	srv, seen := startEcho(t)
+	reg := obs.NewRegistry()
+	p := NewPartition(1, reg)
+	client := &http.Client{Transport: p.RoundTripper(nil)}
+	host := hostOf(t, srv.URL)
+	p.Set(host, Link{DropResponses: true})
+
+	_, err := client.Get(srv.URL)
+	if err == nil {
+		t.Fatal("dropped response must fail the round trip")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("drop_response should look like a timeout, got %v", err)
+	}
+	if seen.Load() != 1 {
+		t.Fatalf("server must have processed the request, saw %d", seen.Load())
+	}
+	if reg.Counter("fault_partition_total", "host", host, "mode", "drop_response").Value() != 1 {
+		t.Fatal("drop_response not counted")
+	}
+}
+
+func TestPartitionDupDeliversTwice(t *testing.T) {
+	srv, seen := startEcho(t)
+	p := NewPartition(7, obs.NewRegistry())
+	client := &http.Client{Transport: p.RoundTripper(nil)}
+	host := hostOf(t, srv.URL)
+	p.Set(host, Link{DupRate: 1})
+
+	resp, err := client.Post(srv.URL, "text/plain", bytes.NewReader([]byte("once")))
+	if err != nil {
+		t.Fatalf("dup link must still answer: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "once" {
+		t.Fatalf("dup returned wrong body %q", body)
+	}
+	if seen.Load() != 2 {
+		t.Fatalf("DupRate=1 should deliver twice, server saw %d", seen.Load())
+	}
+}
+
+// TestPartitionSeededDropRateReplays proves the probabilistic schedule is a
+// pure function of the seed: two controllers with the same seed inject the
+// same drops at the same positions; a different seed diverges.
+func TestPartitionSeededDropRateReplays(t *testing.T) {
+	srv, _ := startEcho(t)
+	host := hostOf(t, srv.URL)
+	run := func(seed int64) []bool {
+		p := NewPartition(seed, obs.Discard)
+		client := &http.Client{Transport: p.RoundTripper(nil)}
+		p.Set(host, Link{DropRate: 0.4})
+		var outcomes []bool
+		for i := 0; i < 40; i++ {
+			resp, err := client.Get(srv.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b, c := run(42), run(42), run(43)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	same := true
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different drop schedules")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+func TestPartitionUnlistedHostUntouched(t *testing.T) {
+	srv, seen := startEcho(t)
+	p := NewPartition(1, obs.Discard)
+	client := &http.Client{Transport: p.RoundTripper(nil)}
+	p.Set("10.0.0.1:1", Link{DropRequests: true})
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("unlisted host must pass through: %v", err)
+	}
+	resp.Body.Close()
+	if seen.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", seen.Load())
+	}
+}

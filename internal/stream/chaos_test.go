@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"stir/internal/leaktest"
 	"stir/internal/obs"
 	"stir/internal/resilience"
 	"stir/internal/resilience/fault"
@@ -71,6 +72,7 @@ func (s *replayServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // With replayed delivery and tweet-ID dedup, the incremental state must
 // converge to the batch result once a connection finally survives end to end.
 func TestStreamChaosReconnectConverges(t *testing.T) {
+	leaktest.Check(t) // the reconnect loop and shard workers must all drain
 	ds := testDataset(t, 300, 5)
 	res, err := ds.Analyze(context.Background())
 	if err != nil {

@@ -8,7 +8,7 @@ GO ?= go
 # Fixed fault schedule for reproducible chaos runs (see internal/resilience/fault).
 CHAOS_SEED ?= 2026
 
-.PHONY: build test vet race verify chaos cluster-chaos partition-chaos crash load bench bench-obs bench-stream bench-cluster bench-geocode profile
+.PHONY: build test vet race verify chaos cluster-chaos partition-chaos disk-chaos crash load bench bench-obs bench-stream bench-cluster bench-geocode profile
 
 build:
 	$(GO) build ./...
@@ -23,12 +23,12 @@ vet:
 race:
 	$(GO) test -race ./internal/obs/... ./internal/resilience/... ./internal/twitter/... ./internal/geocode/... ./internal/geofast/... ./internal/pipeline/... ./internal/storage/... ./internal/ratelimit/... ./internal/stream/... ./internal/overload/... ./internal/daemon/... ./internal/logx ./internal/leaktest ./internal/cluster/... ./cmd/stir/...
 
-verify: build vet test race crash cluster-chaos partition-chaos
+verify: build vet test race crash cluster-chaos partition-chaos disk-chaos
 
 # Run the deterministic fault-injection suite (retry/breaker under injected
 # faults, degraded pipeline runs, flaky-crawl convergence) with the race
 # detector and a fixed seed, so a failure replays bit-for-bit.
-chaos: crash cluster-chaos partition-chaos
+chaos: crash cluster-chaos partition-chaos disk-chaos
 	STIR_FAULT_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'Chaos|Fault|Inject|Quarantine|ContinueOnError|CrashMidUser' ./internal/resilience/... ./internal/twitter/... ./internal/pipeline/... ./internal/stream/... ./internal/overload/...
 
 # Kill-a-worker cluster chaos: a seeded run destroys a worker mid-ingest
@@ -47,6 +47,17 @@ cluster-chaos:
 # batch — no acked write lost, no stale-epoch write applied.
 partition-chaos:
 	STIR_CLUSTER_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'TestClusterPartitionChaos|TestHealthDetector|TestHealthAutoFailover|TestStaleRouterFenced' ./internal/cluster/
+
+# Resource-exhaustion chaos: a seeded run fills one worker's disk mid-stream
+# (ENOSPC via the fault VFS), watches checkpoints defer and the store degrade
+# to read-only, keeps streaming while the router journals the degraded
+# worker's share (reads stay scattered, readyz down / liveness up), then
+# frees the space and verifies heal + journal replay converge byte-identically
+# to batch with zero evictions — plus the ENOSPC/budget unit suites.
+disk-chaos:
+	STIR_DISK_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'TestDiskExhaustionChaosConverges|TestDegradedAutoFailoverOnlyWhenEvicting' ./internal/cluster/
+	STIR_DISK_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'TestCheckpointDefersOnDiskFullAndHeals' ./internal/stream/
+	STIR_DISK_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'ENOSPC|Watermark|NoSpace|TestHardTripHealsViaCompaction' ./internal/storage/...
 
 # Power-cut chaos for the durable store: a seeded workload is crashed at
 # every filesystem mutation boundary (writes, fsyncs, dir fsyncs, renames —

@@ -42,6 +42,7 @@ func runWorker(args []string) error {
 	geocodeEmbedded := fs.Bool("geocode-embedded", false, "reverse-geocode through the compiled geofast grid (identical output, no R-tree walk)")
 	over := daemon.OverloadFlags(fs)
 	traces := daemon.TraceFlags(fs)
+	disk := daemon.DiskFlags(fs)
 	fs.Parse(args)
 
 	ds, err := makeDataset(*dataset, *users, *seed)
@@ -50,7 +51,7 @@ func runWorker(args []string) error {
 	}
 	var store *storage.Store
 	if *ckptDir != "" {
-		store, err = storage.Open(*ckptDir, storage.Options{})
+		store, err = storage.Open(*ckptDir, storage.Options{Budget: disk()})
 		if err != nil {
 			return err
 		}
@@ -113,6 +114,12 @@ func runWorker(args []string) error {
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+	if store != nil {
+		// Hard-degraded store → /readyz 503 so orchestrators route around
+		// the worker, while liveness, /metrics and /debug/ stay up; the
+		// router learns the same state from its hello probes.
+		go daemon.WatchDegraded(ctx, stack.Ready, time.Second, eng.Degraded)
+	}
 	<-ctx.Done()
 	dctx, dcancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
 	defer dcancel()
@@ -154,11 +161,18 @@ func runRouter(args []string) error {
 	autoFailover := fs.Bool("auto-failover", false, "remove down workers automatically, re-sharding via journal replay")
 	over := daemon.OverloadFlags(fs)
 	traces := daemon.TraceFlags(fs)
+	disk := daemon.DiskFlags(fs)
 	fs.Parse(args)
 
 	members, err := parseWorkers(*workers)
 	if err != nil {
 		return err
+	}
+	// The router's journal is in-memory (bounded by -journal); the -disk-*
+	// flags exist for fleet-wide flag parity and gate nothing here. Worker
+	// disk pressure reaches the router through hello probes instead.
+	if b := disk(); b.SoftBytes > 0 || b.HardBytes > 0 {
+		fmt.Fprintln(os.Stderr, "stir router: -disk-soft/-disk-hard noted but the router keeps no store; set them on the workers")
 	}
 	cfg := over()
 	stack := daemon.NewStackOpts(daemon.StackOptions{

@@ -17,6 +17,7 @@ import (
 //	stir fsck -dir data/ckpt -repair            # quarantine damage, rewrite segments
 //	stir fsck -dir data/ckpt -backup snap.seg   # verified snapshot to a file
 //	stir fsck -dir new/ckpt -restore snap.seg   # materialise a snapshot as a store
+//	stir fsck -dir data/ckpt -du                # per-namespace disk usage
 func runFsck(args []string) error {
 	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
 	dir := fs.String("dir", "", "store directory to check (required)")
@@ -24,6 +25,7 @@ func runFsck(args []string) error {
 	repair := fs.Bool("repair", false, "rewrite damaged segments, preserving bad ranges under quarantine/")
 	backup := fs.String("backup", "", "write a verified snapshot of the live records to this file")
 	restore := fs.String("restore", "", "restore this snapshot into -dir (must hold no segments)")
+	du := fs.Bool("du", false, "report per-namespace disk usage and reclaimable bytes")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("fsck: -dir is required")
@@ -92,6 +94,19 @@ func runFsck(args []string) error {
 			return err
 		}
 		fmt.Printf("fsck: backup: %d records (%d bytes) -> %s\n", rep.Records, rep.Bytes, *backup)
+	}
+
+	if *du {
+		u, err := store.Usage()
+		if err != nil {
+			return fmt.Errorf("fsck: du: %w", err)
+		}
+		fmt.Printf("fsck: du: %s\n", *dir)
+		fmt.Printf("fsck:   segments     %8d bytes in %d files\n", u.SegmentBytes, u.Segments)
+		fmt.Printf("fsck:   live         %8d bytes\n", u.LiveBytes)
+		fmt.Printf("fsck:   reclaimable  %8d bytes (freed by compaction)\n", u.ReclaimableBytes)
+		fmt.Printf("fsck:   tmp          %8d bytes in %d files (swept on open)\n", u.TmpBytes, u.TmpFiles)
+		fmt.Printf("fsck:   quarantine   %8d bytes in %d files\n", u.QuarantineBytes, u.QuarantineFiles)
 	}
 
 	if *verify {

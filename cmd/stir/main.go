@@ -400,7 +400,14 @@ func runServe(args []string) error {
 	resOpts := resilienceFlags(fs)
 	over := daemon.OverloadFlags(fs)
 	traces := daemon.TraceFlags(fs)
+	disk := daemon.DiskFlags(fs)
 	fs.Parse(args)
+
+	// serve keeps no store; the -disk-* flags exist for fleet-wide flag
+	// parity (one systemd template across the daemons) and gate nothing.
+	if b := disk(); b.SoftBytes > 0 || b.HardBytes > 0 {
+		fmt.Fprintln(os.Stderr, "stir serve: -disk-soft/-disk-hard noted but serve keeps no checkpoint store; nothing to budget")
+	}
 
 	ds, err := makeDataset(*dataset, *users, *seed)
 	if err != nil {
@@ -460,6 +467,7 @@ func runStream(args []string) error {
 	geocodeEmbedded := fs.Bool("geocode-embedded", false, "reverse-geocode through the compiled geofast grid (identical output, no R-tree walk)")
 	over := daemon.OverloadFlags(fs)
 	traces := daemon.TraceFlags(fs)
+	disk := daemon.DiskFlags(fs)
 	fs.Parse(args)
 
 	ds, err := makeDataset(*dataset, *users, *seed)
@@ -482,7 +490,7 @@ func runStream(args []string) error {
 
 	var store *storage.Store
 	if *ckptDir != "" {
-		store, err = storage.Open(*ckptDir, storage.Options{})
+		store, err = storage.Open(*ckptDir, storage.Options{Budget: disk()})
 		if err != nil {
 			return err
 		}
@@ -565,6 +573,11 @@ func runStream(args []string) error {
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+	if store != nil {
+		// Hard-degraded store → /readyz 503 (load balancers route around us)
+		// while /healthz, /metrics and /debug/ keep answering.
+		go daemon.WatchDegraded(ctx, stack.Ready, time.Second, eng.Degraded)
+	}
 	runCtx, stopRun := context.WithCancel(ctx)
 	defer stopRun()
 	runDone := make(chan error, 1)

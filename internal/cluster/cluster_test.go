@@ -53,10 +53,11 @@ func mustJSON(t testing.TB, v any) []byte {
 // testWorker is one worker process: engine, optional fault-backed store, and
 // an HTTP listener standing in for the worker daemon.
 type testWorker struct {
-	name string
-	flt  *vfs.Fault
-	eng  *stream.Engine
-	srv  *httptest.Server
+	name  string
+	flt   *vfs.Fault
+	store *storage.Store // nil without flt; the disk-chaos suite recovers through it
+	eng   *stream.Engine
+	srv   *httptest.Server
 }
 
 // startWorker boots a worker. A non-nil flt gives it a checkpoint store on
@@ -85,7 +86,7 @@ func startWorker(t testing.TB, ds *stir.Dataset, name string, flt *vfs.Fault) *t
 		t.Fatalf("worker %s: engine: %v", name, err)
 	}
 	w := NewWorker(name, eng, obs.NewRegistry())
-	return &testWorker{name: name, flt: flt, eng: eng, srv: httptest.NewServer(w.Handler())}
+	return &testWorker{name: name, flt: flt, store: store, eng: eng, srv: httptest.NewServer(w.Handler())}
 }
 
 func (w *testWorker) stop() {

@@ -154,14 +154,26 @@ func (r *Router) HealthTick(ctx context.Context) {
 
 // probeOK refreshes the contact time and, when the worker was anything but
 // a healthy member (Suspect, Down, or merely marked down by a forward
-// failure), heals it through the rejoin path.
+// failure), heals it through the rejoin path. A worker reporting a
+// disk-degraded checkpoint store is handled separately: it is alive and
+// serving reads, so it never escalates through Suspect/Down — its forwards
+// just defer to the journal until a probe reports the store healthy again.
 func (r *Router) probeOK(ctx context.Context, w *workerRef, h helloResponse, now time.Time) {
 	w.mu.Lock()
 	w.health.lastOK = now
 	w.health.lastErr = ""
 	state := w.health.state
 	up := w.up
+	wasDegraded := w.degraded
 	w.mu.Unlock()
+	if h.Degraded {
+		r.probeDegraded(ctx, w, state, wasDegraded)
+		return
+	}
+	if wasDegraded {
+		r.healDegraded(ctx, w, h)
+		return
+	}
 	if state == HealthAlive && up {
 		return
 	}
@@ -175,6 +187,73 @@ func (r *Router) probeOK(ctx context.Context, w *workerRef, h helloResponse, now
 		return
 	}
 	r.setHealthLocked(ctx, w, HealthAlive)
+}
+
+// probeDegraded handles a successful probe whose hello reports a
+// disk-degraded checkpoint store. The worker is suspect-for-writes only:
+// up stays (or turns) true so scatter reads keep including it, the degraded
+// flag makes forwardAll journal its share, and health pins at Alive — the
+// worker is answering, its disk is the problem. Auto-failover fires only
+// when the journal starts evicting while degraded: at that point deferred
+// writes are being lost and re-sharding onto workers with disk headroom
+// loses less than waiting.
+func (r *Router) probeDegraded(ctx context.Context, w *workerRef, state HealthState, wasDegraded bool) {
+	if !wasDegraded {
+		w.mu.Lock()
+		w.degraded = true
+		w.up = true
+		w.mu.Unlock()
+		r.mDegraded(w.name).Inc()
+		r.mu.Lock()
+		r.setHealthLocked(ctx, w, HealthAlive)
+		r.mu.Unlock()
+		r.log.Warn(ctx, "worker disk-degraded: forwards defer to journal, reads stay scattered",
+			"worker", w.name, "prev_state", state.String())
+		// Baseline the eviction counter at the moment degradation is first
+		// seen: only entries lost WHILE degraded argue for failover. Evictions
+		// from an earlier outage already had their reckoning.
+		w.jMu.Lock()
+		w.evictSeen = w.evicted
+		w.jMu.Unlock()
+		return
+	}
+	w.jMu.Lock()
+	evicted := w.evicted
+	evicting := evicted > w.evictSeen
+	w.evictSeen = evicted
+	w.jMu.Unlock()
+	if evicting && r.opts.AutoFailover {
+		r.log.Warn(ctx, "degraded worker's journal is evicting: auto-failover",
+			"worker", w.name, "evicted", evicted)
+		r.autoFailover(ctx, w.name)
+	}
+}
+
+// healDegraded replays the journal tail a disk-degraded worker deferred and
+// clears the write-defer flag. The forward lock is held across the tail
+// snapshot and the replay — concurrent ingests journal under the same lock,
+// so no chunk can slip between the snapshot and the first live forward. A
+// replay failure leaves the flag set; the next probe retries.
+func (r *Router) healDegraded(ctx context.Context, w *workerRef, h helloResponse) {
+	w.fwdMu.Lock()
+	defer w.fwdMu.Unlock()
+	tail := w.journalTail(h.DurableSeq)
+	replayed, err := r.replayTail(ctx, w, tail)
+	if err != nil {
+		r.log.Warn(ctx, "disk-heal replay failed (worker stays write-deferred)",
+			"worker", w.name, "replayed", replayed, "err", err)
+		return
+	}
+	w.mu.Lock()
+	w.degraded = false
+	w.up = true
+	w.mu.Unlock()
+	r.mHealed(w.name).Inc()
+	if replayed > 0 {
+		r.reg.Counter("stir_cluster_replayed_total", "worker", w.name).Add(int64(replayed))
+	}
+	r.log.Info(ctx, "worker healed from disk degradation",
+		"worker", w.name, "replayed", replayed, "durable_seq", h.DurableSeq)
 }
 
 // probeFailed records the failure and escalates Alive → Suspect → Down as

@@ -11,10 +11,13 @@ type MembersView struct {
 
 // MemberView is one worker's membership row.
 type MemberView struct {
-	Name         string `json:"name"`
-	URL          string `json:"url"`
-	Health       string `json:"health"`
-	Up           bool   `json:"up"`
+	Name   string `json:"name"`
+	URL    string `json:"url"`
+	Health string `json:"health"`
+	Up     bool   `json:"up"`
+	// Degraded flags a disk-degraded checkpoint store: the worker serves
+	// reads but its forwards defer to the journal.
+	Degraded     bool   `json:"degraded,omitempty"`
 	LastOK       string `json:"last_ok"`
 	LastErr      string `json:"last_err,omitempty"`
 	DurableSeq   int64  `json:"durable_seq"`
@@ -35,7 +38,7 @@ func (r *Router) Members() MembersView {
 			continue
 		}
 		w.mu.Lock()
-		url, up, h := w.url, w.up, w.health
+		url, up, degraded, h := w.url, w.up, w.degraded, w.health
 		w.mu.Unlock()
 		w.jMu.Lock()
 		depth, durable, acked := len(w.journal), w.durableSeq, w.ackedSeq
@@ -45,6 +48,7 @@ func (r *Router) Members() MembersView {
 			URL:          url,
 			Health:       h.state.String(),
 			Up:           up,
+			Degraded:     degraded,
 			LastOK:       h.lastOK.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
 			LastErr:      h.lastErr,
 			DurableSeq:   durable,

@@ -154,12 +154,17 @@ type jentry struct {
 type workerRef struct {
 	name string
 
-	// mu guards url/up; fwdMu serialises forwards so per-worker sequence
-	// order holds; jMu guards the journal. Lock order: fwdMu > jMu.
-	mu    sync.Mutex
-	url   string
-	up    bool
-	fwdMu sync.Mutex
+	// mu guards url/up/degraded; fwdMu serialises forwards so per-worker
+	// sequence order holds; jMu guards the journal. Lock order:
+	// fwdMu > jMu and fwdMu > mu.
+	mu  sync.Mutex
+	url string
+	up  bool
+	// degraded marks a worker whose checkpoint store is disk-degraded: it
+	// still answers probes and scatter reads (up stays true), but forwards
+	// defer to the journal until a probe reports the store healthy again.
+	degraded bool
+	fwdMu    sync.Mutex
 
 	policy  *resilience.Policy
 	breaker *resilience.Breaker
@@ -169,6 +174,7 @@ type workerRef struct {
 	durableSeq int64 // highest seq covered by the worker's last checkpoint
 	ackedSeq   int64 // highest seq the worker acknowledged applying
 	evicted    int64 // journal entries lost to overflow
+	evictSeen  int64 // eviction watermark at the previous degraded probe
 
 	// health is the failure detector's record for this worker (guarded by
 	// mu, like url/up).
@@ -191,6 +197,12 @@ func (w *workerRef) setUp(up bool) {
 	w.mu.Lock()
 	w.up = up
 	w.mu.Unlock()
+}
+
+func (w *workerRef) isDegraded() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.degraded
 }
 
 // journalAppend journals one tweet under the next per-worker slot, evicting
@@ -272,6 +284,8 @@ type Router struct {
 	mHandoff  func(reason string) *obs.Counter
 	mEvicted  func(worker string) *obs.Counter
 	mDeferred func(worker string) *obs.Counter
+	mDegraded func(worker string) *obs.Counter
+	mHealed   func(worker string) *obs.Counter
 }
 
 // NewRouter builds an empty router; workers join via AddWorker.
@@ -295,6 +309,12 @@ func New(opts Options) *Router {
 	}
 	r.mDeferred = func(worker string) *obs.Counter {
 		return reg.Counter("stir_cluster_deferred_total", "worker", worker)
+	}
+	r.mDegraded = func(worker string) *obs.Counter {
+		return reg.Counter("stir_cluster_degraded_total", "worker", worker)
+	}
+	r.mHealed = func(worker string) *obs.Counter {
+		return reg.Counter("stir_cluster_degraded_healed_total", "worker", worker)
 	}
 	reg.GaugeFunc("stir_cluster_partitions", func() float64 { return float64(opts.Partitions) })
 	reg.GaugeFunc("stir_cluster_workers", func() float64 {
@@ -394,6 +414,12 @@ func (r *Router) registerWorkerGauges(name string) {
 			return float64(w.healthSnapshot().state)
 		}
 		return -1
+	}, "worker", name)
+	r.reg.GaugeFunc("stir_cluster_worker_degraded", func() float64 {
+		if w := lookup(); w != nil && w.isDegraded() {
+			return 1
+		}
+		return 0
 	}, "worker", name)
 }
 
@@ -546,6 +572,14 @@ func (r *Router) forwardAll(ctx context.Context, w *workerRef, tweets []*twitter
 			w.journalAppend(jentry{seq: seq, tweet: t}, r.opts.JournalDepth, evict)
 			lastSeq = seq
 		}
+		if w.isDegraded() {
+			// Disk-degraded: the worker still serves reads, but its
+			// checkpoint store cannot make new state durable. The chunk
+			// stays journaled and replays when the store heals.
+			rep.Deferred += len(chunk)
+			r.mDeferred(w.name).Add(int64(len(chunk)))
+			continue
+		}
 		if !w.isUp() {
 			rep.Deferred += len(chunk)
 			r.mDeferred(w.name).Add(int64(len(chunk)))
@@ -654,12 +688,22 @@ func (r *Router) rejoinLocked(ctx context.Context, w *workerRef, url string, h h
 	// post-rejoin epoch and immediately advance the worker's fence watermark
 	// past anything a partitioned zombie hop could still be holding.
 	r.bumpEpochLocked(ctx, "rejoin")
+	// Snapshot the tail and replay under the forward lock: concurrent
+	// ingests journal under the same lock, so no chunk can slip between the
+	// snapshot and the moment the worker turns up again.
+	w.fwdMu.Lock()
 	tail := w.journalTail(h.DurableSeq)
-	replayed, err := r.replayLocked(ctx, w, tail)
+	replayed, err := r.replayTail(ctx, w, tail)
+	if err == nil {
+		w.mu.Lock()
+		w.up = true
+		w.degraded = h.Degraded
+		w.mu.Unlock()
+	}
+	w.fwdMu.Unlock()
 	if err != nil {
 		return fmt.Errorf("cluster: rejoin %s: replay: %w", w.name, err)
 	}
-	w.setUp(true)
 	w.mu.Lock()
 	w.health.lastOK = r.opts.Clock.Now()
 	w.health.lastErr = ""
@@ -672,12 +716,10 @@ func (r *Router) rejoinLocked(ctx context.Context, w *workerRef, url string, h h
 	return nil
 }
 
-// replayLocked re-delivers journaled entries to one worker in sequence
-// order. Holds the worker's forward lock so live traffic queues behind the
-// replay, preserving per-user order.
-func (r *Router) replayLocked(ctx context.Context, w *workerRef, tail []jentry) (int, error) {
-	w.fwdMu.Lock()
-	defer w.fwdMu.Unlock()
+// replayTail re-delivers journaled entries to one worker in sequence order.
+// The caller holds the worker's forward lock so live traffic queues behind
+// the replay, preserving per-user order.
+func (r *Router) replayTail(ctx context.Context, w *workerRef, tail []jentry) (int, error) {
 	replayed := 0
 	for len(tail) > 0 {
 		n := r.opts.ForwardBatch

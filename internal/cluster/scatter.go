@@ -276,6 +276,7 @@ type RingWorkerView struct {
 	Name         string `json:"name"`
 	URL          string `json:"url"`
 	Up           bool   `json:"up"`
+	Degraded     bool   `json:"degraded,omitempty"`
 	Partitions   int    `json:"partitions"`
 	JournalDepth int    `json:"journal_depth"`
 	DurableSeq   int64  `json:"durable_seq"`
@@ -294,7 +295,7 @@ func (r *Router) RingState() RingView {
 			continue
 		}
 		w.mu.Lock()
-		url, up := w.url, w.up
+		url, up, degraded := w.url, w.up, w.degraded
 		w.mu.Unlock()
 		w.jMu.Lock()
 		depth, durable, acked, evicted := len(w.journal), w.durableSeq, w.ackedSeq, w.evicted
@@ -303,6 +304,7 @@ func (r *Router) RingState() RingView {
 			Name:         name,
 			URL:          url,
 			Up:           up,
+			Degraded:     degraded,
 			Partitions:   len(r.ring.PartsOwnedBy(name, r.opts.Replicas)),
 			JournalDepth: depth,
 			DurableSeq:   durable,

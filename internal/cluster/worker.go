@@ -144,6 +144,10 @@ type helloResponse struct {
 	// Epoch is the worker's fence watermark; a freshly restarted router
 	// adopts the highest one it hears so its own forwards pass the fences.
 	Epoch int64 `json:"epoch"`
+	// Degraded reports a disk-degraded checkpoint store: the worker keeps
+	// serving reads, but the router should defer its forwards to the journal
+	// until the store heals.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Handler returns the worker's full HTTP surface: cluster endpoints plus the
@@ -176,6 +180,18 @@ func (w *Worker) fenced(route string, next http.HandlerFunc) http.HandlerFunc {
 func (w *Worker) handleIngest(rw http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		jsonReply(rw, http.StatusMethodNotAllowed, httpError{Error: "POST only"})
+		return
+	}
+	if w.eng.CheckpointStalled() {
+		// The memory-only dirty window is exhausted while checkpoints defer
+		// on a full disk: accepting more would grow un-checkpointable state
+		// without bound. 503 keeps the batch in the router's journal; it
+		// replays when the store heals. (This is the backstop — the router
+		// normally stops forwarding as soon as a probe reports degraded.)
+		w.reg.Counter("stir_cluster_ingest_shed_total", "worker", w.name).Inc()
+		jsonReply(rw, http.StatusServiceUnavailable, httpError{
+			Error: "disk degraded: checkpoint dirty window exhausted",
+		})
 		return
 	}
 	var req ingestRequest
@@ -239,6 +255,7 @@ func (w *Worker) handleHello(rw http.ResponseWriter, r *http.Request) {
 		DurableSeq: ParseSeq(w.eng.DurableCursor()),
 		Users:      w.eng.Stats().Users,
 		Epoch:      w.epoch.Load(),
+		Degraded:   w.eng.Degraded(),
 	})
 }
 

@@ -9,6 +9,7 @@
 package daemon
 
 import (
+	"context"
 	"flag"
 	"net/http"
 	"net/http/pprof"
@@ -19,6 +20,7 @@ import (
 	"stir/internal/obs/trace"
 	"stir/internal/overload"
 	"stir/internal/resilience/fault"
+	"stir/internal/storage"
 )
 
 // FaultConfig is the parsed server-side fault-injection schedule.
@@ -90,6 +92,39 @@ func OverloadFlags(fs *flag.FlagSet) func() OverloadConfig {
 			QueueDepth:    *queueDepth,
 			TargetLatency: *target,
 			DrainTimeout:  *drain,
+		}
+	}
+}
+
+// DiskFlags registers the shared disk-budget flags on fs and returns a
+// closure producing the parsed storage budget after parsing. Zero (the
+// default) disables the corresponding watermark; the store still degrades
+// on a real ENOSPC.
+func DiskFlags(fs *flag.FlagSet) func() storage.Budget {
+	soft := fs.Int64("disk-soft", 0, "soft disk watermark in bytes: crossing it triggers emergency compaction (0 = off)")
+	hard := fs.Int64("disk-hard", 0, "hard disk watermark in bytes: crossing it degrades the store to read-only (0 = off)")
+	return func() storage.Budget {
+		return storage.Budget{SoftBytes: *soft, HardBytes: *hard}
+	}
+}
+
+// WatchDegraded polls degraded() on every tick and mirrors it into ready's
+// degraded bit: /readyz answers 503 while the watched store is hard-degraded
+// (load balancers route around the daemon), while /healthz — liveness — and
+// the critical-class /metrics and /debug/ surfaces keep answering. Runs
+// until ctx ends; call it in a goroutine next to the server.
+func WatchDegraded(ctx context.Context, ready *obs.Readiness, every time.Duration, degraded func() bool) {
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			ready.SetDegraded(degraded())
 		}
 	}
 }

@@ -126,30 +126,50 @@ func HealthzHandler(service string) http.Handler {
 	})
 }
 
-// Readiness is the shared ready/draining flag a daemon's lifecycle flips and
-// its /readyz endpoint reports. The zero value is ready; a nil *Readiness is
-// always ready (zero-config callers never gate).
-type Readiness struct{ draining atomic.Bool }
+// Readiness is the shared readiness flag a daemon's lifecycle flips and its
+// /readyz endpoint reports. Two independent causes take it down — draining
+// (shutdown in progress) and degraded (e.g. a read-only disk-degraded
+// checkpoint store) — so the disk watcher and the drain path cannot clobber
+// each other's bit. The zero value is ready; a nil *Readiness is always
+// ready (zero-config callers never gate).
+type Readiness struct{ draining, degraded atomic.Bool }
 
-// SetReady flips the flag: SetReady(false) marks the daemon draining so load
-// balancers stop routing new work to it.
+// SetReady flips the drain cause: SetReady(false) marks the daemon draining
+// so load balancers stop routing new work to it.
 func (r *Readiness) SetReady(ok bool) {
 	if r != nil {
 		r.draining.Store(!ok)
 	}
 }
 
+// SetDegraded flips the degraded cause independently of draining: a daemon
+// whose store hard-degrades goes not-ready (load balancers route around it)
+// while liveness stays up — the process is healthy, its disk is the problem.
+func (r *Readiness) SetDegraded(degraded bool) {
+	if r != nil {
+		r.degraded.Store(degraded)
+	}
+}
+
+// Degraded reports the degraded cause alone.
+func (r *Readiness) Degraded() bool { return r != nil && r.degraded.Load() }
+
 // Ready reports whether new traffic should be admitted.
-func (r *Readiness) Ready() bool { return r == nil || !r.draining.Load() }
+func (r *Readiness) Ready() bool {
+	return r == nil || (!r.draining.Load() && !r.degraded.Load())
+}
 
 // ReadyzHandler serves a readiness endpoint distinct from liveness: 200
-// while ready accepts new work, 503 once the daemon is draining — while
-// /healthz keeps answering 200 until the process actually exits.
+// while ready accepts new work, 503 once the daemon is draining or degraded
+// — while /healthz keeps answering 200 until the process actually exits.
 func ReadyzHandler(service string, ready *Readiness) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		status, state := http.StatusOK, "ready"
 		if !ready.Ready() {
 			status, state = http.StatusServiceUnavailable, "draining"
+			if ready.Degraded() {
+				state = "degraded"
+			}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)

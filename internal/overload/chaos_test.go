@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"stir/internal/leaktest"
 	"stir/internal/obs"
 	"stir/internal/overload"
 	"stir/internal/resilience/fault"
@@ -33,6 +34,7 @@ func TestOverloadChaos(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos test runs ~1.5s of wall-clock load; skipped in -short")
 	}
+	leaktest.Check(t) // queued waiters and the AIMD window must all unwind
 
 	const (
 		target       = 50 * time.Millisecond

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"stir/internal/leaktest"
 	"stir/internal/obs"
 )
 
@@ -31,6 +32,7 @@ func getBody(t *testing.T, url string) (int, string) {
 }
 
 func TestServerDrainCompletesInflight(t *testing.T) {
+	leaktest.Check(t)
 	release := make(chan struct{})
 	entered := make(chan struct{})
 	var drained atomic.Bool
@@ -103,6 +105,7 @@ func TestServerDrainCompletesInflight(t *testing.T) {
 }
 
 func TestServerDrainDeadlineForcesClose(t *testing.T) {
+	leaktest.Check(t)
 	release := make(chan struct{})
 	defer close(release)
 	entered := make(chan struct{})
@@ -195,6 +198,7 @@ func TestServerReadyzFlipsHealthzStays(t *testing.T) {
 }
 
 func TestServerSIGTERMDrainsAndReturnsNil(t *testing.T) {
+	leaktest.Check(t)
 	var drained atomic.Bool
 	srv := NewServer(ServerOptions{
 		Service: "sigterm",

@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+
+	"stir/internal/storage/vfs"
+)
+
+// Disk budgets and the read-only degraded mode (DESIGN.md §16). The store
+// tracks its own on-disk footprint; crossing the soft watermark triggers an
+// emergency compaction in the background, crossing the hard watermark — or
+// hitting a real ENOSPC anywhere on the write path — flips the store into an
+// explicit read-only degraded mode instead of scattering raw write errors.
+// Queries, scrubs and snapshots keep working while degraded; compaction and
+// repair stay allowed because they free space, and a compaction that
+// succeeds under the hard watermark heals the store.
+
+// ErrReadOnly is returned by every mutating operation while the store is in
+// disk-degraded mode. Callers branch on it with errors.Is to defer work
+// instead of treating the store as broken.
+var ErrReadOnly = errors.New("storage: read-only degraded mode (disk budget exhausted)")
+
+// Budget bounds the store's on-disk footprint. Zero values disable the
+// corresponding watermark; an unbudgeted store still degrades on ENOSPC.
+type Budget struct {
+	// SoftBytes is the emergency-compaction watermark: crossing it fires a
+	// background compaction and the storage_disk_soft_trips_total alert
+	// series, but writes continue.
+	SoftBytes int64
+	// HardBytes is the read-only watermark: crossing it flips the store
+	// into degraded mode until compaction brings usage back under it.
+	HardBytes int64
+}
+
+// Degraded reports whether the store is in read-only degraded mode.
+func (s *Store) Degraded() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.degraded
+}
+
+// DiskBytes reports the bytes the store's segment files occupy on disk.
+func (s *Store) DiskBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.diskBytes
+}
+
+// TryRecover attempts to bring a degraded store back: it compacts (allowed
+// while degraded, frees dead records, and proves the device accepts writes
+// again) and reports whether the store is writable afterwards. On a healthy
+// store it is just a compaction.
+func (s *Store) TryRecover() error {
+	if err := s.Compact(); err != nil {
+		return err
+	}
+	if s.Degraded() {
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// noteDiskErrLocked classifies a write-path failure: disk exhaustion flips
+// the store into degraded mode (further writes get the typed ErrReadOnly
+// instead of raw ENOSPC from random call sites); anything else passes
+// through untouched.
+func (s *Store) noteDiskErrLocked(err error) {
+	if err == nil || !vfs.IsNoSpace(err) {
+		return
+	}
+	s.mENOSPC.Inc()
+	s.degradeLocked()
+}
+
+func (s *Store) degradeLocked() {
+	if s.degraded {
+		return
+	}
+	s.degraded = true
+	s.mHardTrips.Inc()
+	s.mDegraded.Set(1)
+}
+
+// checkBudgetLocked runs after every successful append: it publishes the
+// footprint gauge, flips degraded mode at the hard watermark and kicks an
+// emergency compaction at the soft one (or at the hard one — compaction is
+// the only way back).
+func (s *Store) checkBudgetLocked() {
+	b := s.opts.Budget
+	s.mDiskBytes.Set(float64(s.diskBytes))
+	if b.HardBytes > 0 && s.diskBytes >= b.HardBytes {
+		s.degradeLocked()
+		s.kickCompactionLocked()
+		return
+	}
+	if b.SoftBytes > 0 && s.diskBytes >= b.SoftBytes {
+		if !s.softTripped {
+			s.softTripped = true
+			s.mSoftTrips.Inc()
+		}
+		s.kickCompactionLocked()
+	} else {
+		s.softTripped = false
+	}
+}
+
+// kickCompactionLocked starts one background emergency compaction if none
+// is already running and there is dead weight to reclaim. Rewriting a store
+// with zero dead records frees nothing, so that case waits for deletes (or
+// for the operator) rather than burning IO in a loop.
+func (s *Store) kickCompactionLocked() {
+	if s.compactInFlight || s.closed || s.dead == 0 {
+		return
+	}
+	s.compactInFlight = true
+	s.mEmergency.Inc()
+	go func() {
+		_ = s.Compact() // failures flip degraded mode via noteDiskErrLocked
+		s.mu.Lock()
+		s.compactInFlight = false
+		s.mu.Unlock()
+	}()
+}
+
+// recomputeDiskLocked resets the footprint from the actual segment sizes —
+// used after structural changes (load, compaction, torn-tail truncation)
+// where incremental accounting would drift.
+func (s *Store) recomputeDiskLocked() {
+	var total int64
+	for _, f := range s.segs {
+		if sz, err := f.Size(); err == nil {
+			total += sz
+		}
+	}
+	s.diskBytes = total
+	s.mDiskBytes.Set(float64(total))
+}
+
+// maybeHealLocked clears degraded mode after a successful compaction proved
+// the device writable and brought usage back under the hard watermark.
+func (s *Store) maybeHealLocked() {
+	b := s.opts.Budget
+	if s.degraded && (b.HardBytes == 0 || s.diskBytes < b.HardBytes) {
+		s.degraded = false
+		s.tornTail = false
+		s.mRecovered.Inc()
+		s.mDegraded.Set(0)
+	}
+	if b.SoftBytes == 0 || s.diskBytes < b.SoftBytes {
+		s.softTripped = false
+	}
+}
+
+// Usage breaks down a store directory's disk footprint by namespace, so an
+// operator (via `stir fsck -du`) can see what emergency compaction would
+// free before it runs.
+type Usage struct {
+	Segments         int   // segment file count
+	SegmentBytes     int64 // bytes held by seg-*.log
+	LiveBytes        int64 // bytes of records the index still points at
+	ReclaimableBytes int64 // segment bytes a compaction would free
+	TmpFiles         int   // stale *.tmp files (swept on next Open)
+	TmpBytes         int64
+	QuarantineFiles  int // damaged ranges preserved by Repair
+	QuarantineBytes  int64
+}
+
+// Usage reports the store's current per-namespace disk usage.
+func (s *Store) Usage() (Usage, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return Usage{}, ErrClosed
+	}
+	var u Usage
+	u.Segments = len(s.segs)
+	for _, f := range s.segs {
+		if sz, err := f.Size(); err == nil {
+			u.SegmentBytes += sz
+		}
+	}
+	// Batch records share one position across sub-entries; count each
+	// physical record once.
+	type physical struct {
+		seg int
+		off int64
+	}
+	seen := make(map[physical]bool, len(s.index))
+	for _, pos := range s.index {
+		p := physical{pos.seg, pos.off}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		u.LiveBytes += pos.size
+	}
+	if u.ReclaimableBytes = u.SegmentBytes - u.LiveBytes; u.ReclaimableBytes < 0 {
+		u.ReclaimableBytes = 0
+	}
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return u, err
+	}
+	for _, name := range names {
+		if !strings.HasSuffix(name, tmpSuffix) {
+			continue
+		}
+		u.TmpFiles++
+		u.TmpBytes += s.sizeOf(filepath.Join(s.dir, name))
+	}
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if qnames, err := s.fs.ReadDir(qdir); err == nil {
+		for _, name := range qnames {
+			u.QuarantineFiles++
+			u.QuarantineBytes += s.sizeOf(filepath.Join(qdir, name))
+		}
+	}
+	return u, nil
+}
+
+func (s *Store) sizeOf(path string) int64 {
+	f, err := s.fs.Open(path)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sz, err := f.Size()
+	if err != nil {
+		return 0
+	}
+	return sz
+}

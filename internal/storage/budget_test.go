@@ -1,0 +1,490 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stir/internal/leaktest"
+	"stir/internal/obs"
+	"stir/internal/storage/vfs"
+)
+
+// Disk-budget suite (DESIGN.md §16): soft watermark fires emergency
+// compaction, hard watermark flips the store read-only, ENOSPC degrades like
+// a budget trip, and compaction heals. Reads, scrubs and snapshots must keep
+// working the whole way through.
+
+func openMemStore(t *testing.T, reg *obs.Registry, opts Options) (*Store, *vfs.Mem) {
+	t.Helper()
+	mem := vfs.NewMem(1)
+	opts.FS = mem
+	opts.Metrics = reg
+	s, err := Open("ckpt", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, mem
+}
+
+// waitFor polls cond for up to two seconds — long enough for the background
+// emergency compaction goroutine, short enough to keep the suite fast.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// Crossing the soft watermark fires the alert counter and an emergency
+// compaction that brings the footprint back down; writes never stop.
+func TestSoftWatermarkEmergencyCompaction(t *testing.T) {
+	leaktest.Check(t)
+	reg := obs.NewRegistry()
+	s, _ := openMemStore(t, reg, Options{Budget: Budget{SoftBytes: 4096}})
+
+	val := bytes.Repeat([]byte("v"), 100)
+	// Overwriting the same ten keys builds dead weight, so once the soft
+	// watermark trips there is something for the compaction to reclaim.
+	for i := 0; s.Stats().DiskBytes < 4096; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i%10), val); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		if i > 10_000 {
+			t.Fatal("never reached the soft watermark")
+		}
+	}
+	if got := reg.Counter("storage_disk_soft_trips_total").Value(); got < 1 {
+		t.Fatalf("storage_disk_soft_trips_total = %v, want >= 1", got)
+	}
+	waitFor(t, "emergency compaction to reclaim dead bytes", func() bool {
+		return s.Stats().DiskBytes < 4096
+	})
+	if got := reg.Counter("storage_disk_emergency_compactions_total").Value(); got < 1 {
+		t.Fatalf("storage_disk_emergency_compactions_total = %v, want >= 1", got)
+	}
+	if s.Degraded() {
+		t.Fatal("soft watermark must not degrade the store")
+	}
+	if err := s.Put("after", val); err != nil {
+		t.Fatalf("put after soft trip: %v", err)
+	}
+}
+
+// Crossing the hard watermark with nothing to reclaim (every record live)
+// flips the store read-only: mutations get the typed ErrReadOnly while
+// queries, scrubs and snapshots keep serving.
+func TestHardWatermarkReadOnly(t *testing.T) {
+	leaktest.Check(t)
+	reg := obs.NewRegistry()
+	s, _ := openMemStore(t, reg, Options{Budget: Budget{HardBytes: 2048}})
+
+	val := bytes.Repeat([]byte("v"), 64)
+	var rejected error
+	for i := 0; i < 10_000; i++ {
+		if err := s.Put(fmt.Sprintf("live-%d", i), val); err != nil {
+			rejected = err
+			break
+		}
+	}
+	if !errors.Is(rejected, ErrReadOnly) {
+		t.Fatalf("write past hard watermark: err = %v, want ErrReadOnly", rejected)
+	}
+	if !s.Degraded() || !s.Stats().Degraded {
+		t.Fatal("store must report degraded")
+	}
+	if got := reg.Gauge("storage_disk_degraded").Value(); got != 1 {
+		t.Fatalf("storage_disk_degraded = %v, want 1", got)
+	}
+	if got := reg.Counter("storage_disk_hard_trips_total").Value(); got < 1 {
+		t.Fatalf("storage_disk_hard_trips_total = %v, want >= 1", got)
+	}
+
+	// The degraded contract: reads and maintenance serve, mutations don't.
+	if v, err := s.Get("live-0"); err != nil || !bytes.Equal(v, val) {
+		t.Fatalf("degraded Get: %q, %v", v, err)
+	}
+	if err := s.Delete("live-0"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("degraded Delete: err = %v, want ErrReadOnly", err)
+	}
+	if err := s.NewBatch().Put("b", val).Commit(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("degraded Batch.Commit: err = %v, want ErrReadOnly", err)
+	}
+	if rep, err := s.Scrub(); err != nil || !rep.Clean() {
+		t.Fatalf("degraded Scrub: %+v, %v", rep, err)
+	}
+	var buf bytes.Buffer
+	if rep, err := s.Snapshot(&buf); err != nil || rep.Records == 0 {
+		t.Fatalf("degraded Snapshot: %+v, %v", rep, err)
+	}
+	// All records are live: compaction frees nothing, recovery honestly fails.
+	if err := s.TryRecover(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("TryRecover with zero reclaimable: err = %v, want ErrReadOnly", err)
+	}
+}
+
+// A hard trip with dead weight heals itself: the trip kicks the emergency
+// compaction, the compaction frees the dead bytes, and the store comes back
+// writable with the recovery counter ticked.
+func TestHardTripHealsViaCompaction(t *testing.T) {
+	leaktest.Check(t)
+	reg := obs.NewRegistry()
+	s, _ := openMemStore(t, reg, Options{Budget: Budget{HardBytes: 8192}})
+
+	val := bytes.Repeat([]byte("v"), 512)
+	sawReadOnly := false
+	for i := 0; i < 100_000; i++ {
+		err := s.Put("hot", val) // every overwrite deadens the previous record
+		if errors.Is(err, ErrReadOnly) {
+			sawReadOnly = true
+			break
+		}
+		if err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if !sawReadOnly {
+		t.Fatal("never observed ErrReadOnly (heal won every race?)")
+	}
+	waitFor(t, "compaction to heal the store", func() bool { return !s.Degraded() })
+	if got := reg.Counter("storage_disk_recovered_total").Value(); got < 1 {
+		t.Fatalf("storage_disk_recovered_total = %v, want >= 1", got)
+	}
+	if got := reg.Gauge("storage_disk_degraded").Value(); got != 0 {
+		t.Fatalf("storage_disk_degraded = %v, want 0 after heal", got)
+	}
+	if err := s.Put("hot", []byte("post-heal")); err != nil {
+		t.Fatalf("put after heal: %v", err)
+	}
+	if v, err := s.Get("hot"); err != nil || string(v) != "post-heal" {
+		t.Fatalf("get after heal: %q, %v", v, err)
+	}
+}
+
+// An organic ENOSPC mid-append leaves the store exactly as recoverable as a
+// power cut: the torn fragment is chopped, reads keep serving, and once
+// space returns TryRecover brings the store back writable.
+func TestENOSPCMidAppendRecovers(t *testing.T) {
+	leaktest.Check(t)
+	reg := obs.NewRegistry()
+	flt := vfs.NewFault(vfs.FaultConfig{Seed: 5, DiskCapacity: 2048})
+	s, err := Open("ckpt", Options{FS: flt, Metrics: reg, SyncEveryPut: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	val := bytes.Repeat([]byte("v"), 64)
+	acked := 0
+	var hit error
+	for i := 0; i < 1000 && hit == nil; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), val); err != nil {
+			hit = err
+		} else {
+			acked++
+		}
+	}
+	if !errors.Is(hit, vfs.ErrNoSpace) {
+		t.Fatalf("filling the device: err = %v, want ErrNoSpace", hit)
+	}
+	if !s.Degraded() {
+		t.Fatal("ENOSPC must flip the store degraded")
+	}
+	if got := reg.Counter("storage_disk_enospc_total").Value(); got < 1 {
+		t.Fatalf("storage_disk_enospc_total = %v, want >= 1", got)
+	}
+	if v, err := s.Get("k0"); err != nil || !bytes.Equal(v, val) {
+		t.Fatalf("degraded Get: %q, %v", v, err)
+	}
+	if err := s.Put("rejected", val); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("degraded Put: err = %v, want ErrReadOnly", err)
+	}
+
+	flt.Mem().SetCapacity(0) // operator freed the device
+	if err := s.TryRecover(); err != nil {
+		t.Fatalf("TryRecover after space freed: %v", err)
+	}
+	if s.Degraded() {
+		t.Fatal("store still degraded after successful recovery")
+	}
+	if err := s.Put("post-heal", val); err != nil {
+		t.Fatalf("put after recovery: %v", err)
+	}
+	for i := 0; i < acked; i++ {
+		if v, err := s.Get(fmt.Sprintf("k%d", i)); err != nil || !bytes.Equal(v, val) {
+			t.Fatalf("acked k%d lost across ENOSPC: %q, %v", i, v, err)
+		}
+	}
+}
+
+// ENOSPC followed by a power cut, rebooted onto a freed device: the store
+// reopens clean and every acked-synced record survives — disk exhaustion
+// composes with the crash model instead of inventing a new failure mode.
+func TestENOSPCThenCrashReopens(t *testing.T) {
+	leaktest.Check(t)
+	flt := vfs.NewFault(vfs.FaultConfig{Seed: 11, DiskCapacity: 2048})
+	s, err := Open("ckpt", Options{FS: flt, Metrics: obs.Discard, SyncEveryPut: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	val := bytes.Repeat([]byte("v"), 64)
+	acked := 0
+	for i := 0; i < 1000; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), val); err != nil {
+			if !errors.Is(err, vfs.ErrNoSpace) {
+				t.Fatalf("put %d: %v", i, err)
+			}
+			break
+		}
+		acked++
+	}
+	if acked == 0 || acked == 1000 {
+		t.Fatalf("acked = %d; device never filled", acked)
+	}
+
+	flt.Mem().Crash()        // power cut on the full device
+	flt.Mem().SetCapacity(0) // space freed before the reboot
+	s2, err := Open("ckpt", Options{FS: flt, Metrics: obs.Discard})
+	if err != nil {
+		t.Fatalf("reopen after ENOSPC+crash: %v", err)
+	}
+	defer s2.Close()
+	if s2.Degraded() {
+		t.Fatal("reopened store must start healthy on a freed device")
+	}
+	for i := 0; i < acked; i++ {
+		if v, err := s2.Get(fmt.Sprintf("k%d", i)); err != nil || !bytes.Equal(v, val) {
+			t.Fatalf("acked-synced k%d lost across ENOSPC+crash: %q, %v", i, v, err)
+		}
+	}
+	if rep, err := s2.Scrub(); err != nil || !rep.Clean() {
+		t.Fatalf("reopened store scrub: %+v, %v", rep, err)
+	}
+	if err := s2.Put("post-crash", val); err != nil {
+		t.Fatalf("put after reopen: %v", err)
+	}
+}
+
+// A segment roll whose fsync hits ENOSPC must surface the error from Put —
+// not leave a silently unsynced segment behind — and degrade the store.
+func TestRollSyncENOSPCSurfaces(t *testing.T) {
+	leaktest.Check(t)
+	reg := obs.NewRegistry()
+	flt := vfs.NewFault(vfs.FaultConfig{Seed: 3})
+	s, err := Open("ckpt", Options{FS: flt, Metrics: reg, MaxSegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	val := bytes.Repeat([]byte("v"), 300) // one record overflows a segment
+	if err := s.Put("first", val); err != nil {
+		t.Fatal(err)
+	}
+	flt.FailNoSpaceNext(1) // lands on the roll's active.Sync
+	err = s.Put("second", val)
+	if !errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatalf("rolling put with injected ENOSPC: err = %v, want ErrNoSpace", err)
+	}
+	if !s.Degraded() {
+		t.Fatal("failed roll must degrade the store")
+	}
+	if err := s.TryRecover(); err != nil {
+		t.Fatalf("TryRecover after transient ENOSPC: %v", err)
+	}
+	if err := s.Put("second", val); err != nil {
+		t.Fatalf("put after recovery: %v", err)
+	}
+	if v, err := s.Get("second"); err != nil || !bytes.Equal(v, val) {
+		t.Fatalf("get after recovery: %q, %v", v, err)
+	}
+}
+
+// failCloseFS wraps a vfs.FS and fails Close on selected handle classes —
+// the regression harness for "is this Close error actually checked?". Before
+// the audit, segment-roll and snapshot-restore paths dropped these on the
+// floor.
+type failCloseFS struct {
+	vfs.FS
+	mu        sync.Mutex
+	failWrite bool // handles from Create/OpenAppend
+	failRead  bool // handles from Open
+	boom      error
+}
+
+var errCloseBoom = errors.New("injected close failure")
+
+func (f *failCloseFS) arm(write, read bool) {
+	f.mu.Lock()
+	f.failWrite, f.failRead = write, read
+	f.mu.Unlock()
+}
+
+func (f *failCloseFS) shouldFail(write bool) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if write {
+		return f.failWrite
+	}
+	return f.failRead
+}
+
+func (f *failCloseFS) Create(name string) (vfs.File, error) {
+	h, err := f.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failCloseFile{File: h, fs: f, write: true}, nil
+}
+
+func (f *failCloseFS) OpenAppend(name string) (vfs.File, error) {
+	h, err := f.FS.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failCloseFile{File: h, fs: f, write: true}, nil
+}
+
+func (f *failCloseFS) Open(name string) (vfs.File, error) {
+	h, err := f.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failCloseFile{File: h, fs: f}, nil
+}
+
+type failCloseFile struct {
+	vfs.File
+	fs    *failCloseFS
+	write bool
+}
+
+func (h *failCloseFile) Close() error {
+	err := h.File.Close()
+	if h.fs.shouldFail(h.write) {
+		return fmt.Errorf("close %s handle: %w", map[bool]string{true: "write", false: "read"}[h.write], errCloseBoom)
+	}
+	return err
+}
+
+// The roll's Close of the outgoing segment is checked: a failure surfaces
+// from Put instead of leaving a handle in limbo.
+func TestRollCloseErrorSurfaces(t *testing.T) {
+	leaktest.Check(t)
+	fcfs := &failCloseFS{FS: vfs.NewMem(1)}
+	s, err := Open("ckpt", Options{FS: fcfs, Metrics: obs.Discard, MaxSegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("v"), 300)
+	if err := s.Put("first", val); err != nil {
+		t.Fatal(err)
+	}
+	fcfs.arm(true, false)
+	err = s.Put("second", val)
+	fcfs.arm(false, false)
+	if !errors.Is(err, errCloseBoom) {
+		t.Fatalf("rolling put with failing close: err = %v, want errCloseBoom surfaced", err)
+	}
+	s.Close()
+}
+
+// RestoreSnapshot checks both closes on its temp segment: the write handle
+// (delayed-allocation failures surface there) and the verify read handle. A
+// failure aborts the restore and leaves no segment behind.
+func TestRestoreSnapshotCloseErrorsSurface(t *testing.T) {
+	leaktest.Check(t)
+	src, _ := openMemStore(t, obs.NewRegistry(), Options{})
+	for i := 0; i < 10; i++ {
+		if err := src.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if _, err := src.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name        string
+		write, read bool
+	}{
+		{"write-handle", true, false},
+		{"read-handle", false, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fcfs := &failCloseFS{FS: vfs.NewMem(1)}
+			fcfs.arm(tc.write, tc.read)
+			_, err := RestoreSnapshot("restored", bytes.NewReader(snap.Bytes()), Options{FS: fcfs})
+			fcfs.arm(false, false)
+			if !errors.Is(err, errCloseBoom) {
+				t.Fatalf("restore with failing %s close: err = %v, want errCloseBoom surfaced", tc.name, err)
+			}
+			if names, err := fcfs.ReadDir("restored"); err == nil {
+				for _, n := range names {
+					if strings.HasPrefix(n, "seg-") && strings.HasSuffix(n, ".log") {
+						t.Fatalf("aborted restore published segment %s", n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Usage breaks the footprint down so `stir fsck -du` can show what a
+// compaction would free — and a compaction zeroes the reclaimable bucket.
+func TestUsageBreakdown(t *testing.T) {
+	leaktest.Check(t)
+	s, _ := openMemStore(t, obs.NewRegistry(), Options{})
+	val := bytes.Repeat([]byte("v"), 100)
+	for i := 0; i < 20; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ { // overwrites: dead weight
+		if err := s.Put(fmt.Sprintf("k%d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u, err := s.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Segments < 1 || u.SegmentBytes <= 0 {
+		t.Fatalf("usage: %+v", u)
+	}
+	if u.LiveBytes <= 0 || u.LiveBytes >= u.SegmentBytes {
+		t.Fatalf("live bytes %d must be positive and below segment bytes %d", u.LiveBytes, u.SegmentBytes)
+	}
+	if u.ReclaimableBytes != u.SegmentBytes-u.LiveBytes {
+		t.Fatalf("reclaimable %d != segment %d - live %d", u.ReclaimableBytes, u.SegmentBytes, u.LiveBytes)
+	}
+	if u.TmpFiles != 0 || u.QuarantineFiles != 0 {
+		t.Fatalf("fresh store reports stray files: %+v", u)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	u, err = s.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.ReclaimableBytes != 0 {
+		t.Fatalf("reclaimable after compaction = %d, want 0", u.ReclaimableBytes)
+	}
+	if u.SegmentBytes != u.LiveBytes {
+		t.Fatalf("compacted store: segment %d != live %d", u.SegmentBytes, u.LiveBytes)
+	}
+}

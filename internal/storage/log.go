@@ -67,8 +67,13 @@ type Options struct {
 	Metrics *obs.Registry
 	// FS is the filesystem seam (nil means the real filesystem). Tests
 	// inject vfs.Mem/vfs.Fault here to simulate power cuts, torn writes,
-	// dropped fsyncs and bit flips.
+	// dropped fsyncs, bit flips and disk exhaustion.
 	FS vfs.FS
+	// Budget bounds the store's on-disk footprint: crossing the soft
+	// watermark triggers emergency compaction, crossing the hard one flips
+	// the store read-only (ErrReadOnly) until compaction frees space. The
+	// zero value disables both watermarks.
+	Budget Budget
 	// Trace, when set, records a span per segment-level operation (currently
 	// compaction) with before/after segment counts. Nil disables.
 	Trace *trace.Tracer
@@ -91,6 +96,12 @@ type Store struct {
 	dead   int64       // superseded or deleted records, drives compaction advice
 	scrub  ScrubReport // what Open found (and salvaged) in the on-disk log
 
+	diskBytes       int64 // segment bytes on disk, maintained incrementally
+	degraded        bool  // read-only: budget exhausted or ENOSPC observed
+	softTripped     bool  // soft watermark already alerted (resets under it)
+	tornTail        bool  // an ENOSPC fragment needs truncating before appends
+	compactInFlight bool  // one emergency compaction at a time
+
 	mAppends      *obs.Counter
 	mBytes        *obs.Counter
 	mBatchCommits *obs.Counter
@@ -102,6 +113,14 @@ type Store struct {
 	mQuarantined  *obs.Counter
 	mSnapshots    *obs.Counter
 	mRepairs      *obs.Counter
+
+	mDiskBytes *obs.Gauge
+	mDegraded  *obs.Gauge
+	mSoftTrips *obs.Counter
+	mHardTrips *obs.Counter
+	mRecovered *obs.Counter
+	mENOSPC    *obs.Counter
+	mEmergency *obs.Counter
 }
 
 type recordPos struct {
@@ -145,6 +164,14 @@ func Open(dir string, opts Options) (*Store, error) {
 		mQuarantined:  reg.Counter("storage_quarantined_records_total"),
 		mSnapshots:    reg.Counter("storage_snapshots_total"),
 		mRepairs:      reg.Counter("storage_repairs_total"),
+
+		mDiskBytes: reg.Gauge("storage_disk_bytes"),
+		mDegraded:  reg.Gauge("storage_disk_degraded"),
+		mSoftTrips: reg.Counter("storage_disk_soft_trips_total"),
+		mHardTrips: reg.Counter("storage_disk_hard_trips_total"),
+		mRecovered: reg.Counter("storage_disk_recovered_total"),
+		mENOSPC:    reg.Counter("storage_disk_enospc_total"),
+		mEmergency: reg.Counter("storage_disk_emergency_compactions_total"),
 	}
 	if err := s.removeStaleTemps(); err != nil {
 		return nil, err
@@ -153,6 +180,10 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.closeAll()
 		return nil, err
 	}
+	// A store reopened over its budget should degrade (or start its
+	// emergency compaction) immediately, not after the first write.
+	s.recomputeDiskLocked()
+	s.checkBudgetLocked()
 	return s, nil
 }
 
@@ -353,8 +384,10 @@ func (s *Store) loadSegment(id int) error {
 // truncateSegment chops a segment at off, discarding a torn tail record.
 func (s *Store) truncateSegment(id int, off int64) error {
 	if f, ok := s.segs[id]; ok {
-		f.Close()
 		delete(s.segs, id)
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("storage: close torn segment %d: %w", id, err)
+		}
 	}
 	if err := s.fs.Truncate(s.segPath(id), off); err != nil {
 		return fmt.Errorf("storage: truncate torn segment %d: %w", id, err)
@@ -472,23 +505,50 @@ func (s *Store) Delete(key string) error {
 }
 
 func (s *Store) appendLocked(rec []byte) (recordPos, error) {
+	if s.degraded {
+		return recordPos{}, ErrReadOnly
+	}
+	if s.tornTail {
+		// An earlier ENOSPC fragment is still on disk because the repair
+		// truncate itself failed; retry it before appending over garbage.
+		if err := s.fs.Truncate(s.segPath(s.actID), s.actOff); err != nil {
+			return recordPos{}, fmt.Errorf("storage: repair torn append tail: %w", err)
+		}
+		s.tornTail = false
+		s.recomputeDiskLocked()
+	}
 	if s.actOff+int64(len(rec)) > s.opts.MaxSegmentBytes && s.actOff > 0 {
 		if err := s.rollLocked(); err != nil {
+			s.noteDiskErrLocked(err)
 			return recordPos{}, err
 		}
 	}
 	off := s.actOff
-	if _, err := s.active.Write(rec); err != nil {
+	if n, err := s.active.Write(rec); err != nil {
+		// ENOSPC mid-record: whatever fragment landed would desync the
+		// append offset from the file, so chop the file back to the last
+		// full record. Index offsets all point below actOff, so reads are
+		// unaffected either way; if the truncate also fails, retry it
+		// before the next append instead of failing reads now.
+		if n > 0 {
+			if terr := s.fs.Truncate(s.segPath(s.actID), off); terr != nil {
+				s.tornTail = true
+			}
+		}
+		s.noteDiskErrLocked(err)
 		return recordPos{}, fmt.Errorf("storage: append: %w", err)
 	}
 	s.actOff += int64(len(rec))
+	s.diskBytes += int64(len(rec))
 	s.mAppends.Inc()
 	s.mBytes.Add(int64(len(rec)))
 	if s.opts.SyncEveryPut {
 		if err := s.active.Sync(); err != nil {
+			s.noteDiskErrLocked(err)
 			return recordPos{}, err
 		}
 	}
+	s.checkBudgetLocked()
 	return recordPos{seg: s.actID, off: off, size: int64(len(rec))}, nil
 }
 
@@ -619,14 +679,18 @@ func (s *Store) Each(fn func(key string, val []byte) error) error {
 	return nil
 }
 
-// Sync flushes the active segment to stable storage.
+// Sync flushes the active segment to stable storage. A disk-exhaustion
+// failure flips the store into degraded mode — delayed allocation means
+// ENOSPC can report here for bytes an earlier append accepted.
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	return s.active.Sync()
+	err := s.active.Sync()
+	s.noteDiskErrLocked(err)
+	return err
 }
 
 // Stats describes the store's physical state.
@@ -635,6 +699,8 @@ type Stats struct {
 	Segments    int
 	Puts        int64
 	DeadRecords int64
+	DiskBytes   int64
+	Degraded    bool
 }
 
 // Stats returns current counters.
@@ -646,6 +712,8 @@ func (s *Store) Stats() Stats {
 		Segments:    len(s.segs),
 		Puts:        s.puts,
 		DeadRecords: s.dead,
+		DiskBytes:   s.diskBytes,
+		Degraded:    s.degraded,
 	}
 }
 
@@ -661,7 +729,22 @@ func (s *Store) Stats() Stats {
 // continues on the new segment (a leftover segment is re-deleted by the next
 // compaction and is harmless to recovery, since rebuilding the index replays
 // segments in order and the new one wins).
+//
+// Compaction stays allowed in disk-degraded mode — it is the operation that
+// frees space — and a pass that succeeds with the footprint back under the
+// hard watermark heals the store. A pass that fails on disk exhaustion
+// flips (or keeps) the store degraded.
 func (s *Store) Compact() error {
+	err := s.compact()
+	if err != nil && !errors.Is(err, ErrClosed) {
+		s.mu.Lock()
+		s.noteDiskErrLocked(err)
+		s.mu.Unlock()
+	}
+	return err
+}
+
+func (s *Store) compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -743,11 +826,19 @@ func (s *Store) Compact() error {
 	s.index = newIndex
 	s.dead = 0
 	s.mCompactions.Inc()
-	oldActive.Close()
+	// Close errors are surfaced, not swallowed: real filesystems flush
+	// delayed allocations at close, so this is exactly where a full disk
+	// reports last — and an unreported close error here would hide that
+	// space was never reclaimed.
 	var rmErr error
+	if err := oldActive.Close(); err != nil {
+		rmErr = fmt.Errorf("close old active segment: %w", err)
+	}
 	removed := 0
 	for id, h := range oldSegs {
-		h.Close()
+		if err := h.Close(); err != nil && rmErr == nil {
+			rmErr = fmt.Errorf("close old segment %d: %w", id, err)
+		}
 		if err := s.fs.Remove(s.segPath(id)); err != nil {
 			if rmErr == nil {
 				rmErr = err
@@ -762,12 +853,15 @@ func (s *Store) Compact() error {
 		}
 	}
 	sp.AnnotateInt("segments_removed", int64(removed))
+	s.recomputeDiskLocked()
 	if rmErr != nil {
 		// The compaction itself committed; only space reclamation is
-		// incomplete. A resurrected old segment is harmless (see above).
+		// incomplete. A resurrected old segment is harmless (see above) —
+		// but the space it holds was not freed, so don't heal on it.
 		sp.Annotate("error", "old segment removal incomplete")
 		return fmt.Errorf("storage: compacted, but removing old segments failed (store remains usable): %w", rmErr)
 	}
+	s.maybeHealLocked()
 	return nil
 }
 

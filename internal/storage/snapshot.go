@@ -100,7 +100,9 @@ func RestoreSnapshot(dir string, r io.Reader, opts Options) (SnapshotReport, err
 		return rep, err
 	}
 	records, verr := verifySegment(rf, n)
-	rf.Close()
+	if cerr := rf.Close(); verr == nil {
+		verr = cerr
+	}
 	if verr != nil {
 		fsys.Remove(tmpPath)
 		return rep, fmt.Errorf("storage: restore: snapshot damaged: %w", verr)

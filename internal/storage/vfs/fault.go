@@ -1,6 +1,7 @@
 package vfs
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 )
@@ -19,6 +20,19 @@ type FaultConfig struct {
 	// nothing while still reporting success — the lying-fsync failure
 	// mode of consumer drives and some virtualised disks.
 	DropSyncRate float64
+	// DiskCapacity is a hard quota in bytes on the underlying Mem device
+	// (0 = unlimited): once full, writes return partial counts with
+	// ErrNoSpace and creates fail — see Mem.SetCapacity.
+	DiskCapacity int64
+	// DiskFillPerOp models a device that fills over time: every mutation
+	// boundary adds this many phantom external bytes, so the store's own
+	// writes race a shrinking disk. Combine with DiskCapacity.
+	DiskFillPerOp int64
+	// NoSpaceRate is the probability a write, sync, create or close fails
+	// transiently with ErrNoSpace even though space exists — the flaky
+	// thin-provisioned volume whose quota enforcement is stricter than its
+	// usage reporting.
+	NoSpaceRate float64
 }
 
 // Fault wraps a Mem with a seeded fault schedule. A write that hits the
@@ -30,11 +44,13 @@ type Fault struct {
 	mem *Mem
 	cfg FaultConfig
 
-	mu      sync.Mutex
-	rng     *rand.Rand
-	ops     int64
-	crashed bool
-	dropped int64
+	mu          sync.Mutex
+	rng         *rand.Rand
+	ops         int64
+	crashed     bool
+	dropped     int64
+	failNoSpace int64 // deterministic: fail the next N eligible ops
+	noSpaceHits int64
 }
 
 // NewFault returns a Fault FS over a fresh Mem. The Mem's crash-time tear
@@ -42,11 +58,15 @@ type Fault struct {
 // across every boundary then also sweeps the tear outcomes (kept, lost,
 // torn, bit-flipped) instead of replaying one fixed tear at every boundary.
 func NewFault(cfg FaultConfig) *Fault {
-	return &Fault{
+	f := &Fault{
 		mem: NewMem(cfg.Seed*31 + cfg.CrashAt*2654435761 + 1),
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
+	if cfg.DiskCapacity > 0 {
+		f.mem.SetCapacity(cfg.DiskCapacity)
+	}
+	return f
 }
 
 // Mem returns the underlying in-memory filesystem.
@@ -73,6 +93,41 @@ func (f *Fault) DroppedSyncs() int64 {
 	return f.dropped
 }
 
+// FailNoSpaceNext makes the next n eligible operations (writes, syncs,
+// creates and closes) fail with ErrNoSpace regardless of actual space — the
+// deterministic hook for pinning ENOSPC to one exact call site, the way
+// CrashAt pins a power cut to one boundary.
+func (f *Fault) FailNoSpaceNext(n int64) {
+	f.mu.Lock()
+	f.failNoSpace = n
+	f.mu.Unlock()
+}
+
+// NoSpaceHits returns how many operations failed with an injected
+// ErrNoSpace (transient rate plus FailNoSpaceNext; organic Mem capacity
+// failures are not counted here).
+func (f *Fault) NoSpaceHits() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.noSpaceHits
+}
+
+// injectNoSpace rolls the disk-full dice for one eligible operation.
+func (f *Fault) injectNoSpace() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failNoSpace > 0 {
+		f.failNoSpace--
+		f.noSpaceHits++
+		return true
+	}
+	if f.cfg.NoSpaceRate > 0 && f.rng.Float64() < f.cfg.NoSpaceRate {
+		f.noSpaceHits++
+		return true
+	}
+	return false
+}
+
 // Restart reboots after a power cut: torn writes are applied to the
 // unsynced state and the FS powers back on. It is also safe to call when no
 // cut fired.
@@ -96,6 +151,9 @@ func (f *Fault) boundary() error {
 		f.mem.PowerOff()
 		return ErrPowerCut
 	}
+	if f.cfg.DiskFillPerOp > 0 {
+		f.mem.AddExternalUsage(f.cfg.DiskFillPerOp)
+	}
 	return nil
 }
 
@@ -117,6 +175,9 @@ func (f *Fault) MkdirAll(dir string) error { return f.mem.MkdirAll(dir) }
 func (f *Fault) Create(name string) (File, error) {
 	if err := f.boundary(); err != nil {
 		return nil, err
+	}
+	if f.injectNoSpace() {
+		return nil, fmt.Errorf("vfs: create: %w: %s", ErrNoSpace, name)
 	}
 	h, err := f.mem.Create(name)
 	if err != nil {
@@ -190,8 +251,13 @@ type faultFile struct {
 }
 
 // Write applies the bytes to the volatile state first and then checks the
-// boundary, so a cut at a write boundary leaves a torn write behind.
+// boundary, so a cut at a write boundary leaves a torn write behind. An
+// injected ENOSPC fails before any byte lands — the organic partial-write
+// path belongs to the Mem's capacity model.
 func (h *faultFile) Write(p []byte) (int, error) {
+	if h.f.injectNoSpace() {
+		return 0, fmt.Errorf("vfs: write: %w", ErrNoSpace)
+	}
 	n, err := h.inner.Write(p)
 	if err != nil {
 		return n, err
@@ -203,10 +269,14 @@ func (h *faultFile) Write(p []byte) (int, error) {
 }
 
 // Sync checks the boundary before taking effect: a cut at a sync boundary
-// means the sync never happened.
+// means the sync never happened. Injected ENOSPC likewise fails the sync
+// without syncing — the late-reporting allocation failure.
 func (h *faultFile) Sync() error {
 	if err := h.f.boundary(); err != nil {
 		return err
+	}
+	if h.f.injectNoSpace() {
+		return fmt.Errorf("vfs: sync: %w", ErrNoSpace)
 	}
 	if h.f.dropSync() {
 		return nil
@@ -216,4 +286,14 @@ func (h *faultFile) Sync() error {
 
 func (h *faultFile) ReadAt(p []byte, off int64) (int, error) { return h.inner.ReadAt(p, off) }
 func (h *faultFile) Size() (int64, error)                    { return h.inner.Size() }
-func (h *faultFile) Close() error                            { return h.inner.Close() }
+
+// Close can report a deferred ENOSPC: real filesystems flush delayed
+// allocations at close, which is exactly where a full disk surfaces last.
+// The handle is closed either way — a failed close is not retryable.
+func (h *faultFile) Close() error {
+	err := h.inner.Close()
+	if h.f.injectNoSpace() {
+		return fmt.Errorf("vfs: close: %w", ErrNoSpace)
+	}
+	return err
+}

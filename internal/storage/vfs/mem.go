@@ -30,6 +30,15 @@ type Mem struct {
 	durable map[string]*memFile // namespace as of the last SyncDir per dir
 	dirs    map[string]bool
 	down    bool
+
+	// capacity models the device size in bytes (0 = unlimited). Once file
+	// content plus external usage reaches it, writes stop mid-buffer with
+	// ErrNoSpace (partial-write semantics, like real ENOSPC) and creates
+	// fail. external models bytes held by other tenants of the same device;
+	// raising it can push usage over capacity, at which point syncing
+	// still-unsynced data also fails — the delayed-allocation late ENOSPC.
+	capacity int64
+	external int64
 }
 
 type memFile struct {
@@ -121,6 +130,57 @@ func (m *Mem) check() error {
 	return nil
 }
 
+// SetCapacity models a device of n bytes (0 = unlimited). Shrinking the
+// capacity below current usage never tears existing content — it only makes
+// further allocation fail.
+func (m *Mem) SetCapacity(n int64) {
+	m.mu.Lock()
+	m.capacity = n
+	m.mu.Unlock()
+}
+
+// AddExternalUsage adjusts the phantom bytes other tenants of the device
+// hold: a positive delta fills the disk from outside (pressure building), a
+// negative one frees it (space returning). Usage never goes below the bytes
+// the FS's own files hold.
+func (m *Mem) AddExternalUsage(delta int64) {
+	m.mu.Lock()
+	m.external += delta
+	if m.external < 0 {
+		m.external = 0
+	}
+	m.mu.Unlock()
+}
+
+// Used reports the modeled device usage: every file's content plus the
+// external tenants' bytes.
+func (m *Mem) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.usedLocked()
+}
+
+func (m *Mem) usedLocked() int64 {
+	used := m.external
+	seen := make(map[*memFile]bool, len(m.files))
+	for _, f := range m.files {
+		if !seen[f] {
+			seen[f] = true
+			used += int64(len(f.data))
+		}
+	}
+	return used
+}
+
+// availLocked returns how many bytes can still be allocated; negative when
+// external pressure has pushed usage over capacity.
+func (m *Mem) availLocked() int64 {
+	if m.capacity <= 0 {
+		return int64(1) << 62
+	}
+	return m.capacity - m.usedLocked()
+}
+
 // MkdirAll implements FS. Directory creation is treated as immediately
 // durable — losing a mkdir is not an interesting failure mode for the store.
 func (m *Mem) MkdirAll(dir string) error {
@@ -145,6 +205,9 @@ func (m *Mem) Create(name string) (File, error) {
 		return nil, err
 	}
 	name = filepath.Clean(name)
+	if m.availLocked() <= 0 {
+		return nil, fmt.Errorf("vfs: create: %w: %s", ErrNoSpace, name)
+	}
 	f := &memFile{}
 	m.files[name] = f
 	return &memHandle{m: m, f: f, write: true}, nil
@@ -160,6 +223,9 @@ func (m *Mem) OpenAppend(name string) (File, error) {
 	name = filepath.Clean(name)
 	f, ok := m.files[name]
 	if !ok {
+		if m.availLocked() <= 0 {
+			return nil, fmt.Errorf("vfs: open append: %w: %s", ErrNoSpace, name)
+		}
 		f = &memFile{}
 		m.files[name] = f
 	}
@@ -292,6 +358,17 @@ func (h *memHandle) Write(p []byte) (int, error) {
 	if !h.write {
 		return 0, fmt.Errorf("vfs: write on read-only handle")
 	}
+	// ENOSPC semantics: write what fits, then fail. The partial bytes are
+	// appended unsynced, so the crash/tear model composes — a caller that
+	// crashes after a short write loses or keeps the fragment exactly like
+	// a torn write.
+	if avail := h.m.availLocked(); avail < int64(len(p)) {
+		if avail < 0 {
+			avail = 0
+		}
+		h.f.data = append(h.f.data, p[:avail]...)
+		return int(avail), fmt.Errorf("vfs: write %d of %d bytes: %w", avail, len(p), ErrNoSpace)
+	}
 	h.f.data = append(h.f.data, p...)
 	return len(p), nil
 }
@@ -317,6 +394,12 @@ func (h *memHandle) Sync() error {
 	defer h.m.mu.Unlock()
 	if err := h.m.check(); err != nil {
 		return err
+	}
+	// Delayed-allocation ENOSPC: bytes that were buffered while space
+	// existed can fail to allocate at fsync if external pressure has since
+	// pushed the device over capacity. Already-synced content is safe.
+	if h.f.synced < len(h.f.data) && h.m.availLocked() < 0 {
+		return fmt.Errorf("vfs: sync: %w", ErrNoSpace)
 	}
 	h.f.synced = len(h.f.data)
 	return nil

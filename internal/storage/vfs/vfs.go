@@ -24,6 +24,21 @@ import (
 // cut with errors.Is regardless of which layer surfaced it.
 var ErrPowerCut = errors.New("vfs: simulated power cut")
 
+// ErrNoSpace is returned by a Mem or Fault FS when the modeled device is
+// full: writes stop mid-buffer (partial-write semantics, like real ENOSPC),
+// creates fail, and syncs of still-unsynced data fail. Errors from the store
+// wrap it, so callers can detect disk exhaustion with errors.Is regardless
+// of which layer surfaced it.
+var ErrNoSpace = errors.New("vfs: no space left on device")
+
+// IsNoSpace reports whether err is a disk-full condition — the simulated
+// ErrNoSpace from this package or a real ENOSPC from the OS filesystem.
+// Every layer that needs to branch on "out of disk, not broken" goes
+// through this one classifier.
+func IsNoSpace(err error) bool {
+	return errors.Is(err, ErrNoSpace) || errors.Is(err, syscall.ENOSPC)
+}
+
 // File is the handle surface the store needs: append writes, positional
 // reads, fsync, and the current size.
 type File interface {

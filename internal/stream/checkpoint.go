@@ -3,12 +3,15 @@ package stream
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"stir/internal/core"
 	"stir/internal/obs"
+	"stir/internal/storage"
+	"stir/internal/storage/vfs"
 	"stir/internal/twitter"
 )
 
@@ -31,6 +34,14 @@ const (
 	ckptRejectPrefix  = "stream/rejected/"
 	ckptFormatVersion = 1
 )
+
+// isDiskFull classifies a checkpoint failure as disk exhaustion — the
+// store's typed read-only degradation or a raw ENOSPC that slipped through.
+// These defer the checkpoint (state is intact in memory, the cursor just
+// does not advance); anything else is a real error.
+func isDiskFull(err error) bool {
+	return errors.Is(err, storage.ErrReadOnly) || vfs.IsNoSpace(err)
+}
 
 // ckptMeta is the engine-level checkpoint record.
 type ckptMeta struct {
@@ -184,13 +195,24 @@ func (e *Engine) Checkpoint() error {
 	batch.Put(ckptMetaKey, mb)
 	if err := batch.Commit(); err != nil {
 		restoreDirty()
+		if isDiskFull(err) {
+			e.noteDeferred()
+		}
 		dspan.Annotate("error", err.Error())
 		return fmt.Errorf("stream: checkpoint commit: %w", err)
 	}
 	if err := e.cfg.Store.Sync(); err != nil {
+		// The batch record is in the log but not durable: dirtiness stays
+		// cleared (a surviving record is simply adopted on reboot), but the
+		// cursor must not advance — a crash now replays from the previous
+		// checkpoint and dedup absorbs the overlap.
+		if isDiskFull(err) {
+			e.noteDeferred()
+		}
 		dspan.Annotate("error", err.Error())
 		return fmt.Errorf("stream: checkpoint sync: %w", err)
 	}
+	e.ckptStalled.Store(false)
 	e.curMu.Lock()
 	e.durableCursor = meta.Cursor
 	e.curMu.Unlock()

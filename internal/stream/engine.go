@@ -38,6 +38,10 @@ import (
 const (
 	DefaultShards = 4
 	DefaultBuffer = 1024
+	// DefaultMaxDirtyUsers bounds how many users may hold un-checkpointed
+	// state while checkpoints are deferred on a full disk before Ingest
+	// applies backpressure (see Config.MaxDirtyUsers).
+	DefaultMaxDirtyUsers = 100_000
 )
 
 // ProfileFunc resolves a user's profile district: ok=false means the profile
@@ -72,6 +76,11 @@ type Config struct {
 	Store *storage.Store
 	// CheckpointEvery makes Run checkpoint on this period (requires Store).
 	CheckpointEvery time.Duration
+	// MaxDirtyUsers bounds the memory-only window while checkpoints are
+	// deferred on a full disk: once this many users carry un-checkpointed
+	// state, Ingest sheds (DropWhenFull) or blocks until a checkpoint
+	// lands. 0 means DefaultMaxDirtyUsers; only meaningful with Store.
+	MaxDirtyUsers int
 	// Reconnect overrides Run's connect retry policy (backoff + breaker on
 	// stream refusals). Nil builds a default policy.
 	Reconnect *resilience.Policy
@@ -156,6 +165,13 @@ type Engine struct {
 	connectFail atomic.Int64
 	checkpoints atomic.Int64
 	ingested    atomic.Int64
+
+	// Disk-pressure state: ckptStalled is set while checkpoints are being
+	// deferred on ErrNoSpace/ErrReadOnly and cleared by the next one that
+	// commits; deferrals counts the skips ("checkpoint skipped, cursor not
+	// advanced" — the replay window a crash right now would cost).
+	ckptStalled atomic.Bool
+	deferrals   atomic.Int64
 
 	// Counters restored from a checkpoint, folded into Stats.
 	restored restoredCounters
@@ -276,6 +292,24 @@ func (e *Engine) Ingest(t *twitter.Tweet) bool {
 	default:
 	}
 	sh := e.shardOf(t.UserID)
+	if e.CheckpointStalled() {
+		// Checkpoints are deferred on a full disk and the memory-only
+		// window is exhausted: shed (DropWhenFull) or hold the reader back
+		// until a checkpoint lands and shrinks the dirty set.
+		e.reg.Counter("stream_ingest_backpressure_total").Inc()
+		if e.cfg.DropWhenFull {
+			sh.drops.Add(1)
+			e.mDropped[sh.id].Inc()
+			return false
+		}
+		for e.CheckpointStalled() {
+			select {
+			case <-e.done:
+				return false
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}
 	msg := shardMsg{tweet: t}
 	if e.cfg.DropWhenFull {
 		select {
@@ -334,6 +368,49 @@ func (e *Engine) DurableCursor() string {
 // sheds when the subscriber lags, so a replay that outruns this counter is
 // losing tweets upstream of the engine.
 func (e *Engine) Ingested() int64 { return e.ingested.Load() }
+
+// DirtyUsers counts users whose state changed since the last committed
+// checkpoint — the replay window a crash right now would cost, and the
+// quantity the MaxDirtyUsers backpressure window bounds.
+func (e *Engine) DirtyUsers() int {
+	n := 0
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		n += len(sh.dirty)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// CheckpointStalled reports that checkpoints are being deferred on a full
+// disk AND the dirty-user window is exhausted — the point where ingest must
+// stop accepting writes it cannot make durable. A cluster worker refuses
+// ingest (503) on this signal so the router defers to its journal.
+func (e *Engine) CheckpointStalled() bool {
+	if !e.ckptStalled.Load() {
+		return false
+	}
+	max := e.cfg.MaxDirtyUsers
+	if max <= 0 {
+		max = DefaultMaxDirtyUsers
+	}
+	return e.DirtyUsers() >= max
+}
+
+// Degraded reports whether the checkpoint store is in read-only
+// disk-degraded mode (always false without a store). Workers report it on
+// hello; daemons flip readiness on it.
+func (e *Engine) Degraded() bool {
+	return e.cfg.Store != nil && e.cfg.Store.Degraded()
+}
+
+// noteDeferred accounts one skipped checkpoint: the cursor did not advance,
+// and the stalled flag arms the dirty-user backpressure window.
+func (e *Engine) noteDeferred() {
+	e.ckptStalled.Store(true)
+	e.deferrals.Add(1)
+	e.reg.Counter("stream_checkpoint_deferred_total").Inc()
+}
 
 func (e *Engine) worker(sh *shard) {
 	defer e.wg.Done()
@@ -499,12 +576,45 @@ func (e *Engine) Run(ctx context.Context, src Source) error {
 		go func() {
 			t := time.NewTicker(e.cfg.CheckpointEvery)
 			defer t.Stop()
+			// Deferral backoff: a disk-full checkpoint failure skips the
+			// next `backoff` ticks (doubling, capped) instead of hammering
+			// a device that cannot accept writes. Each skipped attempt is
+			// counted; the cursor holds still until one commits.
+			skip, backoff := 0, 1
 			for {
 				select {
 				case <-t.C:
-					if err := e.Checkpoint(); err != nil {
-						e.reg.Counter("stream_checkpoint_errors_total").Inc()
+					if skip > 0 {
+						skip--
+						continue
 					}
+					if e.cfg.Store.Degraded() {
+						// A degraded store rejects every write; compaction
+						// is the only way back, so try to reclaim space
+						// before attempting the checkpoint.
+						if err := e.cfg.Store.TryRecover(); err != nil {
+							e.noteDeferred()
+							skip = backoff
+							if backoff < 8 {
+								backoff *= 2
+							}
+							continue
+						}
+					}
+					if err := e.Checkpoint(); err != nil {
+						if isDiskFull(err) {
+							// Checkpoint counted the deferral; here only
+							// the pacing backs off.
+							skip = backoff
+							if backoff < 8 {
+								backoff *= 2
+							}
+						} else {
+							e.reg.Counter("stream_checkpoint_errors_total").Inc()
+						}
+						continue
+					}
+					backoff = 1
 				case <-stop:
 					return
 				case <-ctx.Done():
@@ -585,6 +695,13 @@ type Stats struct {
 	Disconnects     int64   `json:"disconnects"`
 	ConnectFailures int64   `json:"connect_failures"`
 	Checkpoints     int64   `json:"checkpoints"`
+
+	// Disk-pressure accounting: checkpoints skipped on a full disk (cursor
+	// not advanced), the users a crash would replay, and whether the
+	// checkpoint store is currently read-only degraded.
+	CheckpointsDeferred int64 `json:"checkpoints_deferred"`
+	DirtyUsers          int   `json:"dirty_users"`
+	DiskDegraded        bool  `json:"disk_degraded"`
 }
 
 // Stats returns current counters, including totals restored from a
@@ -605,6 +722,10 @@ func (e *Engine) Stats() Stats {
 		Disconnects:     e.disconnects.Load(),
 		ConnectFailures: e.connectFail.Load(),
 		Checkpoints:     e.checkpoints.Load(),
+
+		CheckpointsDeferred: e.deferrals.Load(),
+		DirtyUsers:          e.DirtyUsers(),
+		DiskDegraded:        e.Degraded(),
 	}
 	for i, sh := range e.shards {
 		sh.mu.Lock()
